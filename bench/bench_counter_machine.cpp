@@ -1,0 +1,62 @@
+// E6: leader-driven counter-machine simulation (Sect. 6.1, Theorem 9).
+//
+// Claims reproduced on the multiply-by-b program (the paper's push
+// operation): per-run zero-test error counts scale like n^-k, and the total
+// interaction cost scales like O(n^2 log n + n^{k+1}) (the n^{k+1} term is
+// the terminal zero verdicts).  We report empirical error rates and
+// interaction totals across n and k.
+
+#include "bench_util.h"
+#include "machines/examples.h"
+#include "randomized/population_machine.h"
+
+namespace {
+
+using namespace popproto;
+using namespace popproto::bench;
+
+void run() {
+    banner("E6: population counter machine (multiply by 3)",
+           "Zero-test error rate should fall like n^-k; interactions grow like\n"
+           "O(n^2 log n + n^{k+1}).  'bad runs' = runs with any erroneous zero verdict.");
+
+    Table table({"n", "k", "runs", "bad runs", "err/test", "mean inter.", "n^{k+1}"});
+    const CounterProgram program = make_multiply_program(3);
+    for (std::uint64_t n : {12ull, 24ull, 48ull}) {
+        for (std::uint32_t k : {1u, 2u, 3u}) {
+            const int trials = 60;
+            int bad_runs = 0;
+            std::uint64_t tests = 0;
+            std::uint64_t errors = 0;
+            std::vector<double> interactions;
+            for (int trial = 0; trial < trials; ++trial) {
+                PopulationMachineOptions options;
+                options.timer_parameter = k;
+                options.share_capacity = 4;
+                options.max_interactions = 400ull * n * n +
+                                           40ull * n * n * n * (k >= 2 ? n : 1) *
+                                               (k >= 3 ? n : 1);
+                options.seed = 1000 * n + 100 * k + trial;
+                const PopulationMachineResult result =
+                    run_population_counter_machine(program, {5, 0}, n, options);
+                if (result.zero_test_errors > 0) ++bad_runs;
+                tests += result.zero_tests;
+                errors += result.zero_test_errors;
+                if (result.halted)
+                    interactions.push_back(static_cast<double>(result.interactions));
+            }
+            const double n_pow =
+                std::pow(static_cast<double>(n), static_cast<double>(k) + 1.0);
+            table.row({fmt_u(n), fmt_u(k), fmt_u(trials), fmt_u(bad_runs),
+                       fmt(tests ? static_cast<double>(errors) / tests : 0.0, 6),
+                       fmt(mean(interactions), 0), fmt(n_pow, 0)});
+        }
+    }
+}
+
+}  // namespace
+
+int main() {
+    run();
+    return 0;
+}

@@ -1,0 +1,95 @@
+// Microbenchmarks of the simulation substrate (google-benchmark).
+//
+// Not a paper claim - this tracks the raw cost of the hot loops
+// (interaction application, urn draws, graph-edge activation) that every
+// experiment above depends on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.h"
+#include "graphs/graph_simulation.h"
+#include "graphs/interaction_graph.h"
+#include "presburger/atom_protocols.h"
+#include "protocols/counting.h"
+#include "randomized/urn.h"
+
+namespace {
+
+using namespace popproto;
+
+void BM_SimulateCounting(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    const auto protocol = make_counting_protocol(5);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {n / 2, n - n / 2});
+    std::uint64_t seed = 1;
+    std::uint64_t interactions = 0;
+    for (auto _ : state) {
+        RunOptions options;
+        options.max_interactions = 200000;
+        options.silence_check_period = 1u << 30;  // measure the raw loop
+        options.seed = ++seed;
+        const RunResult result = simulate(*protocol, initial, options);
+        interactions += result.interactions;
+        benchmark::DoNotOptimize(result.interactions);
+    }
+    state.counters["interactions/s"] = benchmark::Counter(
+        static_cast<double>(interactions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateCounting)->Arg(256)->Arg(4096);
+
+void BM_SimulateMajorityProtocol(benchmark::State& state) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    const auto protocol = make_threshold_protocol({1, -1}, 0);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {n / 2, n - n / 2});
+    std::uint64_t seed = 100;
+    std::uint64_t interactions = 0;
+    for (auto _ : state) {
+        RunOptions options;
+        options.max_interactions = 200000;
+        options.silence_check_period = 1u << 30;
+        options.seed = ++seed;
+        const RunResult result = simulate(*protocol, initial, options);
+        interactions += result.interactions;
+    }
+    state.counters["interactions/s"] = benchmark::Counter(
+        static_cast<double>(interactions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateMajorityProtocol)->Arg(1024);
+
+void BM_GraphSimulatorOnRing(benchmark::State& state) {
+    const std::uint32_t n = 64;
+    const auto base = make_counting_protocol(3);
+    const auto sim = make_graph_simulation_protocol(*base);
+    const InteractionGraph ring = InteractionGraph::ring(n);
+    std::vector<Symbol> inputs(n, kInputZero);
+    inputs[0] = inputs[1] = inputs[2] = kInputOne;
+    std::uint64_t seed = 3;
+    std::uint64_t interactions = 0;
+    for (auto _ : state) {
+        RunOptions options;
+        options.max_interactions = 200000;
+        options.seed = ++seed;
+        const GraphRunResult result = simulate_on_graph(*sim, ring, inputs, options);
+        interactions += result.interactions;
+    }
+    state.counters["interactions/s"] = benchmark::Counter(
+        static_cast<double>(interactions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GraphSimulatorOnRing);
+
+void BM_UrnDraws(benchmark::State& state) {
+    Rng rng(5);
+    std::uint64_t draws = 0;
+    for (auto _ : state) {
+        const UrnOutcome outcome = sample_urn(64, 4, 3, rng);
+        draws += outcome.draws;
+        benchmark::DoNotOptimize(outcome.lost);
+    }
+    state.counters["draws/s"] =
+        benchmark::Counter(static_cast<double>(draws), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UrnDraws);
+
+}  // namespace
+
+BENCHMARK_MAIN();

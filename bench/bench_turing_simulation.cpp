@@ -1,0 +1,65 @@
+// E7: logspace Turing machines on unary input, simulated with high
+// probability by a conjugating automaton (Theorem 10).
+//
+// Pipeline: unary-mod TM -> Minsky 3-counter program -> leader-driven
+// population runtime.  We report success rates (exit code matches the TM)
+// and interaction totals as the timer parameter k grows; reliability should
+// improve rapidly with k, as the per-test error is Theta(n^-k / m).
+
+#include "bench_util.h"
+#include "machines/examples.h"
+#include "machines/minsky.h"
+#include "randomized/population_machine.h"
+
+namespace {
+
+using namespace popproto;
+using namespace popproto::bench;
+
+void run() {
+    banner("E7: Turing machine simulation (Theorem 10)",
+           "Parity of a unary input via Minsky two-stack coding on a population of\n"
+           "n = 21 agents.  Success = population exit code equals the TM verdict.");
+
+    const TuringMachine machine = make_unary_mod_turing_machine(2);
+    const MinskyProgram compiled = compile_turing_machine(machine);
+
+    Table table({"x", "k", "runs", "success", "rate", "mean inter."});
+    const std::uint64_t population = 21;
+    for (std::uint32_t x : {2u, 3u, 4u, 5u}) {
+        const std::vector<std::uint32_t> input(x, 1);
+        const TuringExecution direct = run_turing_machine(machine, input, 100000);
+        for (std::uint32_t k : {2u, 3u, 4u, 5u}) {
+            // k = 5 relies on the bulk fast path for its ~20^5-encounter
+            // terminal zero verdicts; see PopulationMachineOptions.
+            const int trials = k <= 3 ? 30 : (k == 4 ? 12 : 6);
+            int successes = 0;
+            std::vector<double> interactions;
+            for (int trial = 0; trial < trials; ++trial) {
+                PopulationMachineOptions options;
+                options.timer_parameter = k;
+                options.share_capacity = 8;
+                options.max_interactions = 60'000'000'000'000ull;
+                options.seed = 9000 * x + 700 * k + trial;
+                const PopulationMachineResult result = run_population_counter_machine(
+                    compiled.program, compiled.initial_counters(input), population, options);
+                const bool ok =
+                    result.halted &&
+                    (result.exit_code == MinskyProgram::kAcceptExitCode) == direct.accepted;
+                if (ok) ++successes;
+                if (result.halted)
+                    interactions.push_back(static_cast<double>(result.interactions));
+            }
+            table.row({fmt_u(x), fmt_u(k), fmt_u(trials), fmt_u(successes),
+                       fmt(static_cast<double>(successes) / trials, 3),
+                       fmt(mean(interactions), 0)});
+        }
+    }
+}
+
+}  // namespace
+
+int main() {
+    run();
+    return 0;
+}

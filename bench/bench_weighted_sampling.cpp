@@ -1,0 +1,64 @@
+// E11 (extension): weighted pair sampling, the Sect. 8 open direction.
+//
+// "One idea is weighted sampling, in which population members are sampled
+// according to their weights ...  We conjecture that with reasonable
+// restrictions on the weights, weighted sampling yields the same power as
+// uniform sampling."  We probe the conjecture on the Lemma 5 majority
+// protocol: correctness at every weight spread, with a bounded convergence
+// slowdown relative to uniform sampling.
+
+#include "bench_util.h"
+#include "core/simulator.h"
+#include "presburger/atom_protocols.h"
+
+namespace {
+
+using namespace popproto;
+using namespace popproto::bench;
+
+void run() {
+    banner("E11 (extension): weighted sampling conjecture (Sect. 8)",
+           "Majority (x0 < x1) under pair sampling proportional to w_i * w_j with\n"
+           "weights cycling through [1, spread].  The conjecture predicts 'correct'\n"
+           "everywhere; 'slowdown' is convergence relative to uniform weights.");
+
+    const auto protocol = make_threshold_protocol({1, -1}, 0);
+    const std::uint64_t n = 128;
+    const std::uint64_t zeros = 60;
+    const std::uint64_t ones = 68;
+
+    std::vector<Symbol> input_symbols(zeros, 0);
+    input_symbols.insert(input_symbols.end(), ones, 1);
+    const auto initial = AgentConfiguration::from_inputs(*protocol, input_symbols);
+
+    const int trials = 15;
+    Table table({"spread", "verdict", "mean conv.", "slowdown"});
+    double uniform_mean = 0.0;
+    for (double spread : {1.0, 2.0, 4.0, 16.0, 64.0}) {
+        std::vector<double> weights(n);
+        for (std::size_t i = 0; i < n; ++i)
+            weights[i] = 1.0 + (spread - 1.0) * static_cast<double>(i % 11) / 10.0;
+
+        std::vector<double> convergence;
+        bool all_correct = true;
+        for (int trial = 0; trial < trials; ++trial) {
+            RunOptions options;
+            options.max_interactions = default_budget(n, 1024.0);
+            options.seed = 300 + trial;
+            const RunResult result = simulate_weighted(*protocol, initial, weights, options);
+            convergence.push_back(static_cast<double>(result.last_output_change));
+            if (!result.consensus || *result.consensus != kOutputTrue) all_correct = false;
+        }
+        const double m = mean(convergence);
+        if (spread == 1.0) uniform_mean = m;
+        table.row({fmt(spread, 0), all_correct ? "correct" : "WRONG", fmt(m, 0),
+                   fmt(m / uniform_mean, 2)});
+    }
+}
+
+}  // namespace
+
+int main() {
+    run();
+    return 0;
+}

@@ -1,0 +1,88 @@
+// E5: the Lemma 11 urn process behind the randomized zero test (Theorem 9).
+//
+// Claims reproduced:
+//   (1) loss probability = (N-1) / (m N^k + N-1-m), i.e. Theta(N^-k / m);
+//   (2) expected draws conditioned on winning <= N/m;
+//   (3) with m = 0, expected draws = O(N^k).
+
+#include "bench_util.h"
+#include "randomized/urn.h"
+
+namespace {
+
+using namespace popproto;
+using namespace popproto::bench;
+
+void loss_probability_table() {
+    banner("E5a: zero-test error probability (Lemma 11.1)",
+           "Sampled loss rate vs the exact closed form (N-1)/(m N^k + N-1-m).");
+    Table table({"N", "m", "k", "closed form", "sampled", "ratio"});
+    Rng rng(2024);
+    for (std::uint64_t tokens : {8ull, 16ull, 32ull}) {
+        for (std::uint64_t counters : {1ull, 2ull, 8ull}) {
+            for (std::uint32_t k : {1u, 2u, 3u}) {
+                if (counters + 1 > tokens) continue;
+                const double closed = urn_loss_probability(tokens, counters, k);
+                // Scale trials so rare events still produce a few hundred hits.
+                const int trials =
+                    static_cast<int>(std::min(4e6, std::max(200000.0, 400.0 / closed)));
+                int losses = 0;
+                for (int t = 0; t < trials; ++t)
+                    if (sample_urn(tokens, counters, k, rng).lost) ++losses;
+                const double sampled = static_cast<double>(losses) / trials;
+                table.row({fmt_u(tokens), fmt_u(counters), fmt_u(k), fmt(closed, 6),
+                           fmt(sampled, 6), fmt(sampled / closed, 3)});
+            }
+        }
+    }
+}
+
+void winning_draws_table() {
+    banner("E5b: zero-test draws on nonzero counters (Lemma 11.2)",
+           "Mean draws of winning processes vs the N/m bound.");
+    Table table({"N", "m", "k", "mean draws", "bound N/m"});
+    Rng rng(7);
+    const std::uint32_t k = 3;
+    for (std::uint64_t tokens : {8ull, 32ull, 128ull}) {
+        for (std::uint64_t counters : {1ull, 4ull, 16ull}) {
+            if (counters + 1 > tokens) continue;
+            double total = 0;
+            int wins = 0;
+            for (int t = 0; t < 200000; ++t) {
+                const UrnOutcome outcome = sample_urn(tokens, counters, k, rng);
+                if (!outcome.lost) {
+                    total += static_cast<double>(outcome.draws);
+                    ++wins;
+                }
+            }
+            table.row({fmt_u(tokens), fmt_u(counters), fmt_u(k), fmt(total / wins, 2),
+                       fmt(urn_expected_draws_win_bound(tokens, counters), 2)});
+        }
+    }
+}
+
+void empty_draws_table() {
+    banner("E5c: zero-test draws on zero counters (Lemma 11.3)",
+           "Mean draws until k consecutive timers with m = 0, vs the O(N^k) bound.");
+    Table table({"N", "k", "mean draws", "bound N^k*N/(N-1)"});
+    Rng rng(9);
+    for (std::uint64_t tokens : {4ull, 8ull, 16ull}) {
+        for (std::uint32_t k : {1u, 2u, 3u}) {
+            const int trials = 20000;
+            double total = 0;
+            for (int t = 0; t < trials; ++t)
+                total += static_cast<double>(sample_urn(tokens, 0, k, rng).draws);
+            table.row({fmt_u(tokens), fmt_u(k), fmt(total / trials, 1),
+                       fmt(urn_expected_draws_empty_bound(tokens, k), 1)});
+        }
+    }
+}
+
+}  // namespace
+
+int main() {
+    loss_probability_table();
+    winning_draws_table();
+    empty_draws_table();
+    return 0;
+}

@@ -1,0 +1,253 @@
+#include "analysis/markov.h"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/stable_computation.h"
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+/// Transition probabilities out of one configuration, aggregated per
+/// successor configuration.  The missing mass (null interactions and pure
+/// swaps) is an implicit self-loop.
+std::unordered_map<ConfigId, double> transition_row(
+    const TabulatedProtocol& protocol, const ConfigurationGraph& graph,
+    const std::unordered_map<CountConfiguration, ConfigId, CountConfigurationHash>& index,
+    ConfigId from) {
+    const CountConfiguration& config = graph.configs[from];
+    const double n = static_cast<double>(config.population_size());
+    const double pairs = n * (n - 1.0);
+
+    std::unordered_map<ConfigId, double> row;
+    for (State p = 0; p < config.num_states(); ++p) {
+        const std::uint64_t cp = config.count(p);
+        if (cp == 0) continue;
+        for (State q = 0; q < config.num_states(); ++q) {
+            const std::uint64_t cq = config.count(q) - (p == q ? 1 : 0);
+            if (cq == 0) continue;
+            const StatePair next = protocol.apply_fast(p, q);
+            if (next.initiator == p && next.responder == q) continue;  // self mass
+            CountConfiguration successor = config;
+            successor.remove(p);
+            successor.remove(q);
+            successor.add(next.initiator);
+            successor.add(next.responder);
+            if (successor == config) continue;  // pure swap: self mass
+            const auto it = index.find(successor);
+            ensure(it != index.end(), "transition_row: successor missing from graph");
+            row[it->second] += static_cast<double>(cp) * static_cast<double>(cq) / pairs;
+        }
+    }
+    return row;
+}
+
+/// Solves `matrix * x = rhs` (row-major, m x m) in place by Gaussian
+/// elimination with partial pivoting; returns x.
+std::vector<double> solve_linear(std::vector<double>& matrix, std::vector<double>& rhs,
+                                 std::size_t m) {
+    for (std::size_t col = 0; col < m; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < m; ++row)
+            if (std::fabs(matrix[row * m + col]) > std::fabs(matrix[pivot * m + col]))
+                pivot = row;
+        if (std::fabs(matrix[pivot * m + col]) < 1e-14)
+            throw std::runtime_error("solve_linear: singular system");
+        if (pivot != col) {
+            for (std::size_t k = col; k < m; ++k)
+                std::swap(matrix[pivot * m + k], matrix[col * m + k]);
+            std::swap(rhs[pivot], rhs[col]);
+        }
+        const double diagonal = matrix[col * m + col];
+        for (std::size_t row = col + 1; row < m; ++row) {
+            const double factor = matrix[row * m + col] / diagonal;
+            if (factor == 0.0) continue;
+            for (std::size_t k = col; k < m; ++k)
+                matrix[row * m + k] -= factor * matrix[col * m + k];
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    std::vector<double> solution(m, 0.0);
+    for (std::size_t row = m; row-- > 0;) {
+        double sum = rhs[row];
+        for (std::size_t k = row + 1; k < m; ++k) sum -= matrix[row * m + k] * solution[k];
+        solution[row] = sum / matrix[row * m + row];
+    }
+    return solution;
+}
+
+}  // namespace
+
+double expected_hitting_time(const TabulatedProtocol& protocol, const ConfigurationGraph& graph,
+                             ConfigId initial, const ConfigPredicate& target,
+                             std::size_t max_transient) {
+    require(graph.complete, "expected_hitting_time: incomplete configuration graph");
+    require(initial < graph.size(), "expected_hitting_time: initial id out of range");
+
+    if (target(graph.configs[initial])) return 0.0;
+
+    // Index configurations for successor lookup.
+    std::unordered_map<CountConfiguration, ConfigId, CountConfigurationHash> index;
+    for (ConfigId c = 0; c < graph.size(); ++c) index.emplace(graph.configs[c], c);
+
+    // Verify every reachable configuration can reach the target (else the
+    // expectation is infinite): reverse BFS from target states.
+    std::vector<std::vector<ConfigId>> predecessors(graph.size());
+    for (ConfigId c = 0; c < graph.size(); ++c)
+        for (ConfigId d : graph.successors[c]) predecessors[d].push_back(c);
+    std::vector<bool> reaches_target(graph.size(), false);
+    std::deque<ConfigId> queue;
+    for (ConfigId c = 0; c < graph.size(); ++c) {
+        if (target(graph.configs[c])) {
+            reaches_target[c] = true;
+            queue.push_back(c);
+        }
+    }
+    if (queue.empty())
+        throw std::runtime_error("expected_hitting_time: target unreachable");
+    while (!queue.empty()) {
+        const ConfigId c = queue.front();
+        queue.pop_front();
+        for (ConfigId p : predecessors[c]) {
+            if (!reaches_target[p]) {
+                reaches_target[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    for (ConfigId c = 0; c < graph.size(); ++c) {
+        if (!reaches_target[c])
+            throw std::runtime_error(
+                "expected_hitting_time: a reachable configuration cannot reach "
+                "the target; expectation is infinite");
+    }
+
+    // Enumerate transient configurations.
+    std::vector<ConfigId> transient;
+    std::vector<std::int64_t> transient_index(graph.size(), -1);
+    for (ConfigId c = 0; c < graph.size(); ++c) {
+        if (!target(graph.configs[c])) {
+            transient_index[c] = static_cast<std::int64_t>(transient.size());
+            transient.push_back(c);
+        }
+    }
+    const std::size_t m = transient.size();
+    if (m > max_transient)
+        throw std::runtime_error("expected_hitting_time: transient system too large");
+
+    // Build (I - P_transient) t = 1 and solve by Gaussian elimination with
+    // partial pivoting.
+    std::vector<double> matrix(m * m, 0.0);
+    std::vector<double> rhs(m, 1.0);
+    for (std::size_t row = 0; row < m; ++row) {
+        matrix[row * m + row] = 1.0;
+        const auto probabilities = transition_row(protocol, graph, index, transient[row]);
+        double outgoing = 0.0;
+        for (const auto& [succ, prob] : probabilities) {
+            outgoing += prob;
+            if (transient_index[succ] >= 0)
+                matrix[row * m + static_cast<std::size_t>(transient_index[succ])] -= prob;
+        }
+        // Self-loop mass (1 - outgoing) folds into the diagonal.
+        matrix[row * m + row] -= (1.0 - outgoing);
+    }
+
+    const std::vector<double> times = solve_linear(matrix, rhs, m);
+
+    const std::int64_t initial_row = transient_index[initial];
+    ensure(initial_row >= 0, "expected_hitting_time: initial vanished");
+    return times[static_cast<std::size_t>(initial_row)];
+}
+
+double expected_hitting_time(const TabulatedProtocol& protocol,
+                             const CountConfiguration& initial_config,
+                             const ConfigPredicate& target, std::size_t max_configs,
+                             std::size_t max_transient) {
+    const ConfigurationGraph graph = explore_reachable(protocol, initial_config, max_configs);
+    if (!graph.complete)
+        throw std::runtime_error("expected_hitting_time: reachable set exceeds max_configs");
+    return expected_hitting_time(protocol, graph, 0, target, max_transient);
+}
+
+double absorption_probability(const TabulatedProtocol& protocol, const ConfigurationGraph& graph,
+                              ConfigId initial, const ConfigPredicate& target,
+                              std::size_t max_transient) {
+    require(graph.complete, "absorption_probability: incomplete configuration graph");
+    require(initial < graph.size(), "absorption_probability: initial id out of range");
+
+    const SccDecomposition sccs = condense(graph);
+
+    // Classify final SCCs and insist the target predicate is constant on
+    // each (otherwise "absorbed into a target component" is ill-defined).
+    enum class Verdict : std::uint8_t { kUnseen, kTarget, kOther };
+    std::vector<Verdict> final_verdict(sccs.num_components, Verdict::kUnseen);
+    for (ConfigId c = 0; c < graph.size(); ++c) {
+        const std::uint32_t s = sccs.component[c];
+        if (!sccs.is_final[s]) continue;
+        const Verdict verdict = target(graph.configs[c]) ? Verdict::kTarget : Verdict::kOther;
+        if (final_verdict[s] == Verdict::kUnseen) {
+            final_verdict[s] = verdict;
+        } else if (final_verdict[s] != verdict) {
+            throw std::runtime_error(
+                "absorption_probability: target is not constant on a final SCC");
+        }
+    }
+
+    const auto absorbed_value = [&](ConfigId c) -> double {
+        return final_verdict[sccs.component[c]] == Verdict::kTarget ? 1.0 : 0.0;
+    };
+    if (sccs.is_final[sccs.component[initial]]) return absorbed_value(initial);
+
+    std::unordered_map<CountConfiguration, ConfigId, CountConfigurationHash> index;
+    for (ConfigId c = 0; c < graph.size(); ++c) index.emplace(graph.configs[c], c);
+
+    // Transient configurations: everything outside final SCCs.
+    std::vector<ConfigId> transient;
+    std::vector<std::int64_t> transient_index(graph.size(), -1);
+    for (ConfigId c = 0; c < graph.size(); ++c) {
+        if (!sccs.is_final[sccs.component[c]]) {
+            transient_index[c] = static_cast<std::int64_t>(transient.size());
+            transient.push_back(c);
+        }
+    }
+    const std::size_t m = transient.size();
+    if (m > max_transient)
+        throw std::runtime_error("absorption_probability: transient system too large");
+
+    // h = P_tt h + P_ta * value  ->  (I - P_tt) h = b.
+    std::vector<double> matrix(m * m, 0.0);
+    std::vector<double> rhs(m, 0.0);
+    for (std::size_t row = 0; row < m; ++row) {
+        matrix[row * m + row] = 1.0;
+        const auto probabilities = transition_row(protocol, graph, index, transient[row]);
+        double outgoing = 0.0;
+        for (const auto& [succ, prob] : probabilities) {
+            outgoing += prob;
+            if (transient_index[succ] >= 0) {
+                matrix[row * m + static_cast<std::size_t>(transient_index[succ])] -= prob;
+            } else {
+                rhs[row] += prob * absorbed_value(succ);
+            }
+        }
+        matrix[row * m + row] -= (1.0 - outgoing);  // self-loop mass
+    }
+    const std::vector<double> probabilities = solve_linear(matrix, rhs, m);
+    return probabilities[static_cast<std::size_t>(transient_index[initial])];
+}
+
+double absorption_probability(const TabulatedProtocol& protocol,
+                              const CountConfiguration& initial_config,
+                              const ConfigPredicate& target, std::size_t max_configs,
+                              std::size_t max_transient) {
+    const ConfigurationGraph graph = explore_reachable(protocol, initial_config, max_configs);
+    if (!graph.complete)
+        throw std::runtime_error("absorption_probability: reachable set exceeds max_configs");
+    return absorption_probability(protocol, graph, 0, target, max_transient);
+}
+
+}  // namespace popproto

@@ -1,0 +1,58 @@
+// Exact expected-interaction analysis of randomized executions (Sect. 6).
+//
+// Under uniform random pairing the configuration process is a Markov chain
+// over multiset configurations: from configuration C the ordered state pair
+// (p, q) is drawn with probability c_p (c_q - [p == q]) / (n (n - 1)).
+// This module computes exact expected hitting times to a target set of
+// configurations by solving the standard first-step linear system with
+// Gaussian elimination.  It is used to verify closed-form claims such as the
+// (n-1)^2 expected interactions of leader election on small populations.
+
+#ifndef POPPROTO_ANALYSIS_MARKOV_H
+#define POPPROTO_ANALYSIS_MARKOV_H
+
+#include <functional>
+
+#include "analysis/reachability.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Predicate over configurations selecting the target (absorbing) set.
+using ConfigPredicate = std::function<bool(const CountConfiguration&)>;
+
+/// Expected number of interactions (counting null interactions), starting
+/// from `graph.configs[initial]`, until a configuration satisfying `target`
+/// is first reached.  Throws std::runtime_error if some reachable
+/// configuration cannot reach the target (the expectation would be infinite)
+/// or if the transient system is too large (> `max_transient` states).
+double expected_hitting_time(const TabulatedProtocol& protocol, const ConfigurationGraph& graph,
+                             ConfigId initial, const ConfigPredicate& target,
+                             std::size_t max_transient = 4096);
+
+/// Convenience wrapper: explores from `initial_config` and computes the
+/// expected hitting time from it.
+double expected_hitting_time(const TabulatedProtocol& protocol,
+                             const CountConfiguration& initial_config,
+                             const ConfigPredicate& target, std::size_t max_configs = 1u << 18,
+                             std::size_t max_transient = 4096);
+
+/// Probability that the random-pairing chain started at `initial` is
+/// eventually absorbed into a *final SCC* whose configurations satisfy
+/// `target`.  This is the exact quantity behind Theorem 11: with
+/// polynomially many multiset configurations, "computes with probability p"
+/// is a linear-system solve.  `target` must be constant on each final SCC
+/// (throws std::runtime_error otherwise).
+double absorption_probability(const TabulatedProtocol& protocol, const ConfigurationGraph& graph,
+                              ConfigId initial, const ConfigPredicate& target,
+                              std::size_t max_transient = 4096);
+
+/// Convenience wrapper over a fresh exploration from `initial_config`.
+double absorption_probability(const TabulatedProtocol& protocol,
+                              const CountConfiguration& initial_config,
+                              const ConfigPredicate& target, std::size_t max_configs = 1u << 18,
+                              std::size_t max_transient = 4096);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_ANALYSIS_MARKOV_H

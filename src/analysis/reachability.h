@@ -1,0 +1,50 @@
+// Exact reachability over multiset configurations.
+//
+// Because stably computable predicates are invariant under agent renaming
+// (Theorem 1), a configuration of the standard population is fully described
+// by its multiset of states, and the whole transition graph G(A, P_n)
+// (Sect. 3.1) can be explored as a graph over count vectors.  This is the
+// executable counterpart of the Theorem 6 argument that stable computation is
+// decidable by reachability over |Q| counters of log n bits.
+
+#ifndef POPPROTO_ANALYSIS_REACHABILITY_H
+#define POPPROTO_ANALYSIS_REACHABILITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Dense index of a configuration inside a ConfigurationGraph.
+using ConfigId = std::uint32_t;
+
+/// The reachable part of the transition graph from one initial configuration.
+struct ConfigurationGraph {
+    /// Reachable configurations; index 0 is the initial configuration.
+    std::vector<CountConfiguration> configs;
+
+    /// successors[c] = distinct configurations reachable from configs[c] in
+    /// one non-null interaction, excluding c itself.
+    std::vector<std::vector<ConfigId>> successors;
+
+    /// True iff exploration finished within the configuration limit.  When
+    /// false the graph is a partial prefix and must not be used for
+    /// stable-computation verdicts.
+    bool complete = true;
+
+    std::size_t size() const { return configs.size(); }
+};
+
+/// Breadth-first exploration of all configurations reachable from `initial`.
+/// Stops (with complete == false) once more than `max_configs`
+/// configurations have been discovered.
+ConfigurationGraph explore_reachable(const TabulatedProtocol& protocol,
+                                     const CountConfiguration& initial,
+                                     std::size_t max_configs = 1u << 20);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_ANALYSIS_REACHABILITY_H

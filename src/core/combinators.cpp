@@ -1,0 +1,95 @@
+#include "core/combinators.h"
+
+#include <string>
+
+#include "core/require.h"
+
+namespace popproto {
+
+std::unique_ptr<TabulatedProtocol> make_product_protocol(
+    const Protocol& a, const Protocol& b,
+    const std::function<Symbol(Symbol, Symbol)>& combine, std::size_t num_output_symbols) {
+    require(a.num_input_symbols() == b.num_input_symbols(),
+            "make_product_protocol: input alphabets differ");
+    require(num_output_symbols > 0, "make_product_protocol: empty output alphabet");
+
+    const std::size_t states_a = a.num_states();
+    const std::size_t states_b = b.num_states();
+    const std::size_t num_states = states_a * states_b;
+    const auto encode = [states_b](State qa, State qb) {
+        return static_cast<State>(static_cast<std::size_t>(qa) * states_b + qb);
+    };
+
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = num_output_symbols;
+
+    tables.initial.reserve(a.num_input_symbols());
+    for (Symbol x = 0; x < a.num_input_symbols(); ++x) {
+        tables.initial.push_back(encode(a.initial_state(x), b.initial_state(x)));
+        tables.input_names.push_back(a.input_name(x));
+    }
+
+    tables.output.resize(num_states);
+    tables.state_names.resize(num_states);
+    for (State qa = 0; qa < states_a; ++qa) {
+        for (State qb = 0; qb < states_b; ++qb) {
+            const State q = encode(qa, qb);
+            const Symbol y = combine(a.output(qa), b.output(qb));
+            require(y < num_output_symbols, "make_product_protocol: combine out of range");
+            tables.output[q] = y;
+            tables.state_names[q] = "<" + a.state_name(qa) + "|" + b.state_name(qb) + ">";
+        }
+    }
+
+    tables.delta.resize(num_states * num_states);
+    for (State pa = 0; pa < states_a; ++pa) {
+        for (State pb = 0; pb < states_b; ++pb) {
+            for (State qa = 0; qa < states_a; ++qa) {
+                for (State qb = 0; qb < states_b; ++qb) {
+                    const StatePair ra = a.apply(pa, qa);
+                    const StatePair rb = b.apply(pb, qb);
+                    const State p = encode(pa, pb);
+                    const State q = encode(qa, qb);
+                    tables.delta[static_cast<std::size_t>(p) * num_states + q] =
+                        StatePair{encode(ra.initiator, rb.initiator),
+                                  encode(ra.responder, rb.responder)};
+                }
+            }
+        }
+    }
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+std::unique_ptr<TabulatedProtocol> make_output_mapped_protocol(
+    const Protocol& base, const std::function<Symbol(Symbol)>& map,
+    std::size_t num_output_symbols) {
+    require(num_output_symbols > 0, "make_output_mapped_protocol: empty output alphabet");
+    auto tabulated = TabulatedProtocol::tabulate(base);
+
+    const std::size_t num_states = base.num_states();
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = num_output_symbols;
+    tables.output.resize(num_states);
+    for (State q = 0; q < num_states; ++q) {
+        const Symbol y = map(base.output(q));
+        require(y < num_output_symbols, "make_output_mapped_protocol: map out of range");
+        tables.output[q] = y;
+        tables.state_names.push_back(base.state_name(q));
+    }
+    for (Symbol x = 0; x < base.num_input_symbols(); ++x) {
+        tables.initial.push_back(base.initial_state(x));
+        tables.input_names.push_back(base.input_name(x));
+    }
+    tables.delta.reserve(num_states * num_states);
+    for (State p = 0; p < num_states; ++p)
+        for (State q = 0; q < num_states; ++q) tables.delta.push_back(tabulated->apply_fast(p, q));
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+std::unique_ptr<TabulatedProtocol> make_negation_protocol(const Protocol& base) {
+    require(base.num_output_symbols() == 2, "make_negation_protocol: need Boolean outputs");
+    return make_output_mapped_protocol(
+        base, [](Symbol y) { return y == kOutputTrue ? kOutputFalse : kOutputTrue; }, 2);
+}
+
+}  // namespace popproto

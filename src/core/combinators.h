@@ -1,0 +1,39 @@
+// Generic protocol transformations.
+//
+// make_product_protocol is the parallel composition of Lemma 3: run two
+// protocols with a common input alphabet side by side and combine their
+// outputs with an arbitrary function, which proves closure of stably
+// computable predicates under Boolean operations.  make_output_mapped
+// re-labels outputs (used for negation and other post-processing).
+
+#ifndef POPPROTO_CORE_COMBINATORS_H
+#define POPPROTO_CORE_COMBINATORS_H
+
+#include <functional>
+#include <memory>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Parallel composition (Lemma 3).  Both protocols must have the same input
+/// alphabet size.  The composite state set is Q_a x Q_b; delta acts
+/// componentwise and the output of (q_a, q_b) is
+/// combine(O_a(q_a), O_b(q_b)), which must lie in [0, num_output_symbols).
+std::unique_ptr<TabulatedProtocol> make_product_protocol(
+    const Protocol& a, const Protocol& b,
+    const std::function<Symbol(Symbol, Symbol)>& combine, std::size_t num_output_symbols);
+
+/// Same protocol with outputs re-labeled through `map` (into an output
+/// alphabet of `num_output_symbols`).  Transitions are unchanged, so stable
+/// computation of y becomes stable computation of map(y).
+std::unique_ptr<TabulatedProtocol> make_output_mapped_protocol(
+    const Protocol& base, const std::function<Symbol(Symbol)>& map,
+    std::size_t num_output_symbols);
+
+/// Boolean negation of a 2-output protocol (swaps false/true).
+std::unique_ptr<TabulatedProtocol> make_negation_protocol(const Protocol& base);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_COMBINATORS_H

@@ -1,0 +1,58 @@
+#include "core/conventions.h"
+
+#include "core/require.h"
+
+namespace popproto {
+
+std::size_t IntegerInputConvention::arity() const {
+    require(!symbol_values.empty(), "IntegerInputConvention: no symbols");
+    return symbol_values.front().size();
+}
+
+std::vector<std::int64_t> IntegerInputConvention::decode(
+    const std::vector<std::uint64_t>& symbol_counts) const {
+    require(symbol_counts.size() == symbol_values.size(),
+            "IntegerInputConvention::decode: one count per symbol required");
+    const std::size_t k = arity();
+    std::vector<std::int64_t> tuple(k, 0);
+    for (std::size_t x = 0; x < symbol_values.size(); ++x) {
+        require(symbol_values[x].size() == k, "IntegerInputConvention: ragged symbol values");
+        for (std::size_t j = 0; j < k; ++j)
+            tuple[j] += symbol_values[x][j] * static_cast<std::int64_t>(symbol_counts[x]);
+    }
+    return tuple;
+}
+
+std::size_t IntegerOutputConvention::arity() const {
+    require(!symbol_values.empty(), "IntegerOutputConvention: no symbols");
+    return symbol_values.front().size();
+}
+
+std::vector<std::int64_t> IntegerOutputConvention::decode(
+    const OutputCounts& output_counts) const {
+    require(output_counts.size() == symbol_values.size(),
+            "IntegerOutputConvention::decode: one count per output symbol required");
+    const std::size_t k = arity();
+    std::vector<std::int64_t> tuple(k, 0);
+    for (std::size_t y = 0; y < symbol_values.size(); ++y) {
+        require(symbol_values[y].size() == k, "IntegerOutputConvention: ragged symbol values");
+        for (std::size_t j = 0; j < k; ++j)
+            tuple[j] += symbol_values[y][j] * static_cast<std::int64_t>(output_counts[y]);
+    }
+    return tuple;
+}
+
+std::optional<bool> decode_all_agents_predicate(const OutputCounts& output_counts) {
+    require(output_counts.size() == 2, "decode_all_agents_predicate: Boolean outputs required");
+    const bool any_false = output_counts[kOutputFalse] > 0;
+    const bool any_true = output_counts[kOutputTrue] > 0;
+    if (any_false && any_true) return std::nullopt;  // the paper's "bottom"
+    return any_true;
+}
+
+bool decode_zero_nonzero_predicate(const OutputCounts& output_counts) {
+    require(output_counts.size() == 2, "decode_zero_nonzero_predicate: Boolean outputs required");
+    return output_counts[kOutputTrue] > 0;
+}
+
+}  // namespace popproto

@@ -1,0 +1,72 @@
+// Input/output encoding conventions (Sect. 3.4, "Computation on other
+// domains").
+//
+// Population protocols natively relate input assignments to output
+// assignments; computing on integers or truth values requires encoding
+// conventions E_I and E_O.  This module makes the paper's conventions
+// first-class:
+//
+//   * symbol-count input: x_i = number of agents reading sigma_i
+//     (CountConfiguration::from_input_counts already constructs I(x));
+//   * integer-based input: each input symbol carries a k-vector of integers
+//     and the represented tuple is the population-wide sum;
+//   * integer-based output: each output symbol carries a vector and the
+//     represented result is the sum over all agents;
+//   * all-agents / zero-nonzero predicate outputs.
+//
+// The decoders consume OutputSignatures (per-output-symbol agent counts), so
+// they compose directly with both the analyzer and the simulator.
+
+#ifndef POPPROTO_CORE_CONVENTIONS_H
+#define POPPROTO_CORE_CONVENTIONS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace popproto {
+
+/// Per-output-symbol agent counts (as produced by
+/// CountConfiguration::output_counts and the analyzer).
+using OutputCounts = std::vector<std::uint64_t>;
+
+/// Integer-based input convention: input symbol x carries the integer vector
+/// symbol_values[x]; an input represents the sum of its agents' vectors.
+struct IntegerInputConvention {
+    std::vector<std::vector<std::int64_t>> symbol_values;
+
+    /// Dimension k of the represented tuples.
+    std::size_t arity() const;
+
+    /// The tuple represented by `symbol_counts` agents per input symbol.
+    std::vector<std::int64_t> decode(const std::vector<std::uint64_t>& symbol_counts) const;
+};
+
+/// Integer-based output convention: output symbol y carries
+/// symbol_values[y]; an output assignment represents the sum over agents.
+struct IntegerOutputConvention {
+    std::vector<std::vector<std::int64_t>> symbol_values;
+
+    std::size_t arity() const;
+    std::vector<std::int64_t> decode(const OutputCounts& output_counts) const;
+};
+
+/// All-agents predicate convention: true/false when every agent agrees,
+/// nullopt (the paper's bottom) otherwise.  Output symbols are
+/// kOutputFalse/kOutputTrue.
+std::optional<bool> decode_all_agents_predicate(const OutputCounts& output_counts);
+
+/// Zero/non-zero predicate convention (Sect. 3.6): true iff at least one
+/// agent outputs 1.
+bool decode_zero_nonzero_predicate(const OutputCounts& output_counts);
+
+// The exact function-computation checker built on these conventions lives in
+// analysis/stable_computation.h (stably_computes_integer_function), since it
+// needs the reachability analyzer.
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_CONVENTIONS_H

@@ -1,0 +1,67 @@
+#include "core/debug.h"
+
+namespace popproto {
+
+std::string describe_protocol(const TabulatedProtocol& protocol) {
+    std::string text;
+    text += "states (" + std::to_string(protocol.num_states()) + "):";
+    for (State q = 0; q < protocol.num_states(); ++q) text += " " + protocol.state_name(q);
+    text += "\ninputs  (" + std::to_string(protocol.num_input_symbols()) + "):";
+    for (Symbol x = 0; x < protocol.num_input_symbols(); ++x) {
+        text += " " + protocol.input_name(x) + "->" +
+                protocol.state_name(protocol.initial_state(x));
+    }
+    text += "\noutputs (" + std::to_string(protocol.num_output_symbols()) + "):";
+    for (State q = 0; q < protocol.num_states(); ++q) {
+        text += " " + protocol.state_name(q) + ":" +
+                protocol.output_name(protocol.output_fast(q));
+    }
+    text += "\ntransitions (non-null):\n";
+    for (State p = 0; p < protocol.num_states(); ++p) {
+        for (State q = 0; q < protocol.num_states(); ++q) {
+            const StatePair next = protocol.apply_fast(p, q);
+            if (next.initiator == p && next.responder == q) continue;
+            text += "  (" + protocol.state_name(p) + ", " + protocol.state_name(q) + ") -> (" +
+                    protocol.state_name(next.initiator) + ", " +
+                    protocol.state_name(next.responder) + ")\n";
+        }
+    }
+    return text;
+}
+
+namespace {
+
+/// DOT-escapes a label (quotes and backslashes).
+std::string escape(const std::string& label) {
+    std::string escaped;
+    for (char c : label) {
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+    }
+    return escaped;
+}
+
+}  // namespace
+
+std::string protocol_to_dot(const TabulatedProtocol& protocol) {
+    std::string dot = "digraph protocol {\n  rankdir=LR;\n";
+    for (State q = 0; q < protocol.num_states(); ++q) {
+        dot += "  q" + std::to_string(q) + " [label=\"" + escape(protocol.state_name(q)) +
+               "\\nO=" + escape(protocol.output_name(protocol.output_fast(q))) + "\"];\n";
+    }
+    for (State p = 0; p < protocol.num_states(); ++p) {
+        for (State q = 0; q < protocol.num_states(); ++q) {
+            const StatePair next = protocol.apply_fast(p, q);
+            if (next.initiator == p && next.responder == q) continue;
+            // Edge from the initiator's state to its successor, annotated
+            // with the responder's half of the transition.
+            dot += "  q" + std::to_string(p) + " -> q" + std::to_string(next.initiator) +
+                   " [label=\"with " + escape(protocol.state_name(q)) + " -> " +
+                   escape(protocol.state_name(next.responder)) + "\"];\n";
+        }
+    }
+    dot += "}\n";
+    return dot;
+}
+
+}  // namespace popproto

@@ -1,0 +1,25 @@
+// Introspection helpers: human-readable protocol listings and Graphviz
+// exports of transition graphs.
+
+#ifndef POPPROTO_CORE_DEBUG_H
+#define POPPROTO_CORE_DEBUG_H
+
+#include <string>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Multi-line description of a protocol: alphabets, input map, output map,
+/// and every non-null transition, using the protocol's display names.
+std::string describe_protocol(const TabulatedProtocol& protocol);
+
+/// Graphviz DOT rendering of a protocol's *state* transition structure:
+/// one node per state (labelled with its output), one edge per non-null
+/// ordered transition (p, q) -> (p', q'), labelled "with q -> p'|q'".
+/// Intended for small protocols.
+std::string protocol_to_dot(const TabulatedProtocol& protocol);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_DEBUG_H

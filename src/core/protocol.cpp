@@ -1,0 +1,22 @@
+#include "core/protocol.h"
+
+namespace popproto {
+
+std::string Protocol::state_name(State q) const {
+    return "q" + std::to_string(q);
+}
+
+std::string Protocol::input_name(Symbol x) const {
+    return "x" + std::to_string(x);
+}
+
+std::string Protocol::output_name(Symbol y) const {
+    return "y" + std::to_string(y);
+}
+
+bool Protocol::is_null_interaction(State initiator, State responder) const {
+    const StatePair result = apply(initiator, responder);
+    return result.initiator == initiator && result.responder == responder;
+}
+
+}  // namespace popproto

@@ -1,0 +1,89 @@
+// The population-protocol model (Sect. 3.1 of the paper).
+//
+// A protocol A = (X, Y, Q, I, O, delta) consists of finite input and output
+// alphabets X and Y, a finite state set Q, an input function I : X -> Q, an
+// output function O : Q -> Y, and a transition function
+// delta : Q x Q -> Q x Q applied to ordered (initiator, responder) pairs.
+//
+// States, input symbols, and output symbols are represented as dense indices
+// (State/Symbol) so that configurations can be stored as count vectors and a
+// transition lookup is an array access.
+
+#ifndef POPPROTO_CORE_PROTOCOL_H
+#define POPPROTO_CORE_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace popproto {
+
+/// Dense index of a protocol state (an element of Q).
+using State = std::uint32_t;
+
+/// Dense index of an input or output symbol (an element of X or Y).
+using Symbol = std::uint32_t;
+
+/// Result of one interaction: delta(initiator, responder).
+struct StatePair {
+    State initiator;
+    State responder;
+
+    friend bool operator==(const StatePair&, const StatePair&) = default;
+};
+
+/// Abstract population protocol.
+///
+/// Implementations must be deterministic and total: `apply` must be defined
+/// for every ordered pair of states in [0, num_states()).  A pair that the
+/// protocol leaves unchanged simply returns its arguments (a "null"
+/// interaction); the simulator and analyzer detect such no-ops.
+class Protocol {
+public:
+    Protocol() = default;
+    virtual ~Protocol() = default;
+
+    // Polymorphic class: suppress copying to avoid slicing (C.67).
+    Protocol(const Protocol&) = delete;
+    Protocol& operator=(const Protocol&) = delete;
+
+    /// |Q|: number of states.
+    virtual std::size_t num_states() const = 0;
+
+    /// |X|: number of input symbols.
+    virtual std::size_t num_input_symbols() const = 0;
+
+    /// |Y|: number of output symbols.
+    virtual std::size_t num_output_symbols() const = 0;
+
+    /// I(x): the state an agent assumes when it reads input symbol `x`.
+    virtual State initial_state(Symbol x) const = 0;
+
+    /// O(q): the output symbol an agent in state `q` currently reports.
+    virtual Symbol output(State q) const = 0;
+
+    /// delta(p, q) for initiator state `p` and responder state `q`.
+    virtual StatePair apply(State initiator, State responder) const = 0;
+
+    /// Human-readable name of state `q`; defaults to "q<index>".
+    virtual std::string state_name(State q) const;
+
+    /// Human-readable name of input symbol `x`; defaults to "x<index>".
+    virtual std::string input_name(Symbol x) const;
+
+    /// Human-readable name of output symbol `y`; defaults to "y<index>".
+    virtual std::string output_name(Symbol y) const;
+
+    /// True iff delta(p, q) == (p, q), i.e. the interaction changes nothing.
+    bool is_null_interaction(State initiator, State responder) const;
+};
+
+/// Conventional Boolean output alphabet used by predicate protocols:
+/// output symbol 0 = "false", 1 = "true" (all-agents output convention,
+/// Sect. 3.4 "Predicates").
+inline constexpr Symbol kOutputFalse = 0;
+inline constexpr Symbol kOutputTrue = 1;
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_PROTOCOL_H

@@ -1,0 +1,152 @@
+#include "core/protocol_io.h"
+
+#include <sstream>
+
+#include "core/require.h"
+
+namespace popproto {
+
+std::string serialize_protocol(const TabulatedProtocol& protocol) {
+    std::ostringstream out;
+    out << "popproto-protocol 1\n";
+    out << "sizes " << protocol.num_states() << " " << protocol.num_input_symbols() << " "
+        << protocol.num_output_symbols() << "\n";
+    for (State q = 0; q < protocol.num_states(); ++q)
+        out << "state " << q << " " << protocol.state_name(q) << "\n";
+    for (Symbol x = 0; x < protocol.num_input_symbols(); ++x)
+        out << "input " << x << " " << protocol.initial_state(x) << " "
+            << protocol.input_name(x) << "\n";
+    for (Symbol y = 0; y < protocol.num_output_symbols(); ++y)
+        out << "outname " << y << " " << protocol.output_name(y) << "\n";
+    for (State q = 0; q < protocol.num_states(); ++q)
+        out << "out " << q << " " << protocol.output_fast(q) << "\n";
+    for (State p = 0; p < protocol.num_states(); ++p) {
+        for (State q = 0; q < protocol.num_states(); ++q) {
+            const StatePair next = protocol.apply_fast(p, q);
+            if (next.initiator == p && next.responder == q) continue;
+            out << "delta " << p << " " << q << " " << next.initiator << " " << next.responder
+                << "\n";
+        }
+    }
+    out << "end\n";
+    return out.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_number, const std::string& message) {
+    throw std::invalid_argument("deserialize_protocol: line " + std::to_string(line_number) +
+                                ": " + message);
+}
+
+/// Remainder of the stream with leading whitespace stripped.
+std::string rest_of_line(std::istringstream& in) {
+    std::string rest;
+    std::getline(in, rest);
+    const std::size_t start = rest.find_first_not_of(" \t");
+    return start == std::string::npos ? std::string() : rest.substr(start);
+}
+
+}  // namespace
+
+std::unique_ptr<TabulatedProtocol> deserialize_protocol(const std::string& text) {
+    std::istringstream stream(text);
+    std::string line;
+    std::size_t line_number = 0;
+
+    bool saw_header = false;
+    bool saw_sizes = false;
+    bool saw_end = false;
+    std::size_t num_states = 0;
+    TabulatedProtocol::Tables tables;
+
+    while (std::getline(stream, line)) {
+        ++line_number;
+        std::istringstream in(line);
+        std::string directive;
+        if (!(in >> directive) || directive[0] == '#') continue;
+
+        if (!saw_header) {
+            int version = 0;
+            if (directive != "popproto-protocol" || !(in >> version) || version != 1)
+                parse_fail(line_number, "expected header 'popproto-protocol 1'");
+            saw_header = true;
+            continue;
+        }
+        if (directive == "sizes") {
+            std::size_t inputs = 0;
+            std::size_t outputs = 0;
+            if (!(in >> num_states >> inputs >> outputs) || num_states == 0 || inputs == 0 ||
+                outputs == 0)
+                parse_fail(line_number, "malformed sizes");
+            tables.num_output_symbols = outputs;
+            tables.output.assign(num_states, 0);
+            tables.state_names.assign(num_states, "");
+            tables.initial.assign(inputs, 0);
+            tables.input_names.assign(inputs, "");
+            tables.output_names.assign(outputs, "");
+            // Identity (null) delta by default.
+            tables.delta.resize(num_states * num_states);
+            for (State p = 0; p < num_states; ++p)
+                for (State q = 0; q < num_states; ++q)
+                    tables.delta[static_cast<std::size_t>(p) * num_states + q] = {p, q};
+            for (State q = 0; q < num_states; ++q)
+                tables.state_names[q] = "q" + std::to_string(q);
+            saw_sizes = true;
+            continue;
+        }
+        if (!saw_sizes) parse_fail(line_number, "directive before 'sizes'");
+
+        if (directive == "state") {
+            std::size_t index = 0;
+            if (!(in >> index) || index >= num_states)
+                parse_fail(line_number, "state index out of range");
+            tables.state_names[index] = rest_of_line(in);
+        } else if (directive == "input") {
+            std::size_t index = 0;
+            State initial = 0;
+            if (!(in >> index >> initial) || index >= tables.initial.size() ||
+                initial >= num_states)
+                parse_fail(line_number, "malformed input directive");
+            tables.initial[index] = initial;
+            tables.input_names[index] = rest_of_line(in);
+        } else if (directive == "outname") {
+            std::size_t index = 0;
+            if (!(in >> index) || index >= tables.output_names.size())
+                parse_fail(line_number, "output name index out of range");
+            tables.output_names[index] = rest_of_line(in);
+        } else if (directive == "out") {
+            std::size_t state = 0;
+            Symbol output = 0;
+            if (!(in >> state >> output) || state >= num_states ||
+                output >= tables.num_output_symbols)
+                parse_fail(line_number, "malformed out directive");
+            tables.output[state] = output;
+        } else if (directive == "delta") {
+            State p = 0;
+            State q = 0;
+            State rp = 0;
+            State rq = 0;
+            if (!(in >> p >> q >> rp >> rq) || p >= num_states || q >= num_states ||
+                rp >= num_states || rq >= num_states)
+                parse_fail(line_number, "malformed delta directive");
+            tables.delta[static_cast<std::size_t>(p) * num_states + q] = {rp, rq};
+        } else if (directive == "end") {
+            saw_end = true;
+            break;
+        } else {
+            parse_fail(line_number, "unknown directive '" + directive + "'");
+        }
+    }
+    if (!saw_header) parse_fail(line_number, "missing header");
+    if (!saw_sizes) parse_fail(line_number, "missing sizes");
+    if (!saw_end) parse_fail(line_number, "missing 'end'");
+    // Fill defaulted names.
+    for (Symbol x = 0; x < tables.input_names.size(); ++x)
+        if (tables.input_names[x].empty()) tables.input_names[x] = "x" + std::to_string(x);
+    for (Symbol y = 0; y < tables.output_names.size(); ++y)
+        if (tables.output_names[y].empty()) tables.output_names[y] = "y" + std::to_string(y);
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+}  // namespace popproto

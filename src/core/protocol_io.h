@@ -1,0 +1,39 @@
+// Protocol serialization.
+//
+// A simple line-based text format for protocols, so that designed or
+// compiled protocols can be saved, diffed, and reloaded (e.g. golden files,
+// or interchange with external tools).  Null transitions are implicit; only
+// state-changing entries of delta are written, which keeps files compact for
+// the typical sparse protocols.
+//
+// Format (one directive per line, '#' comments allowed):
+//
+//   popproto-protocol 1
+//   sizes <num_states> <num_inputs> <num_outputs>
+//   state <index> <name...>            (optional, any subset)
+//   input <index> <initial_state> <name...>
+//   outname <index> <name...>          (optional)
+//   out <state> <output_symbol>
+//   delta <p> <q> <p'> <q'>            (non-null entries only)
+//   end
+
+#ifndef POPPROTO_CORE_PROTOCOL_IO_H
+#define POPPROTO_CORE_PROTOCOL_IO_H
+
+#include <memory>
+#include <string>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Serializes `protocol` into the text format above.
+std::string serialize_protocol(const TabulatedProtocol& protocol);
+
+/// Parses the text format; throws std::invalid_argument with a line-numbered
+/// message on malformed input.
+std::unique_ptr<TabulatedProtocol> deserialize_protocol(const std::string& text);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_PROTOCOL_IO_H

@@ -1,0 +1,30 @@
+// Precondition / invariant checking helpers used across the library.
+//
+// We follow the guidelines' preference for exceptions over error codes
+// (I.10, E.2): a violated precondition throws std::invalid_argument and a
+// violated internal invariant throws std::logic_error.  Both carry the
+// caller-supplied message.
+
+#ifndef POPPROTO_CORE_REQUIRE_H
+#define POPPROTO_CORE_REQUIRE_H
+
+#include <stdexcept>
+#include <string>
+
+namespace popproto {
+
+/// Throws std::invalid_argument with `what` unless `condition` holds.
+/// Use for preconditions on public interfaces.
+inline void require(bool condition, const std::string& what) {
+    if (!condition) throw std::invalid_argument(what);
+}
+
+/// Throws std::logic_error with `what` unless `condition` holds.
+/// Use for internal invariants that indicate a library bug when violated.
+inline void ensure(bool condition, const std::string& what) {
+    if (!condition) throw std::logic_error(what);
+}
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_REQUIRE_H

@@ -1,0 +1,45 @@
+// Small, fast pseudo-random number generator for interaction scheduling.
+//
+// Population-protocol experiments are dominated by the cost of drawing random
+// agent pairs, so we use xoshiro256** (Blackman & Vigna) seeded via SplitMix64
+// instead of the heavier std::mt19937_64.  The generator satisfies the
+// UniformRandomBitGenerator concept so it also composes with <random>
+// distributions where convenient.
+
+#ifndef POPPROTO_CORE_RNG_H
+#define POPPROTO_CORE_RNG_H
+
+#include <cstdint>
+
+namespace popproto {
+
+/// xoshiro256** generator.  Deterministic for a given seed; not
+/// cryptographically secure (nor does it need to be).
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four words of state by iterating SplitMix64 from `seed`.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+    /// Next 64 uniformly random bits.
+    result_type operator()() noexcept;
+
+    /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+    /// method.  Precondition: bound > 0 (unchecked on this hot path; a zero
+    /// bound would loop forever, so callers must not pass it).
+    std::uint64_t below(std::uint64_t bound) noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform01() noexcept;
+
+private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_RNG_H

@@ -1,0 +1,131 @@
+#include "core/schedulers.h"
+
+#include <algorithm>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+std::vector<AgentPair> all_ordered_pairs(std::size_t num_agents) {
+    require(num_agents >= 2, "scheduler: need at least two agents");
+    std::vector<AgentPair> pairs;
+    pairs.reserve(num_agents * (num_agents - 1));
+    for (std::size_t i = 0; i < num_agents; ++i)
+        for (std::size_t j = 0; j < num_agents; ++j)
+            if (i != j) pairs.emplace_back(i, j);
+    return pairs;
+}
+
+}  // namespace
+
+RoundRobinScheduler::RoundRobinScheduler(std::size_t num_agents)
+    : pairs_(all_ordered_pairs(num_agents)) {}
+
+AgentPair RoundRobinScheduler::next(const AgentConfiguration& agents) {
+    require(agents.size() * (agents.size() - 1) == pairs_.size(),
+            "RoundRobinScheduler: population size changed");
+    const AgentPair pair = pairs_[cursor_];
+    cursor_ = (cursor_ + 1) % pairs_.size();
+    return pair;
+}
+
+SweepScheduler::SweepScheduler(std::size_t num_agents, std::uint64_t seed)
+    : pairs_(all_ordered_pairs(num_agents)), rng_(seed) {
+    reshuffle();
+}
+
+void SweepScheduler::reshuffle() {
+    // Fisher-Yates with our own RNG for reproducibility.
+    for (std::size_t i = pairs_.size(); i > 1; --i)
+        std::swap(pairs_[i - 1], pairs_[rng_.below(i)]);
+    cursor_ = 0;
+}
+
+AgentPair SweepScheduler::next(const AgentConfiguration& agents) {
+    require(agents.size() * (agents.size() - 1) == pairs_.size(),
+            "SweepScheduler: population size changed");
+    const AgentPair pair = pairs_[cursor_++];
+    if (cursor_ == pairs_.size()) reshuffle();
+    return pair;
+}
+
+RunResult simulate_with_scheduler(const TabulatedProtocol& protocol,
+                                  const AgentConfiguration& initial, Scheduler& scheduler,
+                                  const RunOptions& options) {
+    const std::size_t n = initial.size();
+    require(n >= 2, "simulate_with_scheduler: need at least two agents");
+    require(options.max_interactions > 0,
+            "simulate_with_scheduler: max_interactions must be positive");
+
+    AgentConfiguration agents = initial;
+    std::vector<std::uint64_t> counts(protocol.num_states(), 0);
+    for (State q : agents.states()) ++counts[q];
+
+    const std::uint64_t check_period = options.silence_check_period != 0
+                                           ? options.silence_check_period
+                                           : std::max<std::uint64_t>(4 * n, 1024);
+
+    RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
+                     std::nullopt};
+
+    const auto is_silent = [&]() {
+        CountConfiguration config(protocol.num_states());
+        for (State q = 0; q < counts.size(); ++q)
+            if (counts[q] > 0) config.add(q, counts[q]);
+        return config.is_silent(protocol);
+    };
+
+    bool silent = is_silent();
+    std::uint64_t next_check = check_period;
+    bool changed_since_check = true;
+
+    while (!silent && result.interactions < options.max_interactions) {
+        const AgentPair pair = scheduler.next(agents);
+        require(pair.first != pair.second && pair.first < n && pair.second < n,
+                "simulate_with_scheduler: scheduler produced an invalid pair");
+        ++result.interactions;
+
+        const State p = agents.state(pair.first);
+        const State q = agents.state(pair.second);
+        const StatePair next = protocol.apply_fast(p, q);
+        if (next.initiator != p || next.responder != q) {
+            ++result.effective_interactions;
+            changed_since_check = true;
+            if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
+                protocol.output_fast(next.responder) != protocol.output_fast(q)) {
+                result.last_output_change = result.interactions;
+            }
+            agents.set_state(pair.first, next.initiator);
+            agents.set_state(pair.second, next.responder);
+            --counts[p];
+            --counts[q];
+            ++counts[next.initiator];
+            ++counts[next.responder];
+        }
+
+        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
+            result.interactions - result.last_output_change >= options.stop_after_stable_outputs) {
+            result.stop_reason = StopReason::kStableOutputs;
+            break;
+        }
+        if (result.interactions >= next_check) {
+            next_check = result.interactions + check_period;
+            if (changed_since_check) {
+                silent = is_silent();
+                changed_since_check = false;
+            }
+        }
+    }
+    if (silent) result.stop_reason = StopReason::kSilent;
+
+    CountConfiguration final_config(protocol.num_states());
+    for (State q = 0; q < counts.size(); ++q)
+        if (counts[q] > 0) final_config.add(q, counts[q]);
+    result.consensus = final_config.consensus_output(protocol);
+    result.final_configuration = std::move(final_config);
+    return result;
+}
+
+}  // namespace popproto

@@ -1,0 +1,219 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+/// True iff no possible interaction among the present states changes the
+/// multiset of states (swaps and identities are allowed; see
+/// CountConfiguration::is_silent).
+bool counts_silent(const TabulatedProtocol& protocol, const std::vector<std::uint64_t>& counts,
+                   const std::vector<State>& present_scratch) {
+    for (State p : present_scratch) {
+        for (State q : present_scratch) {
+            if (p == q && counts[p] < 2) continue;
+            const StatePair result = protocol.apply_fast(p, q);
+            const bool multiset_preserved =
+                (result.initiator == p && result.responder == q) ||
+                (result.initiator == q && result.responder == p);
+            if (!multiset_preserved) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& initial,
+                   const RunOptions& options) {
+    require(initial.num_states() == protocol.num_states(),
+            "simulate: configuration does not match protocol");
+    const std::uint64_t n = initial.population_size();
+    require(n >= 2, "simulate: need at least two agents");
+    require(options.max_interactions > 0, "simulate: max_interactions must be positive");
+
+    Rng rng(options.seed);
+    AgentConfiguration agents = AgentConfiguration::from_counts(initial);
+    std::vector<State> states = agents.states();
+    std::vector<std::uint64_t> counts = initial.counts();
+
+    const std::uint64_t check_period = options.silence_check_period != 0
+                                           ? options.silence_check_period
+                                           : std::max<std::uint64_t>(4 * n, 1024);
+
+    RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
+                     std::nullopt};
+
+    std::vector<State> present;
+    std::uint64_t next_check = check_period;
+    std::uint64_t since_last_check = 1;  // force a pre-loop silence test path below
+
+    // A configuration that starts silent should terminate immediately.
+    present.clear();
+    for (State q = 0; q < counts.size(); ++q)
+        if (counts[q] > 0) present.push_back(q);
+    bool silent = counts_silent(protocol, counts, present);
+
+    while (!silent && result.interactions < options.max_interactions) {
+        const std::uint64_t i = rng.below(n);
+        std::uint64_t j = rng.below(n - 1);
+        if (j >= i) ++j;
+        ++result.interactions;
+
+        const State p = states[i];
+        const State q = states[j];
+        const StatePair next = protocol.apply_fast(p, q);
+        if (next.initiator != p || next.responder != q) {
+            ++result.effective_interactions;
+            since_last_check = 1;
+            if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
+                protocol.output_fast(next.responder) != protocol.output_fast(q)) {
+                result.last_output_change = result.interactions;
+            }
+            states[i] = next.initiator;
+            states[j] = next.responder;
+            --counts[p];
+            --counts[q];
+            ++counts[next.initiator];
+            ++counts[next.responder];
+        }
+
+        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
+            result.interactions - result.last_output_change >= options.stop_after_stable_outputs) {
+            result.stop_reason = StopReason::kStableOutputs;
+            break;
+        }
+
+        if (result.interactions >= next_check) {
+            next_check = result.interactions + check_period;
+            if (since_last_check != 0) {
+                // Only re-test silence if something changed since last test.
+                present.clear();
+                for (State s = 0; s < counts.size(); ++s)
+                    if (counts[s] > 0) present.push_back(s);
+                silent = counts_silent(protocol, counts, present);
+                since_last_check = 0;
+            }
+        }
+    }
+
+    if (silent) result.stop_reason = StopReason::kSilent;
+
+    CountConfiguration final_config(protocol.num_states());
+    for (State q = 0; q < counts.size(); ++q)
+        if (counts[q] > 0) final_config.add(q, counts[q]);
+    result.consensus = final_config.consensus_output(protocol);
+    result.final_configuration = std::move(final_config);
+    return result;
+}
+
+RunResult simulate_weighted(const TabulatedProtocol& protocol,
+                            const AgentConfiguration& initial,
+                            const std::vector<double>& weights, const RunOptions& options) {
+    const std::size_t n = initial.size();
+    require(n >= 2, "simulate_weighted: need at least two agents");
+    require(weights.size() == n, "simulate_weighted: one weight per agent required");
+    require(options.max_interactions > 0, "simulate_weighted: max_interactions must be positive");
+    double total_weight = 0.0;
+    for (double w : weights) {
+        require(w > 0.0 && std::isfinite(w), "simulate_weighted: weights must be positive");
+        total_weight += w;
+    }
+
+    // Cumulative weights for inverse-CDF sampling; the second draw rejects
+    // collisions with the first (equivalent to renormalizing without i).
+    std::vector<double> cumulative(n);
+    double running = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        running += weights[i];
+        cumulative[i] = running;
+    }
+    Rng rng(options.seed);
+    const auto draw_agent = [&]() -> std::size_t {
+        const double u = rng.uniform01() * total_weight;
+        const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+        return static_cast<std::size_t>(it - cumulative.begin());
+    };
+
+    std::vector<State> states = initial.states();
+    std::vector<std::uint64_t> counts(protocol.num_states(), 0);
+    for (State q : states) ++counts[q];
+
+    const std::uint64_t check_period = options.silence_check_period != 0
+                                           ? options.silence_check_period
+                                           : std::max<std::uint64_t>(4 * n, 1024);
+
+    RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
+                     std::nullopt};
+
+    std::vector<State> present;
+    for (State q = 0; q < counts.size(); ++q)
+        if (counts[q] > 0) present.push_back(q);
+    bool silent = counts_silent(protocol, counts, present);
+    std::uint64_t next_check = check_period;
+    std::uint64_t changed_since_check = 1;
+
+    while (!silent && result.interactions < options.max_interactions) {
+        const std::size_t i = draw_agent();
+        std::size_t j = draw_agent();
+        while (j == i) j = draw_agent();
+        ++result.interactions;
+
+        const State p = states[i];
+        const State q = states[j];
+        const StatePair next = protocol.apply_fast(p, q);
+        if (next.initiator != p || next.responder != q) {
+            ++result.effective_interactions;
+            changed_since_check = 1;
+            if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
+                protocol.output_fast(next.responder) != protocol.output_fast(q)) {
+                result.last_output_change = result.interactions;
+            }
+            states[i] = next.initiator;
+            states[j] = next.responder;
+            --counts[p];
+            --counts[q];
+            ++counts[next.initiator];
+            ++counts[next.responder];
+        }
+
+        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
+            result.interactions - result.last_output_change >= options.stop_after_stable_outputs) {
+            result.stop_reason = StopReason::kStableOutputs;
+            break;
+        }
+        if (result.interactions >= next_check) {
+            next_check = result.interactions + check_period;
+            if (changed_since_check != 0) {
+                present.clear();
+                for (State s = 0; s < counts.size(); ++s)
+                    if (counts[s] > 0) present.push_back(s);
+                silent = counts_silent(protocol, counts, present);
+                changed_since_check = 0;
+            }
+        }
+    }
+    if (silent) result.stop_reason = StopReason::kSilent;
+
+    CountConfiguration final_config(protocol.num_states());
+    for (State q = 0; q < counts.size(); ++q)
+        if (counts[q] > 0) final_config.add(q, counts[q]);
+    result.consensus = final_config.consensus_output(protocol);
+    result.final_configuration = std::move(final_config);
+    return result;
+}
+
+std::uint64_t default_budget(std::uint64_t population, double factor) {
+    require(population >= 2, "default_budget: population too small");
+    const double n = static_cast<double>(population);
+    const double budget = factor * n * n * (std::log(n) + 1.0);
+    return static_cast<std::uint64_t>(budget) + 1;
+}
+
+}  // namespace popproto

@@ -1,0 +1,91 @@
+// Random-scheduling simulator (the conjugating-automata model, Sect. 6).
+//
+// At each step an ordered pair of distinct agents is chosen independently and
+// uniformly at random from the complete interaction graph and delta is
+// applied.  Random pairing guarantees fairness with probability 1, so any
+// protocol that stably computes a predicate converges to the correct answer
+// along almost every run; the simulator additionally measures *when*.
+
+#ifndef POPPROTO_CORE_SIMULATOR_H
+#define POPPROTO_CORE_SIMULATOR_H
+
+#include <cstdint>
+#include <optional>
+
+#include "core/configuration.h"
+#include "core/rng.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Knobs controlling a single simulated execution.
+struct RunOptions {
+    /// Hard cap on interactions; the run reports `hit_budget` if reached.
+    std::uint64_t max_interactions = 0;
+
+    /// How often (in interactions) to test whether the configuration is
+    /// silent.  0 selects max(4n, 1024) automatically.  Silence is a sound
+    /// stopping rule: a silent configuration can never change again.
+    std::uint64_t silence_check_period = 0;
+
+    /// If nonzero, additionally stop once no agent's *output* has changed for
+    /// this many consecutive interactions.  This is a heuristic stopping rule
+    /// for protocols that never become silent (e.g. the Theorem 7 simulator,
+    /// which swaps states forever); choose the window large enough for the
+    /// experiment at hand.
+    std::uint64_t stop_after_stable_outputs = 0;
+
+    /// RNG seed for this run.
+    std::uint64_t seed = 1;
+};
+
+/// Why a run stopped.
+enum class StopReason {
+    kSilent,         ///< no interaction can change any state; outputs final
+    kStableOutputs,  ///< heuristic output-stability window elapsed
+    kBudget,         ///< max_interactions reached
+};
+
+/// Outcome of a simulated execution.
+struct RunResult {
+    CountConfiguration final_configuration;
+    StopReason stop_reason = StopReason::kBudget;
+
+    /// Total interactions performed, including null interactions.
+    std::uint64_t interactions = 0;
+
+    /// Interactions that changed at least one agent's state.
+    std::uint64_t effective_interactions = 0;
+
+    /// 1-based index of the last interaction that changed any agent's
+    /// output symbol; 0 if outputs never changed.  For a run that converges
+    /// to the correct stable output this is the empirical convergence time.
+    std::uint64_t last_output_change = 0;
+
+    /// Consensus output of the final configuration, if all agents agree.
+    std::optional<Symbol> consensus;
+};
+
+/// Simulates `protocol` from `initial` under uniform random pairing.
+/// Requires a population of at least 2 agents.
+RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& initial,
+                   const RunOptions& options);
+
+/// A generous default interaction budget for experiments expecting
+/// Theta(n^2 log n) convergence: `factor * n^2 * (ln n + 1)`.
+std::uint64_t default_budget(std::uint64_t population, double factor = 64.0);
+
+/// Weighted sampling (the Sect. 8 open direction): the ordered pair (i, j),
+/// i != j, interacts with probability proportional to
+/// weights[i] * weights[j].  Uniform weights reduce to `simulate`.  The
+/// paper conjectures that reasonable weights do not change computational
+/// power; bench_weighted_sampling probes this empirically.  `initial` fixes
+/// per-agent states (weights are per agent, so agents are not anonymous
+/// here); all weights must be positive and finite.
+RunResult simulate_weighted(const TabulatedProtocol& protocol,
+                            const AgentConfiguration& initial,
+                            const std::vector<double>& weights, const RunOptions& options);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_SIMULATOR_H

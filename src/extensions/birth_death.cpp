@@ -1,0 +1,237 @@
+#include "extensions/birth_death.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/require.h"
+
+namespace popproto {
+
+BirthDeathRunResult simulate_birth_death(const BirthDeathProtocol& protocol,
+                                         const CountConfiguration& initial,
+                                         const BirthDeathRunOptions& options) {
+    require(initial.num_states() == protocol.num_states(),
+            "simulate_birth_death: configuration does not match protocol");
+    require(options.max_interactions > 0,
+            "simulate_birth_death: max_interactions must be positive");
+
+    Rng rng(options.seed);
+    std::vector<State> states;
+    states.reserve(initial.population_size());
+    for (State q = 0; q < initial.num_states(); ++q)
+        states.insert(states.end(), initial.count(q), q);
+
+    BirthDeathRunResult result{CountConfiguration(protocol.num_states()), 0, 0, 0, 0, 0,
+                               false, std::nullopt};
+
+    while (result.interactions < options.max_interactions) {
+        if (states.size() < 2) {
+            result.extinct = true;
+            break;
+        }
+        const std::size_t i = rng.below(states.size());
+        std::size_t j = rng.below(states.size() - 1);
+        if (j >= i) ++j;
+        ++result.interactions;
+
+        const State p = states[i];
+        const State q = states[j];
+        const std::vector<State> offspring = protocol.apply(p, q);
+        ensure(offspring.size() <= protocol.max_offspring(),
+               "simulate_birth_death: apply exceeded max_offspring");
+        for (State s : offspring)
+            ensure(s < protocol.num_states(), "simulate_birth_death: offspring state invalid");
+
+        // Null interaction (same multiset) fast path.
+        const bool unchanged =
+            offspring.size() == 2 &&
+            ((offspring[0] == p && offspring[1] == q) ||
+             (offspring[0] == q && offspring[1] == p));
+        if (unchanged) continue;
+
+        ++result.effective_interactions;
+        if (offspring.size() > 2) result.births += offspring.size() - 2;
+        if (offspring.size() < 2) result.deaths += 2 - offspring.size();
+
+        // Output-multiset change detection.
+        std::vector<std::int64_t> deltas(protocol.num_output_symbols(), 0);
+        --deltas[protocol.output(p)];
+        --deltas[protocol.output(q)];
+        for (State s : offspring) ++deltas[protocol.output(s)];
+        if (std::any_of(deltas.begin(), deltas.end(), [](std::int64_t d) { return d != 0; }))
+            result.last_output_change = result.interactions;
+
+        // Remove the pair (largest index first so the swap does not move the
+        // other member), then append offspring.
+        const std::size_t high = std::max(i, j);
+        const std::size_t low = std::min(i, j);
+        states[high] = states.back();
+        states.pop_back();
+        states[low] = states.back();
+        states.pop_back();
+        states.insert(states.end(), offspring.begin(), offspring.end());
+        if (states.size() > options.max_population)
+            throw std::runtime_error("simulate_birth_death: population exploded");
+
+        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
+            result.interactions - result.last_output_change >=
+                options.stop_after_stable_outputs) {
+            break;
+        }
+    }
+    if (states.size() < 2) result.extinct = true;
+
+    CountConfiguration final_config(protocol.num_states());
+    for (State q : states) final_config.add(q);
+    std::optional<Symbol> consensus;
+    bool uniform = !states.empty();
+    for (State q = 0; q < final_config.num_states() && uniform; ++q) {
+        if (final_config.count(q) == 0) continue;
+        const Symbol y = protocol.output(q);
+        if (!consensus) {
+            consensus = y;
+        } else if (*consensus != y) {
+            uniform = false;
+        }
+    }
+    result.consensus = uniform ? consensus : std::nullopt;
+    result.final_configuration = std::move(final_config);
+    return result;
+}
+
+StableComputationResult analyze_birth_death_stable_computation(
+    const BirthDeathProtocol& protocol, const CountConfiguration& initial,
+    std::size_t max_configs, std::uint64_t max_population) {
+    require(initial.num_states() == protocol.num_states(),
+            "analyze_birth_death_stable_computation: configuration mismatch");
+
+    std::vector<CountConfiguration> configs;
+    std::vector<std::vector<ConfigId>> successors;
+    std::unordered_map<CountConfiguration, ConfigId, CountConfigurationHash> index;
+
+    const auto intern = [&](const CountConfiguration& config) -> ConfigId {
+        auto it = index.find(config);
+        if (it != index.end()) return it->second;
+        const auto id = static_cast<ConfigId>(configs.size());
+        index.emplace(config, id);
+        configs.push_back(config);
+        successors.emplace_back();
+        return id;
+    };
+
+    intern(initial);
+    std::deque<ConfigId> frontier{0};
+    while (!frontier.empty()) {
+        const ConfigId current = frontier.front();
+        frontier.pop_front();
+        const CountConfiguration config = configs[current];  // copy: vector may move
+        if (config.population_size() < 2) continue;          // terminal
+
+        std::vector<State> present;
+        for (State q = 0; q < config.num_states(); ++q)
+            if (config.count(q) > 0) present.push_back(q);
+
+        std::vector<ConfigId> out_edges;
+        for (State p : present) {
+            for (State q : present) {
+                if (p == q && config.count(p) < 2) continue;
+                const std::vector<State> offspring = protocol.apply(p, q);
+                CountConfiguration successor = config;
+                successor.remove(p);
+                successor.remove(q);
+                for (State s : offspring) successor.add(s);
+                if (successor == config) continue;
+                if (successor.population_size() > max_population)
+                    throw std::runtime_error(
+                        "analyze_birth_death_stable_computation: population exploded");
+                const bool is_new = index.find(successor) == index.end();
+                const ConfigId succ_id = intern(successor);
+                out_edges.push_back(succ_id);
+                if (is_new) {
+                    if (configs.size() > max_configs)
+                        throw std::runtime_error(
+                            "analyze_birth_death_stable_computation: too many configurations");
+                    frontier.push_back(succ_id);
+                }
+            }
+        }
+        std::sort(out_edges.begin(), out_edges.end());
+        out_edges.erase(std::unique(out_edges.begin(), out_edges.end()), out_edges.end());
+        successors[current] = std::move(out_edges);
+    }
+
+    std::vector<OutputSignature> signatures;
+    signatures.reserve(configs.size());
+    for (const CountConfiguration& config : configs) {
+        OutputSignature signature(protocol.num_output_symbols(), 0);
+        for (State q = 0; q < config.num_states(); ++q)
+            signature[protocol.output(q)] += config.count(q);
+        signatures.push_back(std::move(signature));
+    }
+    return summarize_stable_computation(successors, signatures);
+}
+
+namespace {
+
+class AnnihilatingMajority final : public BirthDeathProtocol {
+public:
+    std::size_t num_states() const override { return 2; }
+    std::size_t num_input_symbols() const override { return 2; }
+    std::size_t num_output_symbols() const override { return 2; }
+    State initial_state(Symbol x) const override {
+        require(x < 2, "AnnihilatingMajority: input out of range");
+        return x;
+    }
+    Symbol output(State q) const override {
+        require(q < 2, "AnnihilatingMajority: state out of range");
+        return q == 1 ? kOutputTrue : kOutputFalse;
+    }
+    std::vector<State> apply(State initiator, State responder) const override {
+        if (initiator != responder) return {};  // opposite camps annihilate
+        return {initiator, responder};
+    }
+};
+
+/// States: 0 = worker; k in [1, factor] = seed with k buds remaining.
+class SpawningCounter final : public BirthDeathProtocol {
+public:
+    explicit SpawningCounter(std::uint32_t factor) : factor_(factor) {
+        require(factor >= 1, "make_spawning_counter_protocol: factor must be positive");
+    }
+    std::size_t num_states() const override { return factor_ + 1; }
+    std::size_t num_input_symbols() const override { return 2; }
+    std::size_t num_output_symbols() const override { return 2; }
+    State initial_state(Symbol x) const override {
+        require(x < 2, "SpawningCounter: input out of range");
+        return x == 0 ? 0 : factor_;
+    }
+    Symbol output(State q) const override {
+        require(q <= factor_, "SpawningCounter: state out of range");
+        return q == 0 ? 0 : 1;  // 1 while still a seed
+    }
+    std::vector<State> apply(State initiator, State responder) const override {
+        if (initiator >= 1) {
+            // A seed buds one worker per encounter, with any partner.
+            return {initiator - 1, responder, 0};
+        }
+        return {initiator, responder};
+    }
+    std::size_t max_offspring() const override { return 3; }
+
+private:
+    std::uint32_t factor_;
+};
+
+}  // namespace
+
+std::unique_ptr<BirthDeathProtocol> make_annihilating_majority_protocol() {
+    return std::make_unique<AnnihilatingMajority>();
+}
+
+std::unique_ptr<BirthDeathProtocol> make_spawning_counter_protocol(std::uint32_t factor) {
+    return std::make_unique<SpawningCounter>(factor);
+}
+
+}  // namespace popproto

@@ -1,0 +1,102 @@
+// Population-changing interactions (the other Sect. 8 model question).
+//
+// "What happens if the rules ... allow the interaction to increase or
+// decrease the population?"  This extension lets a pairwise rule map the
+// ordered pair (p, q) to *any* bounded multiset of successor states: zero
+// agents (mutual annihilation), one (merger), two (ordinary), or more
+// (spawning).  It provides a uniform random simulator and an exact
+// stable-computation analyzer over multiset configurations, both mirroring
+// the fixed-population machinery.
+//
+// Demo protocols:
+//   * annihilating majority: opposite camps destroy each other pairwise;
+//     the survivors are the majority camp (and the protocol detects ties
+//     exactly when the population dies out, something a fixed-population
+//     protocol cannot express this way);
+//   * a spawning counter: each seed agent buds `factor` worker agents, a
+//     population-level unary multiplication.
+
+#ifndef POPPROTO_EXTENSIONS_BIRTH_DEATH_H
+#define POPPROTO_EXTENSIONS_BIRTH_DEATH_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/stable_computation.h"
+#include "core/configuration.h"
+#include "core/protocol.h"
+#include "core/rng.h"
+
+namespace popproto {
+
+/// A pairwise protocol whose interactions may change the population size.
+class BirthDeathProtocol {
+public:
+    BirthDeathProtocol() = default;
+    virtual ~BirthDeathProtocol() = default;
+    BirthDeathProtocol(const BirthDeathProtocol&) = delete;
+    BirthDeathProtocol& operator=(const BirthDeathProtocol&) = delete;
+
+    virtual std::size_t num_states() const = 0;
+    virtual std::size_t num_input_symbols() const = 0;
+    virtual std::size_t num_output_symbols() const = 0;
+    virtual State initial_state(Symbol x) const = 0;
+    virtual Symbol output(State q) const = 0;
+
+    /// Successor multiset of the ordered pair (initiator, responder); any
+    /// size from 0 (both die) up to max_offspring() is allowed.
+    virtual std::vector<State> apply(State initiator, State responder) const = 0;
+
+    /// Upper bound on the size of apply() results (for validation).
+    virtual std::size_t max_offspring() const { return 4; }
+};
+
+struct BirthDeathRunResult {
+    CountConfiguration final_configuration;
+    std::uint64_t interactions = 0;
+    std::uint64_t effective_interactions = 0;
+    std::uint64_t last_output_change = 0;
+    std::uint64_t births = 0;
+    std::uint64_t deaths = 0;
+    /// True if the run ended because fewer than two agents remain.
+    bool extinct = false;
+    std::optional<Symbol> consensus;
+};
+
+struct BirthDeathRunOptions {
+    std::uint64_t max_interactions = 0;
+    std::uint64_t stop_after_stable_outputs = 0;
+    /// Hard cap on the population (throws std::runtime_error if exceeded,
+    /// to catch runaway spawners).
+    std::uint64_t max_population = 1u << 20;
+    std::uint64_t seed = 1;
+};
+
+/// Uniform random pairing over the *current* population.  Stops when the
+/// population drops below two (extinct = true), outputs stabilize, or the
+/// budget runs out.
+BirthDeathRunResult simulate_birth_death(const BirthDeathProtocol& protocol,
+                                         const CountConfiguration& initial,
+                                         const BirthDeathRunOptions& options);
+
+/// Exact analyzer over multiset configurations (population varies across
+/// configurations).  Configurations with fewer than two agents are terminal.
+StableComputationResult analyze_birth_death_stable_computation(
+    const BirthDeathProtocol& protocol, const CountConfiguration& initial,
+    std::size_t max_configs = 1u << 20, std::uint64_t max_population = 4096);
+
+/// Annihilating majority: inputs {0 = camp A, 1 = camp B}; opposite camps
+/// annihilate pairwise (both agents die).  Stably: only the majority camp
+/// survives; a tie annihilates everyone (extinction = exact tie detection).
+std::unique_ptr<BirthDeathProtocol> make_annihilating_majority_protocol();
+
+/// Spawning counter: inputs {0 = worker, 1 = seed(factor)}; a seed meeting a
+/// worker buds one worker per encounter until its budget is spent, i.e. the
+/// final worker count is initial_workers + factor * seeds.
+std::unique_ptr<BirthDeathProtocol> make_spawning_counter_protocol(std::uint32_t factor);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_EXTENSIONS_BIRTH_DEATH_H

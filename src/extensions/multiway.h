@@ -1,0 +1,94 @@
+// Multiway interactions (a Sect. 8 open direction).
+//
+// "The interaction rules we consider are deterministic and specify pairwise
+// interactions.  What happens if the rules ... specify interactions of
+// larger groups ...?"  This extension generalizes delta to ordered groups of
+// a fixed size g: delta : Q^g -> Q^g.  It provides a uniform random
+// simulator (g distinct agents per step) and an exact stable-computation
+// analyzer over multiset configurations, mirroring the pairwise machinery.
+//
+// Demo protocols: a g-way strict-majority canceller (groups containing both
+// camps cancel one pair; survivors re-convert undecided agents) and a g-way
+// coincidence detector (g marked agents meeting at once raise a permanent
+// alert).
+
+#ifndef POPPROTO_EXTENSIONS_MULTIWAY_H
+#define POPPROTO_EXTENSIONS_MULTIWAY_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/stable_computation.h"
+#include "core/configuration.h"
+#include "core/protocol.h"
+#include "core/rng.h"
+
+namespace popproto {
+
+/// A protocol whose interactions involve `group_size` ordered agents.
+class MultiwayProtocol {
+public:
+    MultiwayProtocol() = default;
+    virtual ~MultiwayProtocol() = default;
+    MultiwayProtocol(const MultiwayProtocol&) = delete;
+    MultiwayProtocol& operator=(const MultiwayProtocol&) = delete;
+
+    virtual std::size_t group_size() const = 0;
+    virtual std::size_t num_states() const = 0;
+    virtual std::size_t num_input_symbols() const = 0;
+    virtual std::size_t num_output_symbols() const = 0;
+    virtual State initial_state(Symbol x) const = 0;
+    virtual Symbol output(State q) const = 0;
+
+    /// Applies delta in place; `group.size() == group_size()`.
+    virtual void apply(std::vector<State>& group) const = 0;
+};
+
+/// Outcome of a randomized multiway run.
+struct MultiwayRunResult {
+    CountConfiguration final_configuration;
+    std::uint64_t interactions = 0;
+    std::uint64_t effective_interactions = 0;
+    std::uint64_t last_output_change = 0;
+    std::optional<Symbol> consensus;
+};
+
+/// Options for simulate_multiway.
+struct MultiwayRunOptions {
+    std::uint64_t max_interactions = 0;
+    /// Stop once outputs were stable this long (0 = run to the budget).
+    std::uint64_t stop_after_stable_outputs = 0;
+    std::uint64_t seed = 1;
+};
+
+/// Uniform random scheduling: each step selects an ordered group of
+/// group_size() distinct agents.  Population must have at least group_size()
+/// agents.
+MultiwayRunResult simulate_multiway(const MultiwayProtocol& protocol,
+                                    const CountConfiguration& initial,
+                                    const MultiwayRunOptions& options);
+
+/// Exact analyzer: explores all configurations reachable by group moves and
+/// applies the Lemma 1 verdict (shared with the pairwise analyzer).
+StableComputationResult analyze_multiway_stable_computation(
+    const MultiwayProtocol& protocol, const CountConfiguration& initial,
+    std::size_t max_configs = 1u << 20);
+
+/// Strict-majority canceller with groups of size `group_size` (>= 2):
+/// input symbols {0 = camp A, 1 = camp B}; output true iff camp B is the
+/// strict majority.  Ties do not converge (documented limitation, as for
+/// classic approximate-majority protocols); tests exclude them.
+std::unique_ptr<MultiwayProtocol> make_multiway_majority_protocol(std::size_t group_size);
+
+/// Coincidence detector: inputs {0 = idle, 1 = marked}; a group whose
+/// members are all marked raises a permanent alert that then spreads through
+/// any group.  Stably computes "at least group_size marked agents" with
+/// O(1) states for any g (a pairwise protocol needs g + 1 states), a small
+/// expressiveness dividend of larger groups.
+std::unique_ptr<MultiwayProtocol> make_multiway_coincidence_protocol(std::size_t group_size);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_EXTENSIONS_MULTIWAY_H

@@ -1,0 +1,105 @@
+#include "graphs/graph_analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+struct VectorHash {
+    std::size_t operator()(const std::vector<State>& states) const noexcept {
+        std::size_t hash = 1469598103934665603ULL;
+        for (State q : states) {
+            hash ^= q + 0x9e3779b97f4a7c15ULL;
+            hash *= 1099511628211ULL;
+        }
+        return hash;
+    }
+};
+
+}  // namespace
+
+StableComputationResult analyze_graph_stable_computation(const TabulatedProtocol& protocol,
+                                                         const InteractionGraph& graph,
+                                                         const std::vector<Symbol>& inputs,
+                                                         std::size_t max_configs) {
+    require(inputs.size() == graph.num_agents(),
+            "analyze_graph_stable_computation: one input per agent required");
+    require(!graph.edges().empty(), "analyze_graph_stable_computation: graph has no edges");
+
+    std::vector<State> initial;
+    initial.reserve(inputs.size());
+    for (Symbol x : inputs) initial.push_back(protocol.initial_state(x));
+
+    std::vector<std::vector<State>> configs;
+    std::vector<std::vector<ConfigId>> successors;
+    std::unordered_map<std::vector<State>, ConfigId, VectorHash> index;
+
+    const auto intern = [&](const std::vector<State>& config) -> ConfigId {
+        auto it = index.find(config);
+        if (it != index.end()) return it->second;
+        const auto id = static_cast<ConfigId>(configs.size());
+        index.emplace(config, id);
+        configs.push_back(config);
+        successors.emplace_back();
+        return id;
+    };
+
+    intern(initial);
+    std::deque<ConfigId> frontier{0};
+    while (!frontier.empty()) {
+        const ConfigId current = frontier.front();
+        frontier.pop_front();
+        const std::vector<State> config = configs[current];  // copy: vector may relocate
+        std::vector<ConfigId> out_edges;
+        for (const Edge& edge : graph.edges()) {
+            const State p = config[edge.first];
+            const State q = config[edge.second];
+            const StatePair next = protocol.apply_fast(p, q);
+            if (next.initiator == p && next.responder == q) continue;
+            std::vector<State> successor = config;
+            successor[edge.first] = next.initiator;
+            successor[edge.second] = next.responder;
+            const bool is_new = index.find(successor) == index.end();
+            const ConfigId succ_id = intern(successor);
+            if (succ_id != current) out_edges.push_back(succ_id);
+            if (is_new) {
+                if (configs.size() > max_configs)
+                    throw std::runtime_error(
+                        "analyze_graph_stable_computation: reachable set exceeds max_configs");
+                frontier.push_back(succ_id);
+            }
+        }
+        std::sort(out_edges.begin(), out_edges.end());
+        out_edges.erase(std::unique(out_edges.begin(), out_edges.end()), out_edges.end());
+        successors[current] = std::move(out_edges);
+    }
+
+    std::vector<OutputSignature> signatures;
+    signatures.reserve(configs.size());
+    for (const std::vector<State>& config : configs) {
+        OutputSignature signature(protocol.num_output_symbols(), 0);
+        for (State q : config) ++signature[protocol.output_fast(q)];
+        signatures.push_back(std::move(signature));
+    }
+    return summarize_stable_computation(successors, signatures);
+}
+
+bool graph_stably_computes_bool(const TabulatedProtocol& protocol, const InteractionGraph& graph,
+                                const std::vector<Symbol>& inputs, bool expected,
+                                std::size_t max_configs) {
+    require(protocol.num_output_symbols() == 2,
+            "graph_stably_computes_bool: protocol must have Boolean outputs");
+    const StableComputationResult result =
+        analyze_graph_stable_computation(protocol, graph, inputs, max_configs);
+    const std::optional<Symbol> consensus = result.consensus();
+    if (!consensus) return false;
+    return *consensus == (expected ? kOutputTrue : kOutputFalse);
+}
+
+}  // namespace popproto

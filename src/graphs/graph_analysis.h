@@ -1,0 +1,39 @@
+// Exact stable-computation verification on explicit interaction graphs.
+//
+// On a restricted interaction graph agents are no longer interchangeable,
+// so the multiset analyzer does not apply; here the state space is the full
+// per-agent configuration vector Q^n restricted to what is reachable along
+// the graph's edges.  This is exponentially larger than the multiset space,
+// but for small populations it allows *exhaustive* verification of
+// Theorem 7: the lifted protocol A' stably computes A's predicate on every
+// weakly-connected graph, checked over all fair schedules rather than
+// sampled ones.
+
+#ifndef POPPROTO_GRAPHS_GRAPH_ANALYSIS_H
+#define POPPROTO_GRAPHS_GRAPH_ANALYSIS_H
+
+#include <vector>
+
+#include "analysis/stable_computation.h"
+#include "core/tabulated_protocol.h"
+#include "graphs/interaction_graph.h"
+
+namespace popproto {
+
+/// Explores every configuration reachable from I(inputs) along the edges of
+/// `graph` and applies the Lemma 1 verdict.  Throws std::runtime_error if
+/// more than `max_configs` configurations are reachable.
+StableComputationResult analyze_graph_stable_computation(
+    const TabulatedProtocol& protocol, const InteractionGraph& graph,
+    const std::vector<Symbol>& inputs, std::size_t max_configs = 1u << 22);
+
+/// True iff `protocol` stably computes the Boolean `expected` on `graph`
+/// from `inputs` under the all-agents output convention.
+bool graph_stably_computes_bool(const TabulatedProtocol& protocol,
+                                const InteractionGraph& graph,
+                                const std::vector<Symbol>& inputs, bool expected,
+                                std::size_t max_configs = 1u << 22);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_GRAPHS_GRAPH_ANALYSIS_H

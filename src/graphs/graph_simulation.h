@@ -1,0 +1,62 @@
+// Theorem 7: the complete graph is the weakest interaction graph.
+//
+// make_graph_simulation_protocol implements the Fig. 1 construction: from
+// any protocol A it builds A' over states Q x {D, S, R, -} such that A'
+// stably computes the same predicate on every weakly-connected interaction
+// graph.  Simulated A-agents migrate via state swaps; two batons S and R
+// (distilled from the initial D marks) select which encounter performs a
+// real A-transition.
+//
+// simulate_on_graph runs any protocol on an arbitrary interaction graph with
+// uniform random edge activation (the natural randomized scheduler for
+// restricted graphs).
+
+#ifndef POPPROTO_GRAPHS_GRAPH_SIMULATION_H
+#define POPPROTO_GRAPHS_GRAPH_SIMULATION_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/configuration.h"
+#include "core/simulator.h"
+#include "core/tabulated_protocol.h"
+#include "graphs/interaction_graph.h"
+
+namespace popproto {
+
+/// Baton field values of the Theorem 7 construction.
+enum class Baton : std::uint32_t { kD = 0, kS = 1, kR = 2, kBlank = 3 };
+
+/// Builds A' from `base` (Fig. 1).  States are (q, baton) pairs; inputs map
+/// to (I(x), D); the output of (q, b) is O(q).
+std::unique_ptr<TabulatedProtocol> make_graph_simulation_protocol(const Protocol& base);
+
+/// Decodes the baton field of a simulation-protocol state.
+Baton baton_of(const Protocol& base, State simulation_state);
+
+/// Decodes the embedded base state of a simulation-protocol state.
+State base_state_of(const Protocol& base, State simulation_state);
+
+/// Result of a run on an explicit interaction graph.
+struct GraphRunResult {
+    AgentConfiguration final_configuration;
+    StopReason stop_reason = StopReason::kBudget;
+    std::uint64_t interactions = 0;
+    std::uint64_t effective_interactions = 0;
+    std::uint64_t last_output_change = 0;
+    std::optional<Symbol> consensus;
+};
+
+/// Runs `protocol` from per-agent `inputs` on `graph`, activating a uniformly
+/// random edge at each step.  Graph protocols generally never become silent
+/// (group (d) swaps fire forever), so termination relies on
+/// options.stop_after_stable_outputs and options.max_interactions; the
+/// silence-related options are ignored.
+GraphRunResult simulate_on_graph(const TabulatedProtocol& protocol,
+                                 const InteractionGraph& graph,
+                                 const std::vector<Symbol>& inputs, const RunOptions& options);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_GRAPHS_GRAPH_SIMULATION_H

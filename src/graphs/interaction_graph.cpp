@@ -1,0 +1,128 @@
+#include "graphs/interaction_graph.h"
+
+#include <deque>
+
+#include "core/require.h"
+#include "core/rng.h"
+
+namespace popproto {
+
+InteractionGraph::InteractionGraph(std::uint32_t num_agents) : num_agents_(num_agents) {
+    require(num_agents >= 1, "InteractionGraph: empty population");
+}
+
+void InteractionGraph::add_edge(std::uint32_t initiator, std::uint32_t responder) {
+    require(initiator < num_agents_ && responder < num_agents_,
+            "InteractionGraph::add_edge: agent out of range");
+    require(initiator != responder, "InteractionGraph::add_edge: edges must be irreflexive");
+    edges_.emplace_back(initiator, responder);
+}
+
+bool InteractionGraph::is_weakly_connected() const {
+    if (num_agents_ == 1) return true;
+    std::vector<std::vector<std::uint32_t>> adjacency(num_agents_);
+    for (const Edge& edge : edges_) {
+        adjacency[edge.first].push_back(edge.second);
+        adjacency[edge.second].push_back(edge.first);
+    }
+    std::vector<bool> seen(num_agents_, false);
+    std::deque<std::uint32_t> queue{0};
+    seen[0] = true;
+    std::uint32_t visited = 1;
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (std::uint32_t v : adjacency[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                ++visited;
+                queue.push_back(v);
+            }
+        }
+    }
+    return visited == num_agents_;
+}
+
+InteractionGraph InteractionGraph::complete(std::uint32_t num_agents) {
+    InteractionGraph graph(num_agents);
+    for (std::uint32_t u = 0; u < num_agents; ++u)
+        for (std::uint32_t v = 0; v < num_agents; ++v)
+            if (u != v) graph.add_edge(u, v);
+    return graph;
+}
+
+InteractionGraph InteractionGraph::line(std::uint32_t num_agents) {
+    InteractionGraph graph(num_agents);
+    for (std::uint32_t u = 0; u + 1 < num_agents; ++u) {
+        graph.add_edge(u, u + 1);
+        graph.add_edge(u + 1, u);
+    }
+    return graph;
+}
+
+InteractionGraph InteractionGraph::ring(std::uint32_t num_agents) {
+    require(num_agents >= 3, "InteractionGraph::ring: need at least 3 agents");
+    InteractionGraph graph(num_agents);
+    for (std::uint32_t u = 0; u < num_agents; ++u) {
+        const std::uint32_t v = (u + 1) % num_agents;
+        graph.add_edge(u, v);
+        graph.add_edge(v, u);
+    }
+    return graph;
+}
+
+InteractionGraph InteractionGraph::star(std::uint32_t num_agents) {
+    require(num_agents >= 2, "InteractionGraph::star: need at least 2 agents");
+    InteractionGraph graph(num_agents);
+    for (std::uint32_t leaf = 1; leaf < num_agents; ++leaf) {
+        graph.add_edge(0, leaf);
+        graph.add_edge(leaf, 0);
+    }
+    return graph;
+}
+
+InteractionGraph InteractionGraph::grid(std::uint32_t rows, std::uint32_t columns) {
+    require(rows >= 1 && columns >= 1, "InteractionGraph::grid: empty grid");
+    require(static_cast<std::uint64_t>(rows) * columns >= 2,
+            "InteractionGraph::grid: need at least two agents");
+    InteractionGraph graph(rows * columns);
+    const auto id = [columns](std::uint32_t r, std::uint32_t c) { return r * columns + c; };
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < columns; ++c) {
+            if (c + 1 < columns) {
+                graph.add_edge(id(r, c), id(r, c + 1));
+                graph.add_edge(id(r, c + 1), id(r, c));
+            }
+            if (r + 1 < rows) {
+                graph.add_edge(id(r, c), id(r + 1, c));
+                graph.add_edge(id(r + 1, c), id(r, c));
+            }
+        }
+    }
+    return graph;
+}
+
+InteractionGraph InteractionGraph::random_connected(std::uint32_t num_agents,
+                                                    std::uint32_t extra_edges,
+                                                    std::uint64_t seed) {
+    require(num_agents >= 2, "InteractionGraph::random_connected: need at least 2 agents");
+    InteractionGraph graph(num_agents);
+    Rng rng(seed);
+    // Random spanning tree: attach each new agent to a uniformly random
+    // earlier agent.
+    for (std::uint32_t u = 1; u < num_agents; ++u) {
+        const auto parent = static_cast<std::uint32_t>(rng.below(u));
+        graph.add_edge(parent, u);
+        graph.add_edge(u, parent);
+    }
+    for (std::uint32_t k = 0; k < extra_edges; ++k) {
+        const auto u = static_cast<std::uint32_t>(rng.below(num_agents));
+        auto v = static_cast<std::uint32_t>(rng.below(num_agents - 1));
+        if (v >= u) ++v;
+        graph.add_edge(u, v);
+        graph.add_edge(v, u);
+    }
+    return graph;
+}
+
+}  // namespace popproto

@@ -1,0 +1,67 @@
+// Interaction graphs (Sect. 3.1, Sect. 5).
+//
+// A population is an agent set with an irreflexive directed edge relation E;
+// edge (u, v) means u may initiate an interaction with v.  The complete
+// graph is the default model; Theorem 7 concerns arbitrary weakly-connected
+// graphs, for which this module provides generators and a connectivity test.
+
+#ifndef POPPROTO_GRAPHS_INTERACTION_GRAPH_H
+#define POPPROTO_GRAPHS_INTERACTION_GRAPH_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace popproto {
+
+/// Directed edge: (initiator agent, responder agent).
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+class InteractionGraph {
+public:
+    /// Graph on agents 0..num_agents-1 with no edges.
+    explicit InteractionGraph(std::uint32_t num_agents);
+
+    std::uint32_t num_agents() const { return num_agents_; }
+
+    /// Adds directed edge (initiator, responder); must be irreflexive and
+    /// within range.  Duplicate edges are permitted but pointless.
+    void add_edge(std::uint32_t initiator, std::uint32_t responder);
+
+    const std::vector<Edge>& edges() const { return edges_; }
+
+    /// True iff the underlying undirected graph is connected (and the
+    /// population is nonempty).  Theorem 7 requires weak connectivity.
+    bool is_weakly_connected() const;
+
+    // Generators ------------------------------------------------------------
+
+    /// All ordered pairs of distinct agents (the standard population).
+    static InteractionGraph complete(std::uint32_t num_agents);
+
+    /// Path 0 - 1 - ... - (n-1); bidirectional edges.
+    static InteractionGraph line(std::uint32_t num_agents);
+
+    /// Cycle on n agents; bidirectional edges.
+    static InteractionGraph ring(std::uint32_t num_agents);
+
+    /// Star with center 0; bidirectional edges.
+    static InteractionGraph star(std::uint32_t num_agents);
+
+    /// rows x columns grid (the classic planar sensor deployment);
+    /// bidirectional edges between 4-neighbors.  Population = rows * columns.
+    static InteractionGraph grid(std::uint32_t rows, std::uint32_t columns);
+
+    /// Random connected graph: a random spanning tree plus `extra_edges`
+    /// random edges, all bidirectional.
+    static InteractionGraph random_connected(std::uint32_t num_agents, std::uint32_t extra_edges,
+                                             std::uint64_t seed);
+
+private:
+    std::uint32_t num_agents_;
+    std::vector<Edge> edges_;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_GRAPHS_INTERACTION_GRAPH_H

@@ -1,0 +1,104 @@
+#include "machines/counter_machine.h"
+
+#include <stdexcept>
+
+#include "core/require.h"
+
+namespace popproto {
+
+void CounterProgram::validate() const {
+    require(!instructions.empty(), "CounterProgram: empty program");
+    require(num_counters > 0, "CounterProgram: no counters");
+    for (const CounterInstruction& instruction : instructions) {
+        switch (instruction.op) {
+            case CounterInstruction::Op::kInc:
+            case CounterInstruction::Op::kDec:
+                require(instruction.counter < num_counters,
+                        "CounterProgram: counter operand out of range");
+                break;
+            case CounterInstruction::Op::kJumpIfZero:
+                require(instruction.counter < num_counters,
+                        "CounterProgram: counter operand out of range");
+                require(instruction.target < instructions.size(),
+                        "CounterProgram: jump target out of range");
+                break;
+            case CounterInstruction::Op::kJump:
+                require(instruction.target < instructions.size(),
+                        "CounterProgram: jump target out of range");
+                break;
+            case CounterInstruction::Op::kHalt:
+                break;
+        }
+    }
+}
+
+std::string CounterProgram::to_string() const {
+    std::string text;
+    for (std::size_t pc = 0; pc < instructions.size(); ++pc) {
+        const CounterInstruction& instruction = instructions[pc];
+        text += std::to_string(pc) + ": ";
+        switch (instruction.op) {
+            case CounterInstruction::Op::kInc:
+                text += "inc c" + std::to_string(instruction.counter);
+                break;
+            case CounterInstruction::Op::kDec:
+                text += "dec c" + std::to_string(instruction.counter);
+                break;
+            case CounterInstruction::Op::kJumpIfZero:
+                text += "jz  c" + std::to_string(instruction.counter) + " -> " +
+                        std::to_string(instruction.target);
+                break;
+            case CounterInstruction::Op::kJump:
+                text += "jmp -> " + std::to_string(instruction.target);
+                break;
+            case CounterInstruction::Op::kHalt:
+                text += "halt " + std::to_string(instruction.target);
+                break;
+        }
+        text += "\n";
+    }
+    return text;
+}
+
+CounterExecution run_counter_machine(const CounterProgram& program,
+                                     std::vector<std::uint64_t> initial_counters,
+                                     std::uint64_t max_steps) {
+    program.validate();
+    require(initial_counters.size() == program.num_counters,
+            "run_counter_machine: wrong number of initial counters");
+
+    CounterExecution execution;
+    execution.counters = std::move(initial_counters);
+
+    std::uint32_t pc = 0;
+    while (execution.steps < max_steps) {
+        const CounterInstruction& instruction = program.instructions[pc];
+        ++execution.steps;
+        switch (instruction.op) {
+            case CounterInstruction::Op::kInc:
+                ++execution.counters[instruction.counter];
+                ++pc;
+                break;
+            case CounterInstruction::Op::kDec:
+                if (execution.counters[instruction.counter] == 0)
+                    throw std::runtime_error("run_counter_machine: decrement of zero counter");
+                --execution.counters[instruction.counter];
+                ++pc;
+                break;
+            case CounterInstruction::Op::kJumpIfZero:
+                pc = (execution.counters[instruction.counter] == 0) ? instruction.target : pc + 1;
+                break;
+            case CounterInstruction::Op::kJump:
+                pc = instruction.target;
+                break;
+            case CounterInstruction::Op::kHalt:
+                execution.halted = true;
+                execution.exit_code = instruction.target;
+                return execution;
+        }
+        ensure(pc < program.instructions.size(), "run_counter_machine: fell off the program");
+    }
+    return execution;
+}
+
+}  // namespace popproto

@@ -1,0 +1,65 @@
+// Counter (register) machines (Sect. 6.1).
+//
+// A counter machine has O(1) non-negative counters and a finite program of
+// increment, decrement, zero-test-jump, jump, and halt instructions.  The
+// paper simulates such machines with a leader-driven population protocol
+// (Theorem 9) and uses Minsky's reduction to lift the simulation to Turing
+// machines (Theorem 10).  This header defines the machine and a
+// deterministic reference executor against which the randomized population
+// runtime is validated.
+
+#ifndef POPPROTO_MACHINES_COUNTER_MACHINE_H
+#define POPPROTO_MACHINES_COUNTER_MACHINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace popproto {
+
+/// One counter-machine instruction.
+struct CounterInstruction {
+    enum class Op : std::uint8_t {
+        kInc,         ///< counters[counter] += 1
+        kDec,         ///< counters[counter] -= 1; counter must be positive
+        kJumpIfZero,  ///< if counters[counter] == 0 jump to `target`
+        kJump,        ///< unconditional jump to `target`
+        kHalt,        ///< stop with exit code `target`
+    };
+
+    Op op = Op::kHalt;
+    std::uint32_t counter = 0;  ///< operand counter (kInc/kDec/kJumpIfZero)
+    std::uint32_t target = 0;   ///< jump destination, or exit code for kHalt
+};
+
+/// A complete program over `num_counters` counters.
+struct CounterProgram {
+    std::uint32_t num_counters = 0;
+    std::vector<CounterInstruction> instructions;
+
+    /// Throws std::invalid_argument if any operand or jump target is out of
+    /// range or the program is empty.
+    void validate() const;
+
+    /// Disassembly for debugging.
+    std::string to_string() const;
+};
+
+/// Result of a deterministic execution.
+struct CounterExecution {
+    bool halted = false;          ///< false = step budget exhausted
+    std::uint32_t exit_code = 0;  ///< kHalt operand, when halted
+    std::vector<std::uint64_t> counters;
+    std::uint64_t steps = 0;
+};
+
+/// Runs `program` from `initial_counters` for at most `max_steps`
+/// instructions.  Throws std::runtime_error on a decrement of a zero counter
+/// (programs are expected to guard decrements with zero tests).
+CounterExecution run_counter_machine(const CounterProgram& program,
+                                     std::vector<std::uint64_t> initial_counters,
+                                     std::uint64_t max_steps);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_MACHINES_COUNTER_MACHINE_H

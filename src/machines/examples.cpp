@@ -1,0 +1,113 @@
+#include "machines/examples.h"
+
+#include "core/require.h"
+#include "machines/program_builder.h"
+
+namespace popproto {
+
+TuringMachine make_unary_mod_turing_machine(std::uint32_t modulus) {
+    require(modulus >= 2, "make_unary_mod_turing_machine: modulus must be at least 2");
+    TuringMachine machine;
+    machine.num_symbols = 2;  // blank, one
+    machine.num_states = modulus + 2;
+    machine.initial_state = 0;
+    machine.accept_state = modulus;
+    machine.reject_state = modulus + 1;
+    machine.rules.resize(static_cast<std::size_t>(machine.num_states) * machine.num_symbols);
+    for (std::uint32_t r = 0; r < modulus; ++r) {
+        // On a one: count it (mod m) and keep scanning right.
+        machine.rules[r * 2 + 1] = TuringRule{1, Move::kRight, (r + 1) % modulus};
+        // On blank: the scan is over; accept iff the count is 0 mod m.
+        machine.rules[r * 2 + 0] =
+            TuringRule{0, Move::kStay, r == 0 ? machine.accept_state : machine.reject_state};
+    }
+    return machine;
+}
+
+TuringMachine make_unary_threshold_turing_machine(std::uint32_t threshold) {
+    require(threshold >= 1, "make_unary_threshold_turing_machine: threshold must be positive");
+    // States 0..threshold-1 count 1-symbols seen; state threshold = accept,
+    // threshold + 1 = reject.
+    TuringMachine machine;
+    machine.num_symbols = 2;
+    machine.num_states = threshold + 2;
+    machine.initial_state = 0;
+    machine.accept_state = threshold;
+    machine.reject_state = threshold + 1;
+    machine.rules.resize(static_cast<std::size_t>(machine.num_states) * machine.num_symbols);
+    for (std::uint32_t seen = 0; seen < threshold; ++seen) {
+        machine.rules[seen * 2 + 1] = TuringRule{1, Move::kRight, seen + 1};
+        machine.rules[seen * 2 + 0] = TuringRule{0, Move::kStay, machine.reject_state};
+    }
+    return machine;
+}
+
+TuringMachine make_unary_majority_turing_machine() {
+    // Symbols: 0 = blank, 1 = 'a', 2 = 'b', 3 = crossed off.
+    // States: 0 = find an a, 1 = find a b, 2 = rewind, 3 = accept, 4 = reject.
+    TuringMachine machine;
+    machine.num_symbols = 4;
+    machine.num_states = 5;
+    machine.initial_state = 0;
+    machine.accept_state = 3;
+    machine.reject_state = 4;
+    machine.rules.resize(static_cast<std::size_t>(machine.num_states) * machine.num_symbols);
+
+    const auto set = [&](std::uint32_t state, std::uint32_t symbol, TuringRule rule) {
+        machine.rules[state * machine.num_symbols + symbol] = rule;
+    };
+
+    // State 0: scan right for an uncrossed a.
+    set(0, 0, {0, Move::kStay, 4});   // blank: everything paired, a's not in excess
+    set(0, 1, {3, Move::kRight, 1});  // cross off the a, go find a b
+    set(0, 2, {2, Move::kStay, 4});   // a's exhausted before b's
+    set(0, 3, {3, Move::kRight, 0});  // skip crossed cells
+
+    // State 1: scan right for an uncrossed b.
+    set(1, 0, {0, Move::kStay, 3});   // no b left for our extra a: majority!
+    set(1, 1, {1, Move::kRight, 1});  // skip remaining a's
+    set(1, 2, {3, Move::kLeft, 2});   // cross off the b, rewind
+    set(1, 3, {3, Move::kRight, 1});  // skip crossed cells
+
+    // State 2: rewind to the left end (first blank), then restart.
+    set(2, 0, {0, Move::kRight, 0});
+    set(2, 1, {1, Move::kLeft, 2});
+    set(2, 2, {2, Move::kLeft, 2});
+    set(2, 3, {3, Move::kLeft, 2});
+
+    return machine;
+}
+
+CounterProgram make_multiply_program(std::uint32_t factor) {
+    ProgramBuilder builder(2);
+    builder.emit_multiply(0, factor, 1);
+    builder.halt(0);
+    return builder.build();
+}
+
+CounterProgram make_divmod_program(std::uint32_t divisor) {
+    ProgramBuilder builder(3);
+    const std::vector<Label> cases = builder.emit_divmod(0, divisor, 2);
+    for (std::uint32_t remainder = 0; remainder < divisor; ++remainder) {
+        builder.place(cases[remainder]);
+        builder.emit_transfer(0, 1);         // quotient into c1
+        builder.emit_add(0, remainder);      // remainder back into c0
+        builder.halt(remainder);
+    }
+    return builder.build();
+}
+
+CounterProgram make_countdown_program() {
+    ProgramBuilder builder(1);
+    const Label loop = builder.make_label();
+    const Label done = builder.make_label();
+    builder.place(loop);
+    builder.jump_if_zero(0, done);
+    builder.dec(0);
+    builder.jump(loop);
+    builder.place(done);
+    builder.halt(0);
+    return builder.build();
+}
+
+}  // namespace popproto

@@ -1,0 +1,46 @@
+// Example machines used by tests, benches, and the example applications.
+//
+// The Turing machines read unary inputs (symbol 1 repeated x times), which
+// is exactly the Theorem 10 setting: logspace functions of inputs presented
+// in unary.
+
+#ifndef POPPROTO_MACHINES_EXAMPLES_H
+#define POPPROTO_MACHINES_EXAMPLES_H
+
+#include <cstdint>
+
+#include "machines/counter_machine.h"
+#include "machines/turing_machine.h"
+
+namespace popproto {
+
+/// Unary-mod machine: accepts iff the number of 1 symbols on the tape is
+/// congruent to 0 modulo `modulus` (modulus >= 2).  make_unary_mod(2) is the
+/// parity machine.  Runs in one left-to-right scan (logspace: O(1) work
+/// tape would suffice).
+TuringMachine make_unary_mod_turing_machine(std::uint32_t modulus);
+
+/// Unary-threshold machine: accepts iff the tape holds at least `threshold`
+/// 1-symbols (threshold >= 1); a single rightward scan with a counter in the
+/// finite control.  The TM counterpart of the flock-of-birds predicate.
+TuringMachine make_unary_threshold_turing_machine(std::uint32_t threshold);
+
+/// Unary-comparison machine over symbols {blank, a, b}: accepts iff the tape
+/// holds a block of a's followed by a block of b's with strictly more a's
+/// than b's.  Repeatedly crosses off one a and one b (a genuinely
+/// two-directional machine, exercising left moves in the Minsky reduction).
+TuringMachine make_unary_majority_turing_machine();
+
+/// Counter program: c0 := c0 * factor (via c1), then halt with exit code 0.
+CounterProgram make_multiply_program(std::uint32_t factor);
+
+/// Counter program: c1 := floor(c0 / divisor), c0 := c0 mod divisor, halt
+/// with exit code = remainder.
+CounterProgram make_divmod_program(std::uint32_t divisor);
+
+/// Counter program: drains c0 to zero and halts with exit code 0.
+CounterProgram make_countdown_program();
+
+}  // namespace popproto
+
+#endif  // POPPROTO_MACHINES_EXAMPLES_H

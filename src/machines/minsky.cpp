@@ -1,0 +1,104 @@
+#include "machines/minsky.h"
+
+#include "core/require.h"
+#include "machines/program_builder.h"
+
+namespace popproto {
+
+std::vector<std::uint64_t> MinskyProgram::initial_counters(
+    const std::vector<std::uint32_t>& input) const {
+    return {0, encode_tape(input, base), 0};
+}
+
+std::uint64_t encode_tape(const std::vector<std::uint32_t>& symbols, std::uint32_t base) {
+    require(base >= 2, "encode_tape: base must be at least 2");
+    std::uint64_t value = 0;
+    for (std::size_t i = symbols.size(); i-- > 0;) {
+        require(symbols[i] < base, "encode_tape: symbol out of range");
+        value = value * base + symbols[i];
+    }
+    return value;
+}
+
+std::vector<std::uint32_t> decode_tape(std::uint64_t value, std::uint32_t base) {
+    require(base >= 2, "decode_tape: base must be at least 2");
+    std::vector<std::uint32_t> symbols;
+    while (value != 0) {
+        symbols.push_back(static_cast<std::uint32_t>(value % base));
+        value /= base;
+    }
+    return symbols;
+}
+
+MinskyProgram compile_turing_machine(const TuringMachine& machine) {
+    machine.validate();
+    const std::uint32_t base = machine.num_symbols;
+    constexpr std::uint32_t kL = MinskyProgram::kLeftCounter;
+    constexpr std::uint32_t kR = MinskyProgram::kRightCounter;
+    constexpr std::uint32_t kAux = MinskyProgram::kAuxCounter;
+
+    ProgramBuilder builder(3);
+
+    // One entry label per TM state; accept/reject states become halts.
+    std::vector<Label> state_entry(machine.num_states);
+    for (std::uint32_t s = 0; s < machine.num_states; ++s) state_entry[s] = builder.make_label();
+
+    builder.jump(state_entry[machine.initial_state]);
+
+    for (std::uint32_t s = 0; s < machine.num_states; ++s) {
+        builder.place(state_entry[s]);
+        if (s == machine.accept_state) {
+            builder.halt(MinskyProgram::kAcceptExitCode);
+            continue;
+        }
+        if (s == machine.reject_state) {
+            builder.halt(MinskyProgram::kRejectExitCode);
+            continue;
+        }
+
+        // Pop the current symbol off R; control branches per symbol.
+        const std::vector<Label> cases = builder.emit_divmod(kR, base, kAux);
+        for (std::uint32_t symbol = 0; symbol < base; ++symbol) {
+            builder.place(cases[symbol]);
+            const TuringRule& rule = machine.rule(s, symbol);
+            switch (rule.move) {
+                case Move::kRight:
+                    // The written symbol lands immediately left of the new
+                    // head position: push onto L.
+                    builder.emit_multiply(kL, base, kAux);
+                    builder.emit_add(kL, rule.write);
+                    break;
+                case Move::kLeft:
+                    // Push the written symbol back onto R, then pop L and
+                    // push that cell onto R as the new current symbol.
+                    builder.emit_multiply(kR, base, kAux);
+                    builder.emit_add(kR, rule.write);
+                    {
+                        const std::vector<Label> left_cases =
+                            builder.emit_divmod(kL, base, kAux);
+                        const Label join = builder.make_label();
+                        for (std::uint32_t cell = 0; cell < base; ++cell) {
+                            builder.place(left_cases[cell]);
+                            builder.emit_multiply(kR, base, kAux);
+                            builder.emit_add(kR, cell);
+                            builder.jump(join);
+                        }
+                        builder.place(join);
+                    }
+                    break;
+                case Move::kStay:
+                    builder.emit_multiply(kR, base, kAux);
+                    builder.emit_add(kR, rule.write);
+                    break;
+            }
+            builder.jump(state_entry[rule.next_state]);
+        }
+    }
+
+    MinskyProgram result;
+    result.program = builder.build();
+    result.base = base;
+    return result;
+}
+
+}  // namespace popproto

@@ -1,0 +1,52 @@
+// Minsky's Turing-machine-to-counter-machine reduction (Theorem 10).
+//
+// The tape is split into two stacks Goedel-coded in base b = num_symbols:
+// counter L holds the cells left of the head (top digit = the cell
+// immediately to the left) and counter R holds the current cell and
+// everything to its right (top digit = the current cell).  Because blank is
+// symbol 0, the infinitely blank tape ends are exactly the leading zeros of
+// the encodings.  Pushing a symbol x is c := c * b + x (the paper's product
+// loop); popping is c := floor(c / b) with the remainder recovered in the
+// finite control (the paper's quotient loop).  One auxiliary counter serves
+// both loops, for a total of three counters.
+
+#ifndef POPPROTO_MACHINES_MINSKY_H
+#define POPPROTO_MACHINES_MINSKY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "machines/counter_machine.h"
+#include "machines/turing_machine.h"
+
+namespace popproto {
+
+/// A compiled Turing machine.
+struct MinskyProgram {
+    static constexpr std::uint32_t kLeftCounter = 0;
+    static constexpr std::uint32_t kRightCounter = 1;
+    static constexpr std::uint32_t kAuxCounter = 2;
+    static constexpr std::uint32_t kAcceptExitCode = 1;
+    static constexpr std::uint32_t kRejectExitCode = 0;
+
+    CounterProgram program;
+    std::uint32_t base = 2;  ///< Goedel base = num_symbols of the source TM
+
+    /// Initial counter values (L, R, aux) for a given tape input with the
+    /// head on input[0].
+    std::vector<std::uint64_t> initial_counters(const std::vector<std::uint32_t>& input) const;
+};
+
+/// Compiles `machine` into a 3-counter program whose exit code is
+/// kAcceptExitCode iff the machine accepts.
+MinskyProgram compile_turing_machine(const TuringMachine& machine);
+
+/// Goedel encoding of a tape suffix: symbols[0] is the top digit.
+std::uint64_t encode_tape(const std::vector<std::uint32_t>& symbols, std::uint32_t base);
+
+/// Inverse of encode_tape, without trailing blanks.
+std::vector<std::uint32_t> decode_tape(std::uint64_t value, std::uint32_t base);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_MACHINES_MINSKY_H

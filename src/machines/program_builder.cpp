@@ -1,0 +1,120 @@
+#include "machines/program_builder.h"
+
+#include "core/require.h"
+
+namespace popproto {
+
+ProgramBuilder::ProgramBuilder(std::uint32_t num_counters) : num_counters_(num_counters) {
+    require(num_counters > 0, "ProgramBuilder: no counters");
+}
+
+Label ProgramBuilder::make_label() {
+    label_positions_.push_back(-1);
+    return static_cast<Label>(label_positions_.size() - 1);
+}
+
+void ProgramBuilder::place(Label label) {
+    require(label < label_positions_.size(), "ProgramBuilder::place: unknown label");
+    require(label_positions_[label] < 0, "ProgramBuilder::place: label placed twice");
+    label_positions_[label] = static_cast<std::int64_t>(instructions_.size());
+}
+
+void ProgramBuilder::inc(std::uint32_t counter) {
+    require(counter < num_counters_, "ProgramBuilder::inc: counter out of range");
+    instructions_.push_back({CounterInstruction::Op::kInc, counter, 0});
+}
+
+void ProgramBuilder::dec(std::uint32_t counter) {
+    require(counter < num_counters_, "ProgramBuilder::dec: counter out of range");
+    instructions_.push_back({CounterInstruction::Op::kDec, counter, 0});
+}
+
+void ProgramBuilder::jump_if_zero(std::uint32_t counter, Label target) {
+    require(counter < num_counters_, "ProgramBuilder::jump_if_zero: counter out of range");
+    fixups_.emplace_back(static_cast<std::uint32_t>(instructions_.size()), target);
+    instructions_.push_back({CounterInstruction::Op::kJumpIfZero, counter, 0});
+}
+
+void ProgramBuilder::jump(Label target) {
+    fixups_.emplace_back(static_cast<std::uint32_t>(instructions_.size()), target);
+    instructions_.push_back({CounterInstruction::Op::kJump, 0, 0});
+}
+
+void ProgramBuilder::halt(std::uint32_t exit_code) {
+    instructions_.push_back({CounterInstruction::Op::kHalt, 0, exit_code});
+}
+
+void ProgramBuilder::emit_transfer(std::uint32_t from, std::uint32_t to) {
+    const Label loop = make_label();
+    const Label done = make_label();
+    place(loop);
+    jump_if_zero(from, done);
+    dec(from);
+    inc(to);
+    jump(loop);
+    place(done);
+}
+
+void ProgramBuilder::emit_multiply(std::uint32_t counter, std::uint32_t factor,
+                                   std::uint32_t aux) {
+    require(counter != aux, "ProgramBuilder::emit_multiply: counter and aux must differ");
+    const Label loop = make_label();
+    const Label done = make_label();
+    place(loop);
+    jump_if_zero(counter, done);
+    dec(counter);
+    for (std::uint32_t i = 0; i < factor; ++i) inc(aux);
+    jump(loop);
+    place(done);
+    emit_transfer(aux, counter);
+}
+
+void ProgramBuilder::emit_add(std::uint32_t counter, std::uint32_t addend) {
+    for (std::uint32_t i = 0; i < addend; ++i) inc(counter);
+}
+
+std::vector<Label> ProgramBuilder::emit_divmod(std::uint32_t counter, std::uint32_t base,
+                                               std::uint32_t aux) {
+    require(base >= 2, "ProgramBuilder::emit_divmod: base must be at least 2");
+    require(counter != aux, "ProgramBuilder::emit_divmod: counter and aux must differ");
+
+    std::vector<Label> remainder_cases(base);
+    std::vector<Label> found(base);
+    for (std::uint32_t r = 0; r < base; ++r) {
+        remainder_cases[r] = make_label();
+        found[r] = make_label();
+    }
+
+    const Label round = make_label();
+    place(round);
+    for (std::uint32_t r = 0; r < base; ++r) {
+        jump_if_zero(counter, found[r]);
+        dec(counter);
+    }
+    inc(aux);
+    jump(round);
+
+    for (std::uint32_t r = 0; r < base; ++r) {
+        place(found[r]);
+        // counter == 0 and aux holds the quotient: restore it, then continue
+        // at the caller's per-remainder code.
+        emit_transfer(aux, counter);
+        jump(remainder_cases[r]);
+    }
+    return remainder_cases;
+}
+
+CounterProgram ProgramBuilder::build() {
+    for (const auto& [pc, label] : fixups_) {
+        require(label < label_positions_.size(), "ProgramBuilder::build: unknown label");
+        require(label_positions_[label] >= 0, "ProgramBuilder::build: unbound label");
+        instructions_[pc].target = static_cast<std::uint32_t>(label_positions_[label]);
+    }
+    CounterProgram program;
+    program.num_counters = num_counters_;
+    program.instructions = instructions_;
+    program.validate();
+    return program;
+}
+
+}  // namespace popproto

@@ -1,0 +1,74 @@
+// Small assembler for counter programs.
+//
+// Counter programs (especially the Minsky-compiled ones) are full of forward
+// jumps; ProgramBuilder provides labels with fixups plus the handful of
+// macro-instructions the Sect. 6.1 constructions rely on: transfer,
+// multiply-by-constant, and divide-with-remainder-branching.
+
+#ifndef POPPROTO_MACHINES_PROGRAM_BUILDER_H
+#define POPPROTO_MACHINES_PROGRAM_BUILDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "machines/counter_machine.h"
+
+namespace popproto {
+
+/// Label handle; valid only with the builder that created it.
+using Label = std::uint32_t;
+
+class ProgramBuilder {
+public:
+    explicit ProgramBuilder(std::uint32_t num_counters);
+
+    /// Allocates an unbound label.
+    Label make_label();
+
+    /// Binds `label` to the next emitted instruction.
+    void place(Label label);
+
+    // Primitive instructions ------------------------------------------------
+    void inc(std::uint32_t counter);
+    void dec(std::uint32_t counter);
+    void jump_if_zero(std::uint32_t counter, Label target);
+    void jump(Label target);
+    void halt(std::uint32_t exit_code);
+
+    // Macro instructions (Sect. 6.1) ----------------------------------------
+
+    /// while (from > 0) { --from; ++to; }  -- moves `from` into `to`.
+    void emit_transfer(std::uint32_t from, std::uint32_t to);
+
+    /// counter := counter * factor, using `aux` (which must be zero before
+    /// and is zero after).  This is the paper's product loop: repeatedly
+    /// decrement `counter` and increment `aux` `factor` times, then transfer
+    /// back.
+    void emit_multiply(std::uint32_t counter, std::uint32_t factor, std::uint32_t aux);
+
+    /// counter := counter + addend.
+    void emit_add(std::uint32_t counter, std::uint32_t addend);
+
+    /// Divides `counter` by `base` (the paper's quotient loop): afterwards
+    /// `counter` holds the quotient, `aux` is zero, and control continues at
+    /// the returned label for the remainder value r (r in [0, base)).  The
+    /// caller must place every returned label.
+    std::vector<Label> emit_divmod(std::uint32_t counter, std::uint32_t base, std::uint32_t aux);
+
+    /// Resolves all fixups and returns the finished program.  Throws if some
+    /// placed jump targets an unbound label.
+    CounterProgram build();
+
+    /// Next instruction index (useful for size accounting).
+    std::uint32_t current_pc() const { return static_cast<std::uint32_t>(instructions_.size()); }
+
+private:
+    std::uint32_t num_counters_;
+    std::vector<CounterInstruction> instructions_;
+    std::vector<std::int64_t> label_positions_;          // -1 = unbound
+    std::vector<std::pair<std::uint32_t, Label>> fixups_;  // (pc, label)
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_MACHINES_PROGRAM_BUILDER_H

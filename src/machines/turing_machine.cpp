@@ -1,0 +1,77 @@
+#include "machines/turing_machine.h"
+
+#include <deque>
+
+#include "core/require.h"
+
+namespace popproto {
+
+void TuringMachine::validate() const {
+    require(num_states > 0, "TuringMachine: no states");
+    require(num_symbols >= 2, "TuringMachine: need blank plus one symbol");
+    require(initial_state < num_states, "TuringMachine: initial state out of range");
+    require(accept_state < num_states, "TuringMachine: accept state out of range");
+    require(reject_state < num_states, "TuringMachine: reject state out of range");
+    require(accept_state != reject_state, "TuringMachine: accept and reject must differ");
+    require(rules.size() == static_cast<std::size_t>(num_states) * num_symbols,
+            "TuringMachine: rule table must have num_states * num_symbols entries");
+    for (const TuringRule& rule : rules) {
+        require(rule.write < num_symbols, "TuringMachine: written symbol out of range");
+        require(rule.next_state < num_states, "TuringMachine: next state out of range");
+    }
+}
+
+const TuringRule& TuringMachine::rule(std::uint32_t state, std::uint32_t symbol) const {
+    require(state < num_states && symbol < num_symbols, "TuringMachine::rule: out of range");
+    return rules[static_cast<std::size_t>(state) * num_symbols + symbol];
+}
+
+TuringExecution run_turing_machine(const TuringMachine& machine,
+                                   const std::vector<std::uint32_t>& input,
+                                   std::uint64_t max_steps) {
+    machine.validate();
+    for (std::uint32_t symbol : input)
+        require(symbol < machine.num_symbols, "run_turing_machine: input symbol out of range");
+
+    std::deque<std::uint32_t> tape(input.begin(), input.end());
+    if (tape.empty()) tape.push_back(0);
+    std::size_t head = 0;
+    std::uint32_t state = machine.initial_state;
+
+    TuringExecution execution;
+    while (execution.steps < max_steps) {
+        if (state == machine.accept_state || state == machine.reject_state) {
+            execution.halted = true;
+            execution.accepted = (state == machine.accept_state);
+            break;
+        }
+        const TuringRule& rule = machine.rule(state, tape[head]);
+        tape[head] = rule.write;
+        state = rule.next_state;
+        ++execution.steps;
+        switch (rule.move) {
+            case Move::kLeft:
+                if (head == 0) {
+                    tape.push_front(0);
+                } else {
+                    --head;
+                }
+                break;
+            case Move::kRight:
+                ++head;
+                if (head == tape.size()) tape.push_back(0);
+                break;
+            case Move::kStay:
+                break;
+        }
+    }
+    if (!execution.halted &&
+        (state == machine.accept_state || state == machine.reject_state)) {
+        execution.halted = true;
+        execution.accepted = (state == machine.accept_state);
+    }
+    execution.tape.assign(tape.begin(), tape.end());
+    return execution;
+}
+
+}  // namespace popproto

@@ -1,0 +1,57 @@
+// Single-tape Turing machines (the source model of Theorem 10).
+//
+// Symbol 0 is the blank.  The machine halts by entering the accept or reject
+// state.  run_turing_machine is the deterministic reference executor; the
+// Minsky reduction (minsky.h) compiles the same machine to a counter
+// program, and Theorem 10 runs that program on a population.
+
+#ifndef POPPROTO_MACHINES_TURING_MACHINE_H
+#define POPPROTO_MACHINES_TURING_MACHINE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace popproto {
+
+/// Head movement.
+enum class Move : std::int8_t { kLeft = -1, kStay = 0, kRight = 1 };
+
+/// One transition rule.
+struct TuringRule {
+    std::uint32_t write = 0;
+    Move move = Move::kStay;
+    std::uint32_t next_state = 0;
+};
+
+struct TuringMachine {
+    std::uint32_t num_states = 0;
+    std::uint32_t num_symbols = 2;  ///< symbol 0 is blank
+    std::uint32_t initial_state = 0;
+    std::uint32_t accept_state = 0;
+    std::uint32_t reject_state = 0;
+
+    /// rules[state * num_symbols + symbol]; entries for accept/reject states
+    /// are ignored.
+    std::vector<TuringRule> rules;
+
+    void validate() const;
+    const TuringRule& rule(std::uint32_t state, std::uint32_t symbol) const;
+};
+
+struct TuringExecution {
+    bool halted = false;
+    bool accepted = false;
+    std::uint64_t steps = 0;
+    /// Tape contents from the leftmost to the rightmost visited cell.
+    std::vector<std::uint32_t> tape;
+};
+
+/// Runs `machine` on `input` (head starts on input[0]) for at most
+/// `max_steps` steps.
+TuringExecution run_turing_machine(const TuringMachine& machine,
+                                   const std::vector<std::uint32_t>& input,
+                                   std::uint64_t max_steps);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_MACHINES_TURING_MACHINE_H

@@ -1,0 +1,79 @@
+#include "presburger/compiler.h"
+
+#include <algorithm>
+
+#include "core/combinators.h"
+#include "core/require.h"
+#include "presburger/atom_protocols.h"
+
+namespace popproto {
+
+namespace {
+
+std::vector<std::int64_t> padded(const std::vector<std::int64_t>& coefficients,
+                                 std::size_t num_input_symbols) {
+    std::vector<std::int64_t> result = coefficients;
+    result.resize(num_input_symbols, 0);
+    return result;
+}
+
+std::unique_ptr<TabulatedProtocol> compile_node(const Formula& formula,
+                                                std::size_t num_input_symbols) {
+    switch (formula.kind()) {
+        case Formula::Kind::kThreshold: {
+            const ThresholdAtom& atom = formula.threshold_atom();
+            return make_threshold_protocol(padded(atom.coefficients, num_input_symbols),
+                                           atom.constant);
+        }
+        case Formula::Kind::kCongruence: {
+            const CongruenceAtom& atom = formula.congruence_atom();
+            return make_remainder_protocol(padded(atom.coefficients, num_input_symbols),
+                                           atom.remainder, atom.modulus);
+        }
+        case Formula::Kind::kAnd: {
+            const auto left = compile_node(formula.left(), num_input_symbols);
+            const auto right = compile_node(formula.right(), num_input_symbols);
+            return make_product_protocol(
+                *left, *right,
+                [](Symbol a, Symbol b) {
+                    return (a == kOutputTrue && b == kOutputTrue) ? kOutputTrue : kOutputFalse;
+                },
+                2);
+        }
+        case Formula::Kind::kOr: {
+            const auto left = compile_node(formula.left(), num_input_symbols);
+            const auto right = compile_node(formula.right(), num_input_symbols);
+            return make_product_protocol(
+                *left, *right,
+                [](Symbol a, Symbol b) {
+                    return (a == kOutputTrue || b == kOutputTrue) ? kOutputTrue : kOutputFalse;
+                },
+                2);
+        }
+        case Formula::Kind::kNot: {
+            const auto child = compile_node(formula.child(), num_input_symbols);
+            return make_negation_protocol(*child);
+        }
+    }
+    ensure(false, "compile_node: unknown formula kind");
+    return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<TabulatedProtocol> compile_formula(const Formula& formula,
+                                                   std::size_t num_input_symbols) {
+    const std::size_t variables = formula.num_variables();
+    if (num_input_symbols == 0) num_input_symbols = variables;
+    require(num_input_symbols >= variables,
+            "compile_formula: fewer input symbols than formula variables");
+    return compile_node(formula, num_input_symbols);
+}
+
+std::unique_ptr<TabulatedProtocol> compile_integer_convention(
+    const Formula& formula, const std::vector<std::vector<std::int64_t>>& token_vectors) {
+    const Formula substituted = formula.substitute_tokens(token_vectors);
+    return compile_formula(substituted, token_vectors.size());
+}
+
+}  // namespace popproto

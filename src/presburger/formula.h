@@ -1,0 +1,92 @@
+// Quantifier-free Presburger formulas (Sect. 4.2).
+//
+// By Presburger's theorem (Theorem 4 in the paper) every Presburger-definable
+// predicate is expressible quantifier-free over threshold atoms
+// `sum_i a_i x_i < c` and congruence atoms `sum_i a_i x_i = c (mod m)`
+// combined with AND/OR/NOT.  Formula is that normal form: it is both the
+// ground-truth evaluator for experiments and the input language of the
+// protocol compiler (Theorem 5).
+
+#ifndef POPPROTO_PRESBURGER_FORMULA_H
+#define POPPROTO_PRESBURGER_FORMULA_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace popproto {
+
+/// Atom `sum_i coefficients[i] * x_i < constant`.
+struct ThresholdAtom {
+    std::vector<std::int64_t> coefficients;
+    std::int64_t constant = 0;
+};
+
+/// Atom `sum_i coefficients[i] * x_i = remainder (mod modulus)`, modulus >= 2.
+struct CongruenceAtom {
+    std::vector<std::int64_t> coefficients;
+    std::int64_t remainder = 0;
+    std::int64_t modulus = 2;
+};
+
+/// Immutable quantifier-free Presburger formula over non-negative integer
+/// variables x_0..x_{k-1}.  Cheap to copy (shared subtrees).
+class Formula {
+public:
+    enum class Kind { kThreshold, kCongruence, kAnd, kOr, kNot };
+
+    /// sum_i coefficients[i] x_i < constant.
+    static Formula threshold(std::vector<std::int64_t> coefficients, std::int64_t constant);
+
+    /// sum_i coefficients[i] x_i = remainder (mod modulus); modulus >= 2.
+    static Formula congruence(std::vector<std::int64_t> coefficients, std::int64_t remainder,
+                              std::int64_t modulus);
+
+    /// Derived comparisons, rewritten into threshold atoms as in the
+    /// Theorem 5 proof (equality becomes a conjunction of two thresholds).
+    static Formula at_most(std::vector<std::int64_t> coefficients, std::int64_t constant);
+    static Formula at_least(std::vector<std::int64_t> coefficients, std::int64_t constant);
+    static Formula equals(std::vector<std::int64_t> coefficients, std::int64_t constant);
+
+    static Formula conjunction(Formula left, Formula right);
+    static Formula disjunction(Formula left, Formula right);
+    static Formula negation(Formula child);
+
+    Kind kind() const;
+
+    /// Accessors; each requires the matching kind.  Subformulas are returned
+    /// by value; Formula is a cheap shared handle to an immutable tree.
+    const ThresholdAtom& threshold_atom() const;
+    const CongruenceAtom& congruence_atom() const;
+    Formula left() const;
+    Formula right() const;
+    Formula child() const;
+
+    /// Number of variables: the longest coefficient vector in any atom.
+    std::size_t num_variables() const;
+
+    /// Evaluates the formula; `values` must cover num_variables() entries.
+    bool evaluate(const std::vector<std::int64_t>& values) const;
+
+    /// Substitution for the integer input convention (Corollary 3): variable
+    /// x_j is replaced by sum_v vectors[v][j] * z_v, yielding a formula over
+    /// the token-count variables z_0..z_{|vectors|-1}.  Every vector must
+    /// have num_variables() components.
+    Formula substitute_tokens(const std::vector<std::vector<std::int64_t>>& vectors) const;
+
+    /// Human-readable rendering, e.g. "((2 x0 - x1 < 3) & !(x0 = 1 mod 2))".
+    std::string to_string() const;
+
+    /// Total number of atoms (threshold + congruence) in the tree.
+    std::size_t num_atoms() const;
+
+private:
+    struct Node;
+    explicit Formula(std::shared_ptr<const Node> node);
+    std::shared_ptr<const Node> node_;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PRESBURGER_FORMULA_H

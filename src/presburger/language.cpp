@@ -1,0 +1,44 @@
+#include "presburger/language.h"
+
+#include "analysis/stable_computation.h"
+#include "core/require.h"
+
+namespace popproto {
+
+std::vector<std::uint64_t> parikh_image(const std::vector<Symbol>& word,
+                                        std::size_t alphabet_size) {
+    require(alphabet_size > 0, "parikh_image: empty alphabet");
+    std::vector<std::uint64_t> counts(alphabet_size, 0);
+    for (Symbol symbol : word) {
+        require(symbol < alphabet_size, "parikh_image: symbol out of range");
+        ++counts[symbol];
+    }
+    return counts;
+}
+
+namespace {
+
+bool word_verdict(const TabulatedProtocol& protocol, const std::vector<Symbol>& word,
+                  bool expected, std::size_t max_configs) {
+    require(protocol.num_output_symbols() == 2, "language test: Boolean outputs required");
+    if (word.empty()) return false;
+    // Lemma 2: acceptance depends only on the Parikh image, i.e. on the
+    // multiset I(word).
+    const auto counts = parikh_image(word, protocol.num_input_symbols());
+    const auto initial = CountConfiguration::from_input_counts(protocol, counts);
+    return stably_computes_bool(protocol, initial, expected, max_configs);
+}
+
+}  // namespace
+
+bool accepts_word(const TabulatedProtocol& protocol, const std::vector<Symbol>& word,
+                  std::size_t max_configs) {
+    return word_verdict(protocol, word, true, max_configs);
+}
+
+bool rejects_word(const TabulatedProtocol& protocol, const std::vector<Symbol>& word,
+                  std::size_t max_configs) {
+    return word_verdict(protocol, word, false, max_configs);
+}
+
+}  // namespace popproto

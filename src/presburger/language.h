@@ -1,0 +1,39 @@
+// Language acceptance (Sect. 3.5).
+//
+// Under the *string input convention* the i-th input symbol goes to the i-th
+// agent; a protocol accepts a language L iff it stably computes L's
+// characteristic function.  Theorem 1 / Corollary 1 show accepted languages
+// are symmetric, and Lemma 2 reduces acceptance to stable computation of the
+// Parikh image under the symbol-count convention.  Corollary 4 then gives:
+// a symmetric language is accepted iff its Parikh image is semilinear.
+// These helpers execute that chain of reductions.
+
+#ifndef POPPROTO_PRESBURGER_LANGUAGE_H
+#define POPPROTO_PRESBURGER_LANGUAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Parikh map (Sect. 3.5): the vector of per-symbol occurrence counts of
+/// `word` over an alphabet of `alphabet_size` symbols.
+std::vector<std::uint64_t> parikh_image(const std::vector<Symbol>& word,
+                                        std::size_t alphabet_size);
+
+/// Exact acceptance test: true iff every fair computation of `protocol` on
+/// `word` (string input convention) converges with all agents outputting
+/// true.  Decided by the Lemma 2 reduction plus the multiset analyzer; the
+/// empty word is rejected (there is no population to ask).
+bool accepts_word(const TabulatedProtocol& protocol, const std::vector<Symbol>& word,
+                  std::size_t max_configs = 1u << 20);
+
+/// Dual exact test: every fair computation converges to all-false.
+bool rejects_word(const TabulatedProtocol& protocol, const std::vector<Symbol>& word,
+                  std::size_t max_configs = 1u << 20);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PRESBURGER_LANGUAGE_H

@@ -1,0 +1,227 @@
+#include "presburger/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+/// A linear expression sum_i coefficients[i] x_i + constant.
+struct Linear {
+    std::vector<std::int64_t> coefficients;
+    std::int64_t constant = 0;
+
+    void add_coefficient(std::size_t variable, std::int64_t value) {
+        if (coefficients.size() <= variable) coefficients.resize(variable + 1, 0);
+        coefficients[variable] += value;
+    }
+};
+
+Linear subtract(const Linear& left, const Linear& right) {
+    Linear result = left;
+    if (result.coefficients.size() < right.coefficients.size())
+        result.coefficients.resize(right.coefficients.size(), 0);
+    for (std::size_t i = 0; i < right.coefficients.size(); ++i)
+        result.coefficients[i] -= right.coefficients[i];
+    result.constant -= right.constant;
+    return result;
+}
+
+/// Coefficient vector padded to at least one variable (atoms need one).
+std::vector<std::int64_t> atom_coefficients(const Linear& linear) {
+    std::vector<std::int64_t> coefficients = linear.coefficients;
+    if (coefficients.empty()) coefficients.push_back(0);
+    return coefficients;
+}
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Formula parse() {
+        Formula result = parse_formula();
+        skip_spaces();
+        if (position_ != text_.size()) fail("trailing input");
+        return result;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        throw std::invalid_argument("parse_formula: " + message + " at position " +
+                                    std::to_string(position_) + " in \"" + text_ + "\"");
+    }
+
+    void skip_spaces() {
+        while (position_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[position_])))
+            ++position_;
+    }
+
+    bool consume(const std::string& token) {
+        skip_spaces();
+        if (text_.compare(position_, token.size(), token) != 0) return false;
+        // Word tokens must not run into identifier characters.
+        if (std::isalpha(static_cast<unsigned char>(token[0]))) {
+            const std::size_t end = position_ + token.size();
+            if (end < text_.size() &&
+                std::isalnum(static_cast<unsigned char>(text_[end])))
+                return false;
+        }
+        position_ += token.size();
+        return true;
+    }
+
+    char peek() {
+        skip_spaces();
+        return position_ < text_.size() ? text_[position_] : '\0';
+    }
+
+    std::int64_t parse_integer() {
+        skip_spaces();
+        const std::size_t start = position_;
+        while (position_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[position_])))
+            ++position_;
+        if (position_ == start) fail("expected an integer");
+        return std::stoll(text_.substr(start, position_ - start));
+    }
+
+    std::optional<std::size_t> try_parse_variable() {
+        skip_spaces();
+        if (position_ >= text_.size() || text_[position_] != 'x') return std::nullopt;
+        if (position_ + 1 >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[position_ + 1])))
+            return std::nullopt;
+        ++position_;  // 'x'
+        return static_cast<std::size_t>(parse_integer());
+    }
+
+    /// term := integer ['*'] variable | integer | variable
+    void parse_term(Linear& linear, std::int64_t sign) {
+        skip_spaces();
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+            const std::int64_t value = parse_integer();
+            consume("*");
+            if (auto variable = try_parse_variable()) {
+                linear.add_coefficient(*variable, sign * value);
+            } else {
+                linear.constant += sign * value;
+            }
+            return;
+        }
+        if (auto variable = try_parse_variable()) {
+            linear.add_coefficient(*variable, sign);
+            return;
+        }
+        fail("expected a term (integer, k*xN, or xN)");
+    }
+
+    Linear parse_linear() {
+        Linear linear;
+        std::int64_t sign = consume("-") ? -1 : 1;
+        parse_term(linear, sign);
+        for (;;) {
+            if (consume("+")) {
+                parse_term(linear, 1);
+            } else if (consume("-")) {
+                parse_term(linear, -1);
+            } else {
+                return linear;
+            }
+        }
+    }
+
+    Formula parse_atom() {
+        const Linear left = parse_linear();
+
+        enum class Cmp { kLt, kLe, kGt, kGe, kEq, kNe };
+        Cmp cmp;
+        if (consume("<=")) {
+            cmp = Cmp::kLe;
+        } else if (consume(">=")) {
+            cmp = Cmp::kGe;
+        } else if (consume("<")) {
+            cmp = Cmp::kLt;
+        } else if (consume(">")) {
+            cmp = Cmp::kGt;
+        } else if (consume("==") || consume("=")) {
+            cmp = Cmp::kEq;
+        } else if (consume("!=")) {
+            cmp = Cmp::kNe;
+        } else {
+            fail("expected a comparison operator");
+        }
+
+        const Linear right = parse_linear();
+
+        // Congruence form: linear = linear mod m.
+        if (cmp == Cmp::kEq && consume("mod")) {
+            const std::int64_t modulus = parse_integer();
+            const Linear diff = subtract(left, right);
+            // sum a_i x_i + c = 0 (mod m)  <=>  sum a_i x_i = -c (mod m).
+            return Formula::congruence(atom_coefficients(diff), -diff.constant, modulus);
+        }
+
+        // Normalize `left cmp right` to atoms over diff = left - right:
+        // diff.coefficients . x  cmp  -diff.constant.
+        const Linear diff = subtract(left, right);
+        const std::vector<std::int64_t> coefficients = atom_coefficients(diff);
+        const std::int64_t bound = -diff.constant;
+        switch (cmp) {
+            case Cmp::kLt:
+                return Formula::threshold(coefficients, bound);
+            case Cmp::kLe:
+                return Formula::at_most(coefficients, bound);
+            case Cmp::kGt: {
+                // sum > b  <=>  not (sum <= b).
+                return Formula::negation(Formula::at_most(coefficients, bound));
+            }
+            case Cmp::kGe:
+                return Formula::at_least(coefficients, bound);
+            case Cmp::kEq:
+                return Formula::equals(coefficients, bound);
+            case Cmp::kNe:
+                return Formula::negation(Formula::equals(coefficients, bound));
+        }
+        fail("unreachable comparison");
+    }
+
+    Formula parse_unary() {
+        if (consume("!")) return Formula::negation(parse_unary());
+        if (consume("(")) {
+            Formula inner = parse_formula();
+            if (!consume(")")) fail("expected ')'");
+            return inner;
+        }
+        return parse_atom();
+    }
+
+    Formula parse_conjunction() {
+        Formula result = parse_unary();
+        while (consume("&")) result = Formula::conjunction(result, parse_unary());
+        return result;
+    }
+
+    Formula parse_formula() {
+        Formula result = parse_conjunction();
+        while (consume("|")) result = Formula::disjunction(result, parse_conjunction());
+        return result;
+    }
+
+    const std::string& text_;
+    std::size_t position_ = 0;
+};
+
+}  // namespace
+
+Formula parse_formula(const std::string& text) {
+    require(!text.empty(), "parse_formula: empty input");
+    return Parser(text).parse();
+}
+
+}  // namespace popproto

@@ -1,0 +1,38 @@
+// Text syntax for quantifier-free Presburger formulas.
+//
+// Grammar (whitespace-insensitive):
+//
+//   formula  := conj { '|' conj }
+//   conj     := unary { '&' unary }
+//   unary    := '!' unary | '(' formula ')' | atom
+//   atom     := linear cmp linear                      comparison atom
+//             | linear '=' linear 'mod' integer        congruence atom
+//   cmp      := '<' | '<=' | '>' | '>=' | '==' | '=' | '!='
+//   linear   := ['-'] term { ('+' | '-') term }
+//   term     := integer [ '*' ] variable | integer | variable
+//   variable := 'x' digits
+//
+// Both sides of an atom may be arbitrary linear expressions with constants;
+// the parser normalizes them into the Formula atom forms exactly as the
+// proof of Theorem 5 does (e.g. `a = b` becomes `a <= b & a >= b`, and
+// `a != b` its negation).
+//
+// Examples:  "x0 - 19*x1 < 1",  "2 x0 + 3 = x1 mod 5",
+//            "!(x0 < x1) & (x0 + x1 = 0 mod 2)".
+
+#ifndef POPPROTO_PRESBURGER_PARSER_H
+#define POPPROTO_PRESBURGER_PARSER_H
+
+#include <string>
+
+#include "presburger/formula.h"
+
+namespace popproto {
+
+/// Parses `text` into a Formula.  Throws std::invalid_argument with a
+/// position-annotated message on malformed input.
+Formula parse_formula(const std::string& text);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PRESBURGER_PARSER_H

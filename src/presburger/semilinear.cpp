@@ -1,0 +1,59 @@
+#include "presburger/semilinear.h"
+
+#include <algorithm>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+/// Can `remaining` be written as an N-combination of periods[from..]?
+bool match(const std::vector<std::uint64_t>& remaining,
+           const std::vector<std::vector<std::uint64_t>>& periods, std::size_t from) {
+    const bool all_zero = std::all_of(remaining.begin(), remaining.end(),
+                                      [](std::uint64_t v) { return v == 0; });
+    if (all_zero) return true;
+    if (from == periods.size()) return false;
+
+    const std::vector<std::uint64_t>& period = periods[from];
+    // Maximum multiplicity of this period that fits under `remaining`.
+    std::uint64_t max_multiplicity = ~std::uint64_t{0};
+    bool useful = false;
+    for (std::size_t i = 0; i < period.size(); ++i) {
+        if (period[i] == 0) continue;
+        useful = true;
+        max_multiplicity = std::min(max_multiplicity, remaining[i] / period[i]);
+    }
+    if (!useful) return match(remaining, periods, from + 1);
+
+    std::vector<std::uint64_t> rest = remaining;
+    for (std::uint64_t multiplicity = 0; multiplicity <= max_multiplicity; ++multiplicity) {
+        if (match(rest, periods, from + 1)) return true;
+        if (multiplicity == max_multiplicity) break;
+        for (std::size_t i = 0; i < period.size(); ++i) rest[i] -= period[i];
+    }
+    return false;
+}
+
+}  // namespace
+
+bool LinearSet::contains(const std::vector<std::uint64_t>& vector) const {
+    require(vector.size() == base.size(), "LinearSet::contains: dimension mismatch");
+    for (const auto& period : periods)
+        require(period.size() == base.size(), "LinearSet: ragged period vector");
+
+    std::vector<std::uint64_t> remaining(vector.size());
+    for (std::size_t i = 0; i < vector.size(); ++i) {
+        if (vector[i] < base[i]) return false;
+        remaining[i] = vector[i] - base[i];
+    }
+    return match(remaining, periods, 0);
+}
+
+bool SemilinearSet::contains(const std::vector<std::uint64_t>& vector) const {
+    return std::any_of(components.begin(), components.end(),
+                       [&](const LinearSet& component) { return component.contains(vector); });
+}
+
+}  // namespace popproto

@@ -1,0 +1,39 @@
+// Linear and semilinear sets (Sect. 4.2, Theorem 3).
+//
+// A set L of vectors in N^k is *linear* if
+// L = { base + k_1 p_1 + ... + k_m p_m | k_i in N } for a base vector and
+// finitely many period vectors, and *semilinear* if it is a finite union of
+// linear sets.  By Ginsburg & Spanier (Theorem 3) the semilinear sets are
+// exactly the Presburger-definable ones; the tests cross-check handwritten
+// semilinear descriptions against Formula evaluation on enumerated vectors.
+
+#ifndef POPPROTO_PRESBURGER_SEMILINEAR_H
+#define POPPROTO_PRESBURGER_SEMILINEAR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace popproto {
+
+/// One linear component: base + N-combinations of the period vectors.
+/// All vectors share the dimension k; entries are non-negative.
+struct LinearSet {
+    std::vector<std::uint64_t> base;
+    std::vector<std::vector<std::uint64_t>> periods;
+
+    /// Membership test by depth-first search over period multiplicities.
+    /// Periods with all-zero entries are ignored.  Complexity is bounded
+    /// because each useful period strictly increases some coordinate.
+    bool contains(const std::vector<std::uint64_t>& vector) const;
+};
+
+/// A finite union of linear sets.
+struct SemilinearSet {
+    std::vector<LinearSet> components;
+
+    bool contains(const std::vector<std::uint64_t>& vector) const;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PRESBURGER_SEMILINEAR_H

@@ -1,0 +1,40 @@
+#include "protocols/counting.h"
+
+#include <string>
+
+#include "core/require.h"
+
+namespace popproto {
+
+std::unique_ptr<TabulatedProtocol> make_counting_protocol(std::uint32_t threshold) {
+    require(threshold >= 1, "make_counting_protocol: threshold must be positive");
+    const std::size_t num_states = threshold + 1;  // q_0 .. q_threshold
+
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.output_names = {"false", "true"};
+    tables.input_names = {"0", "1"};
+    tables.initial = {State{0}, State{1}};
+    if (threshold == 1) tables.initial[kInputOne] = State{1};  // q_1 is the alert state itself
+
+    tables.output.resize(num_states, kOutputFalse);
+    tables.output[threshold] = kOutputTrue;
+    for (State q = 0; q < num_states; ++q) tables.state_names.push_back("q" + std::to_string(q));
+
+    tables.delta.resize(num_states * num_states);
+    for (State i = 0; i < num_states; ++i) {
+        for (State j = 0; j < num_states; ++j) {
+            const std::uint64_t sum = static_cast<std::uint64_t>(i) + j;
+            StatePair result{};
+            if (sum >= threshold) {
+                result = {static_cast<State>(threshold), static_cast<State>(threshold)};
+            } else {
+                result = {static_cast<State>(sum), State{0}};
+            }
+            tables.delta[static_cast<std::size_t>(i) * num_states + j] = result;
+        }
+    }
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+}  // namespace popproto

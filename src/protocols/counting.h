@@ -1,0 +1,32 @@
+// The "flock of birds" counting protocol (Sect. 1 and the Sect. 3.1 example).
+//
+// Input alphabet {0, 1}; the protocol stably computes whether at least
+// `threshold` agents read input 1.  Each agent carries a saturating counter
+// in [0, threshold]; when two agents meet, the initiator absorbs the
+// responder's count, and if the combined count ever reaches the threshold
+// both enter a permanent alert state that is copied by every agent they meet.
+// The paper's count-to-five protocol is make_counting_protocol(5).
+
+#ifndef POPPROTO_PROTOCOLS_COUNTING_H
+#define POPPROTO_PROTOCOLS_COUNTING_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Input symbols for the counting protocol.
+inline constexpr Symbol kInputZero = 0;
+inline constexpr Symbol kInputOne = 1;
+
+/// Builds the threshold-`threshold` counting protocol (threshold >= 1).
+/// States are q_0 .. q_threshold; O(q_threshold) = true, everything else
+/// false; delta(q_i, q_j) = (q_{i+j}, q_0) if i + j < threshold and
+/// (q_threshold, q_threshold) otherwise.
+std::unique_ptr<TabulatedProtocol> make_counting_protocol(std::uint32_t threshold);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PROTOCOLS_COUNTING_H

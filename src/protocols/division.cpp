@@ -1,0 +1,110 @@
+#include "protocols/division.h"
+
+#include <string>
+
+#include "core/configuration.h"
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+/// State encoding: (remainder r in [0, divisor), quotient bit j in {0, 1})
+/// as r * 2 + j.
+State encode(std::uint32_t r, std::uint32_t j) { return static_cast<State>(r * 2 + j); }
+std::uint32_t remainder_of(State q) { return q / 2; }
+std::uint32_t quotient_of(State q) { return q % 2; }
+
+}  // namespace
+
+std::unique_ptr<TabulatedProtocol> make_division_protocol(std::uint32_t divisor) {
+    require(divisor >= 2, "make_division_protocol: divisor must be at least 2");
+    const std::size_t num_states = static_cast<std::size_t>(divisor) * 2;
+
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.output_names = {"0", "1"};
+    tables.input_names = {"0", "1"};
+    tables.initial = {encode(0, 0), encode(1, 0)};
+
+    tables.output.resize(num_states);
+    tables.state_names.resize(num_states);
+    for (State q = 0; q < num_states; ++q) {
+        tables.output[q] = quotient_of(q);
+        tables.state_names[q] =
+            "(" + std::to_string(remainder_of(q)) + "," + std::to_string(quotient_of(q)) + ")";
+    }
+
+    tables.delta.resize(num_states * num_states);
+    for (State p = 0; p < num_states; ++p) {
+        for (State q = 0; q < num_states; ++q) {
+            StatePair result{p, q};
+            // Remainder shares live only on quotient-free agents, exactly as
+            // in the paper's three-way example: agents holding a quotient
+            // bit are inert.
+            if (quotient_of(p) == 0 && quotient_of(q) == 0) {
+                const std::uint32_t sum = remainder_of(p) + remainder_of(q);
+                if (sum >= divisor) {
+                    // Exchange `divisor` remainder units for one quotient bit
+                    // deposited on the responder.
+                    result = {encode(sum - divisor, 0), encode(0, 1)};
+                } else if (remainder_of(q) > 0) {
+                    // Consolidate the responder's share into the initiator.
+                    result = {encode(sum, 0), encode(0, 0)};
+                }
+            }
+            tables.delta[static_cast<std::size_t>(p) * num_states + q] = result;
+        }
+    }
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+std::unique_ptr<TabulatedProtocol> make_divmod_protocol(std::uint32_t divisor) {
+    const auto division = make_division_protocol(divisor);
+    // Same transition structure; each state becomes its own output symbol
+    // (the "identity output map" of the Sect. 3.4 remark).
+    const std::size_t num_states = division->num_states();
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = num_states;
+    for (Symbol x = 0; x < division->num_input_symbols(); ++x) {
+        tables.initial.push_back(division->initial_state(x));
+        tables.input_names.push_back(division->input_name(x));
+    }
+    for (State q = 0; q < num_states; ++q) {
+        tables.output.push_back(q);
+        tables.state_names.push_back(division->state_name(q));
+        tables.output_names.push_back(division->state_name(q));
+    }
+    tables.delta.reserve(num_states * num_states);
+    for (State p = 0; p < num_states; ++p)
+        for (State q = 0; q < num_states; ++q) tables.delta.push_back(division->apply_fast(p, q));
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+IntegerOutputConvention divmod_output_convention(std::uint32_t divisor) {
+    require(divisor >= 2, "divmod_output_convention: divisor must be at least 2");
+    IntegerOutputConvention convention;
+    convention.symbol_values.reserve(static_cast<std::size_t>(divisor) * 2);
+    for (State q = 0; q < static_cast<State>(divisor) * 2; ++q) {
+        convention.symbol_values.push_back(
+            {static_cast<std::int64_t>(remainder_of(q)), static_cast<std::int64_t>(quotient_of(q))});
+    }
+    return convention;
+}
+
+DivisionReading read_division(const TabulatedProtocol& protocol,
+                              const CountConfiguration& configuration, std::uint32_t divisor) {
+    require(configuration.num_states() == protocol.num_states(),
+            "read_division: configuration does not match protocol");
+    require(protocol.num_states() == static_cast<std::size_t>(divisor) * 2,
+            "read_division: protocol was built with a different divisor");
+    DivisionReading reading{0, 0};
+    for (State q = 0; q < configuration.num_states(); ++q) {
+        const std::uint64_t agents = configuration.count(q);
+        reading.remainder += agents * remainder_of(q);
+        reading.quotient += agents * quotient_of(q);
+    }
+    return reading;
+}
+
+}  // namespace popproto

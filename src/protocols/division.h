@@ -1,0 +1,55 @@
+// Integer division protocol (the Sect. 3.4 example, generalized).
+//
+// The paper's example computes floor(m / 3) where m is the number of agents
+// with input 1, representing the quotient diffusely: each agent's state is a
+// pair (remainder_share, quotient_bit) and the output, under the
+// integer-based output convention, is the population-wide sum of quotient
+// bits.  We generalize the divisor: remainder shares are consolidated toward
+// the initiator, and whenever a pair's combined share reaches the divisor it
+// is exchanged for one quotient bit deposited on the responder (which then
+// becomes inert, exactly like the paper's (0, 1) states).
+//
+// Invariant (tested): m = (sum of remainder shares) + divisor * (sum of
+// quotient bits) throughout every execution.
+
+#ifndef POPPROTO_PROTOCOLS_DIVISION_H
+#define POPPROTO_PROTOCOLS_DIVISION_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/conventions.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Builds the divide-by-`divisor` protocol (divisor >= 2).
+/// Inputs: symbol 0 -> state (0, 0); symbol 1 -> state (1, 0).
+/// Outputs: O((r, j)) = j; the represented result is the sum of outputs.
+std::unique_ptr<TabulatedProtocol> make_division_protocol(std::uint32_t divisor);
+
+/// The paper's closing remark in Sect. 3.4: "if the output map were changed
+/// to the identity ... this protocol would compute the ordered pair
+/// (m mod 3, floor(m/3))".  This variant does exactly that: same dynamics,
+/// but every state is its own output symbol, so under the integer-based
+/// output convention with symbol values (r, j) the population represents
+/// the pair (m mod divisor, floor(m / divisor)).
+std::unique_ptr<TabulatedProtocol> make_divmod_protocol(std::uint32_t divisor);
+
+/// The matching output convention for make_divmod_protocol: output symbol
+/// (r, j) carries the vector (r, j).
+IntegerOutputConvention divmod_output_convention(std::uint32_t divisor);
+
+/// Decodes the (remainder, quotient) pair represented by a configuration of
+/// the division protocol: sums of the two state components.
+struct DivisionReading {
+    std::uint64_t remainder;
+    std::uint64_t quotient;
+};
+DivisionReading read_division(const TabulatedProtocol& protocol,
+                              const class CountConfiguration& configuration,
+                              std::uint32_t divisor);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PROTOCOLS_DIVISION_H

@@ -1,0 +1,55 @@
+#include "protocols/epidemic.h"
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+std::unique_ptr<TabulatedProtocol> make_epidemic(bool two_way) {
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.output_names = {"susceptible", "infected"};
+    tables.input_names = {"susceptible", "infected"};
+    tables.initial = {0, 1};
+    tables.output = {0, 1};
+    tables.state_names = {"S", "I"};
+    tables.delta = {
+        {0, 0},  // (S, S)
+        two_way ? StatePair{1, 1} : StatePair{0, 1},  // (S, I): responder infects initiator?
+        {1, 1},  // (I, S): initiator infects responder
+        {1, 1},  // (I, I)
+    };
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+}  // namespace
+
+std::unique_ptr<TabulatedProtocol> make_epidemic_protocol() { return make_epidemic(true); }
+
+std::unique_ptr<TabulatedProtocol> make_one_way_epidemic_protocol() {
+    return make_epidemic(false);
+}
+
+double epidemic_expected_interactions(std::uint64_t population, std::uint64_t infected) {
+    require(population >= 2, "epidemic_expected_interactions: population too small");
+    require(infected >= 1 && infected <= population,
+            "epidemic_expected_interactions: infected out of range");
+    // From i infected, an infecting interaction occurs with probability
+    // 2 i (n-i) / (n (n-1)); sum the geometric waits.
+    const double n = static_cast<double>(population);
+    double expected = 0.0;
+    for (std::uint64_t i = infected; i < population; ++i) {
+        const double d_i = static_cast<double>(i);
+        expected += n * (n - 1.0) / (2.0 * d_i * (n - d_i));
+    }
+    return expected;
+}
+
+double one_way_epidemic_expected_interactions(std::uint64_t population,
+                                              std::uint64_t infected) {
+    // Only ordered pairs (I, S) infect: half the rate, double the time.
+    return 2.0 * epidemic_expected_interactions(population, infected);
+}
+
+}  // namespace popproto

@@ -1,0 +1,42 @@
+// One-bit epidemics (the broadcast primitive).
+//
+// Spreading a bit to everyone is the workhorse inside Theorems 2, 5, and 8:
+// the alert phase of the counting protocol, the leader distributing the
+// verdict, and the final output propagation are all epidemics.  Under
+// uniform random pairing, completing an epidemic from one infected agent
+// takes exactly sum_{i=1}^{n-1} n(n-1) / (2 i (n-i)) expected interactions
+// (two-way: either role infects), which is Theta(n log n) - the source of
+// the log factor in Theorem 8.  The one-way variant (only the initiator
+// infects the responder) is exactly twice as slow.  Both closed forms are
+// verified against the exact Markov solver in the tests.
+
+#ifndef POPPROTO_PROTOCOLS_EPIDEMIC_H
+#define POPPROTO_PROTOCOLS_EPIDEMIC_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Two-way epidemic: any meeting of an infected and a susceptible agent
+/// infects the susceptible one.  Inputs: 0 = susceptible, 1 = infected;
+/// outputs mirror the states.
+std::unique_ptr<TabulatedProtocol> make_epidemic_protocol();
+
+/// One-way epidemic: only an infected *initiator* infects its responder.
+std::unique_ptr<TabulatedProtocol> make_one_way_epidemic_protocol();
+
+/// Closed form for the expected interactions of the two-way epidemic from
+/// `infected` infected agents out of `population` until everyone is
+/// infected.
+double epidemic_expected_interactions(std::uint64_t population, std::uint64_t infected);
+
+/// Same for the one-way epidemic (exactly twice the two-way value).
+double one_way_epidemic_expected_interactions(std::uint64_t population,
+                                              std::uint64_t infected);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PROTOCOLS_EPIDEMIC_H

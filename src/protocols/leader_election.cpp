@@ -1,0 +1,41 @@
+#include "protocols/leader_election.h"
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+constexpr State kFollower = 0;
+constexpr State kLeader = 1;
+}  // namespace
+
+std::unique_ptr<TabulatedProtocol> make_leader_election_protocol() {
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.output_names = {"follower", "leader"};
+    tables.input_names = {"agent"};
+    tables.initial = {kLeader};
+    tables.output = {0, 1};
+    tables.state_names = {"follower", "leader"};
+    tables.delta = {
+        StatePair{kFollower, kFollower},  // (F, F) -> (F, F)
+        StatePair{kFollower, kLeader},    // (F, L) -> (F, L)
+        StatePair{kLeader, kFollower},    // (L, F) -> (L, F)
+        StatePair{kLeader, kFollower},    // (L, L) -> (L, F): responder abdicates
+    };
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+std::uint64_t count_leaders(const CountConfiguration& configuration) {
+    require(configuration.num_states() == 2, "count_leaders: not a leader election configuration");
+    return configuration.count(kLeader);
+}
+
+double leader_election_expected_interactions(std::uint64_t population) {
+    require(population >= 1, "leader_election_expected_interactions: empty population");
+    // sum_{i=2}^{n} C(n,2) / C(i,2) telescopes to (n-1)^2 (Sect. 6).
+    const double n = static_cast<double>(population);
+    return (n - 1.0) * (n - 1.0);
+}
+
+}  // namespace popproto

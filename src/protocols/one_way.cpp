@@ -1,0 +1,49 @@
+#include "protocols/one_way.h"
+
+#include <string>
+
+#include "core/require.h"
+
+namespace popproto {
+
+std::unique_ptr<TabulatedProtocol> make_one_way_counting_protocol(std::uint32_t threshold) {
+    require(threshold >= 1, "make_one_way_counting_protocol: threshold must be positive");
+    // States: level 0 (read input 0), levels 1..threshold-1, and level
+    // `threshold` = permanent alert.
+    const std::size_t num_states = threshold + 1;
+
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.output_names = {"false", "true"};
+    tables.input_names = {"0", "1"};
+    tables.initial = {State{0}, State{1}};
+
+    tables.output.resize(num_states, kOutputFalse);
+    tables.output[threshold] = kOutputTrue;
+    for (State q = 0; q < num_states; ++q)
+        tables.state_names.push_back(q == threshold ? "alert" : "level" + std::to_string(q));
+
+    tables.delta.resize(num_states * num_states);
+    for (State p = 0; p < num_states; ++p) {
+        for (State q = 0; q < num_states; ++q) {
+            State new_responder = q;
+            if (p == threshold) {
+                new_responder = static_cast<State>(threshold);  // alert spreads
+            } else if (p >= 1 && p == q) {
+                new_responder = static_cast<State>(q + 1);  // two distinct level-p agents
+            }
+            tables.delta[static_cast<std::size_t>(p) * num_states + q] =
+                StatePair{p, new_responder};
+        }
+    }
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+bool is_one_way(const TabulatedProtocol& protocol) {
+    for (State p = 0; p < protocol.num_states(); ++p)
+        for (State q = 0; q < protocol.num_states(); ++q)
+            if (protocol.apply_fast(p, q).initiator != p) return false;
+    return true;
+}
+
+}  // namespace popproto

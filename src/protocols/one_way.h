@@ -1,0 +1,33 @@
+// One-way (responder-only) threshold protocol (Sect. 8 discussion).
+//
+// The paper remarks that even if delta is restricted to change only the
+// responder's state, "there are still protocols to decide whether the number
+// of 1's in the input is at least k".  This module implements the classic
+// level construction: every 1-agent starts at level 1, and a responder at
+// level L that hears from an initiator also at level L advances to L + 1.
+// Two agents at the same level are necessarily distinct, so level k is
+// reachable iff at least k agents read input 1 (verified exhaustively in the
+// tests via the exact analyzer).  Reaching level k raises a permanent alert
+// that spreads initiator -> responder.
+
+#ifndef POPPROTO_PROTOCOLS_ONE_WAY_H
+#define POPPROTO_PROTOCOLS_ONE_WAY_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// One-way protocol stably computing "at least `threshold` agents read 1"
+/// (threshold >= 1).  Every transition leaves the initiator unchanged.
+std::unique_ptr<TabulatedProtocol> make_one_way_counting_protocol(std::uint32_t threshold);
+
+/// True iff every transition of `protocol` leaves the initiator unchanged
+/// (the defining property of one-way communication).
+bool is_one_way(const TabulatedProtocol& protocol);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PROTOCOLS_ONE_WAY_H

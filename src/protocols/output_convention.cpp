@@ -1,0 +1,131 @@
+#include "protocols/output_convention.h"
+
+#include <string>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+struct Layout {
+    std::size_t base_states;
+
+    State encode(bool leader, bool output, State q) const {
+        return static_cast<State>(((leader ? 2u : 0u) + (output ? 1u : 0u)) * base_states + q);
+    }
+    bool leader(State s) const { return s / base_states >= 2; }
+    bool output(State s) const { return (s / base_states) % 2 == 1; }
+    State base(State s) const { return static_cast<State>(s % base_states); }
+    std::size_t num_states() const { return 4 * base_states; }
+};
+
+}  // namespace
+
+std::unique_ptr<TabulatedProtocol> make_all_agents_protocol(const Protocol& zero_nonzero) {
+    require(zero_nonzero.num_output_symbols() == 2,
+            "make_all_agents_protocol: base protocol must have Boolean outputs");
+    const auto base = TabulatedProtocol::tabulate(zero_nonzero);
+    const Layout layout{base->num_states()};
+
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.output_names = {"false", "true"};
+
+    for (Symbol x = 0; x < base->num_input_symbols(); ++x) {
+        const State q0 = base->initial_state(x);
+        // Everyone starts as a leader; the initial verdict is the agent's own
+        // current B-output so that singleton populations are answered
+        // correctly without any interaction.
+        tables.initial.push_back(layout.encode(true, base->output_fast(q0) == kOutputTrue, q0));
+        tables.input_names.push_back(base->input_name(x));
+    }
+
+    tables.output.resize(layout.num_states());
+    tables.state_names.resize(layout.num_states());
+    for (State s = 0; s < layout.num_states(); ++s) {
+        tables.output[s] = layout.output(s) ? kOutputTrue : kOutputFalse;
+        tables.state_names[s] = std::string(layout.leader(s) ? "L" : "-") +
+                                (layout.output(s) ? "1" : "0") + ":" +
+                                base->state_name(layout.base(s));
+    }
+
+    tables.delta.resize(layout.num_states() * layout.num_states());
+    for (State sp = 0; sp < layout.num_states(); ++sp) {
+        for (State sq = 0; sq < layout.num_states(); ++sq) {
+            // Step 1: run B on the embedded states.
+            const StatePair inner = base->apply_fast(layout.base(sp), layout.base(sq));
+            const bool init_out = base->output_fast(inner.initiator) == kOutputTrue;
+            const bool resp_out = base->output_fast(inner.responder) == kOutputTrue;
+
+            // Step 2: leader-bit dynamics.
+            bool init_leader = layout.leader(sp);
+            bool resp_leader = layout.leader(sq);
+            if (init_leader && resp_leader) {
+                resp_leader = false;  // standard leader election
+            } else if (init_leader && !resp_leader) {
+                // Swap when a non-leader outputting 1 meets a leader
+                // outputting 0 (so leadership migrates to a witness of 1).
+                if (resp_out && !init_out) {
+                    init_leader = false;
+                    resp_leader = true;
+                }
+            } else if (!init_leader && resp_leader) {
+                if (init_out && !resp_out) {
+                    init_leader = true;
+                    resp_leader = false;
+                }
+            }
+
+            // Step 3: output bits.  A leader always tracks its own B-output;
+            // a non-leader meeting a leader copies the leader's fresh bit.
+            bool init_bit = layout.output(sp);
+            bool resp_bit = layout.output(sq);
+            if (init_leader) {
+                init_bit = init_out;
+                resp_bit = init_bit;
+            } else if (resp_leader) {
+                resp_bit = resp_out;
+                init_bit = resp_bit;
+            }
+
+            tables.delta[static_cast<std::size_t>(sp) * layout.num_states() + sq] =
+                StatePair{layout.encode(init_leader, init_bit, inner.initiator),
+                          layout.encode(resp_leader, resp_bit, inner.responder)};
+        }
+    }
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+std::unique_ptr<TabulatedProtocol> make_single_witness_protocol(const Protocol& zero_nonzero) {
+    // Same dynamics as the Theorem 2 construction; only the output function
+    // changes: an agent outputs 1 iff it is a leader whose tracked verdict
+    // is 1.  After stabilization there is exactly one leader, parked on a
+    // witness when one exists, so the population-wide output sum is exactly
+    // the predicate value (0 or 1).
+    const auto all_agents = make_all_agents_protocol(zero_nonzero);
+    const Layout layout{zero_nonzero.num_states()};
+
+    const std::size_t num_states = all_agents->num_states();
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.output_names = {"0", "1"};
+    for (Symbol x = 0; x < all_agents->num_input_symbols(); ++x) {
+        tables.initial.push_back(all_agents->initial_state(x));
+        tables.input_names.push_back(all_agents->input_name(x));
+    }
+    tables.output.resize(num_states);
+    tables.state_names.resize(num_states);
+    for (State s = 0; s < num_states; ++s) {
+        tables.output[s] =
+            (layout.leader(s) && layout.output(s)) ? kOutputTrue : kOutputFalse;
+        tables.state_names[s] = all_agents->state_name(s);
+    }
+    tables.delta.reserve(num_states * num_states);
+    for (State p = 0; p < num_states; ++p)
+        for (State q = 0; q < num_states; ++q)
+            tables.delta.push_back(all_agents->apply_fast(p, q));
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+}  // namespace popproto

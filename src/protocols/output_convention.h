@@ -1,0 +1,35 @@
+// Theorem 2: output-convention transformer.
+//
+// A protocol B may stably compute a predicate under the *zero/non-zero*
+// output convention: the answer is "true" iff at least one agent stabilizes
+// to output 1.  Theorem 2 shows this is no stronger than the all-agents
+// convention: the transformer below runs B in one field, runs the standard
+// leader election in another, hands leadership to an output-1 agent when one
+// exists, and lets every agent copy the leader's verdict.
+
+#ifndef POPPROTO_PROTOCOLS_OUTPUT_CONVENTION_H
+#define POPPROTO_PROTOCOLS_OUTPUT_CONVENTION_H
+
+#include <memory>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Builds the Theorem 2 protocol A from `zero_nonzero` (which must have
+/// Boolean outputs).  A stably computes, under the all-agents convention,
+/// "true" iff B stabilizes with at least one agent outputting 1.
+/// States of A are triples (leader, output, q) over B's state q.
+std::unique_ptr<TabulatedProtocol> make_all_agents_protocol(const Protocol& zero_nonzero);
+
+/// The other convention mentioned at the end of Sect. 3.6: represent false
+/// by the integer 0 and true by the integer 1, i.e. exactly one agent
+/// outputs 1 when the predicate holds and nobody does otherwise.  Built from
+/// the same leader machinery: only the (unique, migrated-to-a-witness)
+/// leader ever outputs 1.  Decode with the integer output convention whose
+/// symbol values are {0, 1}.
+std::unique_ptr<TabulatedProtocol> make_single_witness_protocol(const Protocol& zero_nonzero);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_PROTOCOLS_OUTPUT_CONVENTION_H

@@ -1,0 +1,295 @@
+#include "randomized/population_machine.h"
+
+#include <cmath>
+
+#include "core/require.h"
+#include "core/rng.h"
+
+namespace popproto {
+
+namespace {
+
+/// Number of interactions skipped before the next one that satisfies an
+/// event of probability `probability` (exact geometric sampling).
+std::uint64_t geometric_skips(Rng& rng, double probability) {
+    if (probability >= 1.0) return 0;
+    double u = rng.uniform01();
+    if (u <= 0.0) u = 1e-300;
+    const double skips = std::floor(std::log(u) / std::log1p(-probability));
+    if (skips < 0.0) return 0;
+    if (skips > 1e18) return static_cast<std::uint64_t>(1e18);
+    return static_cast<std::uint64_t>(skips);
+}
+
+/// Standard normal variate (Box-Muller).
+double standard_normal(Rng& rng) {
+    double u1 = rng.uniform01();
+    if (u1 <= 0.0) u1 = 1e-300;
+    const double u2 = rng.uniform01();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+/// Sampled sum of `count` iid variables with the given mean and variance:
+/// exact-ish loop avoided via the CLT for large `count`.
+std::uint64_t approximate_sum(Rng& rng, std::uint64_t count, double mean, double variance,
+                              double min_total) {
+    const double total =
+        static_cast<double>(count) * mean +
+        standard_normal(rng) * std::sqrt(static_cast<double>(count) * variance);
+    const double clamped = std::max(min_total, total);
+    if (clamped > 1e18) return static_cast<std::uint64_t>(1e18);
+    return static_cast<std::uint64_t>(clamped);
+}
+
+/// Samples the cost of one zero test on an *empty* counter: the leader must
+/// meet the timer `k` times in a row.  Returns (leader encounters,
+/// total population interactions including the skipped leaderless ones).
+struct EmptyZeroTestCost {
+    std::uint64_t leader_encounters;
+    std::uint64_t interactions;
+};
+EmptyZeroTestCost sample_empty_zero_test(Rng& rng, std::uint64_t population,
+                                         std::uint32_t timer_parameter) {
+    const double n = static_cast<double>(population);
+    const double q = 1.0 / (n - 1.0);  // P(partner == timer)
+    const double success = std::pow(q, static_cast<double>(timer_parameter));
+
+    // Number of failed streak attempts before the successful one.
+    const std::uint64_t failures = geometric_skips(rng, success);
+
+    // A failed attempt draws j timers (j < k) then one non-timer; its length
+    // J+1 has the truncated-geometric law P(J=j | fail) = q^j (1-q)/(1-q^k).
+    double mean_length = 0.0;
+    double mean_square = 0.0;
+    {
+        double q_pow = 1.0;
+        for (std::uint32_t j = 0; j < timer_parameter; ++j) {
+            const double p_j = q_pow * (1.0 - q) / (1.0 - success);
+            const double length = static_cast<double>(j) + 1.0;
+            mean_length += p_j * length;
+            mean_square += p_j * length * length;
+            q_pow *= q;
+        }
+    }
+    const double variance = std::max(0.0, mean_square - mean_length * mean_length);
+
+    std::uint64_t failure_encounters;
+    if (failures <= 65536) {
+        failure_encounters = 0;
+        for (std::uint64_t attempt = 0; attempt < failures; ++attempt) {
+            // Inverse-CDF sample of J (k is small).
+            double u = rng.uniform01() * (1.0 - success);
+            std::uint32_t j = 0;
+            double q_pow = 1.0;
+            while (j + 1 < timer_parameter) {
+                const double p_j = q_pow * (1.0 - q);
+                if (u < p_j) break;
+                u -= p_j;
+                q_pow *= q;
+                ++j;
+            }
+            failure_encounters += j + 1;
+        }
+    } else {
+        failure_encounters = approximate_sum(rng, failures, mean_length, variance,
+                                             static_cast<double>(failures));
+    }
+
+    const std::uint64_t encounters = failure_encounters + timer_parameter;
+
+    // Each leader encounter is preceded by Geometric(2/n) leaderless
+    // interactions with mean (1-p)/p and variance (1-p)/p^2.
+    const double p = 2.0 / n;
+    std::uint64_t skipped;
+    if (encounters <= 65536) {
+        skipped = 0;
+        for (std::uint64_t e = 0; e < encounters; ++e) skipped += geometric_skips(rng, p);
+    } else {
+        skipped = approximate_sum(rng, encounters, (1.0 - p) / p, (1.0 - p) / (p * p), 0.0);
+    }
+    return EmptyZeroTestCost{encounters, encounters + skipped};
+}
+
+}  // namespace
+
+PopulationMachineResult run_population_counter_machine(
+    const CounterProgram& program, const std::vector<std::uint64_t>& initial_counters,
+    std::uint64_t population, const PopulationMachineOptions& options) {
+    program.validate();
+    require(initial_counters.size() == program.num_counters,
+            "run_population_counter_machine: wrong number of initial counters");
+    require(population >= 3,
+            "run_population_counter_machine: need leader, timer, and one carrier");
+    require(options.max_interactions > 0,
+            "run_population_counter_machine: max_interactions must be positive");
+    require(options.timer_parameter >= 1,
+            "run_population_counter_machine: timer parameter must be positive");
+    require(options.share_capacity >= 1,
+            "run_population_counter_machine: share capacity must be positive");
+
+    const std::uint64_t n = population;
+    Rng rng(options.seed);
+    PopulationMachineResult result;
+
+    // Agent 0 is the leader throughout; the timer defaults to agent 1 but is
+    // re-drawn by the prologue.
+    std::uint64_t timer_agent = 1;
+
+    // ---- Optional Sect. 6.1 prologue: election, timer marking, init phase.
+    std::vector<bool> initialized(n, false);
+    if (options.leader_election_prologue) {
+        // Period of unrest: pairwise elimination from n leaders down to 1.
+        std::uint64_t leaders = n;
+        while (leaders > 1) {
+            const double p = static_cast<double>(leaders) * (leaders - 1) /
+                             (static_cast<double>(n) * (n - 1));
+            result.interactions += geometric_skips(rng, p) + 1;
+            --leaders;
+        }
+        result.election_interactions = result.interactions;
+
+        // The surviving leader (agent 0 w.l.o.g.) marks the first agent it
+        // meets as the timer.
+        result.interactions += geometric_skips(rng, 2.0 / static_cast<double>(n)) + 1;
+        ++result.leader_encounters;
+        timer_agent = 1 + rng.below(n - 1);
+
+        // Initialization phase: visit agents until the timer is seen
+        // `timer_parameter` times in a row.
+        std::uint32_t streak = 0;
+        while (streak < options.timer_parameter) {
+            result.interactions += geometric_skips(rng, 2.0 / static_cast<double>(n)) + 1;
+            ++result.leader_encounters;
+            const std::uint64_t partner = 1 + rng.below(n - 1);
+            if (partner == timer_agent) {
+                ++streak;
+            } else {
+                streak = 0;
+                initialized[partner] = true;
+            }
+            if (result.interactions > options.max_interactions) {
+                result.stuck = true;
+                result.counters = initial_counters;
+                return result;
+            }
+        }
+        for (std::uint64_t agent = 1; agent < n; ++agent) {
+            if (agent != timer_agent && !initialized[agent])
+                result.initialization_incomplete = true;
+        }
+    }
+
+    // ---- Distribute counter values as bounded shares over the carriers
+    // (every agent except leader and timer).
+    const std::uint64_t carriers = n - 2;
+    std::vector<std::vector<std::uint64_t>> shares(
+        program.num_counters, std::vector<std::uint64_t>(n, 0));
+    std::vector<std::uint64_t> totals = initial_counters;
+    for (std::uint32_t c = 0; c < program.num_counters; ++c) {
+        require(initial_counters[c] <= carriers * options.share_capacity,
+                "run_population_counter_machine: counter exceeds population capacity");
+        std::uint64_t remaining = initial_counters[c];
+        for (std::uint64_t agent = 1; agent < n && remaining > 0; ++agent) {
+            if (agent == timer_agent) continue;
+            const std::uint64_t put = std::min(options.share_capacity, remaining);
+            shares[c][agent] = put;
+            remaining -= put;
+        }
+    }
+
+    // ---- Main execution loop.
+    const double leader_probability = 2.0 / static_cast<double>(n);
+    std::uint32_t pc = 0;
+    std::uint32_t streak = 0;
+    std::uint64_t consecutive_jumps = 0;
+
+    while (result.interactions <= options.max_interactions) {
+        const CounterInstruction& instruction = program.instructions[pc];
+
+        if (instruction.op == CounterInstruction::Op::kHalt) {
+            result.halted = true;
+            result.exit_code = instruction.target;
+            break;
+        }
+        if (instruction.op == CounterInstruction::Op::kJump) {
+            pc = instruction.target;
+            streak = 0;
+            if (++consecutive_jumps > program.instructions.size()) {
+                result.stuck = true;  // a pure jump cycle would spin forever
+                break;
+            }
+            continue;
+        }
+        consecutive_jumps = 0;
+
+        // Fast path: a zero test on an empty counter can only end in the
+        // (correct) "zero" verdict after ~(n-1)^k no-op encounters; sample
+        // the whole wait in bulk when it would be expensive to replay.
+        if (instruction.op == CounterInstruction::Op::kJumpIfZero && streak == 0 &&
+            totals[instruction.counter] == 0) {
+            const double expected_wait =
+                std::pow(static_cast<double>(n - 1), options.timer_parameter);
+            if (expected_wait > static_cast<double>(options.bulk_zero_test_threshold)) {
+                const EmptyZeroTestCost cost =
+                    sample_empty_zero_test(rng, n, options.timer_parameter);
+                result.leader_encounters += cost.leader_encounters;
+                result.interactions += cost.interactions;
+                ++result.zero_tests;
+                pc = instruction.target;
+                continue;
+            }
+        }
+
+        // One leader encounter (skipping the leaderless interactions).
+        result.interactions += geometric_skips(rng, leader_probability) + 1;
+        ++result.leader_encounters;
+        const std::uint64_t partner = 1 + rng.below(n - 1);
+        const std::uint32_t c = instruction.counter;
+
+        switch (instruction.op) {
+            case CounterInstruction::Op::kInc:
+                if (partner != timer_agent && shares[c][partner] < options.share_capacity) {
+                    ++shares[c][partner];
+                    ++totals[c];
+                    ++pc;
+                    streak = 0;
+                }
+                break;
+            case CounterInstruction::Op::kDec:
+                if (partner != timer_agent && shares[c][partner] > 0) {
+                    --shares[c][partner];
+                    --totals[c];
+                    ++pc;
+                    streak = 0;
+                }
+                break;
+            case CounterInstruction::Op::kJumpIfZero:
+                if (partner == timer_agent) {
+                    if (++streak == options.timer_parameter) {
+                        // Verdict: zero.
+                        ++result.zero_tests;
+                        if (totals[c] != 0) ++result.zero_test_errors;
+                        pc = instruction.target;
+                        streak = 0;
+                    }
+                } else if (shares[c][partner] > 0) {
+                    // Verdict: nonzero.
+                    ++result.zero_tests;
+                    ++pc;
+                    streak = 0;
+                } else {
+                    streak = 0;  // plain agent: the timer run is broken
+                }
+                break;
+            case CounterInstruction::Op::kJump:
+            case CounterInstruction::Op::kHalt:
+                ensure(false, "unreachable");
+        }
+    }
+
+    if (!result.halted && !result.stuck) result.stuck = true;
+    result.counters = totals;
+    return result;
+}
+
+}  // namespace popproto

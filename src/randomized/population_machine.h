@@ -1,0 +1,107 @@
+// The leader-driven population counter machine (Theorems 9 and 10).
+//
+// A designated leader agent stores the finite control of a counter program;
+// every other agent except a designated timer stores one bounded share of
+// each counter, so counter c's value is the population-wide sum of shares
+// (the integer representation of Sect. 3.4).  The leader executes:
+//
+//   inc c  - wait for an encounter with an agent whose share of c is below
+//            capacity, then increment that share;
+//   dec c  - wait for an agent with a positive share and decrement it;
+//   jz  c  - the randomized zero test of Theorem 9: declare "zero" after k
+//            consecutive encounters with the timer, declare "nonzero" on
+//            encountering a positive share; an encounter with a zero-share
+//            agent restarts the timer streak (the urn process of Lemma 11).
+//
+// The zero test can err (declare zero while the counter is positive); the
+// runtime records every such event so experiments can compare the empirical
+// error rate with the Theta(n^-k / m) prediction.
+//
+// Interactions not involving the leader change nothing, so the runtime
+// advances the global interaction clock with exact geometric skips instead
+// of simulating them one by one; the reported interaction counts are
+// distributed exactly as in the naive simulation.
+//
+// The optional leader-election prologue reproduces Sect. 6.1: the Theta(n^2)
+// "period of unrest" is simulated exactly (pairwise elimination under
+// uniform pairing), after which the unique winner marks a timer and runs the
+// initialization phase, ending it after k consecutive timer encounters; the
+// run records whether initialization in fact reached every agent.  (Lost
+// rivals' partial restarts and timer retrieval, which only affect constants,
+// are not simulated; see DESIGN.md.)
+
+#ifndef POPPROTO_RANDOMIZED_POPULATION_MACHINE_H
+#define POPPROTO_RANDOMIZED_POPULATION_MACHINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "machines/counter_machine.h"
+
+namespace popproto {
+
+struct PopulationMachineOptions {
+    /// The zero-test waiting parameter k of Theorem 9.
+    std::uint32_t timer_parameter = 3;
+
+    /// Maximum share of one counter a single agent may hold (M in Sect. 6.1).
+    std::uint64_t share_capacity = 1;
+
+    /// Hard interaction budget; exceeding it marks the run stuck.
+    std::uint64_t max_interactions = 0;
+
+    std::uint64_t seed = 1;
+
+    /// If true, run the Sect. 6.1 leader-election + initialization prologue
+    /// before the program starts.
+    bool leader_election_prologue = false;
+
+    /// A zero test on a *genuinely empty* counter must wait ~(n-1)^k leader
+    /// encounters for k consecutive timer meetings, all of them no-ops.
+    /// When the expected wait exceeds this threshold the runtime samples the
+    /// whole wait in bulk (exact geometric count of timer-streak attempts;
+    /// normal approximation for the attempt lengths and interleaved
+    /// leaderless interactions once the counts are large enough for the CLT).
+    /// The verdict is unaffected - the counter is empty, so "zero" is
+    /// correct - only the reported interaction counts carry the (tiny)
+    /// approximation.  Set to ~0 (the default below is 2^20) to force the
+    /// exact path in tests.
+    std::uint64_t bulk_zero_test_threshold = 1u << 20;
+};
+
+struct PopulationMachineResult {
+    bool halted = false;
+    bool stuck = false;  ///< interaction budget exhausted before halting
+    std::uint32_t exit_code = 0;
+
+    /// Final true counter values (sums of shares).
+    std::vector<std::uint64_t> counters;
+
+    /// Total population interactions, including the skipped leaderless ones.
+    std::uint64_t interactions = 0;
+
+    /// Encounters in which the leader took part.
+    std::uint64_t leader_encounters = 0;
+
+    /// Zero-test accounting.
+    std::uint64_t zero_tests = 0;
+    std::uint64_t zero_test_errors = 0;  ///< "zero" verdicts on positive counters
+
+    /// Prologue accounting (leader_election_prologue only).
+    std::uint64_t election_interactions = 0;
+    bool initialization_incomplete = false;  ///< init phase missed some agent
+};
+
+/// Runs `program` on a population of `population` agents (>= 3: leader,
+/// timer, and at least one share-carrying agent).  `initial_counters` are
+/// distributed over the share-carrying agents; throws std::invalid_argument
+/// if capacity (population - 2) * share_capacity is insufficient for any
+/// counter, or if it could not possibly hold intermediate values the caller
+/// is responsible for bounding.
+PopulationMachineResult run_population_counter_machine(
+    const CounterProgram& program, const std::vector<std::uint64_t>& initial_counters,
+    std::uint64_t population, const PopulationMachineOptions& options);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_RANDOMIZED_POPULATION_MACHINE_H

@@ -1,0 +1,53 @@
+#include "randomized/trials.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+
+namespace popproto {
+
+TrialSummary measure_trials(const TabulatedProtocol& protocol,
+                            const CountConfiguration& initial, const TrialOptions& options) {
+    require(options.trials >= 1, "measure_trials: need at least one trial");
+
+    TrialSummary summary;
+    summary.trials = options.trials;
+    std::vector<std::uint64_t> convergence;
+    convergence.reserve(options.trials);
+
+    for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+        RunOptions run_options = options.base;
+        run_options.seed = options.base.seed + trial;
+        const RunResult result = simulate(protocol, initial, run_options);
+
+        if (result.stop_reason == StopReason::kSilent) ++summary.silent;
+        if (result.consensus &&
+            (!options.expected_consensus || *result.consensus == *options.expected_consensus)) {
+            ++summary.correct;
+        }
+        convergence.push_back(result.last_output_change);
+    }
+
+    std::sort(convergence.begin(), convergence.end());
+    summary.min_convergence = convergence.front();
+    summary.max_convergence = convergence.back();
+    summary.median_convergence = convergence[convergence.size() / 2];
+
+    double total = 0.0;
+    for (std::uint64_t value : convergence) total += static_cast<double>(value);
+    summary.mean_convergence = total / static_cast<double>(convergence.size());
+
+    if (convergence.size() >= 2) {
+        double sum_squares = 0.0;
+        for (std::uint64_t value : convergence) {
+            const double delta = static_cast<double>(value) - summary.mean_convergence;
+            sum_squares += delta * delta;
+        }
+        summary.stddev_convergence =
+            std::sqrt(sum_squares / static_cast<double>(convergence.size() - 1));
+    }
+    return summary;
+}
+
+}  // namespace popproto

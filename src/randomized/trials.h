@@ -1,0 +1,59 @@
+// Repeated-trial measurement harness.
+//
+// Experiments in this repository keep asking the same question: run a
+// protocol T times from the same initial configuration, how long until the
+// outputs settle and how often is the consensus correct?  This module
+// packages that loop with summary statistics (mean/stddev/min/median/max of
+// the convergence time and the correctness count), so benches, examples,
+// and downstream studies share one audited implementation.
+
+#ifndef POPPROTO_RANDOMIZED_TRIALS_H
+#define POPPROTO_RANDOMIZED_TRIALS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/simulator.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Summary of one batch of identical-input runs.
+struct TrialSummary {
+    std::uint64_t trials = 0;
+    /// Runs whose final consensus equalled `expected_consensus` (when given;
+    /// otherwise runs that reached *any* consensus).
+    std::uint64_t correct = 0;
+    /// Runs that stopped silent (sound convergence certificates).
+    std::uint64_t silent = 0;
+
+    // Statistics of last_output_change across the runs.
+    double mean_convergence = 0.0;
+    double stddev_convergence = 0.0;
+    std::uint64_t min_convergence = 0;
+    std::uint64_t median_convergence = 0;
+    std::uint64_t max_convergence = 0;
+
+    double correct_rate() const {
+        return trials == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(trials);
+    }
+};
+
+/// Batch options: `base` is used for every run with seeds
+/// base.seed, base.seed + 1, ....
+struct TrialOptions {
+    RunOptions base;
+    std::uint64_t trials = 20;
+    /// When set, a run counts as correct only with this exact consensus.
+    std::optional<Symbol> expected_consensus;
+};
+
+/// Runs `options.trials` simulations of `protocol` from `initial`.
+TrialSummary measure_trials(const TabulatedProtocol& protocol,
+                            const CountConfiguration& initial, const TrialOptions& options);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_RANDOMIZED_TRIALS_H

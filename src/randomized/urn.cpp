@@ -1,0 +1,86 @@
+#include "randomized/urn.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+void check_parameters(std::uint64_t num_tokens, std::uint64_t counter_tokens,
+                      std::uint32_t consecutive_timers) {
+    require(num_tokens >= 2, "urn: need at least two tokens");
+    require(counter_tokens + 1 <= num_tokens, "urn: too many counter tokens");
+    require(consecutive_timers >= 1, "urn: k must be at least 1");
+}
+
+}  // namespace
+
+double urn_loss_probability(std::uint64_t num_tokens, std::uint64_t counter_tokens,
+                            std::uint32_t consecutive_timers) {
+    check_parameters(num_tokens, counter_tokens, consecutive_timers);
+    if (counter_tokens == 0) return 1.0;
+    const double n = static_cast<double>(num_tokens);
+    const double m = static_cast<double>(counter_tokens);
+    const double n_to_k = std::pow(n, static_cast<double>(consecutive_timers));
+    return (n - 1.0) / (m * n_to_k + (n - 1.0 - m));
+}
+
+double urn_loss_probability_dp(std::uint64_t num_tokens, std::uint64_t counter_tokens,
+                               std::uint32_t consecutive_timers) {
+    check_parameters(num_tokens, counter_tokens, consecutive_timers);
+    if (counter_tokens == 0) return 1.0;
+    const double n = static_cast<double>(num_tokens);
+    const double p_timer = 1.0 / n;
+    const double p_plain = (n - 1.0 - static_cast<double>(counter_tokens)) / n;
+
+    // p_t = loss probability given a current streak of t timer draws:
+    //   p_k = 1;  p_t = p_timer * p_{t+1} + p_plain * p_0   (counter -> win).
+    // Write p_t = a_t + b_t * p_0 and back-substitute.
+    double a = 1.0;
+    double b = 0.0;
+    for (std::uint32_t t = consecutive_timers; t-- > 0;) {
+        a = p_timer * a;
+        b = p_timer * b + p_plain;
+    }
+    return a / (1.0 - b);
+}
+
+double urn_expected_draws_win_bound(std::uint64_t num_tokens, std::uint64_t counter_tokens) {
+    check_parameters(num_tokens, counter_tokens, 1);
+    require(counter_tokens >= 1, "urn_expected_draws_win_bound: need counter tokens");
+    return static_cast<double>(num_tokens) / static_cast<double>(counter_tokens);
+}
+
+double urn_expected_draws_empty_bound(std::uint64_t num_tokens,
+                                      std::uint32_t consecutive_timers) {
+    check_parameters(num_tokens, 0, consecutive_timers);
+    const double n = static_cast<double>(num_tokens);
+    return std::pow(n, static_cast<double>(consecutive_timers)) * n / (n - 1.0);
+}
+
+UrnOutcome sample_urn(std::uint64_t num_tokens, std::uint64_t counter_tokens,
+                      std::uint32_t consecutive_timers, Rng& rng) {
+    check_parameters(num_tokens, counter_tokens, consecutive_timers);
+    UrnOutcome outcome;
+    std::uint32_t streak = 0;
+    for (;;) {
+        ++outcome.draws;
+        const std::uint64_t token = rng.below(num_tokens);
+        if (token == 0) {  // the timer token
+            if (++streak == consecutive_timers) {
+                outcome.lost = true;
+                return outcome;
+            }
+        } else if (token <= counter_tokens) {  // a counter token
+            outcome.lost = false;
+            return outcome;
+        } else {  // a plain token: streak broken
+            streak = 0;
+        }
+    }
+}
+
+}  // namespace popproto

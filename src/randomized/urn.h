@@ -1,0 +1,50 @@
+// The urn process of Lemma 11 (the zero-test abstraction).
+//
+// An urn holds N tokens: one timer token, m counter tokens, and N - 1 - m
+// plain tokens.  Tokens are drawn uniformly with replacement; the process
+// *wins* on drawing a counter token and *loses* on drawing the timer token k
+// times in a row first.  Lemma 11 gives the exact loss probability
+// (N-1) / (m N^k + N - 1 - m), an N/m bound on the expected draws of a
+// winning process, and an O(N^k) bound when m = 0.  This module provides the
+// closed forms, an independent dynamic-programming solution, and a sampler.
+
+#ifndef POPPROTO_RANDOMIZED_URN_H
+#define POPPROTO_RANDOMIZED_URN_H
+
+#include <cstdint>
+
+#include "core/rng.h"
+
+namespace popproto {
+
+/// Exact loss probability (N-1) / (m N^k + N-1-m) from Lemma 11(1).
+/// For m = 0 the process can only lose, so the probability is 1.
+/// Requires N >= 2, m <= N - 1, k >= 1.
+double urn_loss_probability(std::uint64_t num_tokens, std::uint64_t counter_tokens,
+                            std::uint32_t consecutive_timers);
+
+/// The same probability computed by solving the streak-length Markov chain
+/// directly (used to cross-check the closed form in tests).
+double urn_loss_probability_dp(std::uint64_t num_tokens, std::uint64_t counter_tokens,
+                               std::uint32_t consecutive_timers);
+
+/// Lemma 11(2): upper bound N/m on the expected draws of a process
+/// conditioned on winning.  Requires m >= 1.
+double urn_expected_draws_win_bound(std::uint64_t num_tokens, std::uint64_t counter_tokens);
+
+/// Lemma 11(3): upper bound N^k * N/(N-1) on the expected draws when m = 0
+/// (the process runs until it loses).
+double urn_expected_draws_empty_bound(std::uint64_t num_tokens,
+                                      std::uint32_t consecutive_timers);
+
+/// One sampled run of the process.
+struct UrnOutcome {
+    bool lost = false;
+    std::uint64_t draws = 0;
+};
+UrnOutcome sample_urn(std::uint64_t num_tokens, std::uint64_t counter_tokens,
+                      std::uint32_t consecutive_timers, Rng& rng);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_RANDOMIZED_URN_H

@@ -1,0 +1,112 @@
+#include "randomized/urn_automaton.h"
+
+#include <numeric>
+
+#include "core/require.h"
+
+namespace popproto {
+
+void UrnAutomaton::validate() const {
+    require(num_states > 0, "UrnAutomaton: no states");
+    require(num_token_types > 0, "UrnAutomaton: no token types");
+    require(initial_state < num_states, "UrnAutomaton: initial state out of range");
+    require(rules.size() == static_cast<std::size_t>(num_states) * num_token_types,
+            "UrnAutomaton: rule table must have num_states * num_token_types entries");
+    require(halt_exit.size() == num_states, "UrnAutomaton: one halt_exit per state");
+    require(empty_exit.size() == num_states, "UrnAutomaton: one empty_exit per state");
+    for (const UrnRule& rule : rules) {
+        require(rule.next_state < num_states, "UrnAutomaton: next state out of range");
+        for (std::uint32_t token : rule.insert)
+            require(token < num_token_types, "UrnAutomaton: inserted token out of range");
+    }
+}
+
+UrnAutomatonRun run_urn_automaton(const UrnAutomaton& automaton,
+                                  std::vector<std::uint64_t> initial_tokens,
+                                  std::uint64_t max_draws, Rng& rng) {
+    automaton.validate();
+    require(initial_tokens.size() == automaton.num_token_types,
+            "run_urn_automaton: one count per token type required");
+    require(max_draws > 0, "run_urn_automaton: zero draw budget");
+
+    UrnAutomatonRun run;
+    run.tokens = std::move(initial_tokens);
+    std::uint64_t urn_size =
+        std::accumulate(run.tokens.begin(), run.tokens.end(), std::uint64_t{0});
+    std::uint32_t state = automaton.initial_state;
+
+    for (;;) {
+        if (automaton.halt_exit[state]) {
+            run.halted = true;
+            run.exit_code = *automaton.halt_exit[state];
+            return run;
+        }
+        if (urn_size == 0) {
+            run.halted = true;
+            run.exit_code = automaton.empty_exit[state];
+            return run;
+        }
+        if (run.draws >= max_draws) return run;  // budget exhausted
+
+        // Draw a token uniformly from the urn.
+        ++run.draws;
+        std::uint64_t pick = rng.below(urn_size);
+        std::uint32_t drawn = 0;
+        while (pick >= run.tokens[drawn]) {
+            pick -= run.tokens[drawn];
+            ++drawn;
+        }
+        --run.tokens[drawn];
+        --urn_size;
+
+        const UrnRule& rule =
+            automaton.rules[static_cast<std::size_t>(state) * automaton.num_token_types + drawn];
+        for (std::uint32_t token : rule.insert) {
+            ++run.tokens[token];
+            ++urn_size;
+        }
+        state = rule.next_state;
+    }
+}
+
+UrnAutomaton make_parity_urn_automaton() {
+    // States 0 (even so far) and 1 (odd so far); one token type, consumed on
+    // each draw; the empty-urn exit code is the current state.
+    UrnAutomaton automaton;
+    automaton.num_states = 2;
+    automaton.num_token_types = 1;
+    automaton.initial_state = 0;
+    automaton.rules = {
+        UrnRule{1, {}},  // state 0 draws a token: flip to odd, consume
+        UrnRule{0, {}},  // state 1 draws a token: flip to even, consume
+    };
+    automaton.halt_exit = {std::nullopt, std::nullopt};
+    automaton.empty_exit = {0, 1};
+    return automaton;
+}
+
+UrnAutomaton make_zero_test_urn_automaton(std::uint32_t consecutive_timers) {
+    require(consecutive_timers >= 1, "make_zero_test_urn_automaton: k must be positive");
+    // States 0..k-1 = current timer streak; state k = "zero" verdict (loss),
+    // state k+1 = "nonzero" verdict (win).  Tokens: 0 timer, 1 counter,
+    // 2 plain; every drawn token is put back, so the urn never changes.
+    UrnAutomaton automaton;
+    automaton.num_states = consecutive_timers + 2;
+    automaton.num_token_types = 3;
+    automaton.initial_state = 0;
+    const std::uint32_t zero_state = consecutive_timers;
+    const std::uint32_t nonzero_state = consecutive_timers + 1;
+    automaton.rules.resize(static_cast<std::size_t>(automaton.num_states) * 3);
+    for (std::uint32_t streak = 0; streak < consecutive_timers; ++streak) {
+        automaton.rules[streak * 3 + 0] = UrnRule{streak + 1, {0}};  // timer: extend streak
+        automaton.rules[streak * 3 + 1] = UrnRule{nonzero_state, {1}};  // counter: win
+        automaton.rules[streak * 3 + 2] = UrnRule{0, {2}};              // plain: reset
+    }
+    automaton.halt_exit.assign(automaton.num_states, std::nullopt);
+    automaton.halt_exit[zero_state] = 1;
+    automaton.halt_exit[nonzero_state] = 0;
+    automaton.empty_exit.assign(automaton.num_states, 1);  // empty urn: trivially zero
+    return automaton;
+}
+
+}  // namespace popproto

@@ -1,0 +1,81 @@
+// Urn automata (Sect. 8 and reference [2], "Urn automata", YALEU/DCS/TR-1280).
+//
+// The paper points to a companion storage model: a finite control attached
+// to an *urn*, a multiset of tokens over a finite alphabet accessed only by
+// uniform random sampling - the same access discipline as conjugating
+// automata.  This module implements that machine as an extension:
+//
+//   * each step draws one token uniformly at random from the urn;
+//   * the rule for (control state, drawn token) selects the next state and
+//     a bounded multiset of tokens to insert back (possibly none, possibly
+//     different from what was drawn);
+//   * the automaton halts when the urn runs empty (exit code = a
+//     state-dependent value) or when it enters an explicitly halting state.
+//
+// The Lemma 11 zero test embeds directly (see make_zero_test_urn_automaton),
+// tying the extension back to the paper's quantitative claims.
+
+#ifndef POPPROTO_RANDOMIZED_URN_AUTOMATON_H
+#define POPPROTO_RANDOMIZED_URN_AUTOMATON_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace popproto {
+
+/// One transition of an urn automaton.
+struct UrnRule {
+    std::uint32_t next_state = 0;
+    /// Tokens inserted back into the urn after the draw (the drawn token is
+    /// consumed unless re-inserted here).
+    std::vector<std::uint32_t> insert;
+};
+
+struct UrnAutomaton {
+    std::uint32_t num_states = 0;
+    std::uint32_t num_token_types = 0;
+    std::uint32_t initial_state = 0;
+
+    /// rules[state * num_token_types + token]; ignored for halting states.
+    std::vector<UrnRule> rules;
+
+    /// halt_exit[state]: if set, entering `state` halts with that exit code.
+    std::vector<std::optional<std::uint32_t>> halt_exit;
+
+    /// empty_exit[state]: exit code reported when the urn runs empty while
+    /// the control is in `state`.
+    std::vector<std::uint32_t> empty_exit;
+
+    void validate() const;
+};
+
+struct UrnAutomatonRun {
+    bool halted = false;  ///< false = draw budget exhausted
+    std::uint32_t exit_code = 0;
+    std::uint64_t draws = 0;
+    /// Final urn contents (per token type).
+    std::vector<std::uint64_t> tokens;
+};
+
+/// Runs `automaton` from `initial_tokens` for at most `max_draws` draws.
+UrnAutomatonRun run_urn_automaton(const UrnAutomaton& automaton,
+                                  std::vector<std::uint64_t> initial_tokens,
+                                  std::uint64_t max_draws, Rng& rng);
+
+/// Parity demo: tokens of one type are consumed one by one; the exit code is
+/// the parity (0 = even, 1 = odd) of the initial token count.
+UrnAutomaton make_parity_urn_automaton();
+
+/// The Lemma 11 zero test as an urn automaton: token types are
+/// {0 = timer, 1 = counter, 2 = plain}; the automaton halts with exit code 1
+/// ("zero" verdict, a loss when counters are present) after `k` consecutive
+/// timer draws and exit code 0 ("nonzero") on drawing a counter token.
+/// Drawn tokens are always re-inserted, so the urn is unchanged.
+UrnAutomaton make_zero_test_urn_automaton(std::uint32_t consecutive_timers);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_RANDOMIZED_URN_AUTOMATON_H

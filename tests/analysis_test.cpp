@@ -1,0 +1,158 @@
+// Tests for the exact analysis machinery: reachability, SCC condensation,
+// stable-computation verdicts, and Markov expected hitting times.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/markov.h"
+#include "analysis/reachability.h"
+#include "analysis/stable_computation.h"
+#include "protocols/counting.h"
+#include "protocols/leader_election.h"
+
+namespace popproto {
+namespace {
+
+// A deliberately non-convergent protocol: two states toggling outputs.
+// delta(p, q) flips the responder's state, so outputs never stabilize once
+// two agents disagree... in fact they never stabilize at all for n >= 2.
+std::unique_ptr<TabulatedProtocol> make_blinker_protocol() {
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.initial = {0};
+    tables.output = {0, 1};
+    tables.delta = {
+        {0, 1},  // (0,0) -> (0,1)
+        {0, 0},  // (0,1) -> (0,0)
+        {1, 1},  // (1,0) -> (1,1)
+        {1, 0},  // (1,1) -> (1,0)
+    };
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+TEST(Reachability, LeaderElectionHasLinearlyManyConfigs) {
+    const auto protocol = make_leader_election_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {6});
+    const ConfigurationGraph graph = explore_reachable(*protocol, initial);
+    ASSERT_TRUE(graph.complete);
+    // Configurations are exactly "k leaders, 6-k followers" for k = 6..1.
+    EXPECT_EQ(graph.size(), 6u);
+    // Each non-final config has exactly one successor (one fewer leader).
+    EXPECT_EQ(graph.successors[0].size(), 1u);
+}
+
+TEST(Reachability, RespectsLimit) {
+    const auto protocol = make_counting_protocol(5);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {4, 8});
+    const ConfigurationGraph graph = explore_reachable(*protocol, initial, 3);
+    EXPECT_FALSE(graph.complete);
+    EXPECT_GT(graph.size(), 3u);  // stops just past the limit
+}
+
+TEST(Reachability, InitialConfigurationIsIndexZero) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {1, 2});
+    const ConfigurationGraph graph = explore_reachable(*protocol, initial);
+    EXPECT_EQ(graph.configs[0], initial);
+}
+
+TEST(SccCondensation, SingleChain) {
+    const auto protocol = make_leader_election_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {4});
+    const ConfigurationGraph graph = explore_reachable(*protocol, initial);
+    const SccDecomposition sccs = condense(graph);
+    // A chain of four configurations: each its own SCC, only the last final.
+    EXPECT_EQ(sccs.num_components, 4u);
+    std::size_t final_components = 0;
+    for (bool is_final : sccs.is_final) final_components += is_final ? 1 : 0;
+    EXPECT_EQ(final_components, 1u);
+}
+
+TEST(StableComputation, LeaderElectionConvergesToOneLeader) {
+    const auto protocol = make_leader_election_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {5});
+    const StableComputationResult result = analyze_stable_computation(*protocol, initial);
+    EXPECT_TRUE(result.always_converges);
+    ASSERT_TRUE(result.single_valued());
+    // Stable signature: 4 followers, 1 leader.
+    EXPECT_EQ(result.stable_signatures.front(), (OutputSignature{4, 1}));
+    EXPECT_FALSE(result.consensus().has_value());  // outputs disagree by design
+}
+
+TEST(StableComputation, BlinkerNeverConverges) {
+    const auto protocol = make_blinker_protocol();
+    auto initial = CountConfiguration(protocol->num_states());
+    initial.add(0, 2);
+    const StableComputationResult result = analyze_stable_computation(*protocol, initial);
+    EXPECT_FALSE(result.always_converges);
+    EXPECT_TRUE(result.stable_signatures.empty());
+}
+
+TEST(StableComputation, ThrowsOnTruncatedExploration) {
+    const auto protocol = make_counting_protocol(5);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {4, 8});
+    EXPECT_THROW(analyze_stable_computation(*protocol, initial, 3), std::runtime_error);
+}
+
+TEST(StablyComputesBool, CountingProtocol) {
+    const auto protocol = make_counting_protocol(3);
+    const auto above = CountConfiguration::from_input_counts(*protocol, {1, 4});
+    const auto below = CountConfiguration::from_input_counts(*protocol, {4, 2});
+    EXPECT_TRUE(stably_computes_bool(*protocol, above, true));
+    EXPECT_TRUE(stably_computes_bool(*protocol, below, false));
+    EXPECT_FALSE(stably_computes_bool(*protocol, above, false));
+}
+
+TEST(Markov, TwoAgentLeaderElectionIsOneExpectedInteraction) {
+    // With n = 2 every interaction is a leader-leader meeting, so the
+    // expected time to a unique leader is exactly 1.
+    const auto protocol = make_leader_election_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {2});
+    const double expected = expected_hitting_time(
+        *protocol, initial, [](const CountConfiguration& c) { return c.count(1) == 1; });
+    EXPECT_NEAR(expected, 1.0, 1e-9);
+}
+
+TEST(Markov, LeaderElectionMatchesClosedFormExactly) {
+    const auto protocol = make_leader_election_protocol();
+    for (std::uint64_t n = 2; n <= 9; ++n) {
+        const auto initial =
+            CountConfiguration::from_input_counts(*protocol, {n});
+        const double expected = expected_hitting_time(
+            *protocol, initial, [](const CountConfiguration& c) { return c.count(1) == 1; });
+        EXPECT_NEAR(expected, leader_election_expected_interactions(n), 1e-6)
+            << "population " << n;
+    }
+}
+
+TEST(Markov, ZeroTimeWhenStartingInTarget) {
+    const auto protocol = make_leader_election_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {4});
+    const double expected = expected_hitting_time(
+        *protocol, initial, [](const CountConfiguration&) { return true; });
+    EXPECT_EQ(expected, 0.0);
+}
+
+TEST(Markov, ThrowsWhenTargetUnreachable) {
+    const auto protocol = make_leader_election_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {4});
+    EXPECT_THROW(expected_hitting_time(
+                     *protocol, initial,
+                     [](const CountConfiguration& c) { return c.count(1) == 0; }),
+                 std::runtime_error);
+}
+
+TEST(Markov, CountingProtocolAlertHittingTimeIsPositiveAndFinite) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {1, 2});
+    const double expected = expected_hitting_time(
+        *protocol, initial, [&](const CountConfiguration& c) {
+            return c.count(2) == c.population_size();  // everyone alerted
+        });
+    EXPECT_GT(expected, 1.0);
+    EXPECT_TRUE(std::isfinite(expected));
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,129 @@
+// Population-changing interactions (the Sect. 8 "increase or decrease the
+// population" extension).
+
+#include <gtest/gtest.h>
+
+#include "extensions/birth_death.h"
+
+namespace popproto {
+namespace {
+
+CountConfiguration camps(const BirthDeathProtocol& protocol, std::uint64_t camp_a,
+                         std::uint64_t camp_b) {
+    CountConfiguration config(protocol.num_states());
+    if (camp_a > 0) config.add(protocol.initial_state(0), camp_a);
+    if (camp_b > 0) config.add(protocol.initial_state(1), camp_b);
+    return config;
+}
+
+TEST(BirthDeath, AnnihilationComputesExactMajorityAndTies) {
+    const auto protocol = make_annihilating_majority_protocol();
+    for (std::uint64_t a = 0; a <= 6; ++a) {
+        for (std::uint64_t b = 0; b <= 6; ++b) {
+            if (a + b < 2) continue;
+            const auto initial = camps(*protocol, a, b);
+            const StableComputationResult result =
+                analyze_birth_death_stable_computation(*protocol, initial);
+            ASSERT_TRUE(result.always_converges) << a << " vs " << b;
+            ASSERT_TRUE(result.single_valued()) << a << " vs " << b;
+            const OutputSignature& signature = result.stable_signatures.front();
+            // Survivors: |a - b| agents of the majority camp; a tie leaves
+            // an empty population - exact tie detection via extinction,
+            // something fixed-population pairwise protocols cannot express
+            // as a population state.
+            EXPECT_EQ(signature[kOutputFalse], a > b ? a - b : 0) << a << " vs " << b;
+            EXPECT_EQ(signature[kOutputTrue], b > a ? b - a : 0) << a << " vs " << b;
+        }
+    }
+}
+
+TEST(BirthDeath, AnnihilationSimulationMatchesTheory) {
+    const auto protocol = make_annihilating_majority_protocol();
+    BirthDeathRunOptions options;
+    options.max_interactions = 10'000'000;
+    options.seed = 3;
+
+    const auto majority = simulate_birth_death(*protocol, camps(*protocol, 70, 30), options);
+    EXPECT_EQ(majority.final_configuration.count(0), 40u);
+    EXPECT_EQ(majority.final_configuration.count(1), 0u);
+    EXPECT_EQ(majority.deaths, 60u);
+    EXPECT_EQ(majority.births, 0u);
+    ASSERT_TRUE(majority.consensus.has_value());
+    EXPECT_EQ(*majority.consensus, kOutputFalse);
+
+    const auto tie = simulate_birth_death(*protocol, camps(*protocol, 25, 25), options);
+    EXPECT_TRUE(tie.extinct);
+    EXPECT_EQ(tie.final_configuration.population_size(), 0u);
+    EXPECT_FALSE(tie.consensus.has_value());
+}
+
+TEST(BirthDeath, SpawningCounterMultipliesExactly) {
+    for (std::uint32_t factor : {1u, 3u}) {
+        const auto protocol = make_spawning_counter_protocol(factor);
+        for (std::uint64_t workers : {1ull, 4ull}) {
+            for (std::uint64_t seeds : {1ull, 2ull}) {
+                const auto initial = camps(*protocol, workers, seeds);
+                const StableComputationResult result =
+                    analyze_birth_death_stable_computation(*protocol, initial);
+                ASSERT_TRUE(result.always_converges)
+                    << "factor=" << factor << " w=" << workers << " s=" << seeds;
+                ASSERT_TRUE(result.single_valued());
+                // Every seed buds `factor` workers and finally becomes a
+                // worker itself: population = workers + seeds * (factor + 1).
+                const OutputSignature& signature = result.stable_signatures.front();
+                EXPECT_EQ(signature[0], workers + seeds * (factor + 1));
+                EXPECT_EQ(signature[1], 0u);
+            }
+        }
+    }
+}
+
+TEST(BirthDeath, SpawningSimulationTracksBirths) {
+    const auto protocol = make_spawning_counter_protocol(5);
+    const auto initial = camps(*protocol, 10, 4);
+    BirthDeathRunOptions options;
+    options.max_interactions = 1'000'000;
+    options.stop_after_stable_outputs = 50'000;
+    options.seed = 12;
+    const auto result = simulate_birth_death(*protocol, initial, options);
+    EXPECT_EQ(result.births, 4u * 5u);
+    EXPECT_EQ(result.final_configuration.population_size(), 10 + 4 * 6);
+    EXPECT_EQ(result.final_configuration.count(0), 10 + 4 * 6);
+}
+
+TEST(BirthDeath, PopulationExplosionGuard) {
+    // A pathological always-spawn protocol must trip the population cap.
+    class Exploder final : public BirthDeathProtocol {
+    public:
+        std::size_t num_states() const override { return 1; }
+        std::size_t num_input_symbols() const override { return 1; }
+        std::size_t num_output_symbols() const override { return 1; }
+        State initial_state(Symbol) const override { return 0; }
+        Symbol output(State) const override { return 0; }
+        std::vector<State> apply(State, State) const override { return {0, 0, 0}; }
+        std::size_t max_offspring() const override { return 3; }
+    };
+    const Exploder protocol;
+    CountConfiguration initial(1);
+    initial.add(0, 4);
+    BirthDeathRunOptions options;
+    options.max_interactions = 1'000'000'000;
+    options.max_population = 1000;
+    EXPECT_THROW(simulate_birth_death(protocol, initial, options), std::runtime_error);
+    EXPECT_THROW(analyze_birth_death_stable_computation(protocol, initial, 1u << 20, 1000),
+                 std::runtime_error);
+}
+
+TEST(BirthDeath, ExtinctionStopsTheRun) {
+    const auto protocol = make_annihilating_majority_protocol();
+    const auto initial = camps(*protocol, 1, 1);
+    BirthDeathRunOptions options;
+    options.max_interactions = 1000;
+    options.seed = 1;
+    const auto result = simulate_birth_death(*protocol, initial, options);
+    EXPECT_TRUE(result.extinct);
+    EXPECT_EQ(result.interactions, 1u);  // the single annihilation
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,229 @@
+// Randomized property tests.
+//
+// Two families:
+//   * random small protocols: the analyzer's verdict must match a
+//     brute-force implementation of the definitions (output-stability by
+//     direct reachability, convergence by Lemma 1), and the simulator must
+//     agree with the multiset semantics step by step;
+//   * random Presburger formulas: compile and check against the evaluator
+//     on every small input (an end-to-end compiler fuzz).
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "analysis/stable_computation.h"
+#include "core/rng.h"
+#include "core/protocol_io.h"
+#include "core/simulator.h"
+#include "presburger/compiler.h"
+#include "test_util.h"
+
+namespace popproto {
+namespace {
+
+std::unique_ptr<TabulatedProtocol> random_protocol(Rng& rng, std::size_t num_states) {
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    tables.initial = {static_cast<State>(rng.below(num_states)),
+                      static_cast<State>(rng.below(num_states))};
+    tables.output.resize(num_states);
+    for (State q = 0; q < num_states; ++q) tables.output[q] = static_cast<Symbol>(rng.below(2));
+    tables.delta.resize(num_states * num_states);
+    for (std::size_t i = 0; i < tables.delta.size(); ++i) {
+        // Bias toward null interactions so random protocols are not pure noise.
+        if (rng.below(3) == 0) {
+            tables.delta[i] = {static_cast<State>(rng.below(num_states)),
+                               static_cast<State>(rng.below(num_states))};
+        } else {
+            tables.delta[i] = {static_cast<State>(i / num_states),
+                               static_cast<State>(i % num_states)};
+        }
+    }
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+/// Brute-force convergence check straight from the definitions: a protocol
+/// always converges from `initial` iff from every reachable configuration an
+/// output-stable configuration remains reachable AND every *final* behavior
+/// is captured...  Implemented via Lemma 1 semantics computed naively:
+/// for every reachable C, compute its reachable set; C is output-stable iff
+/// all configurations reachable from C share C's signature.  Every fair
+/// computation converges iff for every reachable C whose reachable set
+/// contains no way out (i.e. C lies in a final SCC computed naively), the
+/// signatures in C's SCC are uniform.
+bool brute_force_always_converges(const TabulatedProtocol& protocol,
+                                  const ConfigurationGraph& graph) {
+    const std::size_t n = graph.size();
+    // reach[i] = set of configs reachable from i (including i).
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (ConfigId start = 0; start < n; ++start) {
+        std::deque<ConfigId> queue{start};
+        reach[start][start] = true;
+        while (!queue.empty()) {
+            const ConfigId v = queue.front();
+            queue.pop_front();
+            for (ConfigId w : graph.successors[v]) {
+                if (!reach[start][w]) {
+                    reach[start][w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // C and D are in the same SCC iff they reach each other; C's SCC is
+    // final iff everything reachable from C reaches C back.
+    for (ConfigId c = 0; c < n; ++c) {
+        bool is_final = true;
+        for (ConfigId d = 0; d < n; ++d)
+            if (reach[c][d] && !reach[d][c]) is_final = false;
+        if (!is_final) continue;
+        const auto signature = graph.configs[c].output_counts(protocol);
+        for (ConfigId d = 0; d < n; ++d) {
+            if (reach[c][d] && graph.configs[d].output_counts(protocol) != signature)
+                return false;  // a fair run trapped here oscillates outputs
+        }
+    }
+    return true;
+}
+
+TEST(Fuzz, AnalyzerMatchesBruteForceOnRandomProtocols) {
+    Rng rng(20040725);  // PODC'04
+    int analyzed = 0;
+    for (int round = 0; round < 120; ++round) {
+        const std::size_t num_states = 2 + rng.below(3);
+        const auto protocol = random_protocol(rng, num_states);
+        const std::uint64_t zeros = rng.below(4);
+        const std::uint64_t ones = 1 + rng.below(3);
+        const auto initial =
+            CountConfiguration::from_input_counts(*protocol, {zeros, ones});
+        if (initial.population_size() == 0) continue;
+        const ConfigurationGraph graph = explore_reachable(*protocol, initial, 4000);
+        if (!graph.complete || graph.size() > 150) continue;  // keep brute force cheap
+        ++analyzed;
+        const StableComputationResult fast = analyze_stable_computation(*protocol, initial);
+        EXPECT_EQ(fast.always_converges, brute_force_always_converges(*protocol, graph))
+            << "round " << round;
+    }
+    EXPECT_GT(analyzed, 60);  // the filter must not eat the test
+}
+
+TEST(Fuzz, SimulatedRunsLandInStableSignaturesWhenConvergent) {
+    Rng rng(424242);
+    int convergent_checked = 0;
+    for (int round = 0; round < 80 && convergent_checked < 25; ++round) {
+        const auto protocol = random_protocol(rng, 2 + rng.below(3));
+        const std::uint64_t zeros = 1 + rng.below(3);
+        const std::uint64_t ones = 1 + rng.below(3);
+        const auto initial =
+            CountConfiguration::from_input_counts(*protocol, {zeros, ones});
+        StableComputationResult analysis;
+        try {
+            analysis = analyze_stable_computation(*protocol, initial, 4000);
+        } catch (const std::runtime_error&) {
+            continue;
+        }
+        if (!analysis.always_converges) continue;
+        ++convergent_checked;
+
+        RunOptions options;
+        options.max_interactions = 200000;
+        options.seed = 999 + round;
+        const RunResult run = simulate(*protocol, initial, options);
+        if (run.stop_reason != StopReason::kSilent) continue;
+        // A silent final configuration is output-stable; its signature must
+        // be one of the analyzer's stable signatures.
+        const auto signature = run.final_configuration.output_counts(*protocol);
+        EXPECT_NE(std::find(analysis.stable_signatures.begin(),
+                            analysis.stable_signatures.end(), signature),
+                  analysis.stable_signatures.end())
+            << "round " << round;
+    }
+    EXPECT_GE(convergent_checked, 10);
+}
+
+TEST(Fuzz, CountAndAgentSemanticsAgree) {
+    // Applying the same interaction sequence through AgentConfiguration and
+    // CountConfiguration keeps the multiset in lockstep.
+    Rng rng(7);
+    for (int round = 0; round < 30; ++round) {
+        const auto protocol = random_protocol(rng, 3);
+        auto agents = AgentConfiguration::from_inputs(
+            *protocol, {0, 1, 1, 0, 1});
+        auto counts = agents.to_counts(protocol->num_states());
+        for (int step = 0; step < 60; ++step) {
+            const std::size_t i = rng.below(agents.size());
+            std::size_t j = rng.below(agents.size() - 1);
+            if (j >= i) ++j;
+            const State p = agents.state(i);
+            const State q = agents.state(j);
+            agents.apply_interaction(*protocol, i, j);
+            counts.apply_interaction(*protocol, p, q);
+            ASSERT_EQ(agents.to_counts(protocol->num_states()), counts)
+                << "round " << round << " step " << step;
+        }
+    }
+}
+
+TEST(Fuzz, SerializationRoundTripsRandomProtocols) {
+    Rng rng(111);
+    for (int round = 0; round < 40; ++round) {
+        const auto protocol = random_protocol(rng, 2 + rng.below(4));
+        const auto reloaded = deserialize_protocol(serialize_protocol(*protocol));
+        ASSERT_EQ(reloaded->num_states(), protocol->num_states()) << round;
+        for (State p = 0; p < protocol->num_states(); ++p) {
+            EXPECT_EQ(reloaded->output_fast(p), protocol->output_fast(p)) << round;
+            for (State q = 0; q < protocol->num_states(); ++q)
+                EXPECT_EQ(reloaded->apply_fast(p, q), protocol->apply_fast(p, q)) << round;
+        }
+    }
+}
+
+Formula random_formula(Rng& rng, int depth) {
+    const auto random_coefficients = [&rng]() {
+        std::vector<std::int64_t> coefficients(2);
+        for (auto& a : coefficients) a = static_cast<std::int64_t>(rng.below(5)) - 2;
+        if (coefficients[0] == 0 && coefficients[1] == 0) coefficients[0] = 1;
+        return coefficients;
+    };
+    if (depth == 0 || rng.below(3) == 0) {
+        if (rng.below(2) == 0) {
+            return Formula::threshold(random_coefficients(),
+                                      static_cast<std::int64_t>(rng.below(7)) - 3);
+        }
+        return Formula::congruence(random_coefficients(),
+                                   static_cast<std::int64_t>(rng.below(4)),
+                                   2 + static_cast<std::int64_t>(rng.below(2)));
+    }
+    switch (rng.below(3)) {
+        case 0:
+            return Formula::conjunction(random_formula(rng, depth - 1),
+                                        random_formula(rng, depth - 1));
+        case 1:
+            return Formula::disjunction(random_formula(rng, depth - 1),
+                                        random_formula(rng, depth - 1));
+        default:
+            return Formula::negation(random_formula(rng, depth - 1));
+    }
+}
+
+TEST(Fuzz, CompiledRandomFormulasMatchEvaluator) {
+    Rng rng(31337);
+    for (int round = 0; round < 12; ++round) {
+        const Formula formula = random_formula(rng, 2);
+        const auto protocol = compile_formula(formula, 2);
+        if (protocol->num_states() > 3000) continue;  // keep the sweep cheap
+        for (std::uint64_t n = 1; n <= 3; ++n) {
+            testutil::for_each_composition(n, 2, [&](const std::vector<std::uint64_t>& counts) {
+                const auto initial =
+                    CountConfiguration::from_input_counts(*protocol, counts);
+                const bool expected = formula.evaluate(testutil::to_signed(counts));
+                EXPECT_TRUE(stably_computes_bool(*protocol, initial, expected, 1u << 22))
+                    << "round " << round << " formula " << formula.to_string() << " n=" << n;
+            });
+        }
+    }
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,162 @@
+// Exhaustive model checking of protocols on explicit interaction graphs -
+// in particular, exact verification of the Theorem 7 construction on small
+// restricted topologies (every fair schedule, not sampled runs).
+
+#include <gtest/gtest.h>
+
+#include "graphs/graph_analysis.h"
+#include "graphs/graph_simulation.h"
+#include "protocols/counting.h"
+#include "presburger/atom_protocols.h"
+
+namespace popproto {
+namespace {
+
+TEST(GraphAnalysis, MatchesMultisetAnalyzerOnCompleteGraph) {
+    // On the complete graph the explicit-vector verdict must agree with the
+    // anonymous multiset verdict.
+    const auto protocol = make_counting_protocol(2);
+    const InteractionGraph complete = InteractionGraph::complete(4);
+    for (std::uint64_t ones = 0; ones <= 4; ++ones) {
+        std::vector<Symbol> inputs(4, kInputZero);
+        for (std::uint64_t i = 0; i < ones; ++i) inputs[i] = kInputOne;
+        EXPECT_TRUE(graph_stably_computes_bool(*protocol, complete, inputs, ones >= 2))
+            << ones;
+    }
+}
+
+/// "Handshake": true iff some A-agent and some B-agent ever meet.  A and B
+/// never move, so on a line with A and B at the far ends the raw protocol is
+/// stuck - the canonical protocol that needs the Theorem 7 lift.
+std::unique_ptr<TabulatedProtocol> make_handshake_protocol() {
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = 2;
+    // States/inputs: 0 = N (neutral), 1 = A, 2 = B, state 3 = C (alert).
+    tables.initial = {0, 1, 2};
+    tables.output = {0, 0, 0, 1};
+    tables.state_names = {"N", "A", "B", "C"};
+    tables.delta.assign(16, StatePair{});
+    for (State p = 0; p < 4; ++p)
+        for (State q = 0; q < 4; ++q) tables.delta[p * 4 + q] = StatePair{p, q};
+    tables.delta[1 * 4 + 2] = {3, 3};  // (A, B) -> (C, C)
+    tables.delta[2 * 4 + 1] = {3, 3};  // (B, A) -> (C, C)
+    for (State q = 0; q < 4; ++q) {
+        tables.delta[3 * 4 + q] = {3, 3};  // C is epidemic
+        tables.delta[q * 4 + 3] = {3, 3};
+    }
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+TEST(GraphAnalysis, HandshakeWorksOnCompleteGraph) {
+    const auto protocol = make_handshake_protocol();
+    const InteractionGraph complete = InteractionGraph::complete(4);
+    EXPECT_TRUE(graph_stably_computes_bool(*protocol, complete, {1, 0, 0, 2}, true));
+    EXPECT_TRUE(graph_stably_computes_bool(*protocol, complete, {1, 0, 0, 1}, false));
+}
+
+TEST(GraphAnalysis, HandshakeAloneFailsOnALine) {
+    // A and B at the ends of a line can never become adjacent: every fair
+    // execution stabilizes to all-false although the complete-graph answer
+    // is true.  This is exactly the gap Theorem 7 closes.
+    const auto protocol = make_handshake_protocol();
+    const InteractionGraph line = InteractionGraph::line(4);
+    const std::vector<Symbol> inputs{1, 0, 0, 2};  // A . . B
+    EXPECT_FALSE(graph_stably_computes_bool(*protocol, line, inputs, true));
+    // Indeed it stabilizes - to the wrong (false) verdict.
+    EXPECT_TRUE(graph_stably_computes_bool(*protocol, line, inputs, false));
+}
+
+TEST(GraphAnalysis, LiftedHandshakeComputesOnALine) {
+    const auto base = make_handshake_protocol();
+    const auto lifted = make_graph_simulation_protocol(*base);
+    const InteractionGraph line = InteractionGraph::line(4);
+    EXPECT_TRUE(graph_stably_computes_bool(*lifted, line, {1, 0, 0, 2}, true));
+    EXPECT_TRUE(graph_stably_computes_bool(*lifted, line, {1, 0, 0, 1}, false));
+}
+
+TEST(GraphAnalysis, Theorem7LiftComputesCountingOnLine) {
+    const auto base = make_counting_protocol(2);
+    const auto lifted = make_graph_simulation_protocol(*base);
+    const InteractionGraph line = InteractionGraph::line(4);
+    for (std::uint64_t ones = 0; ones <= 4; ++ones) {
+        // Spread the ones adversarially (ends first).
+        std::vector<Symbol> inputs(4, kInputZero);
+        const std::vector<std::size_t> order{0, 3, 1, 2};
+        for (std::uint64_t i = 0; i < ones; ++i) inputs[order[i]] = kInputOne;
+        EXPECT_TRUE(graph_stably_computes_bool(*lifted, line, inputs, ones >= 2))
+            << "ones=" << ones;
+    }
+}
+
+TEST(GraphAnalysis, Theorem7LiftComputesCountingOnStarAndRing) {
+    const auto base = make_counting_protocol(2);
+    const auto lifted = make_graph_simulation_protocol(*base);
+    for (const InteractionGraph& graph :
+         {InteractionGraph::star(4), InteractionGraph::ring(4)}) {
+        for (std::uint64_t ones : {1ull, 2ull, 3ull}) {
+            std::vector<Symbol> inputs(4, kInputZero);
+            for (std::uint64_t i = 0; i < ones; ++i) inputs[i] = kInputOne;
+            EXPECT_TRUE(graph_stably_computes_bool(*lifted, graph, inputs, ones >= 2))
+                << "ones=" << ones;
+        }
+    }
+}
+
+TEST(GraphAnalysis, Theorem7LiftComputesParityOnLine) {
+    const auto base = make_remainder_protocol({0, 1}, 0, 2);
+    const auto lifted = make_graph_simulation_protocol(*base);
+    const InteractionGraph line = InteractionGraph::line(3);
+    for (std::uint64_t ones = 0; ones <= 3; ++ones) {
+        std::vector<Symbol> inputs(3, 0);
+        for (std::uint64_t i = 0; i < ones; ++i) inputs[i] = 1;
+        EXPECT_TRUE(graph_stably_computes_bool(*lifted, line, inputs, ones % 2 == 0))
+            << "ones=" << ones;
+    }
+}
+
+TEST(GraphAnalysis, OneDirectionalLineIsStillWeaklyConnected) {
+    // Theorem 7 only needs *weak* connectivity: check the lift on a line
+    // whose edges all point one way.
+    InteractionGraph one_way(3);
+    one_way.add_edge(0, 1);
+    one_way.add_edge(1, 2);
+    ASSERT_TRUE(one_way.is_weakly_connected());
+
+    const auto base = make_counting_protocol(2);
+    const auto lifted = make_graph_simulation_protocol(*base);
+    for (std::uint64_t ones = 0; ones <= 3; ++ones) {
+        std::vector<Symbol> inputs(3, kInputZero);
+        for (std::uint64_t i = 0; i < ones; ++i) inputs[i] = kInputOne;
+        EXPECT_TRUE(graph_stably_computes_bool(*lifted, one_way, inputs, ones >= 2))
+            << "ones=" << ones;
+    }
+}
+
+TEST(GraphAnalysis, ReportsConfigurationCounts) {
+    const auto protocol = make_counting_protocol(2);
+    const InteractionGraph line = InteractionGraph::line(3);
+    const StableComputationResult result = analyze_graph_stable_computation(
+        *protocol, line, {kInputOne, kInputZero, kInputOne});
+    EXPECT_GT(result.reachable_configurations, 1u);
+    EXPECT_TRUE(result.always_converges);
+}
+
+TEST(GraphAnalysis, RespectsConfigurationLimit) {
+    const auto base = make_counting_protocol(2);
+    const auto lifted = make_graph_simulation_protocol(*base);
+    const InteractionGraph line = InteractionGraph::line(4);
+    EXPECT_THROW(analyze_graph_stable_computation(
+                     *lifted, line, {kInputOne, kInputOne, kInputZero, kInputZero}, 10),
+                 std::runtime_error);
+}
+
+TEST(GraphAnalysis, ValidatesArguments) {
+    const auto protocol = make_counting_protocol(2);
+    const InteractionGraph line = InteractionGraph::line(3);
+    EXPECT_THROW(
+        analyze_graph_stable_computation(*protocol, line, {kInputZero, kInputOne}),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto

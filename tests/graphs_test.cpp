@@ -1,0 +1,270 @@
+// Interaction graphs and the Theorem 7 simulation construction.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/stable_computation.h"
+#include "graphs/graph_simulation.h"
+#include "graphs/interaction_graph.h"
+#include "protocols/counting.h"
+#include "presburger/atom_protocols.h"
+
+namespace popproto {
+namespace {
+
+TEST(InteractionGraph, Generators) {
+    EXPECT_EQ(InteractionGraph::complete(5).edges().size(), 20u);
+    EXPECT_EQ(InteractionGraph::line(5).edges().size(), 8u);
+    EXPECT_EQ(InteractionGraph::ring(5).edges().size(), 10u);
+    EXPECT_EQ(InteractionGraph::star(5).edges().size(), 8u);
+
+    EXPECT_TRUE(InteractionGraph::complete(4).is_weakly_connected());
+    EXPECT_TRUE(InteractionGraph::line(9).is_weakly_connected());
+    EXPECT_TRUE(InteractionGraph::ring(6).is_weakly_connected());
+    EXPECT_TRUE(InteractionGraph::star(7).is_weakly_connected());
+    for (std::uint64_t seed = 0; seed < 5; ++seed)
+        EXPECT_TRUE(InteractionGraph::random_connected(12, 4, seed).is_weakly_connected());
+}
+
+TEST(InteractionGraph, GridGenerator) {
+    const InteractionGraph grid = InteractionGraph::grid(3, 4);
+    EXPECT_EQ(grid.num_agents(), 12u);
+    // 3*3 horizontal + 2*4 vertical undirected edges, two arcs each.
+    EXPECT_EQ(grid.edges().size(), 2u * (3 * 3 + 2 * 4));
+    EXPECT_TRUE(grid.is_weakly_connected());
+    EXPECT_TRUE(InteractionGraph::grid(1, 5).is_weakly_connected());
+    EXPECT_THROW(InteractionGraph::grid(1, 1), std::invalid_argument);
+    EXPECT_THROW(InteractionGraph::grid(0, 3), std::invalid_argument);
+}
+
+TEST(InteractionGraph, DisconnectedDetection) {
+    InteractionGraph graph(4);
+    graph.add_edge(0, 1);
+    graph.add_edge(2, 3);
+    EXPECT_FALSE(graph.is_weakly_connected());
+    graph.add_edge(1, 2);
+    EXPECT_TRUE(graph.is_weakly_connected());
+}
+
+TEST(InteractionGraph, RejectsSelfLoops) {
+    InteractionGraph graph(3);
+    EXPECT_THROW(graph.add_edge(1, 1), std::invalid_argument);
+    EXPECT_THROW(graph.add_edge(0, 5), std::invalid_argument);
+}
+
+TEST(GraphSimulation, StateLayoutAndDecoding) {
+    const auto base = make_counting_protocol(2);
+    const auto sim = make_graph_simulation_protocol(*base);
+    EXPECT_EQ(sim->num_states(), 4 * base->num_states());
+    for (Symbol x = 0; x < sim->num_input_symbols(); ++x) {
+        const State s = sim->initial_state(x);
+        EXPECT_EQ(baton_of(*base, s), Baton::kD);
+        EXPECT_EQ(base_state_of(*base, s), base->initial_state(x));
+    }
+}
+
+TEST(GraphSimulation, Fig1GroupRules) {
+    const auto base = make_counting_protocol(3);  // apply(q1, q1) = (q2, q0)
+    const auto sim = make_graph_simulation_protocol(*base);
+    const auto enc = [&](State q, Baton b) {
+        return static_cast<State>(q * 4 + static_cast<std::uint32_t>(b));
+    };
+
+    // (a): two D's -> S and R.
+    EXPECT_EQ(sim->apply(enc(1, Baton::kD), enc(1, Baton::kD)),
+              (StatePair{enc(1, Baton::kS), enc(1, Baton::kR)}));
+    // (a): D next to a non-D dies.
+    EXPECT_EQ(sim->apply(enc(1, Baton::kD), enc(0, Baton::kS)),
+              (StatePair{enc(1, Baton::kBlank), enc(0, Baton::kS)}));
+    // (b): duplicate S merges.
+    EXPECT_EQ(sim->apply(enc(0, Baton::kS), enc(1, Baton::kS)),
+              (StatePair{enc(0, Baton::kS), enc(1, Baton::kBlank)}));
+    // (c): baton moves to a blank agent, both directions.
+    EXPECT_EQ(sim->apply(enc(0, Baton::kR), enc(1, Baton::kBlank)),
+              (StatePair{enc(0, Baton::kBlank), enc(1, Baton::kR)}));
+    EXPECT_EQ(sim->apply(enc(0, Baton::kBlank), enc(1, Baton::kR)),
+              (StatePair{enc(0, Baton::kR), enc(1, Baton::kBlank)}));
+    // (d): blanks swap simulated states.
+    EXPECT_EQ(sim->apply(enc(0, Baton::kBlank), enc(1, Baton::kBlank)),
+              (StatePair{enc(1, Baton::kBlank), enc(0, Baton::kBlank)}));
+    // (e): S meets R runs the base transition (q1, q1) -> (q2, q0) and the
+    // batons swap.
+    EXPECT_EQ(sim->apply(enc(1, Baton::kS), enc(1, Baton::kR)),
+              (StatePair{enc(2, Baton::kR), enc(0, Baton::kS)}));
+    // (e) mirrored: R meets S; base runs with the responder as initiator.
+    EXPECT_EQ(sim->apply(enc(1, Baton::kR), enc(1, Baton::kS)),
+              (StatePair{enc(0, Baton::kS), enc(2, Baton::kR)}));
+}
+
+TEST(GraphSimulation, FinalConfigurationsAreClean) {
+    // Lemma 7: every final configuration has exactly one S, one R, no D.
+    const auto base = make_counting_protocol(2);
+    const auto sim = make_graph_simulation_protocol(*base);
+    const auto initial = CountConfiguration::from_input_counts(*sim, {2, 2});
+    const ConfigurationGraph graph = explore_reachable(*sim, initial);
+    ASSERT_TRUE(graph.complete);
+    const SccDecomposition sccs = condense(graph);
+    std::size_t final_checked = 0;
+    for (ConfigId c = 0; c < graph.size(); ++c) {
+        if (!sccs.is_final[sccs.component[c]]) continue;
+        ++final_checked;
+        std::uint64_t s_count = 0;
+        std::uint64_t r_count = 0;
+        std::uint64_t d_count = 0;
+        for (State q = 0; q < sim->num_states(); ++q) {
+            const std::uint64_t agents = graph.configs[c].count(q);
+            switch (baton_of(*base, q)) {
+                case Baton::kS:
+                    s_count += agents;
+                    break;
+                case Baton::kR:
+                    r_count += agents;
+                    break;
+                case Baton::kD:
+                    d_count += agents;
+                    break;
+                case Baton::kBlank:
+                    break;
+            }
+        }
+        EXPECT_EQ(s_count, 1u);
+        EXPECT_EQ(r_count, 1u);
+        EXPECT_EQ(d_count, 0u);
+    }
+    EXPECT_GT(final_checked, 0u);
+}
+
+TEST(GraphSimulation, StablyComputesOnCompleteGraphExhaustively) {
+    // Theorem 7 in particular implies A' computes the same predicate on the
+    // complete graph itself; verify exhaustively for small populations.
+    const auto base = make_counting_protocol(2);
+    const auto sim = make_graph_simulation_protocol(*base);
+    for (std::uint64_t n = 2; n <= 5; ++n) {
+        for (std::uint64_t ones = 0; ones <= n; ++ones) {
+            const auto initial =
+                CountConfiguration::from_input_counts(*sim, {n - ones, ones});
+            const bool expected = ones >= 2;
+            EXPECT_TRUE(stably_computes_bool(*sim, initial, expected))
+                << "n=" << n << " ones=" << ones;
+        }
+    }
+}
+
+struct GraphCase {
+    std::string name;
+    InteractionGraph graph;
+};
+
+class GraphSimulationEndToEnd : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphSimulationEndToEnd, CountingOnRestrictedGraphs) {
+    const int variant = GetParam();
+    const std::uint32_t n = 12;
+    InteractionGraph graph = [&] {
+        switch (variant) {
+            case 0:
+                return InteractionGraph::line(n);
+            case 1:
+                return InteractionGraph::ring(n);
+            case 2:
+                return InteractionGraph::star(n);
+            default:
+                return InteractionGraph::random_connected(n, 6, 99);
+        }
+    }();
+    ASSERT_TRUE(graph.is_weakly_connected());
+
+    const auto base = make_counting_protocol(3);
+    const auto sim = make_graph_simulation_protocol(*base);
+
+    for (std::uint64_t ones : {1ull, 5ull}) {
+        std::vector<Symbol> inputs(n, kInputZero);
+        for (std::uint64_t i = 0; i < ones; ++i) inputs[2 * i] = kInputOne;
+
+        RunOptions options;
+        options.max_interactions = 40'000'000;
+        options.stop_after_stable_outputs = 400'000;
+        options.seed = 3 * variant + ones;
+        const GraphRunResult result = simulate_on_graph(*sim, graph, inputs, options);
+        ASSERT_TRUE(result.consensus.has_value())
+            << "variant=" << variant << " ones=" << ones;
+        EXPECT_EQ(*result.consensus, ones >= 3 ? kOutputTrue : kOutputFalse)
+            << "variant=" << variant << " ones=" << ones;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, GraphSimulationEndToEnd, ::testing::Values(0, 1, 2, 3));
+
+TEST(GraphSimulation, ParityOnLineGraph) {
+    const std::uint32_t n = 10;
+    const InteractionGraph graph = InteractionGraph::line(n);
+
+    // Parity of the number of symbol-1 agents; symbol 0 carries weight 0.
+    const auto padded = make_remainder_protocol({0, 1}, 0, 2);
+    const auto padded_sim = make_graph_simulation_protocol(*padded);
+    for (std::uint64_t ones : {4ull, 7ull}) {
+        std::vector<Symbol> inputs(n, 0);
+        for (std::uint64_t i = 0; i < ones; ++i) inputs[i] = 1;
+        RunOptions options;
+        options.max_interactions = 40'000'000;
+        options.stop_after_stable_outputs = 400'000;
+        options.seed = ones;
+        const GraphRunResult result = simulate_on_graph(*padded_sim, graph, inputs, options);
+        ASSERT_TRUE(result.consensus.has_value()) << ones;
+        EXPECT_EQ(*result.consensus, ones % 2 == 0 ? kOutputTrue : kOutputFalse) << ones;
+    }
+}
+
+TEST(GraphSimulation, SampledRunsEndClean) {
+    // Lemma 6/7 along sampled runs: after enough activations the population
+    // carries exactly one S baton, one R baton, and no D marks.
+    const auto base = make_counting_protocol(3);
+    const auto sim = make_graph_simulation_protocol(*base);
+    const InteractionGraph ring = InteractionGraph::ring(10);
+    std::vector<Symbol> inputs(10, kInputZero);
+    inputs[2] = inputs[5] = kInputOne;
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        RunOptions options;
+        options.max_interactions = 200000;
+        options.seed = seed;
+        const GraphRunResult result = simulate_on_graph(*sim, ring, inputs, options);
+        std::uint64_t s_count = 0;
+        std::uint64_t r_count = 0;
+        std::uint64_t d_count = 0;
+        for (State state : result.final_configuration.states()) {
+            switch (baton_of(*base, state)) {
+                case Baton::kS:
+                    ++s_count;
+                    break;
+                case Baton::kR:
+                    ++r_count;
+                    break;
+                case Baton::kD:
+                    ++d_count;
+                    break;
+                case Baton::kBlank:
+                    break;
+            }
+        }
+        EXPECT_EQ(s_count, 1u) << seed;
+        EXPECT_EQ(r_count, 1u) << seed;
+        EXPECT_EQ(d_count, 0u) << seed;
+    }
+}
+
+TEST(GraphSimulation, RunnerValidatesArguments) {
+    const auto base = make_counting_protocol(2);
+    const auto sim = make_graph_simulation_protocol(*base);
+    const InteractionGraph graph = InteractionGraph::line(4);
+    RunOptions options;
+    options.max_interactions = 100;
+    EXPECT_THROW(simulate_on_graph(*sim, graph, {0, 0}, options), std::invalid_argument);
+    RunOptions no_budget;
+    EXPECT_THROW(simulate_on_graph(*sim, graph, {0, 0, 0, 0}, no_budget),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto

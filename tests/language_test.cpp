@@ -1,0 +1,75 @@
+// Language acceptance (Sect. 3.5, Lemma 2, Corollaries 1 and 4).
+
+#include <gtest/gtest.h>
+
+#include "presburger/compiler.h"
+#include "presburger/language.h"
+#include "presburger/semilinear.h"
+#include "test_util.h"
+
+namespace popproto {
+namespace {
+
+TEST(Language, ParikhImageCountsSymbols) {
+    EXPECT_EQ(parikh_image({0, 1, 0, 1, 1, 1}, 2), (std::vector<std::uint64_t>{2, 4}));
+    EXPECT_EQ(parikh_image({}, 3), (std::vector<std::uint64_t>{0, 0, 0}));
+    EXPECT_THROW(parikh_image({5}, 2), std::invalid_argument);
+}
+
+/// Enumerates every word over {0, 1} of length `length` into `visit`.
+void for_each_word(std::size_t length, const std::function<void(const std::vector<Symbol>&)>& visit) {
+    std::vector<Symbol> word(length, 0);
+    const std::uint64_t total = 1ull << length;
+    for (std::uint64_t mask = 0; mask < total; ++mask) {
+        for (std::size_t i = 0; i < length; ++i) word[i] = (mask >> i) & 1;
+        visit(word);
+    }
+}
+
+TEST(Language, Corollary4EqualCounts) {
+    // L = { w in {a,b}* : #a(w) = #b(w) }, a symmetric language whose Parikh
+    // image is the semilinear set base (0,0) + period (1,1).  Corollary 4:
+    // the compiled Presburger protocol accepts exactly L.
+    const SemilinearSet image{{LinearSet{{0, 0}, {{1, 1}}}}};
+    const Formula formula = Formula::equals({1, -1}, 0);
+    const auto protocol = compile_formula(formula, 2);
+
+    for (std::size_t length = 1; length <= 6; ++length) {
+        for_each_word(length, [&](const std::vector<Symbol>& word) {
+            const auto image_vector = parikh_image(word, 2);
+            const bool in_language = image.contains(image_vector);
+            EXPECT_EQ(accepts_word(*protocol, word), in_language);
+            EXPECT_EQ(rejects_word(*protocol, word), !in_language);
+        });
+    }
+}
+
+TEST(Language, Corollary1AcceptanceIsPermutationInvariant) {
+    // All permutations of a word share the Parikh image, hence the verdict.
+    const Formula formula = Formula::congruence({0, 1}, 0, 2);  // even number of b's
+    const auto protocol = compile_formula(formula, 2);
+    const std::vector<std::vector<Symbol>> permutations = {
+        {1, 1, 0, 0}, {0, 1, 0, 1}, {0, 0, 1, 1}, {1, 0, 1, 0}};
+    const bool first = accepts_word(*protocol, permutations.front());
+    for (const auto& word : permutations)
+        EXPECT_EQ(accepts_word(*protocol, word), first);
+    EXPECT_TRUE(first);  // two b's: even
+}
+
+TEST(Language, CountToFiveStyleThresholdLanguage) {
+    // L = { w : #1(w) >= 2 } via the compiler.
+    const Formula formula = Formula::at_least({0, 1}, 2);
+    const auto protocol = compile_formula(formula, 2);
+    EXPECT_TRUE(accepts_word(*protocol, {1, 0, 1}));
+    EXPECT_FALSE(accepts_word(*protocol, {1, 0, 0}));
+    EXPECT_TRUE(rejects_word(*protocol, {0, 0}));
+}
+
+TEST(Language, EmptyWordIsNeverAccepted) {
+    const auto protocol = compile_formula(Formula::at_least({1}, 0), 1);
+    EXPECT_FALSE(accepts_word(*protocol, {}));
+    EXPECT_FALSE(rejects_word(*protocol, {}));
+}
+
+}  // namespace
+}  // namespace popproto

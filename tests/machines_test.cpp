@@ -1,0 +1,155 @@
+// Counter machines, the program builder, and Turing machines.
+
+#include <gtest/gtest.h>
+
+#include "machines/counter_machine.h"
+#include "machines/examples.h"
+#include "machines/program_builder.h"
+#include "machines/turing_machine.h"
+
+namespace popproto {
+namespace {
+
+TEST(CounterMachine, CountdownDrainsCounter) {
+    const CounterProgram program = make_countdown_program();
+    const CounterExecution run = run_counter_machine(program, {7}, 1000);
+    EXPECT_TRUE(run.halted);
+    EXPECT_EQ(run.exit_code, 0u);
+    EXPECT_EQ(run.counters[0], 0u);
+}
+
+TEST(CounterMachine, MultiplyProgram) {
+    for (std::uint32_t factor : {2u, 3u, 7u}) {
+        const CounterProgram program = make_multiply_program(factor);
+        for (std::uint64_t value : {0ull, 1ull, 5ull, 12ull}) {
+            const CounterExecution run = run_counter_machine(program, {value, 0}, 100000);
+            ASSERT_TRUE(run.halted) << factor << "*" << value;
+            EXPECT_EQ(run.counters[0], value * factor);
+            EXPECT_EQ(run.counters[1], 0u);  // aux drained
+        }
+    }
+}
+
+TEST(CounterMachine, DivmodProgram) {
+    for (std::uint32_t divisor : {2u, 3u, 5u}) {
+        const CounterProgram program = make_divmod_program(divisor);
+        for (std::uint64_t value = 0; value <= 17; ++value) {
+            const CounterExecution run = run_counter_machine(program, {value, 0, 0}, 100000);
+            ASSERT_TRUE(run.halted) << value << "/" << divisor;
+            EXPECT_EQ(run.counters[1], value / divisor);
+            EXPECT_EQ(run.counters[0], value % divisor);
+            EXPECT_EQ(run.exit_code, value % divisor);
+        }
+    }
+}
+
+TEST(CounterMachine, DecrementOfZeroThrows) {
+    ProgramBuilder builder(1);
+    builder.dec(0);
+    builder.halt(0);
+    const CounterProgram program = builder.build();
+    EXPECT_THROW(run_counter_machine(program, {0}, 10), std::runtime_error);
+}
+
+TEST(CounterMachine, BudgetExhaustionReportsNotHalted) {
+    ProgramBuilder builder(1);
+    const Label loop = builder.make_label();
+    builder.place(loop);
+    builder.inc(0);
+    builder.jump(loop);
+    const CounterProgram program = builder.build();
+    const CounterExecution run = run_counter_machine(program, {0}, 50);
+    EXPECT_FALSE(run.halted);
+    EXPECT_EQ(run.steps, 50u);
+}
+
+TEST(CounterMachine, ValidationCatchesBadPrograms) {
+    CounterProgram empty;
+    empty.num_counters = 1;
+    EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+    CounterProgram bad_counter;
+    bad_counter.num_counters = 1;
+    bad_counter.instructions = {{CounterInstruction::Op::kInc, 5, 0}};
+    EXPECT_THROW(bad_counter.validate(), std::invalid_argument);
+
+    CounterProgram bad_jump;
+    bad_jump.num_counters = 1;
+    bad_jump.instructions = {{CounterInstruction::Op::kJump, 0, 9}};
+    EXPECT_THROW(bad_jump.validate(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, UnboundLabelDetected) {
+    ProgramBuilder builder(1);
+    const Label label = builder.make_label();
+    builder.jump(label);
+    EXPECT_THROW(builder.build(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, DisassemblyContainsMnemonics) {
+    const CounterProgram program = make_countdown_program();
+    const std::string text = program.to_string();
+    EXPECT_NE(text.find("jz"), std::string::npos);
+    EXPECT_NE(text.find("dec"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(TuringMachine, UnaryModAcceptsMultiples) {
+    for (std::uint32_t modulus : {2u, 3u, 5u}) {
+        const TuringMachine machine = make_unary_mod_turing_machine(modulus);
+        for (std::uint32_t x = 0; x <= 12; ++x) {
+            const std::vector<std::uint32_t> input(x, 1);
+            const TuringExecution run = run_turing_machine(machine, input, 10000);
+            ASSERT_TRUE(run.halted) << "mod " << modulus << " x=" << x;
+            EXPECT_EQ(run.accepted, x % modulus == 0) << "mod " << modulus << " x=" << x;
+        }
+    }
+}
+
+TEST(TuringMachine, UnaryThresholdCountsOnes) {
+    for (std::uint32_t threshold : {1u, 3u, 5u}) {
+        const TuringMachine machine = make_unary_threshold_turing_machine(threshold);
+        for (std::uint32_t x = 0; x <= 8; ++x) {
+            const std::vector<std::uint32_t> input(x, 1);
+            const TuringExecution run = run_turing_machine(machine, input, 10000);
+            ASSERT_TRUE(run.halted) << threshold << "," << x;
+            EXPECT_EQ(run.accepted, x >= threshold) << threshold << "," << x;
+        }
+    }
+    EXPECT_THROW(make_unary_threshold_turing_machine(0), std::invalid_argument);
+}
+
+TEST(TuringMachine, UnaryMajorityComparesBlocks) {
+    const TuringMachine machine = make_unary_majority_turing_machine();
+    for (std::uint32_t a = 0; a <= 5; ++a) {
+        for (std::uint32_t b = 0; b <= 5; ++b) {
+            std::vector<std::uint32_t> input;
+            input.insert(input.end(), a, 1);
+            input.insert(input.end(), b, 2);
+            const TuringExecution run = run_turing_machine(machine, input, 100000);
+            ASSERT_TRUE(run.halted) << a << " vs " << b;
+            EXPECT_EQ(run.accepted, a > b) << a << " vs " << b;
+        }
+    }
+}
+
+TEST(TuringMachine, StepBudgetRespected) {
+    const TuringMachine machine = make_unary_mod_turing_machine(2);
+    const std::vector<std::uint32_t> input(50, 1);
+    const TuringExecution run = run_turing_machine(machine, input, 5);
+    EXPECT_FALSE(run.halted);
+    EXPECT_EQ(run.steps, 5u);
+}
+
+TEST(TuringMachine, ValidationCatchesBadMachines) {
+    TuringMachine machine = make_unary_mod_turing_machine(2);
+    machine.rules[0].next_state = 99;
+    EXPECT_THROW(machine.validate(), std::invalid_argument);
+
+    TuringMachine same_halt = make_unary_mod_turing_machine(2);
+    same_halt.reject_state = same_halt.accept_state;
+    EXPECT_THROW(same_halt.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,106 @@
+// The Minsky reduction: a compiled Turing machine (run as a counter
+// machine) must agree with direct execution on every enumerated input.
+
+#include <gtest/gtest.h>
+
+#include "machines/examples.h"
+#include "machines/minsky.h"
+
+namespace popproto {
+namespace {
+
+TEST(GoedelEncoding, RoundTrips) {
+    for (std::uint32_t base : {2u, 3u, 4u}) {
+        const std::vector<std::vector<std::uint32_t>> tapes = {
+            {}, {1}, {1, 1, 1}, {1, 0, 1}, {base - 1, 1, base - 1}};
+        for (const auto& tape : tapes) {
+            const std::uint64_t encoded = encode_tape(tape, base);
+            std::vector<std::uint32_t> expected = tape;
+            while (!expected.empty() && expected.back() == 0) expected.pop_back();
+            EXPECT_EQ(decode_tape(encoded, base), expected);
+        }
+    }
+}
+
+TEST(GoedelEncoding, TopDigitIsFirstSymbol) {
+    EXPECT_EQ(encode_tape({2, 1}, 3), 2u + 3u * 1u);
+    EXPECT_EQ(encode_tape({0, 0, 1}, 2), 4u);
+    EXPECT_THROW(encode_tape({5}, 3), std::invalid_argument);
+}
+
+TEST(Minsky, ParityMachineAgreesWithDirectExecution) {
+    const TuringMachine machine = make_unary_mod_turing_machine(2);
+    const MinskyProgram compiled = compile_turing_machine(machine);
+    for (std::uint32_t x = 0; x <= 10; ++x) {
+        const std::vector<std::uint32_t> input(x, 1);
+        const TuringExecution direct = run_turing_machine(machine, input, 100000);
+        const CounterExecution simulated = run_counter_machine(
+            compiled.program, compiled.initial_counters(input), 10'000'000);
+        ASSERT_TRUE(direct.halted && simulated.halted) << x;
+        EXPECT_EQ(simulated.exit_code == MinskyProgram::kAcceptExitCode, direct.accepted) << x;
+    }
+}
+
+TEST(Minsky, Mod3MachineAgreesWithDirectExecution) {
+    const TuringMachine machine = make_unary_mod_turing_machine(3);
+    const MinskyProgram compiled = compile_turing_machine(machine);
+    for (std::uint32_t x = 0; x <= 9; ++x) {
+        const std::vector<std::uint32_t> input(x, 1);
+        const TuringExecution direct = run_turing_machine(machine, input, 100000);
+        const CounterExecution simulated = run_counter_machine(
+            compiled.program, compiled.initial_counters(input), 10'000'000);
+        ASSERT_TRUE(direct.halted && simulated.halted) << x;
+        EXPECT_EQ(simulated.exit_code == MinskyProgram::kAcceptExitCode, direct.accepted) << x;
+    }
+}
+
+TEST(Minsky, ThresholdMachineAgreesWithDirectExecution) {
+    const TuringMachine machine = make_unary_threshold_turing_machine(3);
+    const MinskyProgram compiled = compile_turing_machine(machine);
+    for (std::uint32_t x = 0; x <= 7; ++x) {
+        const std::vector<std::uint32_t> input(x, 1);
+        const TuringExecution direct = run_turing_machine(machine, input, 100000);
+        const CounterExecution simulated = run_counter_machine(
+            compiled.program, compiled.initial_counters(input), 10'000'000);
+        ASSERT_TRUE(direct.halted && simulated.halted) << x;
+        EXPECT_EQ(simulated.exit_code == MinskyProgram::kAcceptExitCode, direct.accepted) << x;
+    }
+}
+
+TEST(Minsky, MajorityMachineExercisesLeftMoves) {
+    const TuringMachine machine = make_unary_majority_turing_machine();
+    const MinskyProgram compiled = compile_turing_machine(machine);
+    for (std::uint32_t a = 0; a <= 4; ++a) {
+        for (std::uint32_t b = 0; b <= 4; ++b) {
+            std::vector<std::uint32_t> input;
+            input.insert(input.end(), a, 1);
+            input.insert(input.end(), b, 2);
+            const TuringExecution direct = run_turing_machine(machine, input, 100000);
+            const CounterExecution simulated = run_counter_machine(
+                compiled.program, compiled.initial_counters(input), 50'000'000);
+            ASSERT_TRUE(direct.halted && simulated.halted) << a << " vs " << b;
+            EXPECT_EQ(simulated.exit_code == MinskyProgram::kAcceptExitCode, direct.accepted)
+                << a << " vs " << b;
+        }
+    }
+}
+
+TEST(Minsky, UsesThreeCounters) {
+    const MinskyProgram compiled =
+        compile_turing_machine(make_unary_mod_turing_machine(2));
+    EXPECT_EQ(compiled.program.num_counters, 3u);
+    EXPECT_EQ(compiled.base, 2u);
+    EXPECT_NO_THROW(compiled.program.validate());
+}
+
+TEST(Minsky, InitialCountersEncodeInput) {
+    const MinskyProgram compiled =
+        compile_turing_machine(make_unary_mod_turing_machine(2));
+    const auto counters = compiled.initial_counters({1, 1, 1});
+    EXPECT_EQ(counters[MinskyProgram::kLeftCounter], 0u);
+    EXPECT_EQ(counters[MinskyProgram::kRightCounter], encode_tape({1, 1, 1}, 2));
+    EXPECT_EQ(counters[MinskyProgram::kAuxCounter], 0u);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,122 @@
+// Multiway interactions (the Sect. 8 "larger groups" extension).
+
+#include <gtest/gtest.h>
+
+#include "extensions/multiway.h"
+
+namespace popproto {
+namespace {
+
+CountConfiguration inputs_for(const MultiwayProtocol& protocol, std::uint64_t camp_a,
+                              std::uint64_t camp_b) {
+    CountConfiguration config(protocol.num_states());
+    if (camp_a > 0) config.add(protocol.initial_state(0), camp_a);
+    if (camp_b > 0) config.add(protocol.initial_state(1), camp_b);
+    return config;
+}
+
+TEST(Multiway, CoincidenceStablyComputesThresholdG) {
+    // With O(1) states for any group size g, "at least g marked agents" is
+    // stably computed: a group of g marked agents can always fire while no
+    // alert exists, so no alert-free final SCC survives when marked >= g.
+    for (std::size_t g : {2ull, 3ull, 4ull}) {
+        const auto protocol = make_multiway_coincidence_protocol(g);
+        for (std::uint64_t marked = 0; marked <= 5; ++marked) {
+            for (std::uint64_t idle = 0; idle + marked <= 6; ++idle) {
+                if (idle + marked < g) continue;  // population must fit one group
+                const auto initial = inputs_for(*protocol, idle, marked);
+                const StableComputationResult result =
+                    analyze_multiway_stable_computation(*protocol, initial);
+                ASSERT_TRUE(result.always_converges)
+                    << "g=" << g << " marked=" << marked << " idle=" << idle;
+                ASSERT_TRUE(result.single_valued());
+                const bool expected = marked >= g;
+                const OutputSignature& signature = result.stable_signatures.front();
+                EXPECT_EQ(signature[kOutputTrue] == initial.population_size(), expected)
+                    << "g=" << g << " marked=" << marked << " idle=" << idle;
+            }
+        }
+    }
+}
+
+TEST(Multiway, MajorityConvergesForStrictMajorities) {
+    const auto protocol = make_multiway_majority_protocol(3);
+    for (std::uint64_t camp_a = 0; camp_a <= 5; ++camp_a) {
+        for (std::uint64_t camp_b = 0; camp_b <= 5; ++camp_b) {
+            if (camp_a == camp_b) continue;  // ties: documented non-convergence
+            if (camp_a + camp_b < 3) continue;
+            const auto initial = inputs_for(*protocol, camp_a, camp_b);
+            const StableComputationResult result =
+                analyze_multiway_stable_computation(*protocol, initial);
+            ASSERT_TRUE(result.always_converges) << camp_a << " vs " << camp_b;
+            ASSERT_TRUE(result.single_valued()) << camp_a << " vs " << camp_b;
+            const OutputSignature& signature = result.stable_signatures.front();
+            const bool b_wins = camp_b > camp_a;
+            EXPECT_EQ(signature[kOutputTrue] == initial.population_size(), b_wins)
+                << camp_a << " vs " << camp_b;
+            EXPECT_EQ(signature[kOutputFalse] == initial.population_size(), !b_wins)
+                << camp_a << " vs " << camp_b;
+        }
+    }
+}
+
+TEST(Multiway, MajorityTieDoesNotConverge) {
+    const auto protocol = make_multiway_majority_protocol(3);
+    const auto initial = inputs_for(*protocol, 3, 3);
+    const StableComputationResult result =
+        analyze_multiway_stable_computation(*protocol, initial);
+    // Ties leave mixed Ta/Tb populations whose outputs disagree forever.
+    EXPECT_FALSE(result.single_valued() &&
+                 result.stable_signatures.front()[kOutputTrue] == 6);
+}
+
+TEST(Multiway, SimulationReachesMajorityConsensus) {
+    const auto protocol = make_multiway_majority_protocol(3);
+    const auto initial = inputs_for(*protocol, 40, 60);
+    MultiwayRunOptions options;
+    options.max_interactions = 4'000'000;
+    options.stop_after_stable_outputs = 200'000;
+    options.seed = 5;
+    const MultiwayRunResult result = simulate_multiway(*protocol, initial, options);
+    ASSERT_TRUE(result.consensus.has_value());
+    EXPECT_EQ(*result.consensus, kOutputTrue);  // B is the strict majority
+    EXPECT_GT(result.effective_interactions, 0u);
+}
+
+TEST(Multiway, SimulationCoincidenceFiresOnlyWithEnoughMarks) {
+    for (const auto& [marked, expect_alert] :
+         std::vector<std::pair<std::uint64_t, bool>>{{2, false}, {3, true}, {6, true}}) {
+        const auto protocol = make_multiway_coincidence_protocol(3);
+        const auto initial = inputs_for(*protocol, 20, marked);
+        MultiwayRunOptions options;
+        options.max_interactions = 8'000'000;
+        options.seed = 11 + marked;
+        const MultiwayRunResult result = simulate_multiway(*protocol, initial, options);
+        const std::uint64_t alerts = result.final_configuration.count(2);
+        EXPECT_EQ(alerts == initial.population_size(), expect_alert) << marked;
+    }
+}
+
+TEST(Multiway, LargerGroupsBeatPairwiseStateCounts) {
+    // The structural point: the coincidence protocol has 3 states for every
+    // g, whereas the pairwise counting protocol needs g + 1.
+    for (std::size_t g : {3ull, 5ull, 9ull}) {
+        const auto protocol = make_multiway_coincidence_protocol(g);
+        EXPECT_EQ(protocol->num_states(), 3u);
+        EXPECT_EQ(protocol->group_size(), g);
+    }
+}
+
+TEST(Multiway, Validation) {
+    EXPECT_THROW(make_multiway_majority_protocol(1), std::invalid_argument);
+    const auto protocol = make_multiway_coincidence_protocol(4);
+    const auto too_small = inputs_for(*protocol, 1, 2);  // 3 agents < group of 4
+    MultiwayRunOptions options;
+    options.max_interactions = 10;
+    EXPECT_THROW(simulate_multiway(*protocol, too_small, options), std::invalid_argument);
+    EXPECT_THROW(analyze_multiway_stable_computation(*protocol, too_small),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,155 @@
+// The leader-driven population counter machine (Theorems 9 and 10).
+
+#include <gtest/gtest.h>
+
+#include "machines/examples.h"
+#include "machines/minsky.h"
+#include "randomized/population_machine.h"
+
+namespace popproto {
+namespace {
+
+PopulationMachineOptions options_for(std::uint64_t population, std::uint32_t k,
+                                     std::uint64_t seed) {
+    PopulationMachineOptions options;
+    options.timer_parameter = k;
+    options.share_capacity = 4;
+    options.max_interactions = 200ull * population * population * (k + 1) * 100;
+    options.seed = seed;
+    return options;
+}
+
+TEST(PopulationMachine, CountdownHalts) {
+    const CounterProgram program = make_countdown_program();
+    const auto result =
+        run_population_counter_machine(program, {9}, 16, options_for(16, 3, 1));
+    EXPECT_TRUE(result.halted);
+    EXPECT_FALSE(result.stuck);
+    EXPECT_EQ(result.counters[0], 0u);
+    EXPECT_GT(result.interactions, 0u);
+    EXPECT_GE(result.interactions, result.leader_encounters);
+}
+
+TEST(PopulationMachine, MultiplyMatchesDeterministicWhenNoErrors) {
+    const CounterProgram program = make_multiply_program(3);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto result =
+            run_population_counter_machine(program, {6, 0}, 24, options_for(24, 4, seed));
+        ASSERT_TRUE(result.halted) << seed;
+        if (result.zero_test_errors == 0) {
+            EXPECT_EQ(result.counters[0], 18u) << seed;
+            EXPECT_EQ(result.counters[1], 0u) << seed;
+        }
+    }
+}
+
+TEST(PopulationMachine, HighTimerParameterIsReliable) {
+    // With k = 4 on a 30-agent population, the Theta(n^-k / m) error rate is
+    // negligible; all runs should compute 5 * 4 = 20.  (The two terminal
+    // zero verdicts each wait about (n-1)^4 leader encounters, so give the
+    // run an explicit generous budget.)
+    const CounterProgram program = make_multiply_program(5);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        PopulationMachineOptions options = options_for(30, 4, seed);
+        options.max_interactions = 2'000'000'000ull;
+        const auto result = run_population_counter_machine(program, {4, 0}, 30, options);
+        ASSERT_TRUE(result.halted) << seed;
+        EXPECT_EQ(result.zero_test_errors, 0u) << seed;
+        EXPECT_EQ(result.counters[0], 20u) << seed;
+    }
+}
+
+TEST(PopulationMachine, LowTimerParameterErrsNoticeably) {
+    // k = 1 makes the zero test a coin-flip-grade heuristic: across many
+    // runs we must observe at least one premature zero verdict.
+    const CounterProgram program = make_multiply_program(2);
+    std::uint64_t total_errors = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        const auto result =
+            run_population_counter_machine(program, {8, 0}, 12, options_for(12, 1, seed));
+        total_errors += result.zero_test_errors;
+    }
+    EXPECT_GT(total_errors, 0u);
+}
+
+TEST(PopulationMachine, ZeroTestsAreCounted) {
+    const CounterProgram program = make_countdown_program();
+    const auto result =
+        run_population_counter_machine(program, {5, }, 16, options_for(16, 3, 3));
+    // Countdown performs one zero test per loop iteration plus the final one.
+    EXPECT_GE(result.zero_tests, 6u);
+}
+
+TEST(PopulationMachine, CapacityValidation) {
+    const CounterProgram program = make_countdown_program();
+    PopulationMachineOptions options = options_for(5, 2, 1);
+    options.share_capacity = 1;
+    // Population 5 => 3 carriers of capacity 1; counter value 9 cannot fit.
+    EXPECT_THROW(run_population_counter_machine(program, {9}, 5, options),
+                 std::invalid_argument);
+}
+
+TEST(PopulationMachine, PureJumpLoopIsDetected) {
+    CounterProgram spin;
+    spin.num_counters = 1;
+    spin.instructions = {{CounterInstruction::Op::kJump, 0, 0}};
+    const auto result = run_population_counter_machine(spin, {0}, 8, options_for(8, 2, 1));
+    EXPECT_FALSE(result.halted);
+    EXPECT_TRUE(result.stuck);
+}
+
+TEST(PopulationMachine, BudgetExhaustionReportsStuck) {
+    const CounterProgram program = make_multiply_program(3);
+    PopulationMachineOptions options = options_for(16, 3, 1);
+    options.max_interactions = 5;
+    const auto result = run_population_counter_machine(program, {6, 0}, 16, options);
+    EXPECT_FALSE(result.halted);
+    EXPECT_TRUE(result.stuck);
+}
+
+TEST(PopulationMachine, LeaderElectionPrologueRunsAndReports) {
+    const CounterProgram program = make_countdown_program();
+    PopulationMachineOptions options = options_for(32, 4, 7);
+    options.leader_election_prologue = true;
+    const auto result = run_population_counter_machine(program, {6}, 32, options);
+    EXPECT_TRUE(result.halted);
+    EXPECT_GT(result.election_interactions, 0u);
+    // The unrest phase costs Theta(n^2); sanity band around (n-1)^2.
+    EXPECT_GT(result.election_interactions, 100u);
+    EXPECT_LT(result.election_interactions, 40000u);
+}
+
+TEST(PopulationMachine, PrologueInitializationUsuallyCompletes) {
+    const CounterProgram program = make_countdown_program();
+    int incomplete = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        PopulationMachineOptions options = options_for(24, 4, seed);
+        options.leader_election_prologue = true;
+        const auto result = run_population_counter_machine(program, {4}, 24, options);
+        if (result.initialization_incomplete) ++incomplete;
+    }
+    // With k = 4 the coupon-collector phase almost always finishes first.
+    EXPECT_LE(incomplete, 4);
+}
+
+TEST(PopulationMachine, EndToEndMinskyParity) {
+    // Theorem 10 end to end: simulate the parity TM via its Minsky program on
+    // a population, with a high timer parameter for reliability.
+    const TuringMachine machine = make_unary_mod_turing_machine(2);
+    const MinskyProgram compiled = compile_turing_machine(machine);
+    for (std::uint32_t x : {3u, 4u}) {
+        const std::vector<std::uint32_t> input(x, 1);
+        PopulationMachineOptions options;
+        options.timer_parameter = 4;
+        options.share_capacity = 8;
+        options.max_interactions = 50'000'000'000ull;
+        options.seed = 100 + x;
+        const auto result = run_population_counter_machine(
+            compiled.program, compiled.initial_counters(input), 25, options);
+        ASSERT_TRUE(result.halted) << x;
+        EXPECT_EQ(result.exit_code == MinskyProgram::kAcceptExitCode, x % 2 == 0) << x;
+    }
+}
+
+}  // namespace
+}  // namespace popproto

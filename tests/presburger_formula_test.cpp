@@ -1,0 +1,132 @@
+// Formula AST: evaluation, derived comparisons, substitution, rendering.
+
+#include <gtest/gtest.h>
+
+#include "presburger/formula.h"
+
+namespace popproto {
+namespace {
+
+TEST(Formula, ThresholdAtomEvaluates) {
+    // 2x0 - x1 < 3
+    const Formula f = Formula::threshold({2, -1}, 3);
+    EXPECT_TRUE(f.evaluate({0, 0}));
+    EXPECT_TRUE(f.evaluate({1, 0}));
+    EXPECT_FALSE(f.evaluate({2, 0}));
+    EXPECT_TRUE(f.evaluate({2, 2}));
+    EXPECT_EQ(f.num_variables(), 2u);
+    EXPECT_EQ(f.num_atoms(), 1u);
+}
+
+TEST(Formula, CongruenceAtomEvaluates) {
+    // x0 + x1 = 2 (mod 3)
+    const Formula f = Formula::congruence({1, 1}, 2, 3);
+    EXPECT_FALSE(f.evaluate({0, 0}));
+    EXPECT_TRUE(f.evaluate({1, 1}));
+    EXPECT_TRUE(f.evaluate({5, 0}));
+    EXPECT_FALSE(f.evaluate({3, 0}));
+}
+
+TEST(Formula, CongruenceHandlesNegativeSums) {
+    // -x0 = 2 (mod 3): x0 = 1 satisfies (-1 = 2 mod 3).
+    const Formula f = Formula::congruence({-1}, 2, 3);
+    EXPECT_TRUE(f.evaluate({1}));
+    EXPECT_FALSE(f.evaluate({2}));
+    EXPECT_TRUE(f.evaluate({4}));
+}
+
+TEST(Formula, DerivedComparisons) {
+    const std::vector<std::int64_t> coeffs{1};
+    EXPECT_TRUE(Formula::at_most(coeffs, 3).evaluate({3}));
+    EXPECT_FALSE(Formula::at_most(coeffs, 3).evaluate({4}));
+    EXPECT_TRUE(Formula::at_least(coeffs, 3).evaluate({3}));
+    EXPECT_FALSE(Formula::at_least(coeffs, 3).evaluate({2}));
+    EXPECT_TRUE(Formula::equals(coeffs, 3).evaluate({3}));
+    EXPECT_FALSE(Formula::equals(coeffs, 3).evaluate({2}));
+    EXPECT_FALSE(Formula::equals(coeffs, 3).evaluate({4}));
+}
+
+TEST(Formula, BooleanConnectives) {
+    const Formula even = Formula::congruence({1}, 0, 2);
+    const Formula small = Formula::threshold({1}, 5);
+    const Formula both = Formula::conjunction(even, small);
+    const Formula either = Formula::disjunction(even, small);
+    const Formula odd = Formula::negation(even);
+
+    EXPECT_TRUE(both.evaluate({4}));
+    EXPECT_FALSE(both.evaluate({6}));
+    EXPECT_TRUE(either.evaluate({6}));
+    EXPECT_FALSE(either.evaluate({7}));
+    EXPECT_TRUE(odd.evaluate({7}));
+    EXPECT_FALSE(odd.evaluate({6}));
+    EXPECT_EQ(both.num_atoms(), 2u);
+    EXPECT_EQ(odd.num_atoms(), 1u);
+}
+
+TEST(Formula, MajorityFromPaperExample) {
+    // "At least 5% of the birds have fevers": 20 x1 >= x0 + x1, i.e.
+    // x0 - 19 x1 < 1 when rewritten; use at_least directly.
+    const Formula f = Formula::at_least({-1, 19}, 0);
+    EXPECT_TRUE(f.evaluate({19, 1}));
+    EXPECT_FALSE(f.evaluate({20, 1}));
+    EXPECT_TRUE(f.evaluate({0, 0}));
+}
+
+TEST(Formula, SubstituteTokensImplementsCorollary3) {
+    // Phi(y1, y2) = (y1 - 2 y2 = 0 mod 3), tokens from the paper's example:
+    // X = {(0,0), (1,0), (-1,0), (0,1), (0,-1)}.
+    const Formula phi = Formula::congruence({1, -2}, 0, 3);
+    const std::vector<std::vector<std::int64_t>> tokens = {
+        {0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    const Formula phi_tokens = phi.substitute_tokens(tokens);
+    EXPECT_EQ(phi_tokens.num_variables(), 5u);
+
+    // Token counts (z0..z4) represent y1 = z1 - z2, y2 = z3 - z4.
+    const auto check = [&](std::vector<std::int64_t> z) {
+        const std::int64_t y1 = z[1] - z[2];
+        const std::int64_t y2 = z[3] - z[4];
+        EXPECT_EQ(phi_tokens.evaluate(z), phi.evaluate({y1, y2}))
+            << "z = (" << z[0] << "," << z[1] << "," << z[2] << "," << z[3] << "," << z[4] << ")";
+    };
+    for (std::int64_t a = 0; a <= 2; ++a)
+        for (std::int64_t b = 0; b <= 2; ++b)
+            for (std::int64_t c = 0; c <= 2; ++c)
+                for (std::int64_t d = 0; d <= 2; ++d) check({1, a, b, c, d});
+}
+
+TEST(Formula, SubstituteRejectsRaggedTokens) {
+    const Formula f = Formula::threshold({1, 1}, 3);
+    EXPECT_THROW(f.substitute_tokens({{1, 0}, {1}}), std::invalid_argument);
+    EXPECT_THROW(f.substitute_tokens({}), std::invalid_argument);
+    EXPECT_THROW(f.substitute_tokens({{1}}), std::invalid_argument);
+}
+
+TEST(Formula, ToStringRendersStructure) {
+    const Formula f = Formula::conjunction(Formula::threshold({2, -1}, 3),
+                                           Formula::negation(Formula::congruence({1}, 1, 2)));
+    const std::string text = f.to_string();
+    EXPECT_NE(text.find("2 x0"), std::string::npos);
+    EXPECT_NE(text.find("< 3"), std::string::npos);
+    EXPECT_NE(text.find("mod 2"), std::string::npos);
+    EXPECT_NE(text.find("&"), std::string::npos);
+    EXPECT_NE(text.find("!"), std::string::npos);
+}
+
+TEST(Formula, AccessorsEnforceKind) {
+    const Formula atom = Formula::threshold({1}, 0);
+    EXPECT_THROW(atom.left(), std::invalid_argument);
+    EXPECT_THROW(atom.child(), std::invalid_argument);
+    EXPECT_THROW(atom.congruence_atom(), std::invalid_argument);
+    const Formula neg = Formula::negation(atom);
+    EXPECT_NO_THROW(neg.child());
+    EXPECT_THROW(neg.right(), std::invalid_argument);
+}
+
+TEST(Formula, ConstructorsValidate) {
+    EXPECT_THROW(Formula::threshold({}, 0), std::invalid_argument);
+    EXPECT_THROW(Formula::congruence({1}, 0, 1), std::invalid_argument);
+    EXPECT_THROW(Formula::congruence({1}, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,114 @@
+// Deterministic schedulers: correctness of stably-computing protocols under
+// round-robin and sweep activation (and the footnote-2 caveat, documented).
+
+#include <gtest/gtest.h>
+
+#include "core/debug.h"
+#include "core/schedulers.h"
+#include "presburger/atom_protocols.h"
+#include "protocols/counting.h"
+
+namespace popproto {
+namespace {
+
+AgentConfiguration counting_inputs(const TabulatedProtocol& protocol, std::size_t zeros,
+                                   std::size_t ones) {
+    std::vector<Symbol> inputs(zeros, kInputZero);
+    inputs.insert(inputs.end(), ones, kInputOne);
+    return AgentConfiguration::from_inputs(protocol, inputs);
+}
+
+TEST(Schedulers, RoundRobinCyclesAllOrderedPairs) {
+    const auto protocol = make_counting_protocol(2);
+    const auto agents = counting_inputs(*protocol, 2, 1);
+    RoundRobinScheduler scheduler(3);
+    std::set<AgentPair> seen;
+    for (int step = 0; step < 6; ++step) seen.insert(scheduler.next(agents));
+    EXPECT_EQ(seen.size(), 6u);  // all 3*2 ordered pairs in one cycle
+    // The cycle repeats.
+    EXPECT_EQ(scheduler.next(agents), (AgentPair{0, 1}));
+}
+
+TEST(Schedulers, RoundRobinConvergesCounting) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = counting_inputs(*protocol, 9, 4);
+    RoundRobinScheduler scheduler(13);
+    RunOptions options;
+    options.max_interactions = default_budget(13);
+    const RunResult result = simulate_with_scheduler(*protocol, initial, scheduler, options);
+    EXPECT_EQ(result.stop_reason, StopReason::kSilent);
+    ASSERT_TRUE(result.consensus.has_value());
+    EXPECT_EQ(*result.consensus, kOutputTrue);
+}
+
+TEST(Schedulers, RoundRobinConvergesMajority) {
+    const auto protocol = make_threshold_protocol({1, -1}, 0);
+    std::vector<Symbol> inputs(7, 0);
+    inputs.insert(inputs.end(), 9, 1);
+    const auto initial = AgentConfiguration::from_inputs(*protocol, inputs);
+    RoundRobinScheduler scheduler(16);
+    RunOptions options;
+    options.max_interactions = default_budget(16, 256.0);
+    const RunResult result = simulate_with_scheduler(*protocol, initial, scheduler, options);
+    ASSERT_TRUE(result.consensus.has_value());
+    EXPECT_EQ(*result.consensus, kOutputTrue);  // 7 < 9
+}
+
+TEST(Schedulers, SweepSchedulerConverges) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = counting_inputs(*protocol, 10, 3);
+    SweepScheduler scheduler(13, 5);
+    RunOptions options;
+    options.max_interactions = default_budget(13);
+    const RunResult result = simulate_with_scheduler(*protocol, initial, scheduler, options);
+    ASSERT_TRUE(result.consensus.has_value());
+    EXPECT_EQ(*result.consensus, kOutputTrue);
+}
+
+TEST(Schedulers, SweepCoversEveryPairEachSweep) {
+    const auto protocol = make_counting_protocol(2);
+    const auto agents = counting_inputs(*protocol, 3, 1);
+    SweepScheduler scheduler(4, 9);
+    std::set<AgentPair> seen;
+    for (int step = 0; step < 12; ++step) seen.insert(scheduler.next(agents));
+    EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(Schedulers, DeterministicRoundRobinIsReproducible) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = counting_inputs(*protocol, 6, 2);
+    RunOptions options;
+    options.max_interactions = default_budget(8);
+    RoundRobinScheduler a(8);
+    RoundRobinScheduler b(8);
+    const RunResult ra = simulate_with_scheduler(*protocol, initial, a, options);
+    const RunResult rb = simulate_with_scheduler(*protocol, initial, b, options);
+    EXPECT_EQ(ra.interactions, rb.interactions);
+    EXPECT_EQ(ra.final_configuration, rb.final_configuration);
+}
+
+TEST(Schedulers, PopulationSizeMismatchDetected) {
+    const auto protocol = make_counting_protocol(2);
+    const auto agents = counting_inputs(*protocol, 2, 1);
+    RoundRobinScheduler scheduler(5);  // built for 5 agents, given 3
+    EXPECT_THROW(scheduler.next(agents), std::invalid_argument);
+}
+
+TEST(Debug, DescribeProtocolListsTransitions) {
+    const auto protocol = make_counting_protocol(2);
+    const std::string text = describe_protocol(*protocol);
+    EXPECT_NE(text.find("states (3)"), std::string::npos);
+    EXPECT_NE(text.find("(q1, q1) -> (q2, q2)"), std::string::npos);
+    EXPECT_NE(text.find("inputs  (2)"), std::string::npos);
+}
+
+TEST(Debug, DotExportIsWellFormed) {
+    const auto protocol = make_counting_protocol(2);
+    const std::string dot = protocol_to_dot(*protocol);
+    EXPECT_EQ(dot.rfind("digraph protocol {", 0), 0u);
+    EXPECT_NE(dot.find("q1 -> q2"), std::string::npos);
+    EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popproto

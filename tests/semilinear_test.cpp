@@ -1,0 +1,99 @@
+// Semilinear sets and their equivalence with Presburger formulas on
+// enumerated vectors (spot-checks of Theorem 3, Ginsburg & Spanier).
+
+#include <gtest/gtest.h>
+
+#include "presburger/formula.h"
+#include "presburger/semilinear.h"
+#include "test_util.h"
+
+namespace popproto {
+namespace {
+
+TEST(LinearSet, BaseOnly) {
+    const LinearSet set{{2, 1}, {}};
+    EXPECT_TRUE(set.contains({2, 1}));
+    EXPECT_FALSE(set.contains({2, 2}));
+    EXPECT_FALSE(set.contains({1, 1}));
+}
+
+TEST(LinearSet, SinglePeriod) {
+    // {(1, 0) + k (2, 1)} = {(1+2k, k)}.
+    const LinearSet set{{1, 0}, {{2, 1}}};
+    EXPECT_TRUE(set.contains({1, 0}));
+    EXPECT_TRUE(set.contains({3, 1}));
+    EXPECT_TRUE(set.contains({7, 3}));
+    EXPECT_FALSE(set.contains({5, 1}));
+    EXPECT_FALSE(set.contains({2, 0}));
+}
+
+TEST(LinearSet, MultiplePeriodsRequireSearch) {
+    // base (0,0), periods (2,1) and (1,2): reachable = {a(2,1)+b(1,2)}.
+    const LinearSet set{{0, 0}, {{2, 1}, {1, 2}}};
+    EXPECT_TRUE(set.contains({0, 0}));
+    EXPECT_TRUE(set.contains({3, 3}));   // (2,1)+(1,2)
+    EXPECT_TRUE(set.contains({4, 2}));   // 2(2,1)
+    EXPECT_TRUE(set.contains({5, 4}));   // 2(2,1)+(1,2)
+    EXPECT_FALSE(set.contains({1, 0}));
+    EXPECT_FALSE(set.contains({2, 0}));
+}
+
+TEST(LinearSet, IgnoresZeroPeriods) {
+    const LinearSet set{{1}, {{0}, {2}}};
+    EXPECT_TRUE(set.contains({5}));
+    EXPECT_FALSE(set.contains({4}));
+}
+
+TEST(LinearSet, DimensionMismatchThrows) {
+    const LinearSet set{{1, 2}, {}};
+    EXPECT_THROW(set.contains({1}), std::invalid_argument);
+}
+
+TEST(SemilinearSet, UnionOfComponents) {
+    // Even numbers union {5}.
+    const SemilinearSet set{{LinearSet{{0}, {{2}}}, LinearSet{{5}, {}}}};
+    EXPECT_TRUE(set.contains({0}));
+    EXPECT_TRUE(set.contains({8}));
+    EXPECT_TRUE(set.contains({5}));
+    EXPECT_FALSE(set.contains({3}));
+}
+
+TEST(SemilinearSet, CongruenceMatchesFormula) {
+    // x = 1 (mod 3) as the linear set {1 + 3k}.
+    const SemilinearSet set{{LinearSet{{1}, {{3}}}}};
+    const Formula formula = Formula::congruence({1}, 1, 3);
+    for (std::uint64_t x = 0; x <= 30; ++x)
+        EXPECT_EQ(set.contains({x}), formula.evaluate({static_cast<std::int64_t>(x)})) << x;
+}
+
+TEST(SemilinearSet, MajorityMatchesFormula) {
+    // { (x0, x1) : x1 > x0 } = base (0,1) + periods (1,1), (0,1).
+    const SemilinearSet set{{LinearSet{{0, 1}, {{1, 1}, {0, 1}}}}};
+    const Formula formula = Formula::threshold({1, -1}, 0);  // x0 - x1 < 0
+    for (std::uint64_t n = 0; n <= 12; ++n) {
+        testutil::for_each_composition(n, 2, [&](const std::vector<std::uint64_t>& counts) {
+            EXPECT_EQ(set.contains(counts), formula.evaluate(testutil::to_signed(counts)))
+                << counts[0] << "," << counts[1];
+        });
+    }
+}
+
+TEST(SemilinearSet, ThresholdMatchesFormula) {
+    // { x : x >= 5 } = base 5 + period 1.
+    const SemilinearSet set{{LinearSet{{5}, {{1}}}}};
+    const Formula formula = Formula::at_least({1}, 5);
+    for (std::uint64_t x = 0; x <= 20; ++x)
+        EXPECT_EQ(set.contains({x}), formula.evaluate({static_cast<std::int64_t>(x)})) << x;
+}
+
+TEST(SemilinearSet, BooleanCombinationMatchesFormula) {
+    // (x even) OR (x >= 7): semilinear union; formula disjunction.
+    const SemilinearSet set{{LinearSet{{0}, {{2}}}, LinearSet{{7}, {{1}}}}};
+    const Formula formula =
+        Formula::disjunction(Formula::congruence({1}, 0, 2), Formula::at_least({1}, 7));
+    for (std::uint64_t x = 0; x <= 25; ++x)
+        EXPECT_EQ(set.contains({x}), formula.evaluate({static_cast<std::int64_t>(x)})) << x;
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,41 @@
+// Shared helpers for the test suite.
+
+#ifndef POPPROTO_TESTS_TEST_UTIL_H
+#define POPPROTO_TESTS_TEST_UTIL_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace popproto::testutil {
+
+/// Calls `visit` with every vector of `slots` non-negative integers summing
+/// to exactly `total` (the input-count assignments of a population of size
+/// `total` over `slots` input symbols).
+inline void for_each_composition(std::uint64_t total, std::size_t slots,
+                                 const std::function<void(const std::vector<std::uint64_t>&)>& visit) {
+    std::vector<std::uint64_t> current(slots, 0);
+    const std::function<void(std::size_t, std::uint64_t)> recurse =
+        [&](std::size_t index, std::uint64_t remaining) {
+            if (index + 1 == slots) {
+                current[index] = remaining;
+                visit(current);
+                return;
+            }
+            for (std::uint64_t value = 0; value <= remaining; ++value) {
+                current[index] = value;
+                recurse(index + 1, remaining - value);
+            }
+        };
+    if (slots == 0) return;
+    recurse(0, total);
+}
+
+/// Signed copy of an unsigned count vector (for Formula::evaluate).
+inline std::vector<std::int64_t> to_signed(const std::vector<std::uint64_t>& counts) {
+    return {counts.begin(), counts.end()};
+}
+
+}  // namespace popproto::testutil
+
+#endif  // POPPROTO_TESTS_TEST_UTIL_H

@@ -1,0 +1,78 @@
+// The repeated-trial measurement harness.
+
+#include <gtest/gtest.h>
+
+#include "protocols/counting.h"
+#include "protocols/epidemic.h"
+#include "randomized/trials.h"
+
+namespace popproto {
+namespace {
+
+TEST(Trials, CountsCorrectConsensusRuns) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 5});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(15);
+    options.base.seed = 100;
+    options.trials = 25;
+    options.expected_consensus = kOutputTrue;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+    EXPECT_EQ(summary.trials, 25u);
+    EXPECT_EQ(summary.correct, 25u);
+    EXPECT_EQ(summary.silent, 25u);
+    EXPECT_NEAR(summary.correct_rate(), 1.0, 1e-12);
+}
+
+TEST(Trials, OrderStatisticsAreConsistent) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {30, 1});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(31);
+    options.base.seed = 7;
+    options.trials = 40;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+    EXPECT_LE(summary.min_convergence, summary.median_convergence);
+    EXPECT_LE(summary.median_convergence, summary.max_convergence);
+    EXPECT_GE(summary.mean_convergence, static_cast<double>(summary.min_convergence));
+    EXPECT_LE(summary.mean_convergence, static_cast<double>(summary.max_convergence));
+    EXPECT_GT(summary.stddev_convergence, 0.0);
+    // Epidemic completion: the mean lands near the closed form.
+    EXPECT_NEAR(summary.mean_convergence, epidemic_expected_interactions(31, 1),
+                0.35 * epidemic_expected_interactions(31, 1));
+}
+
+TEST(Trials, WrongExpectationYieldsZeroCorrect) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 5});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(15);
+    options.trials = 5;
+    options.expected_consensus = kOutputFalse;  // truth is "true"
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+    EXPECT_EQ(summary.correct, 0u);
+}
+
+TEST(Trials, SeedsAdvancePerTrial) {
+    // Distinct seeds produce convergence-time dispersion.
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {20, 1});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(21);
+    options.base.seed = 1;
+    options.trials = 10;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+    EXPECT_NE(summary.min_convergence, summary.max_convergence);
+}
+
+TEST(Trials, Validation) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {2, 2});
+    TrialOptions options;
+    options.base.max_interactions = 1000;
+    options.trials = 0;
+    EXPECT_THROW(measure_trials(*protocol, initial, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,117 @@
+// Urn automata (the Sect. 8 / TR-1280 extension).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "randomized/urn.h"
+#include "randomized/urn_automaton.h"
+
+namespace popproto {
+namespace {
+
+TEST(UrnAutomaton, ParityIsExact) {
+    const UrnAutomaton automaton = make_parity_urn_automaton();
+    Rng rng(1);
+    for (std::uint64_t tokens = 0; tokens <= 20; ++tokens) {
+        const UrnAutomatonRun run = run_urn_automaton(automaton, {tokens}, 1000, rng);
+        ASSERT_TRUE(run.halted) << tokens;
+        EXPECT_EQ(run.exit_code, tokens % 2) << tokens;
+        EXPECT_EQ(run.draws, tokens) << tokens;  // each draw consumes one token
+        EXPECT_EQ(run.tokens[0], 0u);
+    }
+}
+
+TEST(UrnAutomaton, ZeroTestMatchesLemma11ClosedForm) {
+    // The zero-test automaton is the Lemma 11 urn process by construction;
+    // its loss rate must match (N-1)/(m N^k + N-1-m).
+    const std::uint64_t tokens = 16;
+    const std::uint64_t counters = 2;
+    for (std::uint32_t k : {1u, 2u, 3u}) {
+        const UrnAutomaton automaton = make_zero_test_urn_automaton(k);
+        Rng rng(100 + k);
+        const int trials = 200000;
+        int losses = 0;
+        for (int trial = 0; trial < trials; ++trial) {
+            const UrnAutomatonRun run = run_urn_automaton(
+                automaton, {1, counters, tokens - 1 - counters}, 1u << 24, rng);
+            ASSERT_TRUE(run.halted);
+            if (run.exit_code == 1) ++losses;
+        }
+        const double closed = urn_loss_probability(tokens, counters, k);
+        const double observed = static_cast<double>(losses) / trials;
+        EXPECT_NEAR(observed, closed, 3 * std::sqrt(closed / trials) + 5e-4) << "k=" << k;
+    }
+}
+
+TEST(UrnAutomaton, ZeroTestPreservesTheUrn) {
+    const UrnAutomaton automaton = make_zero_test_urn_automaton(2);
+    Rng rng(5);
+    const std::vector<std::uint64_t> initial{1, 3, 6};
+    const UrnAutomatonRun run = run_urn_automaton(automaton, initial, 1u << 24, rng);
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.tokens, initial);  // every drawn token was re-inserted
+}
+
+TEST(UrnAutomaton, EmptyUrnOnZeroTestReportsZero) {
+    const UrnAutomaton automaton = make_zero_test_urn_automaton(2);
+    Rng rng(6);
+    const UrnAutomatonRun run = run_urn_automaton(automaton, {0, 0, 0}, 10, rng);
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.exit_code, 1u);
+    EXPECT_EQ(run.draws, 0u);
+}
+
+TEST(UrnAutomaton, BudgetExhaustionReportsNotHalted) {
+    // A one-state automaton that always re-inserts never halts.
+    UrnAutomaton automaton;
+    automaton.num_states = 1;
+    automaton.num_token_types = 1;
+    automaton.initial_state = 0;
+    automaton.rules = {UrnRule{0, {0}}};
+    automaton.halt_exit = {std::nullopt};
+    automaton.empty_exit = {0};
+    Rng rng(7);
+    const UrnAutomatonRun run = run_urn_automaton(automaton, {5}, 100, rng);
+    EXPECT_FALSE(run.halted);
+    EXPECT_EQ(run.draws, 100u);
+}
+
+TEST(UrnAutomaton, UrnCanGrow) {
+    // Doubling automaton: each drawn token is replaced by two "output"
+    // tokens; halts on empty with the input consumed and 2x tokens present.
+    UrnAutomaton automaton;
+    automaton.num_states = 1;
+    automaton.num_token_types = 2;
+    automaton.initial_state = 0;
+    automaton.rules = {
+        UrnRule{0, {1, 1}},  // input token -> two output tokens
+        UrnRule{0, {}},      // output tokens are consumed (drain phase)
+    };
+    automaton.halt_exit = {std::nullopt};
+    automaton.empty_exit = {0};
+    Rng rng(8);
+    const UrnAutomatonRun run = run_urn_automaton(automaton, {4, 0}, 10000, rng);
+    ASSERT_TRUE(run.halted);
+    // All tokens eventually drain (outputs are consumed when drawn).
+    EXPECT_EQ(run.tokens[0], 0u);
+    EXPECT_EQ(run.tokens[1], 0u);
+}
+
+TEST(UrnAutomaton, Validation) {
+    UrnAutomaton automaton = make_parity_urn_automaton();
+    automaton.rules[0].next_state = 9;
+    EXPECT_THROW(automaton.validate(), std::invalid_argument);
+
+    UrnAutomaton bad_insert = make_parity_urn_automaton();
+    bad_insert.rules[0].insert = {7};
+    EXPECT_THROW(bad_insert.validate(), std::invalid_argument);
+
+    const UrnAutomaton good = make_parity_urn_automaton();
+    Rng rng(9);
+    EXPECT_THROW(run_urn_automaton(good, {1, 2}, 10, rng), std::invalid_argument);
+    EXPECT_THROW(run_urn_automaton(good, {1}, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,0 +1,116 @@
+// Lemma 11 urn process: closed form vs. Markov solution vs. sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "randomized/urn.h"
+
+namespace popproto {
+namespace {
+
+using UrnCase = std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>;  // (N, m, k)
+
+class UrnClosedForm : public ::testing::TestWithParam<UrnCase> {};
+
+TEST_P(UrnClosedForm, MatchesMarkovSolution) {
+    const auto [tokens, counters, k] = GetParam();
+    const double closed = urn_loss_probability(tokens, counters, k);
+    const double dp = urn_loss_probability_dp(tokens, counters, k);
+    EXPECT_NEAR(closed, dp, 1e-12) << "N=" << tokens << " m=" << counters << " k=" << k;
+}
+
+TEST_P(UrnClosedForm, SamplingAgrees) {
+    const auto [tokens, counters, k] = GetParam();
+    const double closed = urn_loss_probability(tokens, counters, k);
+    Rng rng(tokens * 1000 + counters * 10 + k);
+    const int trials = 200000;
+    int losses = 0;
+    for (int t = 0; t < trials; ++t)
+        if (sample_urn(tokens, counters, k, rng).lost) ++losses;
+    const double observed = static_cast<double>(losses) / trials;
+    // Three-sigma band of the binomial estimate, plus an absolute floor for
+    // probabilities near zero.
+    const double sigma = std::sqrt(closed * (1 - closed) / trials);
+    EXPECT_NEAR(observed, closed, 3 * sigma + 5e-5)
+        << "N=" << tokens << " m=" << counters << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UrnClosedForm,
+    ::testing::Values(UrnCase{4, 1, 1}, UrnCase{4, 1, 2}, UrnCase{4, 2, 2},
+                      UrnCase{10, 1, 1}, UrnCase{10, 3, 2}, UrnCase{10, 9, 1},
+                      UrnCase{25, 5, 2}, UrnCase{25, 1, 3}, UrnCase{50, 10, 2}));
+
+TEST(Urn, LossProbabilityIsOneWithoutCounters) {
+    EXPECT_EQ(urn_loss_probability(10, 0, 2), 1.0);
+    EXPECT_EQ(urn_loss_probability_dp(10, 0, 2), 1.0);
+}
+
+TEST(Urn, LossProbabilityDecreasesInK) {
+    double previous = 1.0;
+    for (std::uint32_t k = 1; k <= 5; ++k) {
+        const double p = urn_loss_probability(20, 3, k);
+        EXPECT_LT(p, previous);
+        previous = p;
+    }
+}
+
+TEST(Urn, LossProbabilityMatchesPaperUpperBound) {
+    // Lemma 11(1) bound: p <= 1 / (m N^{k-1}).
+    for (std::uint64_t tokens : {5ull, 20ull}) {
+        for (std::uint64_t counters : {1ull, 3ull}) {
+            for (std::uint32_t k : {1u, 2u, 3u}) {
+                const double p = urn_loss_probability(tokens, counters, k);
+                const double bound =
+                    1.0 / (static_cast<double>(counters) *
+                           std::pow(static_cast<double>(tokens), k - 1.0));
+                EXPECT_LE(p, bound + 1e-12);
+            }
+        }
+    }
+}
+
+TEST(Urn, WinningDrawsRespectBound) {
+    // Lemma 11(2): E[draws | win] <= N/m.  Estimate the conditional mean.
+    const std::uint64_t tokens = 20;
+    const std::uint64_t counters = 4;
+    const std::uint32_t k = 3;
+    Rng rng(77);
+    double total_draws = 0;
+    int wins = 0;
+    for (int t = 0; t < 100000; ++t) {
+        const UrnOutcome outcome = sample_urn(tokens, counters, k, rng);
+        if (!outcome.lost) {
+            total_draws += static_cast<double>(outcome.draws);
+            ++wins;
+        }
+    }
+    ASSERT_GT(wins, 0);
+    const double mean = total_draws / wins;
+    EXPECT_LE(mean, urn_expected_draws_win_bound(tokens, counters) * 1.02);
+}
+
+TEST(Urn, EmptyUrnDrawsRespectBound) {
+    // Lemma 11(3): with m = 0 the expected draws to lose is O(N^k).
+    const std::uint64_t tokens = 6;
+    const std::uint32_t k = 2;
+    Rng rng(99);
+    double total = 0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) total += static_cast<double>(sample_urn(tokens, 0, k, rng).draws);
+    const double mean = total / trials;
+    EXPECT_LE(mean, urn_expected_draws_empty_bound(tokens, k) * 1.05);
+    EXPECT_GE(mean, 1.0);
+}
+
+TEST(Urn, ParameterValidation) {
+    EXPECT_THROW(urn_loss_probability(1, 0, 1), std::invalid_argument);
+    EXPECT_THROW(urn_loss_probability(5, 5, 1), std::invalid_argument);
+    EXPECT_THROW(urn_loss_probability(5, 1, 0), std::invalid_argument);
+    EXPECT_THROW(urn_expected_draws_win_bound(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace popproto
