@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_count_to_five.dir/bench_count_to_five.cpp.o"
+  "CMakeFiles/bench_count_to_five.dir/bench_count_to_five.cpp.o.d"
+  "bench_count_to_five"
+  "bench_count_to_five.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_count_to_five.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

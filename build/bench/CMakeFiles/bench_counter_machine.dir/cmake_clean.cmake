@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counter_machine.dir/bench_counter_machine.cpp.o"
+  "CMakeFiles/bench_counter_machine.dir/bench_counter_machine.cpp.o.d"
+  "bench_counter_machine"
+  "bench_counter_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counter_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

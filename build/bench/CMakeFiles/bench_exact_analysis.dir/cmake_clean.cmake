@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_analysis.dir/bench_exact_analysis.cpp.o"
+  "CMakeFiles/bench_exact_analysis.dir/bench_exact_analysis.cpp.o.d"
+  "bench_exact_analysis"
+  "bench_exact_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

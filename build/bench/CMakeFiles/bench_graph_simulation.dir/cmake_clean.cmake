@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_simulation.dir/bench_graph_simulation.cpp.o"
+  "CMakeFiles/bench_graph_simulation.dir/bench_graph_simulation.cpp.o.d"
+  "bench_graph_simulation"
+  "bench_graph_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_one_way.dir/bench_one_way.cpp.o"
+  "CMakeFiles/bench_one_way.dir/bench_one_way.cpp.o.d"
+  "bench_one_way"
+  "bench_one_way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_one_way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_presburger.dir/bench_presburger.cpp.o"
+  "CMakeFiles/bench_presburger.dir/bench_presburger.cpp.o.d"
+  "bench_presburger"
+  "bench_presburger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_presburger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remainder.dir/bench_remainder.cpp.o"
+  "CMakeFiles/bench_remainder.dir/bench_remainder.cpp.o.d"
+  "bench_remainder"
+  "bench_remainder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remainder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

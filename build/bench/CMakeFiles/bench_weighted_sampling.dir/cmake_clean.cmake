@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weighted_sampling.dir/bench_weighted_sampling.cpp.o"
+  "CMakeFiles/bench_weighted_sampling.dir/bench_weighted_sampling.cpp.o.d"
+  "bench_weighted_sampling"
+  "bench_weighted_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

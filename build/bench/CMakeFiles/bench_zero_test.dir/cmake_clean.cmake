@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zero_test.dir/bench_zero_test.cpp.o"
+  "CMakeFiles/bench_zero_test.dir/bench_zero_test.cpp.o.d"
+  "bench_zero_test"
+  "bench_zero_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/distributed_arithmetic.cpp" "examples/CMakeFiles/distributed_arithmetic.dir/distributed_arithmetic.cpp.o" "gcc" "examples/CMakeFiles/distributed_arithmetic.dir/distributed_arithmetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/popproto_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/popproto_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/popproto_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/presburger/CMakeFiles/popproto_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/popproto_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/randomized/CMakeFiles/popproto_randomized.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_arithmetic.dir/distributed_arithmetic.cpp.o"
+  "CMakeFiles/distributed_arithmetic.dir/distributed_arithmetic.cpp.o.d"
+  "distributed_arithmetic"
+  "distributed_arithmetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_arithmetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

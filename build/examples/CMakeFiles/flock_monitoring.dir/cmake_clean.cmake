@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_monitoring.dir/flock_monitoring.cpp.o"
+  "CMakeFiles/flock_monitoring.dir/flock_monitoring.cpp.o.d"
+  "flock_monitoring"
+  "flock_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_deployment.dir/graph_deployment.cpp.o"
+  "CMakeFiles/graph_deployment.dir/graph_deployment.cpp.o.d"
+  "graph_deployment"
+  "graph_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_lab.dir/predicate_lab.cpp.o"
+  "CMakeFiles/predicate_lab.dir/predicate_lab.cpp.o.d"
+  "predicate_lab"
+  "predicate_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

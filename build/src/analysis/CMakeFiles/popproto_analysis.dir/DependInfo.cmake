@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/markov.cpp" "src/analysis/CMakeFiles/popproto_analysis.dir/markov.cpp.o" "gcc" "src/analysis/CMakeFiles/popproto_analysis.dir/markov.cpp.o.d"
+  "/root/repo/src/analysis/reachability.cpp" "src/analysis/CMakeFiles/popproto_analysis.dir/reachability.cpp.o" "gcc" "src/analysis/CMakeFiles/popproto_analysis.dir/reachability.cpp.o.d"
+  "/root/repo/src/analysis/stable_computation.cpp" "src/analysis/CMakeFiles/popproto_analysis.dir/stable_computation.cpp.o" "gcc" "src/analysis/CMakeFiles/popproto_analysis.dir/stable_computation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_analysis.dir/markov.cpp.o"
+  "CMakeFiles/popproto_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/popproto_analysis.dir/reachability.cpp.o"
+  "CMakeFiles/popproto_analysis.dir/reachability.cpp.o.d"
+  "CMakeFiles/popproto_analysis.dir/stable_computation.cpp.o"
+  "CMakeFiles/popproto_analysis.dir/stable_computation.cpp.o.d"
+  "libpopproto_analysis.a"
+  "libpopproto_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combinators.cpp" "src/core/CMakeFiles/popproto_core.dir/combinators.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/combinators.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/core/CMakeFiles/popproto_core.dir/configuration.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/configuration.cpp.o.d"
+  "/root/repo/src/core/conventions.cpp" "src/core/CMakeFiles/popproto_core.dir/conventions.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/conventions.cpp.o.d"
+  "/root/repo/src/core/debug.cpp" "src/core/CMakeFiles/popproto_core.dir/debug.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/debug.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/popproto_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/protocol_io.cpp" "src/core/CMakeFiles/popproto_core.dir/protocol_io.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/protocol_io.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/popproto_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/schedulers.cpp" "src/core/CMakeFiles/popproto_core.dir/schedulers.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/schedulers.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/popproto_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/tabulated_protocol.cpp" "src/core/CMakeFiles/popproto_core.dir/tabulated_protocol.cpp.o" "gcc" "src/core/CMakeFiles/popproto_core.dir/tabulated_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

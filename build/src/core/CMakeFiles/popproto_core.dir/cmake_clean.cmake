@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_core.dir/combinators.cpp.o"
+  "CMakeFiles/popproto_core.dir/combinators.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/configuration.cpp.o"
+  "CMakeFiles/popproto_core.dir/configuration.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/conventions.cpp.o"
+  "CMakeFiles/popproto_core.dir/conventions.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/debug.cpp.o"
+  "CMakeFiles/popproto_core.dir/debug.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/protocol.cpp.o"
+  "CMakeFiles/popproto_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/protocol_io.cpp.o"
+  "CMakeFiles/popproto_core.dir/protocol_io.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/rng.cpp.o"
+  "CMakeFiles/popproto_core.dir/rng.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/schedulers.cpp.o"
+  "CMakeFiles/popproto_core.dir/schedulers.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/simulator.cpp.o"
+  "CMakeFiles/popproto_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/popproto_core.dir/tabulated_protocol.cpp.o"
+  "CMakeFiles/popproto_core.dir/tabulated_protocol.cpp.o.d"
+  "libpopproto_core.a"
+  "libpopproto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

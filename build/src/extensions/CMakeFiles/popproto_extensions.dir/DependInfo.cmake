@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extensions/birth_death.cpp" "src/extensions/CMakeFiles/popproto_extensions.dir/birth_death.cpp.o" "gcc" "src/extensions/CMakeFiles/popproto_extensions.dir/birth_death.cpp.o.d"
+  "/root/repo/src/extensions/multiway.cpp" "src/extensions/CMakeFiles/popproto_extensions.dir/multiway.cpp.o" "gcc" "src/extensions/CMakeFiles/popproto_extensions.dir/multiway.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/popproto_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

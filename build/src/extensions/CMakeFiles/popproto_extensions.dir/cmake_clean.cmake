@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_extensions.dir/birth_death.cpp.o"
+  "CMakeFiles/popproto_extensions.dir/birth_death.cpp.o.d"
+  "CMakeFiles/popproto_extensions.dir/multiway.cpp.o"
+  "CMakeFiles/popproto_extensions.dir/multiway.cpp.o.d"
+  "libpopproto_extensions.a"
+  "libpopproto_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

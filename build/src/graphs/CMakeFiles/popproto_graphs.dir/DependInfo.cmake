@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphs/graph_analysis.cpp" "src/graphs/CMakeFiles/popproto_graphs.dir/graph_analysis.cpp.o" "gcc" "src/graphs/CMakeFiles/popproto_graphs.dir/graph_analysis.cpp.o.d"
+  "/root/repo/src/graphs/graph_simulation.cpp" "src/graphs/CMakeFiles/popproto_graphs.dir/graph_simulation.cpp.o" "gcc" "src/graphs/CMakeFiles/popproto_graphs.dir/graph_simulation.cpp.o.d"
+  "/root/repo/src/graphs/interaction_graph.cpp" "src/graphs/CMakeFiles/popproto_graphs.dir/interaction_graph.cpp.o" "gcc" "src/graphs/CMakeFiles/popproto_graphs.dir/interaction_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/popproto_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

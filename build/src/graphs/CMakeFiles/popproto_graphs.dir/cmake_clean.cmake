@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_graphs.dir/graph_analysis.cpp.o"
+  "CMakeFiles/popproto_graphs.dir/graph_analysis.cpp.o.d"
+  "CMakeFiles/popproto_graphs.dir/graph_simulation.cpp.o"
+  "CMakeFiles/popproto_graphs.dir/graph_simulation.cpp.o.d"
+  "CMakeFiles/popproto_graphs.dir/interaction_graph.cpp.o"
+  "CMakeFiles/popproto_graphs.dir/interaction_graph.cpp.o.d"
+  "libpopproto_graphs.a"
+  "libpopproto_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

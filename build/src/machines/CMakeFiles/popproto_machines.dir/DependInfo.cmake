@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machines/counter_machine.cpp" "src/machines/CMakeFiles/popproto_machines.dir/counter_machine.cpp.o" "gcc" "src/machines/CMakeFiles/popproto_machines.dir/counter_machine.cpp.o.d"
+  "/root/repo/src/machines/examples.cpp" "src/machines/CMakeFiles/popproto_machines.dir/examples.cpp.o" "gcc" "src/machines/CMakeFiles/popproto_machines.dir/examples.cpp.o.d"
+  "/root/repo/src/machines/minsky.cpp" "src/machines/CMakeFiles/popproto_machines.dir/minsky.cpp.o" "gcc" "src/machines/CMakeFiles/popproto_machines.dir/minsky.cpp.o.d"
+  "/root/repo/src/machines/program_builder.cpp" "src/machines/CMakeFiles/popproto_machines.dir/program_builder.cpp.o" "gcc" "src/machines/CMakeFiles/popproto_machines.dir/program_builder.cpp.o.d"
+  "/root/repo/src/machines/turing_machine.cpp" "src/machines/CMakeFiles/popproto_machines.dir/turing_machine.cpp.o" "gcc" "src/machines/CMakeFiles/popproto_machines.dir/turing_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

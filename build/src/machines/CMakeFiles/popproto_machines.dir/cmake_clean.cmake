@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_machines.dir/counter_machine.cpp.o"
+  "CMakeFiles/popproto_machines.dir/counter_machine.cpp.o.d"
+  "CMakeFiles/popproto_machines.dir/examples.cpp.o"
+  "CMakeFiles/popproto_machines.dir/examples.cpp.o.d"
+  "CMakeFiles/popproto_machines.dir/minsky.cpp.o"
+  "CMakeFiles/popproto_machines.dir/minsky.cpp.o.d"
+  "CMakeFiles/popproto_machines.dir/program_builder.cpp.o"
+  "CMakeFiles/popproto_machines.dir/program_builder.cpp.o.d"
+  "CMakeFiles/popproto_machines.dir/turing_machine.cpp.o"
+  "CMakeFiles/popproto_machines.dir/turing_machine.cpp.o.d"
+  "libpopproto_machines.a"
+  "libpopproto_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

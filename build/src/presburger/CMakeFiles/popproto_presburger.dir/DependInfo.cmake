@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/presburger/atom_protocols.cpp" "src/presburger/CMakeFiles/popproto_presburger.dir/atom_protocols.cpp.o" "gcc" "src/presburger/CMakeFiles/popproto_presburger.dir/atom_protocols.cpp.o.d"
+  "/root/repo/src/presburger/compiler.cpp" "src/presburger/CMakeFiles/popproto_presburger.dir/compiler.cpp.o" "gcc" "src/presburger/CMakeFiles/popproto_presburger.dir/compiler.cpp.o.d"
+  "/root/repo/src/presburger/formula.cpp" "src/presburger/CMakeFiles/popproto_presburger.dir/formula.cpp.o" "gcc" "src/presburger/CMakeFiles/popproto_presburger.dir/formula.cpp.o.d"
+  "/root/repo/src/presburger/language.cpp" "src/presburger/CMakeFiles/popproto_presburger.dir/language.cpp.o" "gcc" "src/presburger/CMakeFiles/popproto_presburger.dir/language.cpp.o.d"
+  "/root/repo/src/presburger/parser.cpp" "src/presburger/CMakeFiles/popproto_presburger.dir/parser.cpp.o" "gcc" "src/presburger/CMakeFiles/popproto_presburger.dir/parser.cpp.o.d"
+  "/root/repo/src/presburger/semilinear.cpp" "src/presburger/CMakeFiles/popproto_presburger.dir/semilinear.cpp.o" "gcc" "src/presburger/CMakeFiles/popproto_presburger.dir/semilinear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/popproto_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

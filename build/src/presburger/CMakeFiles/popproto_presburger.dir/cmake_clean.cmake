@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_presburger.dir/atom_protocols.cpp.o"
+  "CMakeFiles/popproto_presburger.dir/atom_protocols.cpp.o.d"
+  "CMakeFiles/popproto_presburger.dir/compiler.cpp.o"
+  "CMakeFiles/popproto_presburger.dir/compiler.cpp.o.d"
+  "CMakeFiles/popproto_presburger.dir/formula.cpp.o"
+  "CMakeFiles/popproto_presburger.dir/formula.cpp.o.d"
+  "CMakeFiles/popproto_presburger.dir/language.cpp.o"
+  "CMakeFiles/popproto_presburger.dir/language.cpp.o.d"
+  "CMakeFiles/popproto_presburger.dir/parser.cpp.o"
+  "CMakeFiles/popproto_presburger.dir/parser.cpp.o.d"
+  "CMakeFiles/popproto_presburger.dir/semilinear.cpp.o"
+  "CMakeFiles/popproto_presburger.dir/semilinear.cpp.o.d"
+  "libpopproto_presburger.a"
+  "libpopproto_presburger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_presburger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

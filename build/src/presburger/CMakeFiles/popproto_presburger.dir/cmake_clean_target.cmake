@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpopproto_presburger.a"
+)

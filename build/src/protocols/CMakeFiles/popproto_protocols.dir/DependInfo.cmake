@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/counting.cpp" "src/protocols/CMakeFiles/popproto_protocols.dir/counting.cpp.o" "gcc" "src/protocols/CMakeFiles/popproto_protocols.dir/counting.cpp.o.d"
+  "/root/repo/src/protocols/division.cpp" "src/protocols/CMakeFiles/popproto_protocols.dir/division.cpp.o" "gcc" "src/protocols/CMakeFiles/popproto_protocols.dir/division.cpp.o.d"
+  "/root/repo/src/protocols/epidemic.cpp" "src/protocols/CMakeFiles/popproto_protocols.dir/epidemic.cpp.o" "gcc" "src/protocols/CMakeFiles/popproto_protocols.dir/epidemic.cpp.o.d"
+  "/root/repo/src/protocols/leader_election.cpp" "src/protocols/CMakeFiles/popproto_protocols.dir/leader_election.cpp.o" "gcc" "src/protocols/CMakeFiles/popproto_protocols.dir/leader_election.cpp.o.d"
+  "/root/repo/src/protocols/one_way.cpp" "src/protocols/CMakeFiles/popproto_protocols.dir/one_way.cpp.o" "gcc" "src/protocols/CMakeFiles/popproto_protocols.dir/one_way.cpp.o.d"
+  "/root/repo/src/protocols/output_convention.cpp" "src/protocols/CMakeFiles/popproto_protocols.dir/output_convention.cpp.o" "gcc" "src/protocols/CMakeFiles/popproto_protocols.dir/output_convention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_protocols.dir/counting.cpp.o"
+  "CMakeFiles/popproto_protocols.dir/counting.cpp.o.d"
+  "CMakeFiles/popproto_protocols.dir/division.cpp.o"
+  "CMakeFiles/popproto_protocols.dir/division.cpp.o.d"
+  "CMakeFiles/popproto_protocols.dir/epidemic.cpp.o"
+  "CMakeFiles/popproto_protocols.dir/epidemic.cpp.o.d"
+  "CMakeFiles/popproto_protocols.dir/leader_election.cpp.o"
+  "CMakeFiles/popproto_protocols.dir/leader_election.cpp.o.d"
+  "CMakeFiles/popproto_protocols.dir/one_way.cpp.o"
+  "CMakeFiles/popproto_protocols.dir/one_way.cpp.o.d"
+  "CMakeFiles/popproto_protocols.dir/output_convention.cpp.o"
+  "CMakeFiles/popproto_protocols.dir/output_convention.cpp.o.d"
+  "libpopproto_protocols.a"
+  "libpopproto_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/randomized/population_machine.cpp" "src/randomized/CMakeFiles/popproto_randomized.dir/population_machine.cpp.o" "gcc" "src/randomized/CMakeFiles/popproto_randomized.dir/population_machine.cpp.o.d"
+  "/root/repo/src/randomized/trials.cpp" "src/randomized/CMakeFiles/popproto_randomized.dir/trials.cpp.o" "gcc" "src/randomized/CMakeFiles/popproto_randomized.dir/trials.cpp.o.d"
+  "/root/repo/src/randomized/urn.cpp" "src/randomized/CMakeFiles/popproto_randomized.dir/urn.cpp.o" "gcc" "src/randomized/CMakeFiles/popproto_randomized.dir/urn.cpp.o.d"
+  "/root/repo/src/randomized/urn_automaton.cpp" "src/randomized/CMakeFiles/popproto_randomized.dir/urn_automaton.cpp.o" "gcc" "src/randomized/CMakeFiles/popproto_randomized.dir/urn_automaton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/popproto_machines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popproto_randomized.dir/population_machine.cpp.o"
+  "CMakeFiles/popproto_randomized.dir/population_machine.cpp.o.d"
+  "CMakeFiles/popproto_randomized.dir/trials.cpp.o"
+  "CMakeFiles/popproto_randomized.dir/trials.cpp.o.d"
+  "CMakeFiles/popproto_randomized.dir/urn.cpp.o"
+  "CMakeFiles/popproto_randomized.dir/urn.cpp.o.d"
+  "CMakeFiles/popproto_randomized.dir/urn_automaton.cpp.o"
+  "CMakeFiles/popproto_randomized.dir/urn_automaton.cpp.o.d"
+  "libpopproto_randomized.a"
+  "libpopproto_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popproto_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

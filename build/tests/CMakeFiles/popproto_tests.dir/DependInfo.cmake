@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/absorption_test.cpp" "tests/CMakeFiles/popproto_tests.dir/absorption_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/absorption_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/popproto_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/atom_protocols_test.cpp" "tests/CMakeFiles/popproto_tests.dir/atom_protocols_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/atom_protocols_test.cpp.o.d"
+  "/root/repo/tests/birth_death_test.cpp" "tests/CMakeFiles/popproto_tests.dir/birth_death_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/birth_death_test.cpp.o.d"
+  "/root/repo/tests/bulk_zero_test_test.cpp" "tests/CMakeFiles/popproto_tests.dir/bulk_zero_test_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/bulk_zero_test_test.cpp.o.d"
+  "/root/repo/tests/compiler_test.cpp" "tests/CMakeFiles/popproto_tests.dir/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/compiler_test.cpp.o.d"
+  "/root/repo/tests/conventions_test.cpp" "tests/CMakeFiles/popproto_tests.dir/conventions_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/conventions_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/popproto_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/counting_protocol_test.cpp" "tests/CMakeFiles/popproto_tests.dir/counting_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/counting_protocol_test.cpp.o.d"
+  "/root/repo/tests/division_protocol_test.cpp" "tests/CMakeFiles/popproto_tests.dir/division_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/division_protocol_test.cpp.o.d"
+  "/root/repo/tests/epidemic_test.cpp" "tests/CMakeFiles/popproto_tests.dir/epidemic_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/epidemic_test.cpp.o.d"
+  "/root/repo/tests/fault_tolerance_test.cpp" "tests/CMakeFiles/popproto_tests.dir/fault_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/fault_tolerance_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/popproto_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/graph_analysis_test.cpp" "tests/CMakeFiles/popproto_tests.dir/graph_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/graph_analysis_test.cpp.o.d"
+  "/root/repo/tests/graphs_test.cpp" "tests/CMakeFiles/popproto_tests.dir/graphs_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/graphs_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/popproto_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/language_test.cpp" "tests/CMakeFiles/popproto_tests.dir/language_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/language_test.cpp.o.d"
+  "/root/repo/tests/leader_election_test.cpp" "tests/CMakeFiles/popproto_tests.dir/leader_election_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/leader_election_test.cpp.o.d"
+  "/root/repo/tests/machines_test.cpp" "tests/CMakeFiles/popproto_tests.dir/machines_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/machines_test.cpp.o.d"
+  "/root/repo/tests/minsky_test.cpp" "tests/CMakeFiles/popproto_tests.dir/minsky_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/minsky_test.cpp.o.d"
+  "/root/repo/tests/multiway_test.cpp" "tests/CMakeFiles/popproto_tests.dir/multiway_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/multiway_test.cpp.o.d"
+  "/root/repo/tests/one_way_test.cpp" "tests/CMakeFiles/popproto_tests.dir/one_way_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/one_way_test.cpp.o.d"
+  "/root/repo/tests/output_convention_test.cpp" "tests/CMakeFiles/popproto_tests.dir/output_convention_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/output_convention_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/popproto_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/population_machine_test.cpp" "tests/CMakeFiles/popproto_tests.dir/population_machine_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/population_machine_test.cpp.o.d"
+  "/root/repo/tests/presburger_formula_test.cpp" "tests/CMakeFiles/popproto_tests.dir/presburger_formula_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/presburger_formula_test.cpp.o.d"
+  "/root/repo/tests/protocol_io_test.cpp" "tests/CMakeFiles/popproto_tests.dir/protocol_io_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/protocol_io_test.cpp.o.d"
+  "/root/repo/tests/schedulers_test.cpp" "tests/CMakeFiles/popproto_tests.dir/schedulers_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/schedulers_test.cpp.o.d"
+  "/root/repo/tests/semilinear_test.cpp" "tests/CMakeFiles/popproto_tests.dir/semilinear_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/semilinear_test.cpp.o.d"
+  "/root/repo/tests/theorem_sweeps_test.cpp" "tests/CMakeFiles/popproto_tests.dir/theorem_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/theorem_sweeps_test.cpp.o.d"
+  "/root/repo/tests/trials_test.cpp" "tests/CMakeFiles/popproto_tests.dir/trials_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/trials_test.cpp.o.d"
+  "/root/repo/tests/urn_automaton_test.cpp" "tests/CMakeFiles/popproto_tests.dir/urn_automaton_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/urn_automaton_test.cpp.o.d"
+  "/root/repo/tests/urn_test.cpp" "tests/CMakeFiles/popproto_tests.dir/urn_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/urn_test.cpp.o.d"
+  "/root/repo/tests/weighted_sampling_test.cpp" "tests/CMakeFiles/popproto_tests.dir/weighted_sampling_test.cpp.o" "gcc" "tests/CMakeFiles/popproto_tests.dir/weighted_sampling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/popproto_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/popproto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/popproto_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/popproto_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/popproto_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/presburger/CMakeFiles/popproto_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/popproto_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/randomized/CMakeFiles/popproto_randomized.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
