@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark targets and records their JSON output as
+# BENCH_<name>.json at the repository root, giving successive PRs a
+# perf trajectory to compare against.
+#
+# Usage: bench/run_benches.sh [build-dir] [extra google-benchmark args...]
+# The build directory defaults to <repo>/build and must already contain the
+# bench binaries (cmake --build <build-dir>).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+shift || true
+
+# The google-benchmark suites (the remaining bench_* binaries are
+# experiment tables with their own output formats).
+GBENCH_TARGETS=(bench_throughput)
+
+for name in "${GBENCH_TARGETS[@]}"; do
+    bin="$BUILD_DIR/bench/$name"
+    if [[ ! -x "$bin" ]]; then
+        echo "error: $bin not found or not executable; build it first" >&2
+        exit 1
+    fi
+    out="$ROOT/BENCH_${name}.json"
+    echo "running $name -> ${out#"$ROOT"/}"
+    "$bin" --benchmark_format=json "$@" > "$out"
+done

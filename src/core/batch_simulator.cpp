@@ -1,0 +1,202 @@
+#include "core/batch_simulator.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "core/require.h"
+#include "core/rng.h"
+
+namespace popproto {
+
+namespace {
+
+/// Precomputed per-protocol classification of ordered state pairs.
+///
+/// eff_row[p * Q + q] is 1 iff delta(p, q) changes the multiset {p, q}
+/// (identities and swaps are null); eff_col is its transpose so that the
+/// rowdot update for one changed state reads a contiguous column.
+struct EffectTables {
+    std::vector<std::uint8_t> eff_row;
+    std::vector<std::uint8_t> eff_col;
+    std::size_t num_states;
+
+    explicit EffectTables(const TabulatedProtocol& protocol)
+        : eff_row(protocol.num_states() * protocol.num_states(), 0),
+          eff_col(protocol.num_states() * protocol.num_states(), 0),
+          num_states(protocol.num_states()) {
+        for (State p = 0; p < num_states; ++p) {
+            for (State q = 0; q < num_states; ++q) {
+                const StatePair next = protocol.apply_fast(p, q);
+                const bool multiset_preserved =
+                    (next.initiator == p && next.responder == q) ||
+                    (next.initiator == q && next.responder == p);
+                if (!multiset_preserved) {
+                    eff_row[static_cast<std::size_t>(p) * num_states + q] = 1;
+                    eff_col[static_cast<std::size_t>(q) * num_states + p] = 1;
+                }
+            }
+        }
+    }
+};
+
+}  // namespace
+
+RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfiguration& initial,
+                          const RunOptions& options) {
+    require(initial.num_states() == protocol.num_states(),
+            "simulate_counts: configuration does not match protocol");
+    const std::uint64_t n = initial.population_size();
+    require(n >= 2, "simulate_counts: need at least two agents");
+    require(n < (std::uint64_t{1} << 32), "simulate_counts: population must fit 32 bits");
+    require(options.max_interactions > 0, "simulate_counts: max_interactions must be positive");
+
+    const std::size_t num_states = protocol.num_states();
+    const EffectTables eff(protocol);
+    std::vector<std::uint64_t> counts = initial.counts();
+
+    // rowdot[p] = sum_q eff[p][q] * counts[q]: the number of agents whose
+    // state forms an effective ordered pair with an initiator in state p
+    // (before the diagonal "needs two agents" correction).
+    std::vector<std::int64_t> rowdot(num_states, 0);
+    for (State p = 0; p < num_states; ++p) {
+        std::int64_t dot = 0;
+        const std::uint8_t* row = eff.eff_row.data() + static_cast<std::size_t>(p) * num_states;
+        for (State q = 0; q < num_states; ++q)
+            dot += static_cast<std::int64_t>(row[q]) * static_cast<std::int64_t>(counts[q]);
+        rowdot[p] = dot;
+    }
+
+    // W = number of effective ordered agent pairs
+    //   = sum_p c_p * (rowdot[p] - eff[p][p]); W == 0 iff the configuration
+    // is silent.  Partial sums are bounded by n^2 + n, so uint64 is exact.
+    const auto diag = [&](State p) -> std::int64_t {
+        return eff.eff_row[static_cast<std::size_t>(p) * num_states + p];
+    };
+    const auto row_weight = [&](State p) -> std::uint64_t {
+        return counts[p] * static_cast<std::uint64_t>(rowdot[p] - diag(p));
+    };
+    const auto total_effective_pairs = [&]() -> std::uint64_t {
+        std::uint64_t w = 0;
+        for (State p = 0; p < num_states; ++p)
+            if (counts[p] != 0) w += row_weight(p);
+        return w;
+    };
+
+    // Applies `delta` to the count of state s and keeps rowdot consistent.
+    const auto adjust_count = [&](State s, std::int64_t delta) {
+        counts[s] = static_cast<std::uint64_t>(static_cast<std::int64_t>(counts[s]) + delta);
+        const std::uint8_t* col = eff.eff_col.data() + static_cast<std::size_t>(s) * num_states;
+        for (State p = 0; p < num_states; ++p)
+            rowdot[p] += static_cast<std::int64_t>(col[p]) * delta;
+    };
+
+    Rng rng(options.seed);
+    const double total_pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+    const std::uint64_t window = options.stop_after_stable_outputs;
+
+    RunResult result{CountConfiguration(num_states), StopReason::kBudget, 0, 0, 0, std::nullopt};
+    std::uint64_t W = total_effective_pairs();
+    bool silent = (W == 0);
+
+    while (!silent && result.interactions < options.max_interactions) {
+        // Jump over the geometric run of null interactions preceding the
+        // next effective one.
+        const std::uint64_t skips =
+            rng.geometric_skips(static_cast<double>(W) / total_pairs);
+
+        if (window != 0 && result.last_output_change != 0) {
+            // The agent-array loop tests output stability after every
+            // interaction; the first index at which the test passes is
+            // last_output_change + window.  If that index falls inside the
+            // skipped nulls (which change nothing), stop exactly there.
+            const std::uint64_t stop_at = result.last_output_change + window;
+            if (stop_at <= result.interactions + skips &&
+                stop_at <= options.max_interactions) {
+                result.interactions = stop_at;
+                result.stop_reason = StopReason::kStableOutputs;
+                break;
+            }
+        }
+        if (skips >= options.max_interactions - result.interactions) {
+            // The next effective interaction lies beyond the budget.
+            result.interactions = options.max_interactions;
+            break;
+        }
+        result.interactions += skips + 1;
+        ++result.effective_interactions;
+
+        // Sample the effective ordered pair (p, q) with probability
+        // proportional to c_p * (c_q - [p == q]) over effective pairs.
+        std::uint64_t u = rng.below(W);
+        State p = 0;
+        State q = 0;
+        bool found = false;
+        for (State pi = 0; pi < num_states && !found; ++pi) {
+            if (counts[pi] == 0) continue;
+            const std::uint64_t rw = row_weight(pi);
+            if (u >= rw) {
+                u -= rw;
+                continue;
+            }
+            const std::uint8_t* row =
+                eff.eff_row.data() + static_cast<std::size_t>(pi) * num_states;
+            for (State qi = 0; qi < num_states; ++qi) {
+                if (!row[qi]) continue;
+                const std::uint64_t pair_weight =
+                    counts[pi] * (counts[qi] - (pi == qi ? 1 : 0));
+                if (u < pair_weight) {
+                    p = pi;
+                    q = qi;
+                    found = true;
+                    break;
+                }
+                u -= pair_weight;
+            }
+        }
+        require(found, "simulate_counts: internal pair-sampling invariant violated");
+
+        const StatePair next = protocol.apply_fast(p, q);
+        const Symbol out_p = protocol.output_fast(p);
+        const Symbol out_q = protocol.output_fast(q);
+        const Symbol out_pn = protocol.output_fast(next.initiator);
+        const Symbol out_qn = protocol.output_fast(next.responder);
+        if (!((out_pn == out_p && out_qn == out_q) || (out_pn == out_q && out_qn == out_p))) {
+            result.last_output_change = result.interactions;
+        }
+
+        adjust_count(p, -1);
+        adjust_count(q, -1);
+        adjust_count(next.initiator, +1);
+        adjust_count(next.responder, +1);
+        W = total_effective_pairs();
+        silent = (W == 0);
+
+        if (window != 0 && result.last_output_change != 0 &&
+            result.interactions - result.last_output_change >= window) {
+            result.stop_reason = StopReason::kStableOutputs;
+            break;
+        }
+    }
+
+    if (silent) result.stop_reason = StopReason::kSilent;
+
+    CountConfiguration final_config(num_states);
+    for (State s = 0; s < num_states; ++s)
+        if (counts[s] > 0) final_config.add(s, counts[s]);
+    result.consensus = final_config.consensus_output(protocol);
+    result.final_configuration = std::move(final_config);
+    return result;
+}
+
+RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfiguration& initial,
+                         const RunOptions& options) {
+    switch (options.engine) {
+        case SimulationEngine::kCountBatch:
+            return simulate_counts(protocol, initial, options);
+        case SimulationEngine::kAgentArray:
+            break;
+    }
+    return simulate(protocol, initial, options);
+}
+
+}  // namespace popproto

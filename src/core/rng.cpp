@@ -1,5 +1,7 @@
 #include "core/rng.h"
 
+#include <cmath>
+
 namespace popproto {
 
 namespace {
@@ -56,6 +58,16 @@ std::uint64_t Rng::below(std::uint64_t bound) noexcept {
 double Rng::uniform01() noexcept {
     // 53 random bits scaled into [0, 1).
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::geometric_skips(double success_probability) noexcept {
+    if (success_probability >= 1.0) return 0;
+    double u = uniform01();
+    if (u <= 0.0) u = 1e-300;
+    const double skips = std::floor(std::log(u) / std::log1p(-success_probability));
+    if (skips < 0.0) return 0;
+    if (skips > 1e18) return static_cast<std::uint64_t>(1e18);
+    return static_cast<std::uint64_t>(skips);
 }
 
 }  // namespace popproto

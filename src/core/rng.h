@@ -36,6 +36,13 @@ public:
     /// Uniform double in [0, 1).
     double uniform01() noexcept;
 
+    /// Number of consecutive failures before the first success of an event
+    /// with the given per-trial success probability (exact geometric
+    /// sampling by inversion).  Returns 0 without consuming randomness when
+    /// `success_probability >= 1`; results are capped at 10^18 so callers
+    /// can add them to interaction counters without overflow.
+    std::uint64_t geometric_skips(double success_probability) noexcept;
+
 private:
     std::uint64_t state_[4];
 };

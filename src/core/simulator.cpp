@@ -103,6 +103,14 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
         }
     }
 
+    if (!silent && result.interactions >= options.max_interactions) {
+        // The budget can expire between silence checks; a final test keeps
+        // the sound kSilent certificate from being misreported as kBudget.
+        present.clear();
+        for (State s = 0; s < counts.size(); ++s)
+            if (counts[s] > 0) present.push_back(s);
+        silent = counts_silent(protocol, counts, present);
+    }
     if (silent) result.stop_reason = StopReason::kSilent;
 
     CountConfiguration final_config(protocol.num_states());
@@ -138,7 +146,24 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
     const auto draw_agent = [&]() -> std::size_t {
         const double u = rng.uniform01() * total_weight;
         const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
-        return static_cast<std::size_t>(it - cumulative.begin());
+        // Floating-point rounding can push u past cumulative.back(), in
+        // which case lower_bound returns end(); clamp to the last agent.
+        const auto index = static_cast<std::size_t>(it - cumulative.begin());
+        return index < n ? index : n - 1;
+    };
+    // Draws an agent other than `exclude` exactly: u is drawn over the total
+    // mass minus the excluded weight and mapped around that agent's
+    // interval.  Equivalent to rejection sampling, but O(log n) even when
+    // one weight dominates the total mass.
+    const auto draw_agent_excluding = [&](std::size_t exclude) -> std::size_t {
+        const double mass_before = cumulative[exclude] - weights[exclude];
+        double u = rng.uniform01() * (total_weight - weights[exclude]);
+        if (u >= mass_before) u += weights[exclude];
+        const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+        auto index = static_cast<std::size_t>(it - cumulative.begin());
+        if (index >= n) index = n - 1;
+        if (index == exclude) index = exclude + 1 < n ? exclude + 1 : exclude - 1;
+        return index;
     };
 
     std::vector<State> states = initial.states();
@@ -161,8 +186,17 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
 
     while (!silent && result.interactions < options.max_interactions) {
         const std::size_t i = draw_agent();
+        // Rejection is cheap when weights are balanced, but when one weight
+        // carries almost all the mass a collision loop could spin for an
+        // unbounded number of draws; fall back to the exact exclusion draw.
         std::size_t j = draw_agent();
-        while (j == i) j = draw_agent();
+        for (int attempt = 0; j == i; ++attempt) {
+            if (attempt >= 16) {
+                j = draw_agent_excluding(i);
+                break;
+            }
+            j = draw_agent();
+        }
         ++result.interactions;
 
         const State p = states[i];
@@ -198,6 +232,13 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
                 changed_since_check = 0;
             }
         }
+    }
+    if (!silent && result.interactions >= options.max_interactions) {
+        // Same budget-vs-check-period race as in simulate above.
+        present.clear();
+        for (State s = 0; s < counts.size(); ++s)
+            if (counts[s] > 0) present.push_back(s);
+        silent = counts_silent(protocol, counts, present);
     }
     if (silent) result.stop_reason = StopReason::kSilent;
 

@@ -18,6 +18,18 @@
 
 namespace popproto {
 
+/// Which execution engine carries out a run on the complete graph.
+enum class SimulationEngine {
+    /// Expanded agent array, one RNG draw per agent per interaction.  The
+    /// reference implementation: O(n) memory, O(1) per interaction.
+    kAgentArray,
+    /// Count-based batch engine (batch_simulator.h): simulates directly on
+    /// the multiset of states and skips runs of null interactions with
+    /// exact geometric jumps.  O(|Q|) memory, O(|Q|) per *effective*
+    /// interaction; the distribution of observables is identical.
+    kCountBatch,
+};
+
 /// Knobs controlling a single simulated execution.
 struct RunOptions {
     /// Hard cap on interactions; the run reports `hit_budget` if reached.
@@ -37,6 +49,11 @@ struct RunOptions {
 
     /// RNG seed for this run.
     std::uint64_t seed = 1;
+
+    /// Engine used by harnesses that dispatch through `run_simulation`
+    /// (batch_simulator.h), e.g. `measure_trials`.  Direct calls to
+    /// `simulate` / `simulate_counts` ignore this field.
+    SimulationEngine engine = SimulationEngine::kAgentArray;
 };
 
 /// Why a run stopped.

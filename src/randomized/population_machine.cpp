@@ -10,15 +10,9 @@ namespace popproto {
 namespace {
 
 /// Number of interactions skipped before the next one that satisfies an
-/// event of probability `probability` (exact geometric sampling).
+/// event of probability `probability`; shared with the batch simulator.
 std::uint64_t geometric_skips(Rng& rng, double probability) {
-    if (probability >= 1.0) return 0;
-    double u = rng.uniform01();
-    if (u <= 0.0) u = 1e-300;
-    const double skips = std::floor(std::log(u) / std::log1p(-probability));
-    if (skips < 0.0) return 0;
-    if (skips > 1e18) return static_cast<std::uint64_t>(1e18);
-    return static_cast<std::uint64_t>(skips);
+    return rng.geometric_skips(probability);
 }
 
 /// Standard normal variate (Box-Muller).

@@ -1,26 +1,87 @@
 #include "randomized/trials.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
 
+#include "core/batch_simulator.h"
 #include "core/require.h"
 
 namespace popproto {
+
+namespace {
+
+/// The per-trial facts the summary depends on.
+struct TrialOutcome {
+    StopReason stop_reason = StopReason::kBudget;
+    std::optional<Symbol> consensus;
+    std::uint64_t last_output_change = 0;
+};
+
+/// Runs the trials into a per-trial outcome vector, fanning across
+/// `threads` workers pulling trial indices from a shared counter.  Trial t
+/// always uses seed base.seed + t and lands in slot t, so the outcome is
+/// independent of scheduling.
+std::vector<TrialOutcome> run_all_trials(const TabulatedProtocol& protocol,
+                                         const CountConfiguration& initial,
+                                         const TrialOptions& options, unsigned threads) {
+    std::vector<TrialOutcome> results(options.trials);
+    const auto run_one = [&](std::uint64_t trial) {
+        RunOptions run_options = options.base;
+        run_options.seed = options.base.seed + trial;
+        const RunResult result = run_simulation(protocol, initial, run_options);
+        results[trial] = {result.stop_reason, result.consensus, result.last_output_change};
+    };
+
+    if (threads <= 1) {
+        for (std::uint64_t trial = 0; trial < options.trials; ++trial) run_one(trial);
+        return results;
+    }
+
+    std::atomic<std::uint64_t> next_trial{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+        workers.emplace_back([&] {
+            try {
+                for (std::uint64_t trial = next_trial.fetch_add(1);
+                     trial < options.trials; trial = next_trial.fetch_add(1)) {
+                    run_one(trial);
+                }
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        });
+    }
+    for (std::thread& worker : workers) worker.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+}
+
+}  // namespace
 
 TrialSummary measure_trials(const TabulatedProtocol& protocol,
                             const CountConfiguration& initial, const TrialOptions& options) {
     require(options.trials >= 1, "measure_trials: need at least one trial");
 
+    unsigned threads = options.threads != 0 ? options.threads
+                                            : std::max(1u, std::thread::hardware_concurrency());
+    if (threads > options.trials) threads = static_cast<unsigned>(options.trials);
+
+    const std::vector<TrialOutcome> results = run_all_trials(protocol, initial, options, threads);
+
     TrialSummary summary;
     summary.trials = options.trials;
     std::vector<std::uint64_t> convergence;
     convergence.reserve(options.trials);
-
-    for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
-        RunOptions run_options = options.base;
-        run_options.seed = options.base.seed + trial;
-        const RunResult result = simulate(protocol, initial, run_options);
-
+    for (const TrialOutcome& result : results) {
         if (result.stop_reason == StopReason::kSilent) ++summary.silent;
         if (result.consensus &&
             (!options.expected_consensus || *result.consensus == *options.expected_consensus)) {

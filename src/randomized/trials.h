@@ -48,9 +48,16 @@ struct TrialOptions {
     std::uint64_t trials = 20;
     /// When set, a run counts as correct only with this exact consensus.
     std::optional<Symbol> expected_consensus;
+    /// Worker threads to fan the trials across; 0 selects
+    /// std::thread::hardware_concurrency().  Trial t always runs with seed
+    /// base.seed + t and results are aggregated in trial order, so the
+    /// summary is bit-identical at every thread count.
+    unsigned threads = 1;
 };
 
-/// Runs `options.trials` simulations of `protocol` from `initial`.
+/// Runs `options.trials` simulations of `protocol` from `initial`, using
+/// the engine selected by `options.base.engine`, across
+/// `options.threads` workers.
 TrialSummary measure_trials(const TabulatedProtocol& protocol,
                             const CountConfiguration& initial, const TrialOptions& options);
 

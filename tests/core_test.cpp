@@ -306,5 +306,43 @@ TEST(Simulator, DefaultBudgetGrowsSuperlinearly) {
     EXPECT_THROW(default_budget(1), std::invalid_argument);
 }
 
+TEST(Simulator, SilenceBetweenChecksBeatsBudgetExpiry) {
+    // Regression: with a check period longer than the budget, a run that
+    // becomes silent between checks used to be misreported as kBudget when
+    // the budget expired first.  The final silence test must still issue
+    // the sound kSilent certificate.
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 5});
+    RunOptions options;
+    options.max_interactions = default_budget(15);
+    options.silence_check_period = options.max_interactions + 1;  // never fires in-loop
+    options.seed = 5;
+    const RunResult result = simulate(*protocol, initial, options);
+    EXPECT_EQ(result.stop_reason, StopReason::kSilent);
+    ASSERT_TRUE(result.consensus.has_value());
+    EXPECT_EQ(*result.consensus, kOutputTrue);
+}
+
+TEST(Rng, GeometricSkipsCertainEventNeverWaits) {
+    Rng rng(3);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.geometric_skips(1.0), 0u);
+}
+
+TEST(Rng, GeometricSkipsMatchesGeometricMean) {
+    // E[skips] = (1 - p) / p; check p = 0.25 (mean 3) within Monte Carlo
+    // tolerance.
+    Rng rng(17);
+    const int samples = 20000;
+    double total = 0.0;
+    for (int i = 0; i < samples; ++i)
+        total += static_cast<double>(rng.geometric_skips(0.25));
+    EXPECT_NEAR(total / samples, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricSkipsRareEventIsCapped) {
+    Rng rng(29);
+    EXPECT_LE(rng.geometric_skips(1e-300), static_cast<std::uint64_t>(1e18));
+}
+
 }  // namespace
 }  // namespace popproto

@@ -65,6 +65,49 @@ TEST(Trials, SeedsAdvancePerTrial) {
     EXPECT_NE(summary.min_convergence, summary.max_convergence);
 }
 
+TEST(Trials, ParallelSummariesBitIdenticalAcrossThreadCounts) {
+    // Trial t always runs with seed base.seed + t and aggregation happens
+    // in trial order, so the thread count must not change a single bit of
+    // the summary.
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {30, 1});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(31);
+    options.base.seed = 19;
+    options.trials = 16;
+
+    options.threads = 1;
+    const TrialSummary sequential = measure_trials(*protocol, initial, options);
+    for (unsigned threads : {4u, 8u}) {
+        options.threads = threads;
+        const TrialSummary parallel = measure_trials(*protocol, initial, options);
+        EXPECT_EQ(parallel.trials, sequential.trials) << threads;
+        EXPECT_EQ(parallel.correct, sequential.correct) << threads;
+        EXPECT_EQ(parallel.silent, sequential.silent) << threads;
+        EXPECT_EQ(parallel.mean_convergence, sequential.mean_convergence) << threads;
+        EXPECT_EQ(parallel.stddev_convergence, sequential.stddev_convergence) << threads;
+        EXPECT_EQ(parallel.min_convergence, sequential.min_convergence) << threads;
+        EXPECT_EQ(parallel.median_convergence, sequential.median_convergence) << threads;
+        EXPECT_EQ(parallel.max_convergence, sequential.max_convergence) << threads;
+    }
+}
+
+TEST(Trials, BatchEngineMeasuresTheSameProtocol) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 5});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(15);
+    options.base.seed = 100;
+    options.base.engine = SimulationEngine::kCountBatch;
+    options.trials = 25;
+    options.threads = 4;
+    options.expected_consensus = kOutputTrue;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+    EXPECT_EQ(summary.trials, 25u);
+    EXPECT_EQ(summary.correct, 25u);
+    EXPECT_EQ(summary.silent, 25u);
+}
+
 TEST(Trials, Validation) {
     const auto protocol = make_counting_protocol(2);
     const auto initial = CountConfiguration::from_input_counts(*protocol, {2, 2});

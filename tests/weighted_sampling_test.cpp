@@ -67,6 +67,23 @@ TEST(WeightedSampling, ExtremeWeightSlowsButDoesNotBreakConvergence) {
     EXPECT_EQ(*result.consensus, kOutputTrue);
 }
 
+TEST(WeightedSampling, DominatingWeightDoesNotStallPairSelection) {
+    // Regression: one weight carrying ~all the mass made the responder
+    // rejection loop spin (the first draw returns the dominant agent with
+    // probability ~1).  The bounded loop now falls back to an exact
+    // exclusion draw, so the run terminates and still converges.
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = counting_inputs(*protocol, 10, 2);
+    std::vector<double> weights(12, 1.0);
+    weights[10] = 1e12;  // one of the two 1-agents does nearly all the moving
+    RunOptions options;
+    options.max_interactions = 10 * default_budget(12);
+    options.seed = 23;
+    const RunResult result = simulate_weighted(*protocol, initial, weights, options);
+    ASSERT_TRUE(result.consensus.has_value());
+    EXPECT_EQ(*result.consensus, kOutputTrue);
+}
+
 TEST(WeightedSampling, ValidatesArguments) {
     const auto protocol = make_counting_protocol(2);
     const auto initial = counting_inputs(*protocol, 2, 2);
