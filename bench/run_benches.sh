@@ -14,14 +14,26 @@ shift || true
 
 # The google-benchmark suites (the remaining bench_* binaries are
 # experiment tables with their own output formats).
-GBENCH_TARGETS=(bench_throughput)
+GBENCH_TARGETS=(bench_throughput bench_observe)
 
+# Check every target up front and report the complete list of missing
+# binaries in one message, instead of failing one target at a time.
+missing=()
 for name in "${GBENCH_TARGETS[@]}"; do
     bin="$BUILD_DIR/bench/$name"
     if [[ ! -x "$bin" ]]; then
-        echo "error: $bin not found or not executable; build it first" >&2
-        exit 1
+        missing+=("$bin")
     fi
+done
+if (( ${#missing[@]} > 0 )); then
+    echo "error: missing google-benchmark binaries (build them first with" >&2
+    echo "       'cmake --build $BUILD_DIR'):" >&2
+    printf '  %s\n' "${missing[@]}" >&2
+    exit 1
+fi
+
+for name in "${GBENCH_TARGETS[@]}"; do
+    bin="$BUILD_DIR/bench/$name"
     out="$ROOT/BENCH_${name}.json"
     echo "running $name -> ${out#"$ROOT"/}"
     "$bin" --benchmark_format=json "$@" > "$out"

@@ -1,0 +1,147 @@
+// trace_run: stream one simulated run as JSONL for plotting.
+//
+// Runs a built-in protocol under either engine with a snapshot schedule and
+// writes the trace to stdout, one JSON object per line — pipe it into
+// jq/python for trajectory plots (README.md shows a matplotlib one-liner).
+//
+//   trace_run [protocol] [flags]
+//
+//   protocol     epidemic (default) | counting | majority
+//   --n N        population size                      (default 256)
+//   --ones K     agents with input 1 (infected seeds, fevered birds,
+//                or majority-"1" voters)              (default 1)
+//   --seed S     RNG seed                             (default 1)
+//   --budget B   max interactions                     (default: default_budget(n))
+//   --engine E   batch (default) | agent
+//   --every P    fixed snapshot period                (default: n / 4)
+//   --log F      log-spaced snapshot factor instead of --every
+//   --no-counts  omit count vectors (indices and events only)
+//
+// Examples:
+//   trace_run epidemic --n 1000 --every 500            > epidemic.jsonl
+//   trace_run counting --n 65536 --ones 7 --log 1.2    > counting.jsonl
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/batch_simulator.h"
+#include "core/observer.h"
+#include "core/simulator.h"
+#include "observe/jsonl_writer.h"
+#include "presburger/atom_protocols.h"
+#include "protocols/counting.h"
+#include "protocols/epidemic.h"
+
+namespace {
+
+using namespace popproto;
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::fprintf(stderr, "trace_run: %s\n", message.c_str());
+    std::fprintf(stderr,
+                 "usage: trace_run [epidemic|counting|majority] [--n N] [--ones K]\n"
+                 "                 [--seed S] [--budget B] [--engine batch|agent]\n"
+                 "                 [--every P | --log F] [--no-counts]\n");
+    std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* flag, const char* text) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') usage_error(std::string(flag) + ": not a number: " + text);
+    return value;
+}
+
+double parse_double(const char* flag, const char* text) {
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0') usage_error(std::string(flag) + ": not a number: " + text);
+    return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string protocol_name = "epidemic";
+    std::uint64_t n = 256;
+    std::uint64_t ones = 1;
+    std::uint64_t seed = 1;
+    std::uint64_t budget = 0;       // 0 = default_budget(n)
+    std::uint64_t every = 0;        // 0 = n / 4
+    double log_factor = 0.0;        // 0 = use --every
+    bool use_batch = true;
+    bool write_counts = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage_error(std::string(arg) + ": missing value");
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--n") == 0) {
+            n = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--ones") == 0) {
+            ones = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            seed = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--budget") == 0) {
+            budget = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--every") == 0) {
+            every = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--log") == 0) {
+            log_factor = parse_double(arg, next());
+        } else if (std::strcmp(arg, "--engine") == 0) {
+            const std::string engine = next();
+            if (engine == "batch") {
+                use_batch = true;
+            } else if (engine == "agent") {
+                use_batch = false;
+            } else {
+                usage_error("--engine: expected 'batch' or 'agent', got " + engine);
+            }
+        } else if (std::strcmp(arg, "--no-counts") == 0) {
+            write_counts = false;
+        } else if (arg[0] == '-') {
+            usage_error(std::string("unknown flag ") + arg);
+        } else {
+            protocol_name = arg;
+        }
+    }
+
+    if (n < 2) usage_error("--n: need at least 2 agents");
+    if (ones > n) usage_error("--ones: cannot exceed --n");
+
+    std::unique_ptr<TabulatedProtocol> protocol;
+    if (protocol_name == "epidemic") {
+        protocol = make_epidemic_protocol();
+    } else if (protocol_name == "counting") {
+        protocol = make_counting_protocol(5);
+    } else if (protocol_name == "majority") {
+        // [ x_0 - x_1 < 0 ]: true iff the 1-voters outnumber the 0-voters.
+        protocol = make_threshold_protocol({1, -1}, 0);
+    } else {
+        usage_error("unknown protocol " + protocol_name);
+    }
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {n - ones, ones});
+
+    RunOptions options;
+    options.max_interactions = budget != 0 ? budget : default_budget(n);
+    options.seed = seed;
+    options.snapshots = log_factor != 0.0
+                            ? SnapshotSchedule::log_spaced(log_factor)
+                            : SnapshotSchedule::every(every != 0 ? every : std::max<std::uint64_t>(
+                                                                               n / 4, 1));
+
+    JsonlTraceWriter writer(std::cout);
+    writer.set_write_counts(write_counts);
+    options.observer = &writer;
+
+    const RunResult result = use_batch ? simulate_counts(*protocol, initial, options)
+                                       : simulate(*protocol, initial, options);
+    return result.interactions > 0 ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree with address+undefined sanitizers in a dedicated build
+# directory and runs the full test suite under them.  This is the memory-
+# and UB-safety gate: run it before merging engine or observer changes.
+#
+# Usage: scripts/check.sh [build-dir] [ctest args...]
+#   build-dir  defaults to <repo>/build-check (kept separate from the
+#              plain ./build tree so the two configurations never mix)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-check}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPOPPROTO_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" "$@")
+
+echo "check.sh: sanitized test suite passed"

@@ -1,5 +1,6 @@
 #include "core/batch_simulator.h"
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -98,6 +99,35 @@ RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfigur
     std::uint64_t W = total_effective_pairs();
     bool silent = (W == 0);
 
+    RunObserver* const observer = options.observer;
+    std::uint64_t next_snapshot =
+        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
+    // Emits the scheduled snapshots with index <= `limit` from the *current*
+    // counts.  Clamping a geometric jump at snapshot boundaries reduces to
+    // this: a scheduled index inside a run of null interactions sees the
+    // counts unchanged since the last effective interaction, so the jump is
+    // kept (no extra randomness is drawn — observed and unobserved runs are
+    // bit-identical) and each boundary is stamped with its exact index.
+    const auto emit_snapshots_through = [&](std::uint64_t limit) {
+        while (next_snapshot <= limit) {
+            observer->on_snapshot(next_snapshot, CountConfiguration::from_state_counts(counts));
+            next_snapshot = options.snapshots.next_after(next_snapshot);
+        }
+    };
+    std::chrono::steady_clock::time_point wall_start;
+    if (observer) {
+        wall_start = std::chrono::steady_clock::now();
+        RunStartInfo info;
+        info.engine = ObservedEngine::kCountBatch;
+        info.population = n;
+        info.num_states = num_states;
+        info.seed = options.seed;
+        info.max_interactions = options.max_interactions;
+        info.initial = &initial;
+        info.protocol = &protocol;
+        observer->on_start(info);
+    }
+
     while (!silent && result.interactions < options.max_interactions) {
         // Jump over the geometric run of null interactions preceding the
         // next effective one.
@@ -112,6 +142,11 @@ RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfigur
             const std::uint64_t stop_at = result.last_output_change + window;
             if (stop_at <= result.interactions + skips &&
                 stop_at <= options.max_interactions) {
+                if (observer) {
+                    emit_snapshots_through(stop_at);
+                    if (stop_at > result.interactions)
+                        observer->on_null_run(stop_at - result.interactions);
+                }
                 result.interactions = stop_at;
                 result.stop_reason = StopReason::kStableOutputs;
                 break;
@@ -119,8 +154,18 @@ RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfigur
         }
         if (skips >= options.max_interactions - result.interactions) {
             // The next effective interaction lies beyond the budget.
+            if (observer) {
+                emit_snapshots_through(options.max_interactions);
+                if (options.max_interactions > result.interactions)
+                    observer->on_null_run(options.max_interactions - result.interactions);
+            }
             result.interactions = options.max_interactions;
             break;
+        }
+        if (observer && skips != 0) {
+            // The null run covers indices (interactions, interactions+skips].
+            emit_snapshots_through(result.interactions + skips);
+            observer->on_null_run(skips);
         }
         result.interactions += skips + 1;
         ++result.effective_interactions;
@@ -162,6 +207,7 @@ RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfigur
         const Symbol out_qn = protocol.output_fast(next.responder);
         if (!((out_pn == out_p && out_qn == out_q) || (out_pn == out_q && out_qn == out_p))) {
             result.last_output_change = result.interactions;
+            if (observer) observer->on_output_change(result.interactions);
         }
 
         adjust_count(p, -1);
@@ -170,6 +216,12 @@ RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfigur
         adjust_count(next.responder, +1);
         W = total_effective_pairs();
         silent = (W == 0);
+
+        if (result.interactions >= next_snapshot) {
+            // The effective interaction itself landed on a scheduled index;
+            // its snapshot reflects the counts after the change.
+            emit_snapshots_through(result.interactions);
+        }
 
         if (window != 0 && result.last_output_change != 0 &&
             result.interactions - result.last_output_change >= window) {
@@ -185,6 +237,11 @@ RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfigur
         if (counts[s] > 0) final_config.add(s, counts[s]);
     result.consensus = final_config.consensus_output(protocol);
     result.final_configuration = std::move(final_config);
+    if (observer) {
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+        observer->on_stop(result, wall);
+    }
     return result;
 }
 

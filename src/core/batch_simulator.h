@@ -22,6 +22,12 @@
 //  * W == 0 is exactly the silence predicate, so silence is detected at the
 //    precise interaction after which no further change is possible;
 //    RunOptions::silence_check_period is not needed and is ignored.
+//  * Observation (core/observer.h): scheduled snapshot indices that fall
+//    inside a geometric jump are emitted with the current (unchanged)
+//    counts and stamped with their exact interaction index — null runs
+//    change nothing, so the jump is clamped at each snapshot boundary
+//    without consuming extra randomness, and a run's trajectory and
+//    RunResult are bit-identical with and without an observer.
 //
 // The reported interaction counts, stop reasons, and final configurations
 // are distributed exactly as in the agent-array `simulate` loop; only the

@@ -28,6 +28,14 @@ CountConfiguration CountConfiguration::from_input_counts(
     return config;
 }
 
+CountConfiguration CountConfiguration::from_state_counts(std::vector<std::uint64_t> counts) {
+    CountConfiguration config(counts.size());
+    config.counts_ = std::move(counts);
+    config.population_ = 0;
+    for (std::uint64_t count : config.counts_) config.population_ += count;
+    return config;
+}
+
 std::uint64_t CountConfiguration::count(State q) const {
     require(q < counts_.size(), "CountConfiguration: state out of range");
     return counts_[q];

@@ -34,6 +34,10 @@ public:
     static CountConfiguration from_input_counts(const Protocol& protocol,
                                                 const std::vector<std::uint64_t>& symbol_counts);
 
+    /// Configuration holding counts[q] agents in state q (a raw count vector
+    /// adopted as-is, e.g. an engine's working vector at a snapshot).
+    static CountConfiguration from_state_counts(std::vector<std::uint64_t> counts);
+
     /// Total number of agents n.
     std::uint64_t population_size() const { return population_; }
 

@@ -1,0 +1,165 @@
+// Run-trace instrumentation hooks for the simulation engines.
+//
+// Every experiment in the paper is a claim about a *trajectory* — the
+// epidemic's infected count over time (Lemma 8), the Theta(n^2 log n)
+// convergence tail of Presburger protocols (Theorem 8) — yet a RunResult
+// only surfaces the endpoint.  A RunObserver attached to RunOptions
+// receives the trajectory as it unfolds: a start event, configuration
+// snapshots on a deterministic interaction-index schedule, output-change
+// and engine-internal events, and a stop event carrying the final result
+// plus wall-clock time.  Concrete observers (in-memory trace recording,
+// metric aggregation, streaming JSONL export) live in src/observe; this
+// header only defines the hook so that popproto_core stays dependency-free.
+//
+// Contract with the engines:
+//
+//  * observer == nullptr (the default) costs one predicted-not-taken
+//    branch per interaction — nothing else.  bench_observe tracks this.
+//  * Observation never perturbs the run: engines consume the same RNG
+//    stream with and without an observer, so the reported RunResult is
+//    bit-identical either way.  In particular the batch engine's geometric
+//    null-skip jumps are *clamped* at snapshot boundaries without redrawing:
+//    a scheduled index that falls inside a run of null interactions is
+//    emitted with the (unchanged) current counts and stamped with its exact
+//    interaction index.
+//  * A snapshot at index t reports the configuration after the first t
+//    interactions of the schedule (index 0 is the initial configuration,
+//    delivered via on_start).
+//  * Engines call observers synchronously from the simulating thread.
+//    measure_trials runs trials on a worker pool, so one observer shared
+//    across trials sees concurrent callbacks and must be thread-safe
+//    (MetricsCollector is; TraceRecorder is per-run).
+
+#ifndef POPPROTO_CORE_OBSERVER_H
+#define POPPROTO_CORE_OBSERVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace popproto {
+
+class CountConfiguration;
+class TabulatedProtocol;
+struct RunResult;
+
+/// Deterministic interaction-index schedule for on_snapshot callbacks.
+/// The scheduled set depends only on the schedule parameters — never on the
+/// trajectory — so two engines given the same schedule and the same stop
+/// index emit snapshots at identical indices.
+class SnapshotSchedule {
+public:
+    /// No snapshots (the default).
+    SnapshotSchedule() = default;
+
+    /// Snapshots at period, 2*period, 3*period, ...  Requires period >= 1.
+    static SnapshotSchedule every(std::uint64_t period);
+
+    /// Log-spaced snapshots: first, then repeatedly the smallest strictly
+    /// larger index >= previous * factor.  Requires factor > 1 and
+    /// first >= 1.  Useful for Theta(n^2 log n) tails where fixed periods
+    /// either miss the early epidemic or drown in the null-heavy end.
+    static SnapshotSchedule log_spaced(double factor, std::uint64_t first = 1);
+
+    bool enabled() const { return kind_ != Kind::kNone; }
+
+    /// First scheduled index, or kNever when disabled.
+    std::uint64_t first_index() const;
+
+    /// Smallest scheduled index strictly greater than `index`, or kNever.
+    std::uint64_t next_after(std::uint64_t index) const;
+
+    /// Sentinel "no snapshot will ever be due" index; engines compare the
+    /// interaction counter against it with one branch on the hot path.
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+private:
+    enum class Kind { kNone, kFixed, kLog };
+
+    Kind kind_ = Kind::kNone;
+    std::uint64_t period_ = 0;   // kFixed
+    double factor_ = 0.0;        // kLog
+    std::uint64_t first_ = 1;    // kLog
+};
+
+/// Which execution path produced the events (simulate, simulate_counts,
+/// simulate_weighted, or simulate_on_graph).
+enum class ObservedEngine {
+    kAgentArray,
+    kCountBatch,
+    kWeighted,
+    kGraph,
+};
+
+/// Short stable identifier ("agent_array", "count_batch", ...) for logs.
+const char* observed_engine_name(ObservedEngine engine);
+
+/// Everything an observer may want to know at the start of a run.  Pointer
+/// members are borrowed and only valid for the duration of on_start.
+struct RunStartInfo {
+    ObservedEngine engine = ObservedEngine::kAgentArray;
+    std::uint64_t population = 0;
+    std::size_t num_states = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t max_interactions = 0;
+    const CountConfiguration* initial = nullptr;
+    const TabulatedProtocol* protocol = nullptr;
+};
+
+/// Abstract run observer.  All callbacks default to no-ops so subclasses
+/// override only what they consume.  The `configuration` arguments are
+/// borrowed and only valid for the duration of the call.
+class RunObserver {
+public:
+    virtual ~RunObserver() = default;
+
+    /// The run is about to execute its first interaction.
+    virtual void on_start(const RunStartInfo& info);
+
+    /// The configuration after `interaction_index` interactions, emitted at
+    /// every scheduled index <= the run's stop index.
+    virtual void on_snapshot(std::uint64_t interaction_index,
+                             const CountConfiguration& configuration);
+
+    /// Interaction `interaction_index` changed the output multiset (batch
+    /// engine) or some agent's output symbol (per-agent engines); see the
+    /// bookkeeping note in batch_simulator.h for the distinction.
+    virtual void on_output_change(std::uint64_t interaction_index);
+
+    /// The batch engine skipped `length` consecutive null interactions in
+    /// one geometric jump (only executed nulls are reported when a stop
+    /// rule cuts the jump short).  Per-agent engines never call this.
+    virtual void on_null_run(std::uint64_t length);
+
+    /// The engine evaluated the silence predicate after
+    /// `interaction_index` interactions (periodic-check engines only; the
+    /// batch engine detects silence exactly via W == 0 and never calls
+    /// this).
+    virtual void on_silence_check(std::uint64_t interaction_index, bool silent);
+
+    /// The run is over; `result` is the exact RunResult the engine returns
+    /// and `wall_seconds` the elapsed wall-clock time of the run.
+    virtual void on_stop(const RunResult& result, double wall_seconds);
+};
+
+/// Fans every callback out to a list of observers, in order.  Borrowed
+/// pointers; null entries are rejected at construction.
+class TeeObserver final : public RunObserver {
+public:
+    explicit TeeObserver(std::vector<RunObserver*> observers);
+
+    void on_start(const RunStartInfo& info) override;
+    void on_snapshot(std::uint64_t interaction_index,
+                     const CountConfiguration& configuration) override;
+    void on_output_change(std::uint64_t interaction_index) override;
+    void on_null_run(std::uint64_t length) override;
+    void on_silence_check(std::uint64_t interaction_index, bool silent) override;
+    void on_stop(const RunResult& result, double wall_seconds) override;
+
+private:
+    std::vector<RunObserver*> observers_;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_OBSERVER_H

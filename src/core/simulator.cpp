@@ -1,6 +1,7 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -28,6 +29,11 @@ bool counts_silent(const TabulatedProtocol& protocol, const std::vector<std::uin
     return true;
 }
 
+/// Seconds elapsed since `start` (observer wall-clock bookkeeping).
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
 }  // namespace
 
 RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& initial,
@@ -50,6 +56,23 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
     RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
                      std::nullopt};
 
+    RunObserver* const observer = options.observer;
+    std::uint64_t next_snapshot =
+        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
+    std::chrono::steady_clock::time_point wall_start;
+    if (observer) {
+        wall_start = std::chrono::steady_clock::now();
+        RunStartInfo info;
+        info.engine = ObservedEngine::kAgentArray;
+        info.population = n;
+        info.num_states = protocol.num_states();
+        info.seed = options.seed;
+        info.max_interactions = options.max_interactions;
+        info.initial = &initial;
+        info.protocol = &protocol;
+        observer->on_start(info);
+    }
+
     std::vector<State> present;
     std::uint64_t next_check = check_period;
     std::uint64_t since_last_check = 1;  // force a pre-loop silence test path below
@@ -59,6 +82,7 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
     for (State q = 0; q < counts.size(); ++q)
         if (counts[q] > 0) present.push_back(q);
     bool silent = counts_silent(protocol, counts, present);
+    if (observer) observer->on_silence_check(0, silent);
 
     while (!silent && result.interactions < options.max_interactions) {
         const std::uint64_t i = rng.below(n);
@@ -75,6 +99,7 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
             if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
                 protocol.output_fast(next.responder) != protocol.output_fast(q)) {
                 result.last_output_change = result.interactions;
+                if (observer) observer->on_output_change(result.interactions);
             }
             states[i] = next.initiator;
             states[j] = next.responder;
@@ -82,6 +107,12 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
             --counts[q];
             ++counts[next.initiator];
             ++counts[next.responder];
+        }
+
+        if (result.interactions >= next_snapshot) {
+            observer->on_snapshot(result.interactions,
+                                  CountConfiguration::from_state_counts(counts));
+            next_snapshot = options.snapshots.next_after(result.interactions);
         }
 
         if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
@@ -99,6 +130,7 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
                     if (counts[s] > 0) present.push_back(s);
                 silent = counts_silent(protocol, counts, present);
                 since_last_check = 0;
+                if (observer) observer->on_silence_check(result.interactions, silent);
             }
         }
     }
@@ -110,6 +142,7 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
         for (State s = 0; s < counts.size(); ++s)
             if (counts[s] > 0) present.push_back(s);
         silent = counts_silent(protocol, counts, present);
+        if (observer) observer->on_silence_check(result.interactions, silent);
     }
     if (silent) result.stop_reason = StopReason::kSilent;
 
@@ -118,6 +151,7 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
         if (counts[q] > 0) final_config.add(q, counts[q]);
     result.consensus = final_config.consensus_output(protocol);
     result.final_configuration = std::move(final_config);
+    if (observer) observer->on_stop(result, seconds_since(wall_start));
     return result;
 }
 
@@ -177,10 +211,30 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
     RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
                      std::nullopt};
 
+    RunObserver* const observer = options.observer;
+    std::uint64_t next_snapshot =
+        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
+    std::chrono::steady_clock::time_point wall_start;
+    std::optional<CountConfiguration> initial_counts;
+    if (observer) {
+        wall_start = std::chrono::steady_clock::now();
+        initial_counts.emplace(CountConfiguration::from_state_counts(counts));
+        RunStartInfo info;
+        info.engine = ObservedEngine::kWeighted;
+        info.population = n;
+        info.num_states = protocol.num_states();
+        info.seed = options.seed;
+        info.max_interactions = options.max_interactions;
+        info.initial = &*initial_counts;
+        info.protocol = &protocol;
+        observer->on_start(info);
+    }
+
     std::vector<State> present;
     for (State q = 0; q < counts.size(); ++q)
         if (counts[q] > 0) present.push_back(q);
     bool silent = counts_silent(protocol, counts, present);
+    if (observer) observer->on_silence_check(0, silent);
     std::uint64_t next_check = check_period;
     std::uint64_t changed_since_check = 1;
 
@@ -208,6 +262,7 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
             if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
                 protocol.output_fast(next.responder) != protocol.output_fast(q)) {
                 result.last_output_change = result.interactions;
+                if (observer) observer->on_output_change(result.interactions);
             }
             states[i] = next.initiator;
             states[j] = next.responder;
@@ -215,6 +270,12 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
             --counts[q];
             ++counts[next.initiator];
             ++counts[next.responder];
+        }
+
+        if (result.interactions >= next_snapshot) {
+            observer->on_snapshot(result.interactions,
+                                  CountConfiguration::from_state_counts(counts));
+            next_snapshot = options.snapshots.next_after(result.interactions);
         }
 
         if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
@@ -230,6 +291,7 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
                     if (counts[s] > 0) present.push_back(s);
                 silent = counts_silent(protocol, counts, present);
                 changed_since_check = 0;
+                if (observer) observer->on_silence_check(result.interactions, silent);
             }
         }
     }
@@ -239,6 +301,7 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
         for (State s = 0; s < counts.size(); ++s)
             if (counts[s] > 0) present.push_back(s);
         silent = counts_silent(protocol, counts, present);
+        if (observer) observer->on_silence_check(result.interactions, silent);
     }
     if (silent) result.stop_reason = StopReason::kSilent;
 
@@ -247,6 +310,7 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
         if (counts[q] > 0) final_config.add(q, counts[q]);
     result.consensus = final_config.consensus_output(protocol);
     result.final_configuration = std::move(final_config);
+    if (observer) observer->on_stop(result, seconds_since(wall_start));
     return result;
 }
 

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/configuration.h"
+#include "core/observer.h"
 #include "core/rng.h"
 #include "core/tabulated_protocol.h"
 
@@ -54,6 +55,18 @@ struct RunOptions {
     /// (batch_simulator.h), e.g. `measure_trials`.  Direct calls to
     /// `simulate` / `simulate_counts` ignore this field.
     SimulationEngine engine = SimulationEngine::kAgentArray;
+
+    /// Run-trace instrumentation hook (core/observer.h); borrowed, may be
+    /// nullptr (the default — costs one branch per interaction).  Observation
+    /// never changes the RNG stream, so a run's RunResult is bit-identical
+    /// with and without an observer.  When `measure_trials` fans trials
+    /// across threads, the observer receives concurrent callbacks and must
+    /// be thread-safe.
+    RunObserver* observer = nullptr;
+
+    /// Interaction indices at which `observer->on_snapshot` fires (ignored
+    /// without an observer).  Defaults to no snapshots.
+    SnapshotSchedule snapshots;
 };
 
 /// Why a run stopped.

@@ -1,5 +1,6 @@
 #include "graphs/graph_simulation.h"
 
+#include <chrono>
 #include <string>
 
 #include "core/require.h"
@@ -124,6 +125,24 @@ GraphRunResult simulate_on_graph(const TabulatedProtocol& protocol, const Intera
     AgentConfiguration agents = AgentConfiguration::from_inputs(protocol, inputs);
     const std::vector<Edge>& edges = graph.edges();
 
+    RunObserver* const observer = options.observer;
+    std::uint64_t next_snapshot =
+        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
+    std::chrono::steady_clock::time_point wall_start;
+    if (observer) {
+        wall_start = std::chrono::steady_clock::now();
+        const CountConfiguration initial_counts = agents.to_counts(protocol.num_states());
+        RunStartInfo info;
+        info.engine = ObservedEngine::kGraph;
+        info.population = graph.num_agents();
+        info.num_states = protocol.num_states();
+        info.seed = options.seed;
+        info.max_interactions = options.max_interactions;
+        info.initial = &initial_counts;
+        info.protocol = &protocol;
+        observer->on_start(info);
+    }
+
     GraphRunResult result;
     while (result.interactions < options.max_interactions) {
         const Edge& edge = edges[rng.below(edges.size())];
@@ -137,9 +156,15 @@ GraphRunResult simulate_on_graph(const TabulatedProtocol& protocol, const Intera
             if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
                 protocol.output_fast(next.responder) != protocol.output_fast(q)) {
                 result.last_output_change = result.interactions;
+                if (observer) observer->on_output_change(result.interactions);
             }
             agents.set_state(edge.first, next.initiator);
             agents.set_state(edge.second, next.responder);
+        }
+
+        if (result.interactions >= next_snapshot) {
+            observer->on_snapshot(result.interactions, agents.to_counts(protocol.num_states()));
+            next_snapshot = options.snapshots.next_after(result.interactions);
         }
 
         if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
@@ -152,6 +177,16 @@ GraphRunResult simulate_on_graph(const TabulatedProtocol& protocol, const Intera
 
     result.consensus =
         agents.to_counts(protocol.num_states()).consensus_output(protocol);
+    if (observer) {
+        // Observers consume the engine-independent RunResult shape; graph
+        // runs collapse their per-agent endpoint to the state multiset.
+        RunResult run_result{agents.to_counts(protocol.num_states()), result.stop_reason,
+                             result.interactions, result.effective_interactions,
+                             result.last_output_change, result.consensus};
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+        observer->on_stop(run_result, wall);
+    }
     result.final_configuration = std::move(agents);
     return result;
 }

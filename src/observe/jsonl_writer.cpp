@@ -1,0 +1,141 @@
+#include "observe/jsonl_writer.h"
+
+#include <sstream>
+#include <vector>
+
+#include "core/require.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+void append_json_string(std::ostringstream& out, const std::string& text) {
+    out << '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"':
+                out << "\\\"";
+                break;
+            case '\\':
+                out << "\\\\";
+                break;
+            case '\n':
+                out << "\\n";
+                break;
+            case '\t':
+                out << "\\t";
+                break;
+            case '\r':
+                out << "\\r";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    constexpr char kHex[] = "0123456789abcdef";
+                    out << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+                } else {
+                    out << c;
+                }
+        }
+    }
+    out << '"';
+}
+
+void append_counts(std::ostringstream& out, const std::vector<std::uint64_t>& counts) {
+    out << "\"counts\":[";
+    for (std::size_t q = 0; q < counts.size(); ++q) {
+        if (q != 0) out << ',';
+        out << counts[q];
+    }
+    out << ']';
+}
+
+const char* stop_reason_name(StopReason reason) {
+    switch (reason) {
+        case StopReason::kSilent:
+            return "silent";
+        case StopReason::kStableOutputs:
+            return "stable_outputs";
+        case StopReason::kBudget:
+            return "budget";
+    }
+    return "unknown";
+}
+
+}  // namespace
+
+JsonlTraceWriter::JsonlTraceWriter(std::ostream& out) : out_(&out) {}
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path)
+    : owned_(path, std::ios::out | std::ios::trunc), out_(&owned_) {
+    require(owned_.is_open(), "JsonlTraceWriter: cannot open " + path);
+}
+
+void JsonlTraceWriter::write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    *out_ << line << '\n';
+}
+
+void JsonlTraceWriter::on_start(const RunStartInfo& info) {
+    std::ostringstream line;
+    line << "{\"event\":\"start\",\"engine\":\"" << observed_engine_name(info.engine)
+         << "\",\"population\":" << info.population << ",\"num_states\":" << info.num_states
+         << ",\"seed\":" << info.seed << ",\"max_interactions\":" << info.max_interactions;
+    if (info.initial != nullptr) {
+        line << ',';
+        append_counts(line, info.initial->counts());
+    }
+    if (info.protocol != nullptr) {
+        line << ",\"state_names\":[";
+        for (State q = 0; q < info.protocol->num_states(); ++q) {
+            if (q != 0) line << ',';
+            append_json_string(line, info.protocol->state_name(q));
+        }
+        line << ']';
+    }
+    line << '}';
+    write_line(line.str());
+}
+
+void JsonlTraceWriter::on_snapshot(std::uint64_t interaction_index,
+                                   const CountConfiguration& configuration) {
+    std::ostringstream line;
+    line << "{\"event\":\"snapshot\",\"t\":" << interaction_index;
+    if (write_counts_) {
+        line << ',';
+        append_counts(line, configuration.counts());
+    }
+    line << '}';
+    write_line(line.str());
+}
+
+void JsonlTraceWriter::on_output_change(std::uint64_t interaction_index) {
+    std::ostringstream line;
+    line << "{\"event\":\"output_change\",\"t\":" << interaction_index << '}';
+    write_line(line.str());
+}
+
+void JsonlTraceWriter::on_stop(const RunResult& result, double wall_seconds) {
+    std::ostringstream line;
+    line << "{\"event\":\"stop\",\"reason\":\"" << stop_reason_name(result.stop_reason)
+         << "\",\"interactions\":" << result.interactions
+         << ",\"effective_interactions\":" << result.effective_interactions
+         << ",\"last_output_change\":" << result.last_output_change << ",\"consensus\":";
+    if (result.consensus) {
+        line << *result.consensus;
+    } else {
+        line << "null";
+    }
+    line << ",\"wall_seconds\":" << wall_seconds;
+    if (write_counts_) {
+        line << ',';
+        append_counts(line, result.final_configuration.counts());
+    }
+    line << '}';
+    write_line(line.str());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_->flush();
+}
+
+}  // namespace popproto

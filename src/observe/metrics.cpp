@@ -1,0 +1,94 @@
+#include "observe/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace popproto {
+
+std::string MetricsReport::to_string() const {
+    std::ostringstream out;
+    out << "runs: " << runs_finished << " finished / " << runs_started << " started"
+        << " (silent " << stops_silent << ", stable_outputs " << stops_stable_outputs
+        << ", budget " << stops_budget << ")\n";
+    out << "interactions: " << interactions << " total, " << effective_interactions
+        << " effective, " << null_interactions_skipped << " skipped in " << null_runs
+        << " null runs\n";
+    out << "events: " << snapshots << " snapshots, " << output_changes << " output changes, "
+        << silence_checks << " silence checks\n";
+    out << "wall seconds: " << wall_seconds_total << " total";
+    if (runs_finished > 0)
+        out << " (min " << wall_seconds_min << ", max " << wall_seconds_max << ")";
+    out << "\n";
+    if (null_runs > 0) {
+        out << "null-run lengths (log2 buckets):\n";
+        for (std::size_t b = 0; b < null_run_length_log2.size(); ++b) {
+            if (null_run_length_log2[b] == 0) continue;
+            out << "  [2^" << b << ", 2^" << b + 1 << "): " << null_run_length_log2[b] << "\n";
+        }
+    }
+    return out.str();
+}
+
+MetricsReport MetricsCollector::report() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return data_;
+}
+
+void MetricsCollector::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    data_ = MetricsReport();
+}
+
+void MetricsCollector::on_start(const RunStartInfo&) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.runs_started;
+}
+
+void MetricsCollector::on_snapshot(std::uint64_t, const CountConfiguration&) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.snapshots;
+}
+
+void MetricsCollector::on_output_change(std::uint64_t) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.output_changes;
+}
+
+void MetricsCollector::on_null_run(std::uint64_t length) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.null_runs;
+    data_.null_interactions_skipped += length;
+    // length >= 1; bucket = floor(log2(length)).
+    const int bucket = std::bit_width(length) - 1;
+    ++data_.null_run_length_log2[static_cast<std::size_t>(bucket)];
+}
+
+void MetricsCollector::on_silence_check(std::uint64_t, bool) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.silence_checks;
+}
+
+void MetricsCollector::on_stop(const RunResult& result, double wall_seconds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (data_.runs_finished == 0 || wall_seconds < data_.wall_seconds_min)
+        data_.wall_seconds_min = wall_seconds;
+    if (data_.runs_finished == 0 || wall_seconds > data_.wall_seconds_max)
+        data_.wall_seconds_max = wall_seconds;
+    ++data_.runs_finished;
+    data_.interactions += result.interactions;
+    data_.effective_interactions += result.effective_interactions;
+    data_.wall_seconds_total += wall_seconds;
+    switch (result.stop_reason) {
+        case StopReason::kSilent:
+            ++data_.stops_silent;
+            break;
+        case StopReason::kStableOutputs:
+            ++data_.stops_stable_outputs;
+            break;
+        case StopReason::kBudget:
+            ++data_.stops_budget;
+            break;
+    }
+}
+
+}  // namespace popproto

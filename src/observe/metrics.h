@@ -1,0 +1,84 @@
+// Cross-run metric aggregation.
+//
+// A MetricsCollector accumulates counters and histograms over every run it
+// observes: total vs effective interactions, per-stop-reason counts,
+// null-skip run lengths (log2 histogram), silence-check counts, and
+// wall-clock per run.  It is thread-safe — one collector can be attached to
+// TrialOptions::base.observer and fed concurrently by every measure_trials
+// worker — and is the natural hook for exporting serving-style metrics from
+// long-running experiment sweeps.
+
+#ifndef POPPROTO_OBSERVE_METRICS_H
+#define POPPROTO_OBSERVE_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/observer.h"
+#include "core/simulator.h"
+
+namespace popproto {
+
+/// A consistent snapshot of everything a MetricsCollector has aggregated.
+struct MetricsReport {
+    std::uint64_t runs_started = 0;
+    std::uint64_t runs_finished = 0;
+
+    // Summed over finished runs.
+    std::uint64_t interactions = 0;
+    std::uint64_t effective_interactions = 0;
+
+    // Stop reasons of finished runs (silent + stable_outputs + budget ==
+    // runs_finished).
+    std::uint64_t stops_silent = 0;
+    std::uint64_t stops_stable_outputs = 0;
+    std::uint64_t stops_budget = 0;
+
+    // Event counts.
+    std::uint64_t output_changes = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t silence_checks = 0;
+
+    // Null-run statistics (batch engine).  Bucket b of the histogram counts
+    // runs of length in [2^b, 2^(b+1)); `null_interactions_skipped` equals
+    // interactions - effective_interactions over batch runs.
+    std::uint64_t null_runs = 0;
+    std::uint64_t null_interactions_skipped = 0;
+    std::array<std::uint64_t, 64> null_run_length_log2{};
+
+    // Wall-clock seconds of finished runs.
+    double wall_seconds_total = 0.0;
+    double wall_seconds_min = 0.0;
+    double wall_seconds_max = 0.0;
+
+    /// Multi-line human-readable dump (histogram buckets with zero counts
+    /// are omitted).
+    std::string to_string() const;
+};
+
+class MetricsCollector final : public RunObserver {
+public:
+    /// Thread-safe consistent copy of the aggregates.
+    MetricsReport report() const;
+
+    /// Zeroes every counter.
+    void reset();
+
+    void on_start(const RunStartInfo& info) override;
+    void on_snapshot(std::uint64_t interaction_index,
+                     const CountConfiguration& configuration) override;
+    void on_output_change(std::uint64_t interaction_index) override;
+    void on_null_run(std::uint64_t length) override;
+    void on_silence_check(std::uint64_t interaction_index, bool silent) override;
+    void on_stop(const RunResult& result, double wall_seconds) override;
+
+private:
+    mutable std::mutex mutex_;
+    MetricsReport data_;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_OBSERVE_METRICS_H

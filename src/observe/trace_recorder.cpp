@@ -1,0 +1,40 @@
+#include "observe/trace_recorder.h"
+
+namespace popproto {
+
+void TraceRecorder::clear() {
+    *this = TraceRecorder();
+}
+
+void TraceRecorder::on_start(const RunStartInfo& info) {
+    clear();
+    started_ = true;
+    engine_ = info.engine;
+    population_ = info.population;
+    seed_ = info.seed;
+    if (info.initial != nullptr) initial_counts_ = info.initial->counts();
+}
+
+void TraceRecorder::on_snapshot(std::uint64_t interaction_index,
+                                const CountConfiguration& configuration) {
+    snapshots_.push_back({interaction_index, configuration.counts()});
+}
+
+void TraceRecorder::on_output_change(std::uint64_t interaction_index) {
+    output_changes_.push_back(interaction_index);
+}
+
+void TraceRecorder::on_null_run(std::uint64_t length) {
+    total_null_skips_ += length;
+}
+
+void TraceRecorder::on_silence_check(std::uint64_t, bool) {
+    ++silence_checks_;
+}
+
+void TraceRecorder::on_stop(const RunResult& result, double wall_seconds) {
+    result_ = result;
+    wall_seconds_ = wall_seconds;
+}
+
+}  // namespace popproto

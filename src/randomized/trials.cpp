@@ -15,26 +15,20 @@ namespace popproto {
 
 namespace {
 
-/// The per-trial facts the summary depends on.
-struct TrialOutcome {
-    StopReason stop_reason = StopReason::kBudget;
-    std::optional<Symbol> consensus;
-    std::uint64_t last_output_change = 0;
-};
-
-/// Runs the trials into a per-trial outcome vector, fanning across
+/// Runs the trials into a per-trial record vector, fanning across
 /// `threads` workers pulling trial indices from a shared counter.  Trial t
 /// always uses seed base.seed + t and lands in slot t, so the outcome is
 /// independent of scheduling.
-std::vector<TrialOutcome> run_all_trials(const TabulatedProtocol& protocol,
-                                         const CountConfiguration& initial,
-                                         const TrialOptions& options, unsigned threads) {
-    std::vector<TrialOutcome> results(options.trials);
+std::vector<TrialRecord> run_all_trials(const TabulatedProtocol& protocol,
+                                        const CountConfiguration& initial,
+                                        const TrialOptions& options, unsigned threads) {
+    std::vector<TrialRecord> results(options.trials);
     const auto run_one = [&](std::uint64_t trial) {
         RunOptions run_options = options.base;
         run_options.seed = options.base.seed + trial;
         const RunResult result = run_simulation(protocol, initial, run_options);
-        results[trial] = {result.stop_reason, result.consensus, result.last_output_change};
+        results[trial] = {result.stop_reason, result.consensus, result.last_output_change,
+                          result.interactions, result.effective_interactions};
     };
 
     if (threads <= 1) {
@@ -75,14 +69,24 @@ TrialSummary measure_trials(const TabulatedProtocol& protocol,
                                             : std::max(1u, std::thread::hardware_concurrency());
     if (threads > options.trials) threads = static_cast<unsigned>(options.trials);
 
-    const std::vector<TrialOutcome> results = run_all_trials(protocol, initial, options, threads);
+    std::vector<TrialRecord> results = run_all_trials(protocol, initial, options, threads);
 
     TrialSummary summary;
     summary.trials = options.trials;
     std::vector<std::uint64_t> convergence;
     convergence.reserve(options.trials);
-    for (const TrialOutcome& result : results) {
-        if (result.stop_reason == StopReason::kSilent) ++summary.silent;
+    for (const TrialRecord& result : results) {
+        switch (result.stop_reason) {
+            case StopReason::kSilent:
+                ++summary.silent;
+                break;
+            case StopReason::kStableOutputs:
+                ++summary.stable_outputs;
+                break;
+            case StopReason::kBudget:
+                ++summary.budget;
+                break;
+        }
         if (result.consensus &&
             (!options.expected_consensus || *result.consensus == *options.expected_consensus)) {
             ++summary.correct;
@@ -93,7 +97,10 @@ TrialSummary measure_trials(const TabulatedProtocol& protocol,
     std::sort(convergence.begin(), convergence.end());
     summary.min_convergence = convergence.front();
     summary.max_convergence = convergence.back();
-    summary.median_convergence = convergence[convergence.size() / 2];
+    // Lower median (see trials.h): the smaller middle value when the trial
+    // count is even, so the statistic never exceeds the distribution
+    // midpoint.
+    summary.median_convergence = convergence[(convergence.size() - 1) / 2];
 
     double total = 0.0;
     for (std::uint64_t value : convergence) total += static_cast<double>(value);
@@ -108,6 +115,7 @@ TrialSummary measure_trials(const TabulatedProtocol& protocol,
         summary.stddev_convergence =
             std::sqrt(sum_squares / static_cast<double>(convergence.size() - 1));
     }
+    if (options.keep_records) summary.records = std::move(results);
     return summary;
 }
 

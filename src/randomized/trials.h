@@ -5,7 +5,9 @@
 // outputs settle and how often is the consensus correct?  This module
 // packages that loop with summary statistics (mean/stddev/min/median/max of
 // the convergence time and the correctness count), so benches, examples,
-// and downstream studies share one audited implementation.
+// and downstream studies share one audited implementation.  Callers that
+// need distributions rather than summaries (e.g. convergence-time
+// histograms) set TrialOptions::keep_records to retain the per-trial facts.
 
 #ifndef POPPROTO_RANDOMIZED_TRIALS_H
 #define POPPROTO_RANDOMIZED_TRIALS_H
@@ -20,21 +22,46 @@
 
 namespace popproto {
 
+/// The per-trial facts retained when TrialOptions::keep_records is set.
+/// records[t] is trial t (seed base.seed + t) regardless of thread count.
+struct TrialRecord {
+    StopReason stop_reason = StopReason::kBudget;
+    std::optional<Symbol> consensus;
+    /// Empirical convergence time (RunResult::last_output_change).
+    std::uint64_t last_output_change = 0;
+    std::uint64_t interactions = 0;
+    std::uint64_t effective_interactions = 0;
+};
+
 /// Summary of one batch of identical-input runs.
 struct TrialSummary {
     std::uint64_t trials = 0;
     /// Runs whose final consensus equalled `expected_consensus` (when given;
     /// otherwise runs that reached *any* consensus).
     std::uint64_t correct = 0;
+
+    // Per-stop-reason counts; silent + stable_outputs + budget == trials.
     /// Runs that stopped silent (sound convergence certificates).
     std::uint64_t silent = 0;
+    /// Runs stopped by the heuristic output-stability window.
+    std::uint64_t stable_outputs = 0;
+    /// Runs that exhausted max_interactions without another stopping rule
+    /// firing — visible here so budget starvation cannot hide in a summary.
+    std::uint64_t budget = 0;
 
-    // Statistics of last_output_change across the runs.
+    // Statistics of last_output_change across the runs.  The median is the
+    // *lower* median: sorted[(trials - 1) / 2], i.e. the smaller of the two
+    // middle values for even trial counts (a value that actually occurred,
+    // and never above the distribution midpoint).
     double mean_convergence = 0.0;
     double stddev_convergence = 0.0;
     std::uint64_t min_convergence = 0;
     std::uint64_t median_convergence = 0;
     std::uint64_t max_convergence = 0;
+
+    /// Per-trial records, in trial order; empty unless
+    /// TrialOptions::keep_records was set.
+    std::vector<TrialRecord> records;
 
     double correct_rate() const {
         return trials == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(trials);
@@ -51,8 +78,12 @@ struct TrialOptions {
     /// Worker threads to fan the trials across; 0 selects
     /// std::thread::hardware_concurrency().  Trial t always runs with seed
     /// base.seed + t and results are aggregated in trial order, so the
-    /// summary is bit-identical at every thread count.
+    /// summary is bit-identical at every thread count.  A base.observer, if
+    /// any, receives callbacks from every worker concurrently and must be
+    /// thread-safe (e.g. MetricsCollector).
     unsigned threads = 1;
+    /// Retain TrialSummary::records (one TrialRecord per trial).
+    bool keep_records = false;
 };
 
 /// Runs `options.trials` simulations of `protocol` from `initial`, using

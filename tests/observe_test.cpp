@@ -1,0 +1,561 @@
+// Run-trace instrumentation: schedules, observers, and the
+// observation-never-perturbs contract (core/observer.h, src/observe).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch_simulator.h"
+#include "core/observer.h"
+#include "core/simulator.h"
+#include "graphs/graph_simulation.h"
+#include "graphs/interaction_graph.h"
+#include "observe/jsonl_writer.h"
+#include "observe/metrics.h"
+#include "observe/trace_recorder.h"
+#include "protocols/counting.h"
+#include "protocols/epidemic.h"
+#include "randomized/trials.h"
+
+namespace popproto {
+namespace {
+
+// --- Minimal JSON validator (structure only, enough for JSONL lines) -----
+
+class JsonChecker {
+public:
+    explicit JsonChecker(const std::string& text) : text_(text) {}
+
+    bool valid() {
+        pos_ = 0;
+        skip_space();
+        if (!value()) return false;
+        skip_space();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        const char c = text_[pos_];
+        if (c == '{') return object();
+        if (c == '[') return array();
+        if (c == '"') return string();
+        if (c == 't') return literal("true");
+        if (c == 'f') return literal("false");
+        if (c == 'n') return literal("null");
+        return number();
+    }
+
+    bool object() {
+        ++pos_;  // '{'
+        skip_space();
+        if (peek() == '}') return ++pos_, true;
+        while (true) {
+            skip_space();
+            if (!string()) return false;
+            skip_space();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_space();
+            if (!value()) return false;
+            skip_space();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') return ++pos_, true;
+            return false;
+        }
+    }
+
+    bool array() {
+        ++pos_;  // '['
+        skip_space();
+        if (peek() == ']') return ++pos_, true;
+        while (true) {
+            skip_space();
+            if (!value()) return false;
+            skip_space();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') return ++pos_, true;
+            return false;
+        }
+    }
+
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (static_cast<unsigned char>(text_[pos_]) < 0x20) return false;
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(const std::string& word) {
+        if (text_.compare(pos_, word.size(), word) != 0) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void skip_space() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+}
+
+// Count lines whose "event" field is `event` (relies on the writer always
+// leading with {"event":"...").
+std::uint64_t count_events(const std::vector<std::string>& lines, const std::string& event) {
+    const std::string prefix = "{\"event\":\"" + event + "\"";
+    std::uint64_t count = 0;
+    for (const std::string& line : lines) {
+        if (line.compare(0, prefix.size(), prefix) == 0) ++count;
+    }
+    return count;
+}
+
+bool results_equal(const RunResult& a, const RunResult& b) {
+    return a.stop_reason == b.stop_reason && a.interactions == b.interactions &&
+           a.effective_interactions == b.effective_interactions &&
+           a.last_output_change == b.last_output_change && a.consensus == b.consensus &&
+           a.final_configuration.counts() == b.final_configuration.counts();
+}
+
+// --- SnapshotSchedule ----------------------------------------------------
+
+TEST(SnapshotSchedule, DisabledNeverFires) {
+    const SnapshotSchedule schedule;
+    EXPECT_FALSE(schedule.enabled());
+    EXPECT_EQ(schedule.first_index(), SnapshotSchedule::kNever);
+    EXPECT_EQ(schedule.next_after(0), SnapshotSchedule::kNever);
+    EXPECT_EQ(schedule.next_after(1u << 20), SnapshotSchedule::kNever);
+}
+
+TEST(SnapshotSchedule, FixedPeriodArithmetic) {
+    const SnapshotSchedule schedule = SnapshotSchedule::every(100);
+    EXPECT_TRUE(schedule.enabled());
+    EXPECT_EQ(schedule.first_index(), 100u);
+    EXPECT_EQ(schedule.next_after(0), 100u);
+    EXPECT_EQ(schedule.next_after(99), 100u);
+    EXPECT_EQ(schedule.next_after(100), 200u);
+    EXPECT_EQ(schedule.next_after(101), 200u);
+    EXPECT_EQ(schedule.next_after(1000), 1100u);
+    // Near-overflow indices saturate to kNever instead of wrapping.
+    EXPECT_EQ(schedule.next_after(SnapshotSchedule::kNever - 1), SnapshotSchedule::kNever);
+}
+
+TEST(SnapshotSchedule, LogSpacedIsStrictlyIncreasing) {
+    const SnapshotSchedule schedule = SnapshotSchedule::log_spaced(1.5, 4);
+    EXPECT_EQ(schedule.first_index(), 4u);
+    std::uint64_t index = 0;
+    std::vector<std::uint64_t> scheduled;
+    for (int i = 0; i < 30; ++i) {
+        const std::uint64_t next = schedule.next_after(index);
+        ASSERT_GT(next, index);
+        scheduled.push_back(next);
+        index = next;
+    }
+    // First few indices: 4, 6, 9, 14, 21, ... (v -> max(v+1, ceil(1.5 v))).
+    EXPECT_EQ(scheduled[0], 4u);
+    EXPECT_EQ(scheduled[1], 6u);
+    EXPECT_EQ(scheduled[2], 9u);
+    EXPECT_EQ(scheduled[3], 14u);
+    // next_after is stateless: querying mid-range lands on the same grid.
+    EXPECT_EQ(schedule.next_after(scheduled[5] - 1), scheduled[5]);
+    EXPECT_EQ(schedule.next_after(scheduled[5]), scheduled[6]);
+}
+
+TEST(SnapshotSchedule, RejectsDegenerateParameters) {
+    EXPECT_THROW(SnapshotSchedule::every(0), std::exception);
+    EXPECT_THROW(SnapshotSchedule::log_spaced(1.0), std::exception);
+    EXPECT_THROW(SnapshotSchedule::log_spaced(0.5), std::exception);
+    EXPECT_THROW(SnapshotSchedule::log_spaced(2.0, 0), std::exception);
+}
+
+// --- Observation does not perturb any engine -----------------------------
+
+RunOptions base_options(std::uint64_t budget, std::uint64_t seed) {
+    RunOptions options;
+    options.max_interactions = budget;
+    options.seed = seed;
+    return options;
+}
+
+TEST(Observe, ObservationDoesNotPerturbAgentArray) {
+    const auto protocol = make_counting_protocol(5);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {57, 7});
+    const RunOptions plain = base_options(default_budget(64), 21);
+    const RunResult unobserved = simulate(*protocol, initial, plain);
+
+    TraceRecorder recorder;
+    RunOptions observed = plain;
+    observed.observer = &recorder;
+    observed.snapshots = SnapshotSchedule::every(64);
+    const RunResult result = simulate(*protocol, initial, observed);
+
+    EXPECT_TRUE(results_equal(result, unobserved));
+    EXPECT_TRUE(recorder.finished());
+    EXPECT_TRUE(results_equal(*recorder.result(), unobserved));
+}
+
+TEST(Observe, ObservationDoesNotPerturbBatchEngine) {
+    const auto protocol = make_counting_protocol(5);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {57, 7});
+    const RunOptions plain = base_options(default_budget(64), 22);
+    const RunResult unobserved = simulate_counts(*protocol, initial, plain);
+
+    TraceRecorder recorder;
+    RunOptions observed = plain;
+    observed.observer = &recorder;
+    observed.snapshots = SnapshotSchedule::log_spaced(1.3);
+    const RunResult result = simulate_counts(*protocol, initial, observed);
+
+    EXPECT_TRUE(results_equal(result, unobserved));
+    // Null-run accounting: the recorder saw exactly the skipped interactions.
+    EXPECT_EQ(recorder.total_null_skips(), result.interactions - result.effective_interactions);
+}
+
+TEST(Observe, ObservationDoesNotPerturbWeightedEngine) {
+    const auto protocol = make_epidemic_protocol();
+    std::vector<Symbol> inputs(20, 0);
+    inputs[0] = 1;
+    const auto initial = AgentConfiguration::from_inputs(*protocol, inputs);
+    std::vector<double> weights(20);
+    for (std::size_t i = 0; i < weights.size(); ++i) weights[i] = 1.0 + 0.25 * (i % 4);
+
+    const RunOptions plain = base_options(default_budget(20), 23);
+    const RunResult unobserved = simulate_weighted(*protocol, initial, weights, plain);
+
+    TraceRecorder recorder;
+    RunOptions observed = plain;
+    observed.observer = &recorder;
+    observed.snapshots = SnapshotSchedule::every(50);
+    const RunResult result = simulate_weighted(*protocol, initial, weights, observed);
+
+    EXPECT_TRUE(results_equal(result, unobserved));
+    EXPECT_EQ(recorder.engine(), ObservedEngine::kWeighted);
+    EXPECT_EQ(recorder.population(), 20u);
+}
+
+TEST(Observe, ObservationDoesNotPerturbGraphEngine) {
+    const auto protocol = make_epidemic_protocol();
+    const InteractionGraph graph = InteractionGraph::ring(16);
+    std::vector<Symbol> inputs(16, 0);
+    inputs[3] = 1;
+    RunOptions plain = base_options(default_budget(16), 24);
+    plain.stop_after_stable_outputs = 2000;
+    const GraphRunResult unobserved = simulate_on_graph(*protocol, graph, inputs, plain);
+
+    TraceRecorder recorder;
+    RunOptions observed = plain;
+    observed.observer = &recorder;
+    observed.snapshots = SnapshotSchedule::every(32);
+    const GraphRunResult result = simulate_on_graph(*protocol, graph, inputs, observed);
+
+    EXPECT_EQ(result.stop_reason, unobserved.stop_reason);
+    EXPECT_EQ(result.interactions, unobserved.interactions);
+    EXPECT_EQ(result.effective_interactions, unobserved.effective_interactions);
+    EXPECT_EQ(result.last_output_change, unobserved.last_output_change);
+    EXPECT_EQ(result.consensus, unobserved.consensus);
+    EXPECT_EQ(result.final_configuration.states(), unobserved.final_configuration.states());
+
+    EXPECT_EQ(recorder.engine(), ObservedEngine::kGraph);
+    ASSERT_TRUE(recorder.finished());
+    EXPECT_EQ(recorder.result()->interactions, result.interactions);
+    EXPECT_EQ(recorder.result()->final_configuration.counts(),
+              result.final_configuration.to_counts(protocol->num_states()).counts());
+}
+
+// --- TraceRecorder -------------------------------------------------------
+
+TEST(Observe, TraceRecorderCapturesEpidemicTrajectory) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {63, 1});
+
+    TraceRecorder recorder;
+    RunOptions options = base_options(default_budget(64), 5);
+    options.observer = &recorder;
+    options.snapshots = SnapshotSchedule::every(25);
+    const RunResult result = simulate(*protocol, initial, options);
+
+    ASSERT_TRUE(recorder.started());
+    ASSERT_TRUE(recorder.finished());
+    EXPECT_EQ(recorder.engine(), ObservedEngine::kAgentArray);
+    EXPECT_EQ(recorder.population(), 64u);
+    EXPECT_EQ(recorder.seed(), 5u);
+    EXPECT_EQ(recorder.initial_counts(), initial.counts());
+    EXPECT_GE(recorder.wall_seconds(), 0.0);
+    EXPECT_GE(recorder.silence_checks(), 1u);
+
+    // Snapshots land exactly on the schedule, strictly before the stop index.
+    ASSERT_FALSE(recorder.snapshots().empty());
+    std::uint64_t expected_index = 25;
+    for (const TraceSnapshot& snapshot : recorder.snapshots()) {
+        EXPECT_EQ(snapshot.interaction_index, expected_index);
+        expected_index += 25;
+        // Conservation: every snapshot is a configuration of all 64 agents.
+        std::uint64_t total = 0;
+        for (const std::uint64_t count : snapshot.counts) total += count;
+        EXPECT_EQ(total, 64u);
+    }
+    EXPECT_LE(recorder.snapshots().back().interaction_index, result.interactions);
+
+    // Epidemics are monotone: infected counts never decrease along the run.
+    std::uint64_t previous_infected = initial.count(1);
+    for (const TraceSnapshot& snapshot : recorder.snapshots()) {
+        EXPECT_GE(snapshot.counts[1], previous_infected);
+        previous_infected = snapshot.counts[1];
+    }
+
+    // Output changes: one per infection, the last one at the recorded
+    // convergence time.
+    ASSERT_FALSE(recorder.output_changes().empty());
+    EXPECT_EQ(recorder.output_changes().size(), 63u);
+    EXPECT_EQ(recorder.output_changes().back(), result.last_output_change);
+}
+
+TEST(Observe, TraceRecorderClearsBetweenRuns) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {15, 1});
+
+    TraceRecorder recorder;
+    RunOptions options = base_options(default_budget(16), 9);
+    options.observer = &recorder;
+    options.snapshots = SnapshotSchedule::every(10);
+    simulate(*protocol, initial, options);
+    const std::size_t first_snapshots = recorder.snapshots().size();
+
+    // on_start clears implicitly: a second run does not accumulate.
+    options.seed = 10;
+    simulate_counts(*protocol, initial, options);
+    EXPECT_EQ(recorder.engine(), ObservedEngine::kCountBatch);
+    EXPECT_EQ(recorder.seed(), 10u);
+    EXPECT_TRUE(recorder.finished());
+    EXPECT_LT(recorder.snapshots().size(), first_snapshots + 100);
+
+    recorder.clear();
+    EXPECT_FALSE(recorder.started());
+    EXPECT_FALSE(recorder.finished());
+    EXPECT_TRUE(recorder.snapshots().empty());
+    EXPECT_TRUE(recorder.output_changes().empty());
+    EXPECT_EQ(recorder.total_null_skips(), 0u);
+}
+
+// --- Batch engine: snapshots inside geometric null jumps -----------------
+
+TEST(Observe, BatchSnapshotsInsideNullRunsKeepCountsConstant) {
+    // A dense schedule on a null-heavy epidemic run: most scheduled indices
+    // fall inside geometric null jumps and must be emitted anyway — stamped
+    // with their exact index, with the counts the jump left unchanged.
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {31, 1});
+
+    TraceRecorder recorder;
+    RunOptions options = base_options(50'000, 77);
+    options.observer = &recorder;
+    options.snapshots = SnapshotSchedule::every(7);
+    const RunResult result = simulate_counts(*protocol, initial, options);
+
+    // The epidemic completes long before 50k interactions; W == 0 then
+    // stops the run exactly at the last effective interaction.
+    ASSERT_EQ(result.stop_reason, StopReason::kSilent);
+    ASSERT_GT(result.interactions, result.effective_interactions)
+        << "test needs null runs to be meaningful";
+
+    // Every scheduled index <= the stop index appears, exactly once, in
+    // order — including the ones inside null jumps.
+    ASSERT_EQ(recorder.snapshots().size(), result.interactions / 7);
+    std::uint64_t expected_index = 7;
+    std::uint64_t previous_infected = 1;
+    for (const TraceSnapshot& snapshot : recorder.snapshots()) {
+        EXPECT_EQ(snapshot.interaction_index, expected_index);
+        expected_index += 7;
+        // Monotone infection plus conservation: null-run snapshots repeat
+        // the configuration, effective ones advance it by one infection.
+        EXPECT_GE(snapshot.counts[1], previous_infected);
+        EXPECT_EQ(snapshot.counts[0] + snapshot.counts[1], 32u);
+        previous_infected = snapshot.counts[1];
+    }
+}
+
+TEST(Observe, BatchBudgetStopEmitsSnapshotsThroughBudget) {
+    // A budget far past silence: scheduled indices between the last
+    // effective interaction and the budget fall inside the final (cut) null
+    // run and must still be emitted when the run is budget-limited.
+    const auto protocol = make_counting_protocol(3);
+    auto initial = CountConfiguration::from_input_counts(*protocol, {6, 2});
+
+    TraceRecorder recorder;
+    RunOptions options = base_options(4'096, 3);
+    options.observer = &recorder;
+    options.snapshots = SnapshotSchedule::every(512);
+    const RunResult result = simulate_counts(*protocol, initial, options);
+
+    if (result.stop_reason == StopReason::kSilent) {
+        // Silence stops the run exactly at the last effective interaction;
+        // snapshots past it are not emitted (the run is over).
+        for (const TraceSnapshot& snapshot : recorder.snapshots()) {
+            EXPECT_LE(snapshot.interaction_index, result.interactions);
+        }
+    } else {
+        // Budget stop: every scheduled index <= budget appears.
+        EXPECT_EQ(result.interactions, 4'096u);
+        ASSERT_EQ(recorder.snapshots().size(), 8u);
+        EXPECT_EQ(recorder.snapshots().back().interaction_index, 4'096u);
+    }
+}
+
+// --- MetricsCollector ----------------------------------------------------
+
+TEST(Observe, MetricsCollectorAggregatesAcrossThreadedTrials) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {20, 4});
+
+    MetricsCollector metrics;
+    TrialOptions options;
+    options.base.max_interactions = default_budget(24);
+    options.base.seed = 500;
+    options.base.engine = SimulationEngine::kCountBatch;
+    options.base.observer = &metrics;
+    options.base.snapshots = SnapshotSchedule::every(200);
+    options.trials = 24;
+    options.threads = 4;
+    options.keep_records = true;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+
+    const MetricsReport report = metrics.report();
+    EXPECT_EQ(report.runs_started, 24u);
+    EXPECT_EQ(report.runs_finished, 24u);
+    EXPECT_EQ(report.stops_silent, summary.silent);
+    EXPECT_EQ(report.stops_stable_outputs, summary.stable_outputs);
+    EXPECT_EQ(report.stops_budget, summary.budget);
+    EXPECT_EQ(report.stops_silent + report.stops_stable_outputs + report.stops_budget, 24u);
+
+    // Totals cross-check against the independently retained records.
+    std::uint64_t interactions = 0;
+    std::uint64_t effective = 0;
+    for (const TrialRecord& record : summary.records) {
+        interactions += record.interactions;
+        effective += record.effective_interactions;
+    }
+    EXPECT_EQ(report.interactions, interactions);
+    EXPECT_EQ(report.effective_interactions, effective);
+
+    // Null-run accounting (batch engine): skipped == total - effective, and
+    // the histogram holds one entry per reported run.
+    EXPECT_EQ(report.null_interactions_skipped, interactions - effective);
+    std::uint64_t histogram_total = 0;
+    for (const std::uint64_t bucket : report.null_run_length_log2) histogram_total += bucket;
+    EXPECT_EQ(histogram_total, report.null_runs);
+
+    EXPECT_GT(report.snapshots, 0u);
+    EXPECT_GE(report.wall_seconds_total, report.wall_seconds_max);
+    EXPECT_LE(report.wall_seconds_min, report.wall_seconds_max);
+
+    const std::string text = report.to_string();
+    EXPECT_NE(text.find("runs"), std::string::npos);
+
+    metrics.reset();
+    EXPECT_EQ(metrics.report().runs_started, 0u);
+}
+
+// --- JsonlTraceWriter and TeeObserver ------------------------------------
+
+TEST(Observe, JsonlWriterEmitsValidJsonl) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {31, 1});
+
+    std::ostringstream out;
+    JsonlTraceWriter writer(out);
+    TraceRecorder recorder;
+    TeeObserver tee({&writer, &recorder});
+
+    RunOptions options = base_options(default_budget(32), 11);
+    options.observer = &tee;
+    options.snapshots = SnapshotSchedule::log_spaced(1.4, 8);
+    const RunResult result = simulate_counts(*protocol, initial, options);
+
+    const std::vector<std::string> lines = split_lines(out.str());
+    ASSERT_GE(lines.size(), 3u);
+    for (const std::string& line : lines) {
+        JsonChecker checker(line);
+        EXPECT_TRUE(checker.valid()) << "invalid JSON line: " << line;
+    }
+
+    // Event bookkeeping against the tee'd recorder: same run, same counts.
+    EXPECT_EQ(count_events(lines, "start"), 1u);
+    EXPECT_EQ(count_events(lines, "stop"), 1u);
+    EXPECT_EQ(count_events(lines, "snapshot"), recorder.snapshots().size());
+    EXPECT_EQ(count_events(lines, "output_change"), recorder.output_changes().size());
+
+    // Spot-check content: the start line names the engine, the stop line
+    // the reason.
+    EXPECT_NE(lines.front().find("\"engine\":\"count_batch\""), std::string::npos);
+    EXPECT_NE(lines.back().find(result.stop_reason == StopReason::kSilent ? "\"silent\""
+                                                                          : "\"budget\""),
+              std::string::npos);
+}
+
+TEST(Observe, JsonlWriterHandlesMinimalStartInfo) {
+    std::ostringstream out;
+    {
+        JsonlTraceWriter writer(out);
+        RunStartInfo info;
+        info.engine = ObservedEngine::kAgentArray;
+        info.population = 2;
+        info.num_states = 2;
+        writer.on_start(info);
+    }
+    const std::vector<std::string> lines = split_lines(out.str());
+    ASSERT_EQ(lines.size(), 1u);
+    JsonChecker checker(lines.front());
+    EXPECT_TRUE(checker.valid());
+}
+
+TEST(Observe, TeeObserverRejectsNullEntries) {
+    EXPECT_THROW(TeeObserver({nullptr}), std::exception);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "protocols/counting.h"
 #include "protocols/epidemic.h"
 #include "randomized/trials.h"
@@ -106,6 +110,95 @@ TEST(Trials, BatchEngineMeasuresTheSameProtocol) {
     EXPECT_EQ(summary.trials, 25u);
     EXPECT_EQ(summary.correct, 25u);
     EXPECT_EQ(summary.silent, 25u);
+}
+
+TEST(Trials, StopReasonCountsPartitionTrials) {
+    // A starvation budget: every run must be reported as budget-limited, so
+    // budget exhaustion can never hide inside a summary.
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {30, 1});
+    TrialOptions options;
+    options.base.max_interactions = 10;  // far below the ~120 expected completion
+    options.base.seed = 3;
+    options.trials = 12;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+    EXPECT_EQ(summary.budget, 12u);
+    EXPECT_EQ(summary.silent, 0u);
+    EXPECT_EQ(summary.stable_outputs, 0u);
+    EXPECT_EQ(summary.silent + summary.stable_outputs + summary.budget, summary.trials);
+}
+
+TEST(Trials, StableOutputStopsAreCountedSeparately) {
+    // With a small stability window the heuristic rule fires long before the
+    // first periodic silence check (period >= 1024), so every run stops as
+    // kStableOutputs — and must not be conflated with sound silent stops.
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {30, 1});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(31);
+    options.base.stop_after_stable_outputs = 40;
+    options.base.seed = 8;
+    options.trials = 10;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+    EXPECT_EQ(summary.stable_outputs, 10u);
+    EXPECT_EQ(summary.silent, 0u);
+    EXPECT_EQ(summary.budget, 0u);
+}
+
+TEST(Trials, MedianIsLowerMedianForEvenTrialCounts) {
+    // Regression test: with an even trial count the median must be the
+    // *lower* of the two middle order statistics, sorted[(n - 1) / 2] — the
+    // harness previously reported the upper one.
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {20, 1});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(21);
+    options.base.seed = 77;
+    options.trials = 4;
+    options.keep_records = true;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+
+    ASSERT_EQ(summary.records.size(), 4u);
+    std::vector<std::uint64_t> sorted;
+    for (const TrialRecord& record : summary.records) sorted.push_back(record.last_output_change);
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(summary.median_convergence, sorted[1]);  // lower middle of 4
+    EXPECT_EQ(summary.min_convergence, sorted.front());
+    EXPECT_EQ(summary.max_convergence, sorted.back());
+}
+
+TEST(Trials, RecordsAreRetainedInTrialOrder) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 5});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(15);
+    options.base.seed = 100;
+    options.trials = 6;
+    options.keep_records = true;
+
+    options.threads = 1;
+    const TrialSummary sequential = measure_trials(*protocol, initial, options);
+    options.threads = 3;
+    const TrialSummary parallel = measure_trials(*protocol, initial, options);
+
+    ASSERT_EQ(sequential.records.size(), 6u);
+    ASSERT_EQ(parallel.records.size(), 6u);
+    for (std::size_t t = 0; t < 6; ++t) {
+        // records[t] is trial t (seed base.seed + t) at any thread count.
+        EXPECT_EQ(parallel.records[t].stop_reason, sequential.records[t].stop_reason) << t;
+        EXPECT_EQ(parallel.records[t].consensus, sequential.records[t].consensus) << t;
+        EXPECT_EQ(parallel.records[t].last_output_change,
+                  sequential.records[t].last_output_change)
+            << t;
+        EXPECT_EQ(parallel.records[t].interactions, sequential.records[t].interactions) << t;
+        EXPECT_EQ(parallel.records[t].effective_interactions,
+                  sequential.records[t].effective_interactions)
+            << t;
+    }
+
+    // Records are off by default.
+    options.keep_records = false;
+    EXPECT_TRUE(measure_trials(*protocol, initial, options).records.empty());
 }
 
 TEST(Trials, Validation) {
