@@ -3,18 +3,29 @@
 # BENCH_<name>.json at the repository root, giving successive PRs a
 # perf trajectory to compare against.
 #
-# Usage: bench/run_benches.sh [build-dir] [extra google-benchmark args...]
+# Usage: bench/run_benches.sh [--smoke] [build-dir] [extra google-benchmark args...]
 # The build directory defaults to <repo>/build and must already contain the
 # bench binaries (cmake --build <build-dir>).
+#
+# --smoke runs every suite for a single short iteration and writes the
+# JSON under <build-dir>/bench/smoke/ instead of the repository root, so a
+# CI pass can prove the binaries run without clobbering recorded numbers.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE=1
+    shift
+fi
+
 BUILD_DIR="${1:-$ROOT/build}"
 shift || true
 
 # The google-benchmark suites (the remaining bench_* binaries are
 # experiment tables with their own output formats).
-GBENCH_TARGETS=(bench_throughput bench_observe)
+GBENCH_TARGETS=(bench_throughput bench_observe bench_meanfield)
 
 # Check every target up front and report the complete list of missing
 # binaries in one message, instead of failing one target at a time.
@@ -32,9 +43,17 @@ if (( ${#missing[@]} > 0 )); then
     exit 1
 fi
 
+OUT_DIR="$ROOT"
+EXTRA_ARGS=()
+if (( SMOKE )); then
+    OUT_DIR="$BUILD_DIR/bench/smoke"
+    mkdir -p "$OUT_DIR"
+    EXTRA_ARGS=(--benchmark_min_time=0.01)
+fi
+
 for name in "${GBENCH_TARGETS[@]}"; do
     bin="$BUILD_DIR/bench/$name"
-    out="$ROOT/BENCH_${name}.json"
+    out="$OUT_DIR/BENCH_${name}.json"
     echo "running $name -> ${out#"$ROOT"/}"
-    "$bin" --benchmark_format=json "$@" > "$out"
+    "$bin" --benchmark_format=json "${EXTRA_ARGS[@]}" "$@" > "$out"
 done

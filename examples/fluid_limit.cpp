@@ -1,0 +1,257 @@
+// fluid_limit: mean-field ODE prediction vs simulated trajectories.
+//
+// Solves the fluid limit dx/dt = F(x) of a protocol (src/meanfield) and
+// cross-validates it against the mean of simulated runs rescaled to fluid
+// time t = i / n, printing both trajectories side by side with the
+// per-time and overall sup-norm deviations.  For the epidemic the ODE has
+// the closed-form logistic solution y(t) = y0 / (y0 + (1-y0) e^{-2t});
+// the harness checks the integrator against it to ~1e-6.
+//
+//   fluid_limit [protocol] [flags]
+//
+//   protocol     epidemic (default) | counting | majority
+//   --predicate F  compile predicate F (presburger/parser.h syntax) instead
+//   --n N        population size                      (default 4096)
+//   --ones K     agents with input 1                  (default n / 64)
+//   --counts C   comma-separated per-input-symbol counts instead of --n/--ones
+//   --t-end T    fluid-time horizon                   (default 8)
+//   --trials T   simulated runs averaged              (default 8)
+//   --seed S     RNG seed of trial 0                  (default 1)
+//   --engine E   batch (default) | agent
+//   --rows R     table rows printed                   (default 16)
+//
+// Example:
+//   fluid_limit epidemic --n 65536 --ones 1024 --t-end 6
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "meanfield/comparator.h"
+#include "meanfield/integrator.h"
+#include "presburger/atom_protocols.h"
+#include "presburger/compiler.h"
+#include "presburger/parser.h"
+#include "protocols/counting.h"
+#include "protocols/epidemic.h"
+
+namespace {
+
+using namespace popproto;
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::fprintf(stderr, "fluid_limit: %s\n", message.c_str());
+    std::fprintf(stderr,
+                 "usage: fluid_limit [epidemic|counting|majority] [--predicate F] [--n N]\n"
+                 "                   [--ones K] [--counts C0,C1,...] [--t-end T] [--trials T]\n"
+                 "                   [--seed S] [--engine batch|agent] [--rows R]\n");
+    std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* flag, const char* text) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') usage_error(std::string(flag) + ": not a number: " + text);
+    return value;
+}
+
+double parse_double(const char* flag, const char* text) {
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0') usage_error(std::string(flag) + ": not a number: " + text);
+    return value;
+}
+
+std::vector<std::uint64_t> parse_count_list(const char* flag, const std::string& text) {
+    std::vector<std::uint64_t> counts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        counts.push_back(parse_u64(flag, item.c_str()));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string protocol_name = "epidemic";
+    std::string predicate;
+    std::vector<std::uint64_t> input_counts;
+    std::uint64_t n = 4096;
+    std::uint64_t ones = 0;  // 0 = n / 64
+    std::uint64_t seed = 1;
+    std::uint64_t trials = 8;
+    double t_end = 8.0;
+    std::size_t rows = 16;
+    SimulationEngine engine = SimulationEngine::kCountBatch;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage_error(std::string(arg) + ": missing value");
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--n") == 0) {
+            n = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--ones") == 0) {
+            ones = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--counts") == 0) {
+            input_counts = parse_count_list(arg, next());
+        } else if (std::strcmp(arg, "--predicate") == 0) {
+            predicate = next();
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            seed = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--trials") == 0) {
+            trials = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--t-end") == 0) {
+            t_end = parse_double(arg, next());
+        } else if (std::strcmp(arg, "--rows") == 0) {
+            rows = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--engine") == 0) {
+            const std::string name = next();
+            if (name == "batch") {
+                engine = SimulationEngine::kCountBatch;
+            } else if (name == "agent") {
+                engine = SimulationEngine::kAgentArray;
+            } else {
+                usage_error("--engine: expected 'batch' or 'agent', got " + name);
+            }
+        } else if (arg[0] == '-') {
+            usage_error(std::string("unknown flag ") + arg);
+        } else {
+            protocol_name = arg;
+        }
+    }
+    if (t_end <= 0.0) usage_error("--t-end: must be positive");
+    if (trials < 1) usage_error("--trials: need at least one trial");
+
+    std::unique_ptr<TabulatedProtocol> protocol;
+    if (!predicate.empty()) {
+        try {
+            const Formula formula = parse_formula(predicate);
+            const std::size_t num_symbols =
+                std::max<std::size_t>(formula.num_variables(),
+                                      input_counts.empty() ? 2 : input_counts.size());
+            protocol = compile_formula(formula, num_symbols);
+        } catch (const std::exception& error) {
+            usage_error(std::string("--predicate: ") + error.what());
+        }
+    } else if (protocol_name == "epidemic") {
+        protocol = make_epidemic_protocol();
+    } else if (protocol_name == "counting") {
+        protocol = make_counting_protocol(5);
+    } else if (protocol_name == "majority") {
+        protocol = make_threshold_protocol({1, -1}, 0);
+    } else {
+        usage_error("unknown protocol " + protocol_name);
+    }
+
+    if (input_counts.empty()) {
+        if (n < 2) usage_error("--n: need at least 2 agents");
+        if (ones == 0) ones = std::max<std::uint64_t>(1, n / 64);
+        if (ones > n) usage_error("--ones: cannot exceed --n");
+        if (protocol->num_input_symbols() < 2) usage_error("protocol needs --counts");
+        input_counts.assign(protocol->num_input_symbols(), 0);
+        input_counts[0] = n - ones;
+        input_counts[1] = ones;
+    } else {
+        if (input_counts.size() != protocol->num_input_symbols())
+            usage_error("--counts: expected " + std::to_string(protocol->num_input_symbols()) +
+                        " comma-separated entries");
+        n = std::accumulate(input_counts.begin(), input_counts.end(), std::uint64_t{0});
+        if (n < 2) usage_error("--counts: need at least 2 agents in total");
+    }
+    const auto initial = CountConfiguration::from_input_counts(*protocol, input_counts);
+
+    // Fluid prediction: cost independent of n.
+    FluidOptions fluid_options;
+    fluid_options.t_end = t_end;
+    fluid_options.equilibrium_eps = 1e-9;
+    fluid_options.equilibrium_window = 1.0;
+    const FluidResult fluid = solve_fluid(*protocol, initial, fluid_options);
+
+    // Simulated trajectories on the same fluid-time grid.
+    TrialOptions trial_options;
+    trial_options.trials = trials;
+    trial_options.base.engine = engine;
+    trial_options.base.seed = seed;
+    trial_options.base.max_interactions =
+        static_cast<std::uint64_t>(std::ceil(t_end * static_cast<double>(n))) + 1;
+    const std::uint64_t period = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(t_end * static_cast<double>(n)) / 64);
+    trial_options.base.snapshots = SnapshotSchedule::every(period);
+    const EmpiricalTrajectory simulated =
+        mean_normalized_trajectory(*protocol, initial, trial_options);
+    const TrajectoryDeviation deviation = compare_to_fluid(fluid.solution, simulated);
+
+    std::printf("fluid_limit: %s, n=%llu, %llu trial(s), |Q|=%zu\n",
+                predicate.empty() ? protocol_name.c_str() : predicate.c_str(),
+                static_cast<unsigned long long>(n), static_cast<unsigned long long>(trials),
+                protocol->num_states());
+    std::printf("ode: stop=%s t=%.3f, %zu accepted steps, %zu drift evals, |F|=%.2e\n",
+                fluid.stop_reason == FluidStopReason::kEquilibrium ? "equilibrium"
+                : fluid.stop_reason == FluidStopReason::kHorizon   ? "horizon"
+                                                                   : "max_steps",
+                fluid.t_reached, fluid.steps_accepted, fluid.drift_evaluations,
+                fluid.final_drift_norm);
+
+    // Display the densest states (at most four) side by side.
+    std::vector<std::size_t> order(protocol->num_states());
+    std::vector<double> peak(protocol->num_states(), 0.0);
+    for (const std::vector<double>& density : simulated.densities)
+        for (std::size_t s = 0; s < density.size(); ++s) peak[s] = std::max(peak[s], density[s]);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return peak[a] > peak[b]; });
+    order.resize(std::min<std::size_t>(order.size(), 4));
+
+    std::printf("\n%10s", "t");
+    for (std::size_t s : order) {
+        const std::string name = protocol->state_name(static_cast<State>(s));
+        std::printf("  ode:%-8s sim:%-8s", name.c_str(), name.c_str());
+    }
+    std::printf("%12s\n", "sup|dev|");
+
+    const std::size_t stride = std::max<std::size_t>(1, simulated.times.size() / rows);
+    for (std::size_t k = 0; k < simulated.times.size(); ++k) {
+        if (k % stride != 0 && k + 1 != simulated.times.size()) continue;
+        const double t = simulated.times[k];
+        const std::vector<double> predicted = fluid.solution.density_at(t);
+        double dev = 0.0;
+        for (std::size_t s = 0; s < predicted.size(); ++s)
+            dev = std::max(dev, std::abs(predicted[s] - simulated.densities[k][s]));
+        std::printf("%10.3f", t);
+        for (std::size_t s : order)
+            std::printf("  %12.6f %12.6f", predicted[s], simulated.densities[k][s]);
+        std::printf("%12.2e\n", dev);
+    }
+    std::printf("\nsup-norm deviation over %zu points: %.3e (state %s at t=%.3f)\n",
+                deviation.points, deviation.sup,
+                protocol->state_name(deviation.sup_state).c_str(), deviation.sup_time);
+
+    if (predicate.empty() && protocol_name == "epidemic") {
+        // Closed-form check: y' = 2 y (1 - y), the logistic curve.
+        const double y0 = static_cast<double>(input_counts[1]) / static_cast<double>(n);
+        double sup = 0.0;
+        for (int i = 0; i <= 1000; ++i) {
+            const double t = fluid.t_reached * static_cast<double>(i) / 1000.0;
+            const double exact = y0 / (y0 + (1.0 - y0) * std::exp(-2.0 * t));
+            sup = std::max(sup, std::abs(fluid.solution.density_at(t, 1) - exact));
+        }
+        std::printf("epidemic ODE vs closed-form logistic: sup deviation %.3e\n", sup);
+    }
+    return 0;
+}

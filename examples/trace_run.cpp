@@ -1,25 +1,34 @@
 // trace_run: stream one simulated run as JSONL for plotting.
 //
-// Runs a built-in protocol under either engine with a snapshot schedule and
-// writes the trace to stdout, one JSON object per line — pipe it into
-// jq/python for trajectory plots (README.md shows a matplotlib one-liner).
+// Runs a built-in protocol — or any protocol compiled from a
+// quantifier-free Presburger predicate — under either engine with a
+// snapshot schedule and writes the trace to stdout, one JSON object per
+// line — pipe it into jq/python for trajectory plots (README.md shows a
+// matplotlib one-liner).
 //
 //   trace_run [protocol] [flags]
 //
 //   protocol     epidemic (default) | counting | majority
+//   --predicate F  compile predicate F (presburger/parser.h syntax, e.g.
+//                  'x0 - 19*x1 < 1') instead of a built-in protocol; the
+//                  population reads input symbol i as variable x_i
 //   --n N        population size                      (default 256)
 //   --ones K     agents with input 1 (infected seeds, fevered birds,
-//                or majority-"1" voters)              (default 1)
+//                majority-"1" voters)                 (default 1)
+//   --counts C   comma-separated per-input-symbol counts (e.g. 40,25,3);
+//                replaces --n/--ones for multi-variable predicates
 //   --seed S     RNG seed                             (default 1)
 //   --budget B   max interactions                     (default: default_budget(n))
 //   --engine E   batch (default) | agent
 //   --every P    fixed snapshot period                (default: n / 4)
 //   --log F      log-spaced snapshot factor instead of --every
 //   --no-counts  omit count vectors (indices and events only)
+//   --metrics    append the MetricsCollector JSON aggregate to stderr
 //
 // Examples:
 //   trace_run epidemic --n 1000 --every 500            > epidemic.jsonl
 //   trace_run counting --n 65536 --ones 7 --log 1.2    > counting.jsonl
+//   trace_run --predicate '2 x0 + x1 = 1 mod 3' --counts 50,14 > mod3.jsonl
 
 #include <cstdint>
 #include <cstdio>
@@ -28,12 +37,16 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/batch_simulator.h"
 #include "core/observer.h"
 #include "core/simulator.h"
 #include "observe/jsonl_writer.h"
+#include "observe/metrics.h"
 #include "presburger/atom_protocols.h"
+#include "presburger/compiler.h"
+#include "presburger/parser.h"
 #include "protocols/counting.h"
 #include "protocols/epidemic.h"
 
@@ -44,9 +57,10 @@ using namespace popproto;
 [[noreturn]] void usage_error(const std::string& message) {
     std::fprintf(stderr, "trace_run: %s\n", message.c_str());
     std::fprintf(stderr,
-                 "usage: trace_run [epidemic|counting|majority] [--n N] [--ones K]\n"
-                 "                 [--seed S] [--budget B] [--engine batch|agent]\n"
-                 "                 [--every P | --log F] [--no-counts]\n");
+                 "usage: trace_run [epidemic|counting|majority] [--predicate F] [--n N]\n"
+                 "                 [--ones K] [--counts C0,C1,...] [--seed S] [--budget B]\n"
+                 "                 [--engine batch|agent] [--every P | --log F]\n"
+                 "                 [--no-counts] [--metrics]\n");
     std::exit(2);
 }
 
@@ -64,10 +78,26 @@ double parse_double(const char* flag, const char* text) {
     return value;
 }
 
+std::vector<std::uint64_t> parse_count_list(const char* flag, const std::string& text) {
+    std::vector<std::uint64_t> counts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        counts.push_back(parse_u64(flag, item.c_str()));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return counts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string protocol_name = "epidemic";
+    std::string predicate;
+    std::vector<std::uint64_t> input_counts;  // --counts; empty = use --n/--ones
     std::uint64_t n = 256;
     std::uint64_t ones = 1;
     std::uint64_t seed = 1;
@@ -76,6 +106,7 @@ int main(int argc, char** argv) {
     double log_factor = 0.0;        // 0 = use --every
     bool use_batch = true;
     bool write_counts = true;
+    bool print_metrics = false;
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -87,6 +118,10 @@ int main(int argc, char** argv) {
             n = parse_u64(arg, next());
         } else if (std::strcmp(arg, "--ones") == 0) {
             ones = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--counts") == 0) {
+            input_counts = parse_count_list(arg, next());
+        } else if (std::strcmp(arg, "--predicate") == 0) {
+            predicate = next();
         } else if (std::strcmp(arg, "--seed") == 0) {
             seed = parse_u64(arg, next());
         } else if (std::strcmp(arg, "--budget") == 0) {
@@ -106,6 +141,8 @@ int main(int argc, char** argv) {
             }
         } else if (std::strcmp(arg, "--no-counts") == 0) {
             write_counts = false;
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            print_metrics = true;
         } else if (arg[0] == '-') {
             usage_error(std::string("unknown flag ") + arg);
         } else {
@@ -113,11 +150,18 @@ int main(int argc, char** argv) {
         }
     }
 
-    if (n < 2) usage_error("--n: need at least 2 agents");
-    if (ones > n) usage_error("--ones: cannot exceed --n");
-
     std::unique_ptr<TabulatedProtocol> protocol;
-    if (protocol_name == "epidemic") {
+    if (!predicate.empty()) {
+        try {
+            const Formula formula = parse_formula(predicate);
+            const std::size_t num_symbols =
+                std::max<std::size_t>(formula.num_variables(),
+                                      input_counts.empty() ? 2 : input_counts.size());
+            protocol = compile_formula(formula, num_symbols);
+        } catch (const std::exception& error) {
+            usage_error(std::string("--predicate: ") + error.what());
+        }
+    } else if (protocol_name == "epidemic") {
         protocol = make_epidemic_protocol();
     } else if (protocol_name == "counting") {
         protocol = make_counting_protocol(5);
@@ -127,7 +171,26 @@ int main(int argc, char** argv) {
     } else {
         usage_error("unknown protocol " + protocol_name);
     }
-    const auto initial = CountConfiguration::from_input_counts(*protocol, {n - ones, ones});
+
+    if (input_counts.empty()) {
+        if (n < 2) usage_error("--n: need at least 2 agents");
+        if (ones > n) usage_error("--ones: cannot exceed --n");
+        input_counts.assign(protocol->num_input_symbols(), 0);
+        input_counts[0] = n - ones;
+        if (ones > 0) {
+            if (protocol->num_input_symbols() < 2)
+                usage_error("--ones: protocol has a single input symbol; use --counts");
+            input_counts[1] = ones;
+        }
+    } else {
+        if (input_counts.size() != protocol->num_input_symbols())
+            usage_error("--counts: expected " + std::to_string(protocol->num_input_symbols()) +
+                        " comma-separated entries");
+        n = 0;
+        for (std::uint64_t count : input_counts) n += count;
+        if (n < 2) usage_error("--counts: need at least 2 agents in total");
+    }
+    const auto initial = CountConfiguration::from_input_counts(*protocol, input_counts);
 
     RunOptions options;
     options.max_interactions = budget != 0 ? budget : default_budget(n);
@@ -139,9 +202,12 @@ int main(int argc, char** argv) {
 
     JsonlTraceWriter writer(std::cout);
     writer.set_write_counts(write_counts);
-    options.observer = &writer;
+    MetricsCollector metrics;
+    TeeObserver tee({&writer, &metrics});
+    options.observer = print_metrics ? static_cast<RunObserver*>(&tee) : &writer;
 
     const RunResult result = use_batch ? simulate_counts(*protocol, initial, options)
                                        : simulate(*protocol, initial, options);
+    if (print_metrics) std::fprintf(stderr, "%s\n", metrics.report().to_json().c_str());
     return result.interactions > 0 ? 0 : 1;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, in one command:
+#
+#   1. plain build + full ctest suite            (functional correctness)
+#   2. bench/run_benches.sh --smoke              (every gbench suite runs;
+#                                                 JSON goes to the build
+#                                                 tree, recorded BENCH_*.json
+#                                                 at the root are untouched)
+#   3. scripts/check.sh                          (asan+ubsan build + ctest)
+#
+# Usage: scripts/ci.sh [build-dir]
+#   build-dir  defaults to <repo>/build; the sanitizer stage always uses
+#              its own <repo>/build-check tree (see check.sh).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+echo "ci.sh: [1/3] plain build + tests"
+cmake -B "$BUILD_DIR" -S "$ROOT"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+echo "ci.sh: [2/3] benchmark smoke pass"
+"$ROOT/bench/run_benches.sh" --smoke "$BUILD_DIR"
+
+echo "ci.sh: [3/3] sanitized suite"
+"$ROOT/scripts/check.sh"
+
+echo "ci.sh: all gates passed"

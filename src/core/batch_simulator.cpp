@@ -25,17 +25,9 @@ struct EffectTables {
         : eff_row(protocol.num_states() * protocol.num_states(), 0),
           eff_col(protocol.num_states() * protocol.num_states(), 0),
           num_states(protocol.num_states()) {
-        for (State p = 0; p < num_states; ++p) {
-            for (State q = 0; q < num_states; ++q) {
-                const StatePair next = protocol.apply_fast(p, q);
-                const bool multiset_preserved =
-                    (next.initiator == p && next.responder == q) ||
-                    (next.initiator == q && next.responder == p);
-                if (!multiset_preserved) {
-                    eff_row[static_cast<std::size_t>(p) * num_states + q] = 1;
-                    eff_col[static_cast<std::size_t>(q) * num_states + p] = 1;
-                }
-            }
+        for (const EffectiveTransition& t : protocol.effective_transitions()) {
+            eff_row[static_cast<std::size_t>(t.initiator) * num_states + t.responder] = 1;
+            eff_col[static_cast<std::size_t>(t.responder) * num_states + t.initiator] = 1;
         }
     }
 };

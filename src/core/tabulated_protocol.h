@@ -16,6 +16,18 @@
 
 namespace popproto {
 
+/// One ordered state pair whose interaction changes the *multiset* {p, q}
+/// (identities delta(p,q) = (p,q) and swaps delta(p,q) = (q,p) are null),
+/// together with the resulting pair.  These are exactly the transitions
+/// that contribute to the batch engine's effective-pair count W and to the
+/// mean-field drift field (src/meanfield): every other pair leaves both
+/// the count vector and the density vector unchanged.
+struct EffectiveTransition {
+    State initiator = 0;
+    State responder = 0;
+    StatePair result{0, 0};
+};
+
 class TabulatedProtocol final : public Protocol {
 public:
     /// Raw tables; see field comments for the required shapes.
@@ -59,6 +71,12 @@ public:
 
     /// Unchecked output lookup for hot loops.
     Symbol output_fast(State q) const noexcept { return tables_.output[q]; }
+
+    /// All multiset-changing ordered state pairs in row-major
+    /// (initiator, responder) order.  One pass over the delta table; the
+    /// batch engine's effect tables and the mean-field drift quadratic
+    /// form are both assembled from this list.
+    std::vector<EffectiveTransition> effective_transitions() const;
 
 private:
     Tables tables_;

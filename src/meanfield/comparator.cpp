@@ -1,0 +1,113 @@
+#include "meanfield/comparator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/observer.h"
+#include "core/require.h"
+
+namespace popproto {
+
+EmpiricalTrajectory normalized_trajectory(const TraceRecorder& recorder) {
+    require(recorder.population() > 0, "normalized_trajectory: empty population");
+    EmpiricalTrajectory trajectory;
+    trajectory.population = recorder.population();
+    const double n = static_cast<double>(recorder.population());
+    for (const TraceSnapshot& snapshot : recorder.trajectory()) {
+        trajectory.times.push_back(static_cast<double>(snapshot.interaction_index) / n);
+        std::vector<double> density(snapshot.counts.size());
+        for (std::size_t s = 0; s < snapshot.counts.size(); ++s)
+            density[s] = static_cast<double>(snapshot.counts[s]) / n;
+        trajectory.densities.push_back(std::move(density));
+    }
+    return trajectory;
+}
+
+EmpiricalTrajectory mean_normalized_trajectory(const TabulatedProtocol& protocol,
+                                               const CountConfiguration& initial,
+                                               const TrialOptions& options) {
+    require(options.base.snapshots.enabled(),
+            "mean_normalized_trajectory: needs a snapshot schedule");
+    require(options.trials >= 1, "mean_normalized_trajectory: need at least one trial");
+
+    std::vector<TraceRecorder> recorders(options.trials);
+    TrialOptions trial_options = options;
+    trial_options.observer_factory = [&recorders](std::uint64_t trial) {
+        return &recorders[trial];
+    };
+    measure_trials(protocol, initial, trial_options);
+
+    std::uint64_t max_stop = 0;
+    for (const TraceRecorder& recorder : recorders) {
+        require(recorder.result().has_value(),
+                "mean_normalized_trajectory: trial did not finish");
+        max_stop = std::max(max_stop, recorder.result()->interactions);
+    }
+
+    // Common grid: t = 0 plus every scheduled index up to the longest run.
+    // The schedule is deterministic and trajectory-independent, so every
+    // trial that was still running at a grid index emitted a snapshot
+    // exactly there; stopped trials contribute their final configuration.
+    std::vector<std::uint64_t> grid{0};
+    for (std::uint64_t index = options.base.snapshots.first_index();
+         index != SnapshotSchedule::kNever && index <= max_stop;
+         index = options.base.snapshots.next_after(index)) {
+        grid.push_back(index);
+    }
+
+    const double n = static_cast<double>(initial.population_size());
+    const std::size_t num_states = protocol.num_states();
+    EmpiricalTrajectory mean;
+    mean.population = initial.population_size();
+    mean.times.reserve(grid.size());
+    mean.densities.assign(grid.size(), std::vector<double>(num_states, 0.0));
+
+    std::vector<std::size_t> cursor(options.trials, 0);
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+        mean.times.push_back(static_cast<double>(grid[g]) / n);
+        for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+            const TraceRecorder& recorder = recorders[trial];
+            const std::vector<std::uint64_t>* counts = nullptr;
+            if (grid[g] == 0) {
+                counts = &recorder.initial_counts();
+            } else if (cursor[trial] < recorder.snapshots().size() &&
+                       recorder.snapshots()[cursor[trial]].interaction_index == grid[g]) {
+                counts = &recorder.snapshots()[cursor[trial]].counts;
+                ++cursor[trial];
+            } else {
+                counts = &recorder.result()->final_configuration.counts();
+            }
+            for (std::size_t s = 0; s < num_states; ++s)
+                mean.densities[g][s] += static_cast<double>((*counts)[s]);
+        }
+        const double norm = n * static_cast<double>(options.trials);
+        for (std::size_t s = 0; s < num_states; ++s) mean.densities[g][s] /= norm;
+    }
+    return mean;
+}
+
+TrajectoryDeviation compare_to_fluid(const FluidSolution& solution,
+                                     const EmpiricalTrajectory& empirical) {
+    require(empirical.times.size() == empirical.densities.size(),
+            "compare_to_fluid: malformed empirical trajectory");
+    TrajectoryDeviation deviation;
+    deviation.per_state.assign(solution.num_states(), 0.0);
+    for (std::size_t k = 0; k < empirical.times.size(); ++k) {
+        require(empirical.densities[k].size() == solution.num_states(),
+                "compare_to_fluid: state-count mismatch");
+        const std::vector<double> predicted = solution.density_at(empirical.times[k]);
+        for (std::size_t s = 0; s < predicted.size(); ++s) {
+            const double delta = std::abs(predicted[s] - empirical.densities[k][s]);
+            deviation.per_state[s] = std::max(deviation.per_state[s], delta);
+            if (delta > deviation.sup) {
+                deviation.sup = delta;
+                deviation.sup_time = empirical.times[k];
+                deviation.sup_state = static_cast<State>(s);
+            }
+        }
+        ++deviation.points;
+    }
+    return deviation;
+}
+
+}  // namespace popproto

@@ -1,0 +1,77 @@
+// Cross-validation of fluid-limit predictions against simulated runs.
+//
+// The mean-field engine predicts the density trajectory x(t); the
+// simulation engines produce count trajectories of finite populations.
+// Rescaling a recorded run — counts divided by n, interaction index i
+// mapped to fluid time t = i / n — makes the two directly comparable,
+// and the Bournez et al. convergence theorem says the deviation should
+// vanish as n grows (CLT scaling: O(1/sqrt(n)) for a single run, and
+// O(1/sqrt(T n)) for the mean of T independent runs).  This module turns
+// that statement into a measurement: it converts TraceRecorder
+// trajectories (from any simulation engine) into normalized form,
+// averages them across trials, and reports sup-norm and per-state
+// deviations from a FluidSolution — making the observability layer a
+// correctness oracle for both sides (an integrator bug or a simulator
+// bias shows up as a deviation that fails to shrink with n).
+
+#ifndef POPPROTO_MEANFIELD_COMPARATOR_H
+#define POPPROTO_MEANFIELD_COMPARATOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/tabulated_protocol.h"
+#include "meanfield/integrator.h"
+#include "observe/trace_recorder.h"
+#include "randomized/trials.h"
+
+namespace popproto {
+
+/// A simulated trajectory in fluid coordinates: densities[k] is the
+/// normalized count vector at fluid time times[k] = i_k / n.
+struct EmpiricalTrajectory {
+    std::uint64_t population = 0;
+    std::vector<double> times;
+    std::vector<std::vector<double>> densities;
+};
+
+/// Rescales one finished recorded run (initial configuration, scheduled
+/// snapshots, final configuration) to fluid time and densities.
+EmpiricalTrajectory normalized_trajectory(const TraceRecorder& recorder);
+
+/// Runs `options.trials` simulations (via measure_trials, so
+/// options.base.engine and options.threads apply) with one TraceRecorder
+/// per trial on the schedule in options.base.snapshots, and averages the
+/// normalized trajectories pointwise over a common fluid-time grid: the
+/// scheduled indices up to the longest run's stop index, plus t = 0.
+/// Trials that stopped before a grid point contribute their final
+/// configuration there — exact for silent stops (a silent configuration
+/// never changes again), an approximation for budget/stable-output stops.
+/// Requires an enabled snapshot schedule.
+EmpiricalTrajectory mean_normalized_trajectory(const TabulatedProtocol& protocol,
+                                               const CountConfiguration& initial,
+                                               const TrialOptions& options);
+
+/// Deviation between an ODE solution and an empirical trajectory,
+/// evaluated at the empirical time points (fluid times beyond the
+/// solution's integrated span clamp to its final density — harmless when
+/// the solve ran to equilibrium, so choose t_end accordingly).
+struct TrajectoryDeviation {
+    /// max over compared points and states of |x_ode - x_sim|.
+    double sup = 0.0;
+    /// Fluid time and state where the sup was attained.
+    double sup_time = 0.0;
+    State sup_state = 0;
+    /// Per-state sup over the compared time points.
+    std::vector<double> per_state;
+    std::size_t points = 0;
+};
+
+TrajectoryDeviation compare_to_fluid(const FluidSolution& solution,
+                                     const EmpiricalTrajectory& empirical);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_MEANFIELD_COMPARATOR_H

@@ -1,0 +1,53 @@
+#include "meanfield/drift.h"
+
+#include <cmath>
+
+#include "core/require.h"
+
+namespace popproto {
+
+DriftField::DriftField(const TabulatedProtocol& protocol)
+    : num_states_(protocol.num_states()) {
+    for (const EffectiveTransition& t : protocol.effective_transitions()) {
+        // Accumulate the dense change vector of this pair, then sparsify.
+        // Effective transitions change the multiset, so at least two
+        // coefficients survive.
+        std::vector<double> change(num_states_, 0.0);
+        change[t.initiator] -= 1.0;
+        change[t.responder] -= 1.0;
+        change[t.result.initiator] += 1.0;
+        change[t.result.responder] += 1.0;
+        Term term;
+        term.p = t.initiator;
+        term.q = t.responder;
+        for (State s = 0; s < num_states_; ++s) {
+            if (change[s] != 0.0) term.changes.emplace_back(s, change[s]);
+        }
+        terms_.push_back(std::move(term));
+    }
+}
+
+void DriftField::eval(const std::vector<double>& x, std::vector<double>& out) const {
+    require(x.size() == num_states_, "DriftField::eval: wrong density dimension");
+    out.assign(num_states_, 0.0);
+    for (const Term& term : terms_) {
+        const double weight = x[term.p] * x[term.q];
+        for (const auto& [s, coefficient] : term.changes) out[s] += coefficient * weight;
+    }
+}
+
+std::vector<double> DriftField::operator()(const std::vector<double>& x) const {
+    std::vector<double> out;
+    eval(x, out);
+    return out;
+}
+
+double DriftField::sup_norm(const std::vector<double>& x) const {
+    std::vector<double> drift;
+    eval(x, drift);
+    double norm = 0.0;
+    for (double value : drift) norm = std::max(norm, std::abs(value));
+    return norm;
+}
+
+}  // namespace popproto

@@ -1,0 +1,277 @@
+#include "meanfield/integrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+// Dormand–Prince 5(4) tableau (Hairer–Nørsett–Wanner II.4).  The seventh
+// stage equals the next step's first (FSAL), so an accepted step costs six
+// fresh drift evaluations.
+constexpr std::size_t kStages = 7;
+
+constexpr double kA[kStages][kStages - 1] = {
+    {},
+    {1.0 / 5},
+    {3.0 / 40, 9.0 / 40},
+    {44.0 / 45, -56.0 / 15, 32.0 / 9},
+    {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+    {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+    {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+};
+
+/// 5th-order weights (the last row of kA: the propagated solution).
+constexpr double kB[kStages] = {35.0 / 384,     0.0,        500.0 / 1113, 125.0 / 192,
+                                -2187.0 / 6784, 11.0 / 84,  0.0};
+
+/// b - b*: weights of the embedded 4th-order error estimate.
+constexpr double kE[kStages] = {71.0 / 57600,       0.0,          -71.0 / 16695, 71.0 / 1920,
+                                -17253.0 / 339200,  22.0 / 525,   -1.0 / 40};
+
+/// Dense-output matrix: y(t0 + theta h) = y0 + h * sum_i k_i * P_i(theta)
+/// with P_i(theta) = sum_j kP[i][j] theta^(j+1) (the classical quartic
+/// continuous extension of the pair; row sums at theta = 1 recover kB).
+constexpr double kP[kStages][4] = {
+    {1.0, -8048581381.0 / 2820520608.0, 8663915743.0 / 2820520608.0,
+     -12715105075.0 / 11282082432.0},
+    {0.0, 0.0, 0.0, 0.0},
+    {0.0, 131558114200.0 / 32700410799.0, -68118460800.0 / 10900136933.0,
+     87487479700.0 / 32700410799.0},
+    {0.0, -1754552775.0 / 470086768.0, 14199869525.0 / 1410260304.0,
+     -10690763975.0 / 1880347072.0},
+    {0.0, 127303824393.0 / 49829197408.0, -318862633887.0 / 49829197408.0,
+     701980252875.0 / 199316789632.0},
+    {0.0, -282668133.0 / 205662961.0, 2019193451.0 / 616988883.0, -1453857185.0 / 822651844.0},
+    {0.0, 40617522.0 / 29380423.0, -110615467.0 / 29380423.0, 69997945.0 / 29380423.0},
+};
+
+double rms_scaled_norm(const std::vector<double>& values, const std::vector<double>& scale) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < values.size(); ++s) {
+        const double ratio = values[s] / scale[s];
+        sum += ratio * ratio;
+    }
+    return std::sqrt(sum / static_cast<double>(values.size()));
+}
+
+double sup_norm(const std::vector<double>& values) {
+    double norm = 0.0;
+    for (double value : values) norm = std::max(norm, std::abs(value));
+    return norm;
+}
+
+/// Standard automatic initial-step heuristic (Hairer–Nørsett–Wanner
+/// II.4, "starting step size"): match the scale of the first derivative,
+/// then refine with a trial Euler step.
+double initial_step_size(const DriftField& drift, const std::vector<double>& y0,
+                         const std::vector<double>& f0, double rel_tol, double abs_tol,
+                         std::size_t* evaluations) {
+    const std::size_t dim = y0.size();
+    std::vector<double> scale(dim);
+    for (std::size_t s = 0; s < dim; ++s) scale[s] = abs_tol + rel_tol * std::abs(y0[s]);
+
+    const double d0 = rms_scaled_norm(y0, scale);
+    const double d1 = rms_scaled_norm(f0, scale);
+    double h0 = (d0 < 1e-5 || d1 < 1e-5) ? 1e-6 : 0.01 * d0 / d1;
+
+    std::vector<double> y1(dim);
+    for (std::size_t s = 0; s < dim; ++s) y1[s] = y0[s] + h0 * f0[s];
+    std::vector<double> f1;
+    drift.eval(y1, f1);
+    ++*evaluations;
+
+    std::vector<double> df(dim);
+    for (std::size_t s = 0; s < dim; ++s) df[s] = f1[s] - f0[s];
+    const double d2 = rms_scaled_norm(df, scale) / h0;
+
+    const double d_max = std::max(d1, d2);
+    const double h1 = d_max <= 1e-15 ? std::max(1e-6, h0 * 1e-3)
+                                     : std::pow(0.01 / d_max, 1.0 / 5.0);
+    return std::min(100.0 * h0, h1);
+}
+
+}  // namespace
+
+double FluidSolution::t_end() const {
+    if (segments_.empty()) return 0.0;
+    const Segment& last = segments_.back();
+    return last.t0 + last.h;
+}
+
+const FluidSolution::Segment* FluidSolution::segment_at(double t) const {
+    if (segments_.empty()) return nullptr;
+    // First segment whose start lies beyond t, then step back one: the
+    // segment covering t (ends clamp below).
+    auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                               [](double value, const Segment& seg) { return value < seg.t0; });
+    if (it == segments_.begin()) return &segments_.front();
+    return &*(it - 1);
+}
+
+std::vector<double> FluidSolution::density_at(double t) const {
+    const Segment* segment = segment_at(t);
+    if (segment == nullptr) return initial_;
+    if (t <= 0.0) return initial_;
+    if (t >= t_end()) return final_;
+    const double theta = std::clamp((t - segment->t0) / segment->h, 0.0, 1.0);
+    const std::size_t dim = segment->y0.size();
+    std::vector<double> density(segment->y0);
+    double power = 1.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+        power *= theta;
+        const double* coeff = segment->coeff.data() + j * dim;
+        for (std::size_t s = 0; s < dim; ++s) density[s] += power * coeff[s];
+    }
+    return density;
+}
+
+double FluidSolution::density_at(double t, State s) const {
+    require(s < num_states(), "FluidSolution::density_at: state out of range");
+    return density_at(t)[s];
+}
+
+FluidResult solve_fluid(const TabulatedProtocol& protocol, const CountConfiguration& initial,
+                        const FluidOptions& options) {
+    require(initial.num_states() == protocol.num_states(),
+            "solve_fluid: configuration does not match protocol");
+    require(initial.population_size() > 0, "solve_fluid: empty population");
+    const double n = static_cast<double>(initial.population_size());
+    std::vector<double> density(initial.num_states());
+    for (State s = 0; s < initial.num_states(); ++s)
+        density[s] = static_cast<double>(initial.counts()[s]) / n;
+    return solve_fluid(DriftField(protocol), std::move(density), options);
+}
+
+FluidResult solve_fluid(const DriftField& drift, std::vector<double> initial_density,
+                        const FluidOptions& options) {
+    const std::size_t dim = drift.num_states();
+    require(initial_density.size() == dim, "solve_fluid: wrong density dimension");
+    require(options.t_end > 0.0, "solve_fluid: t_end must be positive");
+    require(options.rel_tol > 0.0 && options.abs_tol > 0.0,
+            "solve_fluid: tolerances must be positive");
+    require(options.max_steps > 0, "solve_fluid: max_steps must be positive");
+    require(options.equilibrium_eps >= 0.0 && options.equilibrium_window > 0.0,
+            "solve_fluid: bad equilibrium detector parameters");
+    double mass = 0.0;
+    for (double x : initial_density) {
+        require(x >= 0.0, "solve_fluid: negative initial density");
+        mass += x;
+    }
+    require(std::abs(mass - 1.0) <= 1e-9, "solve_fluid: initial density must sum to 1");
+
+    FluidResult result;
+    result.solution.initial_ = initial_density;
+
+    std::vector<double> y = std::move(initial_density);
+    std::vector<std::vector<double>> k(kStages);
+    drift.eval(y, k[0]);
+    ++result.drift_evaluations;
+
+    double t = 0.0;
+    double h = options.initial_step > 0.0
+                   ? options.initial_step
+                   : initial_step_size(drift, y, k[0], options.rel_tol, options.abs_tol,
+                                       &result.drift_evaluations);
+    if (options.max_step > 0.0) h = std::min(h, options.max_step);
+    h = std::min(h, options.t_end);
+
+    // Equilibrium detector state: the fluid time since which the drift has
+    // stayed below the threshold, or negative when it has not.
+    double below_since = -1.0;
+    if (options.equilibrium_eps > 0.0 && sup_norm(k[0]) < options.equilibrium_eps)
+        below_since = 0.0;
+
+    std::vector<double> y_stage(dim), y_new(dim), error(dim), scale(dim);
+    result.stop_reason = FluidStopReason::kMaxSteps;
+
+    for (std::size_t step = 0; step < options.max_steps; ++step) {
+        const bool last_step = t + h >= options.t_end;
+        if (last_step) h = options.t_end - t;
+
+        // Stages 2..7 (stage 1 is the FSAL carry-over in k[0]).
+        for (std::size_t i = 1; i < kStages; ++i) {
+            for (std::size_t s = 0; s < dim; ++s) {
+                double acc = 0.0;
+                for (std::size_t j = 0; j < i; ++j) acc += kA[i][j] * k[j][s];
+                y_stage[s] = y[s] + h * acc;
+            }
+            drift.eval(y_stage, k[i]);
+            ++result.drift_evaluations;
+        }
+
+        // 5th-order candidate and embedded error estimate.  Stage 7 was
+        // evaluated exactly at the candidate (kB == kA's last row), so
+        // y_new is the final y_stage and k[6] its drift.
+        y_new = y_stage;
+        for (std::size_t s = 0; s < dim; ++s) {
+            double err = 0.0;
+            for (std::size_t i = 0; i < kStages; ++i) err += kE[i] * k[i][s];
+            error[s] = h * err;
+            scale[s] = options.abs_tol +
+                       options.rel_tol * std::max(std::abs(y[s]), std::abs(y_new[s]));
+        }
+        const double error_norm = rms_scaled_norm(error, scale);
+
+        if (error_norm > 1.0) {
+            ++result.steps_rejected;
+            h *= std::max(0.2, 0.9 * std::pow(error_norm, -0.2));
+            continue;
+        }
+
+        // Accept: record the dense-output segment, advance, FSAL.
+        ++result.steps_accepted;
+        if (options.keep_solution) {
+            FluidSolution::Segment segment;
+            segment.t0 = t;
+            segment.h = h;
+            segment.y0 = y;
+            segment.coeff.assign(4 * dim, 0.0);
+            for (std::size_t j = 0; j < 4; ++j) {
+                double* coeff = segment.coeff.data() + j * dim;
+                for (std::size_t i = 0; i < kStages; ++i) {
+                    if (kP[i][j] == 0.0) continue;
+                    const double weight = h * kP[i][j];
+                    for (std::size_t s = 0; s < dim; ++s) coeff[s] += weight * k[i][s];
+                }
+            }
+            result.solution.segments_.push_back(std::move(segment));
+        }
+        t = last_step ? options.t_end : t + h;
+        y.swap(y_new);
+        k[0].swap(k[6]);
+
+        if (options.equilibrium_eps > 0.0) {
+            if (sup_norm(k[0]) < options.equilibrium_eps) {
+                if (below_since < 0.0) below_since = t;
+                if (t - below_since >= options.equilibrium_window) {
+                    result.stop_reason = FluidStopReason::kEquilibrium;
+                    break;
+                }
+            } else {
+                below_since = -1.0;
+            }
+        }
+        if (last_step) {
+            result.stop_reason = FluidStopReason::kHorizon;
+            break;
+        }
+
+        const double factor =
+            error_norm <= 1e-14 ? 10.0 : std::min(10.0, 0.9 * std::pow(error_norm, -0.2));
+        h *= std::max(0.2, factor);
+        if (options.max_step > 0.0) h = std::min(h, options.max_step);
+    }
+
+    result.t_reached = t;
+    result.final_density = y;
+    result.final_drift_norm = sup_norm(k[0]);
+    result.solution.final_ = std::move(y);
+    return result;
+}
+
+}  // namespace popproto

@@ -1,0 +1,168 @@
+// Adaptive RK45 integration of a protocol's fluid limit.
+//
+// `solve_fluid` is the fifth execution engine: where the four simulation
+// engines advance an n-agent configuration one random interaction at a
+// time, this one advances the *density* vector x(t) deterministically
+// along dx/dt = F(x) (meanfield/drift.h) in fluid time t = i / n — a
+// whole-population prediction whose cost is independent of n.  The API
+// deliberately mirrors RunOptions / run_simulation / RunResult:
+//
+//   simulation                      fluid limit
+//   -------------------------      ---------------------------------
+//   max_interactions (budget)      FluidOptions::t_end (horizon)
+//   stop_after_stable_outputs      equilibrium_eps + equilibrium_window
+//   RunResult::stop_reason         FluidStopReason
+//   snapshots via RunObserver      dense output via FluidSolution
+//
+// The integrator is the Dormand–Prince 5(4) pair with standard step-size
+// control and the classical quartic dense-output interpolant, so the
+// solution can be evaluated at arbitrary times (e.g. at the fluid times
+// of recorded simulation snapshots; meanfield/comparator.h) without
+// re-integrating.
+
+#ifndef POPPROTO_MEANFIELD_INTEGRATOR_H
+#define POPPROTO_MEANFIELD_INTEGRATOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/tabulated_protocol.h"
+#include "meanfield/drift.h"
+
+namespace popproto {
+
+/// Knobs controlling one fluid-limit solve (the FluidOptions/RunOptions
+/// mirror; see the file comment for the correspondence).
+struct FluidOptions {
+    /// Fluid-time horizon: integrate over [0, t_end] (t = i / n, so t_end
+    /// corresponds to n * t_end interactions of a size-n population).
+    /// Must be positive.
+    double t_end = 0.0;
+
+    /// Local error control: per-component tolerance
+    /// abs_tol + rel_tol * |x_s|.
+    double rel_tol = 1e-8;
+    double abs_tol = 1e-10;
+
+    /// If nonzero, additionally stop once ||F(x)||_inf stays below this
+    /// threshold for `equilibrium_window` units of fluid time — the fluid
+    /// analogue of the stable-output stopping rule (F == 0 exactly on
+    /// silent mixtures).  Choose eps well above the solver's error floor
+    /// (a few orders of magnitude over abs_tol): below it the integrated
+    /// density jitters across the threshold and the window keeps
+    /// resetting, so the detector may never fire.
+    double equilibrium_eps = 0.0;
+
+    /// Fluid time the drift must remain below `equilibrium_eps` before the
+    /// equilibrium detector fires.
+    double equilibrium_window = 1.0;
+
+    /// First trial step; 0 selects the standard automatic choice.
+    double initial_step = 0.0;
+
+    /// Hard cap on the step size; 0 means uncapped.
+    double max_step = 0.0;
+
+    /// Safety cap on accepted+rejected steps (guards against tolerance
+    /// choices that stall); exceeding it stops with kMaxSteps.
+    std::size_t max_steps = 1000000;
+
+    /// Retain the dense output (FluidResult::solution).  Disable for
+    /// endpoint-only solves in tight loops.
+    bool keep_solution = true;
+};
+
+struct FluidResult;
+class FluidSolution;
+
+FluidResult solve_fluid(const DriftField& drift, std::vector<double> initial_density,
+                        const FluidOptions& options);
+
+/// Why a fluid solve stopped (the StopReason mirror).
+enum class FluidStopReason {
+    kHorizon,      ///< reached t_end
+    kEquilibrium,  ///< drift stayed below equilibrium_eps for the window
+    kMaxSteps,     ///< max_steps exhausted before either of the above
+};
+
+/// Piecewise-quartic dense output of one solve: the accepted RK45 steps
+/// with their interpolation polynomials.  Evaluation clamps outside the
+/// integrated span (before 0 returns the initial density, after the stop
+/// time the final one).
+class FluidSolution {
+public:
+    FluidSolution() = default;
+
+    std::size_t num_states() const { return initial_.size(); }
+    double t_begin() const { return 0.0; }
+
+    /// Last integrated time (== FluidResult::t_reached of the solve).
+    double t_end() const;
+
+    /// Density vector at fluid time `t` (clamped to the integrated span).
+    std::vector<double> density_at(double t) const;
+
+    /// Density of state `s` at fluid time `t`.
+    double density_at(double t, State s) const;
+
+    std::size_t num_segments() const { return segments_.size(); }
+
+private:
+    friend FluidResult solve_fluid(const DriftField& drift, std::vector<double> initial_density,
+                                   const FluidOptions& options);
+
+    /// One accepted step [t0, t0 + h] with interpolant
+    /// y(t0 + theta h) = y0 + sum_{j=0..3} theta^{j+1} * coeff[j].
+    struct Segment {
+        double t0 = 0.0;
+        double h = 0.0;
+        std::vector<double> y0;
+        /// 4 stacked coefficient vectors, coeff[j * num_states + s].
+        std::vector<double> coeff;
+    };
+
+    const Segment* segment_at(double t) const;
+
+    std::vector<double> initial_;
+    std::vector<double> final_;
+    std::vector<Segment> segments_;
+};
+
+/// Outcome of a fluid solve (the RunResult mirror).
+struct FluidResult {
+    /// Density vector at t_reached.
+    std::vector<double> final_density;
+
+    FluidStopReason stop_reason = FluidStopReason::kHorizon;
+
+    /// Fluid time actually integrated to (== t_end unless a detector or
+    /// the step cap fired first).
+    double t_reached = 0.0;
+
+    /// sup-norm of the drift at the final density (0 iff the fluid limit
+    /// is exactly stationary there).
+    double final_drift_norm = 0.0;
+
+    std::size_t steps_accepted = 0;
+    std::size_t steps_rejected = 0;
+    std::size_t drift_evaluations = 0;
+
+    /// Dense output (empty when FluidOptions::keep_solution is false).
+    FluidSolution solution;
+};
+
+/// Solves the fluid limit of `protocol` from the normalized counts of
+/// `initial` (the run_simulation mirror).  Requires a nonempty population.
+FluidResult solve_fluid(const TabulatedProtocol& protocol, const CountConfiguration& initial,
+                        const FluidOptions& options);
+
+/// Lower-level entry point: integrates an already-assembled drift field
+/// from an explicit density vector (entries must be nonnegative and sum
+/// to 1 within 1e-9; the sum is preserved by construction).
+FluidResult solve_fluid(const DriftField& drift, std::vector<double> initial_density,
+                        const FluidOptions& options);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_MEANFIELD_INTEGRATOR_H

@@ -29,6 +29,31 @@ std::string MetricsReport::to_string() const {
     return out.str();
 }
 
+std::string MetricsReport::to_json() const {
+    std::ostringstream out;
+    out << "{\"runs_started\":" << runs_started << ",\"runs_finished\":" << runs_finished
+        << ",\"interactions\":" << interactions
+        << ",\"effective_interactions\":" << effective_interactions
+        << ",\"stops_silent\":" << stops_silent
+        << ",\"stops_stable_outputs\":" << stops_stable_outputs
+        << ",\"stops_budget\":" << stops_budget << ",\"output_changes\":" << output_changes
+        << ",\"snapshots\":" << snapshots << ",\"silence_checks\":" << silence_checks
+        << ",\"null_runs\":" << null_runs
+        << ",\"null_interactions_skipped\":" << null_interactions_skipped
+        << ",\"null_run_length_log2\":{";
+    bool first = true;
+    for (std::size_t b = 0; b < null_run_length_log2.size(); ++b) {
+        if (null_run_length_log2[b] == 0) continue;
+        if (!first) out << ',';
+        first = false;
+        out << '"' << b << "\":" << null_run_length_log2[b];
+    }
+    out << "},\"wall_seconds_total\":" << wall_seconds_total
+        << ",\"wall_seconds_min\":" << wall_seconds_min
+        << ",\"wall_seconds_max\":" << wall_seconds_max << '}';
+    return out.str();
+}
+
 MetricsReport MetricsCollector::report() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return data_;

@@ -56,6 +56,12 @@ struct MetricsReport {
     /// Multi-line human-readable dump (histogram buckets with zero counts
     /// are omitted).
     std::string to_string() const;
+
+    /// Single-line JSON object with every counter plus the non-zero log2
+    /// histogram buckets (keyed by bucket exponent), so cross-run
+    /// aggregates can land next to JSONL traces without hand-rolled
+    /// printing: {"runs_started":...,"null_run_length_log2":{"4":17,...}}.
+    std::string to_json() const;
 };
 
 class MetricsCollector final : public RunObserver {

@@ -1,6 +1,20 @@
 #include "observe/trace_recorder.h"
 
+#include "core/require.h"
+
 namespace popproto {
+
+std::vector<TraceSnapshot> TraceRecorder::trajectory() const {
+    require(started_ && result_.has_value(),
+            "TraceRecorder::trajectory: requires a finished run");
+    std::vector<TraceSnapshot> trajectory;
+    trajectory.reserve(snapshots_.size() + 2);
+    trajectory.push_back({0, initial_counts_});
+    trajectory.insert(trajectory.end(), snapshots_.begin(), snapshots_.end());
+    if (trajectory.back().interaction_index < result_->interactions)
+        trajectory.push_back({result_->interactions, result_->final_configuration.counts()});
+    return trajectory;
+}
 
 void TraceRecorder::clear() {
     *this = TraceRecorder();

@@ -65,6 +65,15 @@ public:
 
     double wall_seconds() const { return wall_seconds_; }
 
+    /// The full recorded trajectory as one snapshot list: index 0 with the
+    /// initial counts, every scheduled snapshot, and the run's stop index
+    /// with the final configuration (omitted when it coincides with the
+    /// last scheduled snapshot).  Requires a finished run.  This is the
+    /// export consumed by the mean-field comparator
+    /// (meanfield/comparator.h), which rescales the indices to fluid time
+    /// t = i / n.
+    std::vector<TraceSnapshot> trajectory() const;
+
     void on_start(const RunStartInfo& info) override;
     void on_snapshot(std::uint64_t interaction_index,
                      const CountConfiguration& configuration) override;

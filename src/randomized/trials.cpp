@@ -26,6 +26,7 @@ std::vector<TrialRecord> run_all_trials(const TabulatedProtocol& protocol,
     const auto run_one = [&](std::uint64_t trial) {
         RunOptions run_options = options.base;
         run_options.seed = options.base.seed + trial;
+        if (options.observer_factory) run_options.observer = options.observer_factory(trial);
         const RunResult result = run_simulation(protocol, initial, run_options);
         results[trial] = {result.stop_reason, result.consensus, result.last_output_change,
                           result.interactions, result.effective_interactions};

@@ -13,6 +13,7 @@
 #define POPPROTO_RANDOMIZED_TRIALS_H
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -84,6 +85,14 @@ struct TrialOptions {
     unsigned threads = 1;
     /// Retain TrialSummary::records (one TrialRecord per trial).
     bool keep_records = false;
+    /// When set, called once per trial (from the worker about to run it)
+    /// to select that trial's observer, overriding base.observer; a
+    /// nullptr return leaves the trial unobserved.  The callable itself
+    /// must be thread-safe, but because each returned observer is only
+    /// ever driven by its own trial, per-trial observers (e.g. one
+    /// TraceRecorder per trial, for normalized-trajectory studies against
+    /// the mean-field engine) need not be.
+    std::function<RunObserver*(std::uint64_t trial)> observer_factory;
 };
 
 /// Runs `options.trials` simulations of `protocol` from `initial`, using

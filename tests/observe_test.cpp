@@ -500,6 +500,36 @@ TEST(Observe, MetricsCollectorAggregatesAcrossThreadedTrials) {
     EXPECT_EQ(metrics.report().runs_started, 0u);
 }
 
+TEST(Observe, MetricsReportExportsValidJson) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {30, 2});
+
+    MetricsCollector metrics;
+    RunOptions options = base_options(default_budget(32), 21);
+    options.observer = &metrics;
+    options.snapshots = SnapshotSchedule::every(64);
+    simulate_counts(*protocol, initial, options);
+
+    const MetricsReport report = metrics.report();
+    const std::string json = report.to_json();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    // Single line (embeds cleanly in JSONL streams), with the headline
+    // counters and the sparse histogram object present.
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    EXPECT_NE(json.find("\"runs_finished\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"interactions\":" + std::to_string(report.interactions)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"null_run_length_log2\":{"), std::string::npos);
+
+    // An empty report is still valid JSON (all-zero counters, no buckets).
+    metrics.reset();
+    const std::string empty = metrics.report().to_json();
+    JsonChecker empty_checker(empty);
+    EXPECT_TRUE(empty_checker.valid()) << empty;
+    EXPECT_NE(empty.find("\"null_run_length_log2\":{}"), std::string::npos);
+}
+
 // --- JsonlTraceWriter and TeeObserver ------------------------------------
 
 TEST(Observe, JsonlWriterEmitsValidJsonl) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "observe/trace_recorder.h"
 #include "protocols/counting.h"
 #include "protocols/epidemic.h"
 #include "randomized/trials.h"
@@ -199,6 +200,41 @@ TEST(Trials, RecordsAreRetainedInTrialOrder) {
     // Records are off by default.
     options.keep_records = false;
     EXPECT_TRUE(measure_trials(*protocol, initial, options).records.empty());
+}
+
+TEST(Trials, ObserverFactoryDeliversPerTrialObservers) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {60, 4});
+    TrialOptions options;
+    options.base.max_interactions = default_budget(64);
+    options.base.seed = 40;
+    options.base.snapshots = SnapshotSchedule::every(128);
+    options.trials = 6;
+    options.keep_records = true;
+
+    std::vector<TraceRecorder> recorders(options.trials);
+    options.observer_factory = [&](std::uint64_t trial) { return &recorders[trial]; };
+
+    options.threads = 3;
+    const TrialSummary summary = measure_trials(*protocol, initial, options);
+
+    ASSERT_EQ(summary.records.size(), 6u);
+    for (std::size_t t = 0; t < recorders.size(); ++t) {
+        // Recorder t saw exactly trial t's run: matching interaction count
+        // and the shared initial configuration.
+        ASSERT_TRUE(recorders[t].finished()) << t;
+        EXPECT_EQ(recorders[t].result()->interactions, summary.records[t].interactions) << t;
+        EXPECT_EQ(recorders[t].initial_counts(), initial.counts()) << t;
+    }
+
+    // The factory takes precedence over base.observer, which stays unused.
+    TraceRecorder ignored;
+    options.base.observer = &ignored;
+    std::vector<TraceRecorder> fresh(options.trials);
+    options.observer_factory = [&](std::uint64_t trial) { return &fresh[trial]; };
+    measure_trials(*protocol, initial, options);
+    EXPECT_FALSE(ignored.finished());
+    EXPECT_TRUE(fresh.front().finished());
 }
 
 TEST(Trials, Validation) {
