@@ -3,20 +3,40 @@
 # BENCH_<name>.json at the repository root, giving successive PRs a
 # perf trajectory to compare against.
 #
-# Usage: bench/run_benches.sh [--smoke] [build-dir] [extra google-benchmark args...]
+# Usage: bench/run_benches.sh [--smoke|--compare] [build-dir] [extra google-benchmark args...]
 # The build directory defaults to <repo>/build and must already contain the
 # bench binaries (cmake --build <build-dir>).
 #
 # --smoke runs every suite for a single short iteration and writes the
 # JSON under <build-dir>/bench/smoke/ instead of the repository root, so a
 # CI pass can prove the binaries run without clobbering recorded numbers.
+#
+# --compare runs a fresh smoke pass of bench_throughput and diffs its
+# per-benchmark real_time against the committed BENCH_bench_throughput.json
+# at the repository root, failing when any benchmark regresses by more than
+# 15% — the perf gate for run-loop/engine refactors (wired into
+# scripts/ci.sh).  Both sides are reduced to the per-benchmark MINIMUM over
+# repetitions, so refresh the committed throughput baseline with the same
+# protocol the gate uses:
+#
+#   build/bench/bench_throughput --benchmark_format=json \
+#       --benchmark_min_time=0.05 --benchmark_repetitions=5 \
+#       > BENCH_bench_throughput.json
+#
+# A single full-run sample per benchmark is NOT a stable baseline on a
+# loaded box (±25% run-to-run swings); min-of-repetitions vs
+# min-of-repetitions is.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 SMOKE=0
+COMPARE=0
 if [[ "${1:-}" == "--smoke" ]]; then
     SMOKE=1
+    shift
+elif [[ "${1:-}" == "--compare" ]]; then
+    COMPARE=1
     shift
 fi
 
@@ -26,6 +46,12 @@ shift || true
 # The google-benchmark suites (the remaining bench_* binaries are
 # experiment tables with their own output formats).
 GBENCH_TARGETS=(bench_throughput bench_observe bench_meanfield)
+if (( COMPARE )); then
+    # The perf gate only judges the simulation engines themselves; the
+    # observe/meanfield suites are not throughput-critical and too noisy at
+    # smoke iteration counts.
+    GBENCH_TARGETS=(bench_throughput)
+fi
 
 # Check every target up front and report the complete list of missing
 # binaries in one message, instead of failing one target at a time.
@@ -49,6 +75,13 @@ if (( SMOKE )); then
     OUT_DIR="$BUILD_DIR/bench/smoke"
     mkdir -p "$OUT_DIR"
     EXTRA_ARGS=(--benchmark_min_time=0.01)
+elif (( COMPARE )); then
+    OUT_DIR="$BUILD_DIR/bench/compare"
+    mkdir -p "$OUT_DIR"
+    # Short repetitions instead of one long run: the gate compares the
+    # *minimum* across repetitions, which is far more robust to scheduler
+    # noise than any single measurement.
+    EXTRA_ARGS=(--benchmark_min_time=0.05 --benchmark_repetitions=5)
 fi
 
 for name in "${GBENCH_TARGETS[@]}"; do
@@ -57,3 +90,57 @@ for name in "${GBENCH_TARGETS[@]}"; do
     echo "running $name -> ${out#"$ROOT"/}"
     "$bin" --benchmark_format=json "${EXTRA_ARGS[@]}" "$@" > "$out"
 done
+
+if (( COMPARE )); then
+    baseline="$ROOT/BENCH_bench_throughput.json"
+    fresh="$OUT_DIR/BENCH_bench_throughput.json"
+    if [[ ! -f "$baseline" ]]; then
+        echo "error: no committed baseline at $baseline" >&2
+        exit 1
+    fi
+    python3 - "$baseline" "$fresh" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 0.15  # fail on >15% real_time regression
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+
+
+def load(path):
+    """Per-benchmark best real_time (min over repetitions, noise-robust)."""
+    with open(path) as f:
+        data = json.load(f)
+    best = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type", "iteration") == "aggregate":
+            continue
+        name = b["name"]
+        best[name] = min(best.get(name, float("inf")), b["real_time"])
+    return best
+
+
+baseline = load(baseline_path)
+fresh = load(fresh_path)
+
+regressions = []
+width = max(map(len, baseline), default=4)
+print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'ratio':>6}")
+for name, base_time in sorted(baseline.items()):
+    if name not in fresh:
+        print(f"{name:<{width}}  {base_time:>12.1f}  {'MISSING':>12}")
+        regressions.append((name, None))
+        continue
+    ratio = fresh[name] / base_time
+    flag = "  <-- REGRESSION" if ratio > 1 + THRESHOLD else ""
+    print(f"{name:<{width}}  {base_time:>12.1f}  {fresh[name]:>12.1f}  {ratio:>6.2f}{flag}")
+    if ratio > 1 + THRESHOLD:
+        regressions.append((name, ratio))
+
+if regressions:
+    print(f"\nFAIL: {len(regressions)} benchmark(s) regressed by more than "
+          f"{THRESHOLD:.0%} against {baseline_path}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: all benchmarks within {THRESHOLD:.0%} of the committed baseline")
+EOF
+fi

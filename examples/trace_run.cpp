@@ -1,10 +1,14 @@
 // trace_run: stream one simulated run as JSONL for plotting.
 //
 // Runs a built-in protocol — or any protocol compiled from a
-// quantifier-free Presburger predicate — under either engine with a
-// snapshot schedule and writes the trace to stdout, one JSON object per
+// quantifier-free Presburger predicate — under any of the four engines with
+// a snapshot schedule and writes the trace to stdout, one JSON object per
 // line — pipe it into jq/python for trajectory plots (README.md shows a
-// matplotlib one-liner).
+// matplotlib one-liner).  Long runs can be suspended and resumed: with
+// --checkpoint the run continuously overwrites a checkpoint file, and
+// --resume continues bit-identically from such a file (same protocol,
+// population, and topology flags required; the engine is inferred from the
+// file).
 //
 //   trace_run [protocol] [flags]
 //
@@ -19,9 +23,17 @@
 //                replaces --n/--ones for multi-variable predicates
 //   --seed S     RNG seed                             (default 1)
 //   --budget B   max interactions                     (default: default_budget(n))
-//   --engine E   batch (default) | agent
+//   --engine E   batch (default) | agent | weighted | graph
+//                (weighted runs with unit weights; graph activates uniform
+//                random edges of --graph and never falls silent)
+//   --graph G    complete | ring | line | star        (default ring;
+//                only with --engine graph)
 //   --every P    fixed snapshot period                (default: n / 4)
 //   --log F      log-spaced snapshot factor instead of --every
+//   --checkpoint FILE      keep FILE updated with the latest checkpoint
+//   --checkpoint-every N   checkpoint period          (default: budget / 16)
+//   --resume FILE          resume from a checkpoint file (seed is ignored;
+//                          the file carries the exact RNG position)
 //   --no-counts  omit count vectors (indices and events only)
 //   --metrics    append the MetricsCollector JSON aggregate to stderr
 //
@@ -29,11 +41,14 @@
 //   trace_run epidemic --n 1000 --every 500            > epidemic.jsonl
 //   trace_run counting --n 65536 --ones 7 --log 1.2    > counting.jsonl
 //   trace_run --predicate '2 x0 + x1 = 1 mod 3' --counts 50,14 > mod3.jsonl
+//   trace_run counting --n 65536 --checkpoint run.ckpt > part1.jsonl
+//   trace_run counting --n 65536 --resume run.ckpt     > part2.jsonl
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -41,7 +56,10 @@
 
 #include "core/batch_simulator.h"
 #include "core/observer.h"
+#include "core/run_loop.h"
 #include "core/simulator.h"
+#include "graphs/graph_simulation.h"
+#include "graphs/interaction_graph.h"
 #include "observe/jsonl_writer.h"
 #include "observe/metrics.h"
 #include "presburger/atom_protocols.h"
@@ -59,7 +77,9 @@ using namespace popproto;
     std::fprintf(stderr,
                  "usage: trace_run [epidemic|counting|majority] [--predicate F] [--n N]\n"
                  "                 [--ones K] [--counts C0,C1,...] [--seed S] [--budget B]\n"
-                 "                 [--engine batch|agent] [--every P | --log F]\n"
+                 "                 [--engine batch|agent|weighted|graph]\n"
+                 "                 [--graph complete|ring|line|star] [--every P | --log F]\n"
+                 "                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                  "                 [--no-counts] [--metrics]\n");
     std::exit(2);
 }
@@ -92,6 +112,43 @@ std::vector<std::uint64_t> parse_count_list(const char* flag, const std::string&
     return counts;
 }
 
+/// Atomically-enough persists the latest checkpoint: write to FILE.tmp,
+/// then rename over FILE, so an interrupt mid-write never clobbers the last
+/// good checkpoint.
+class FileCheckpointSink final : public CheckpointSink {
+public:
+    explicit FileCheckpointSink(std::string path) : path_(std::move(path)) {}
+
+    void on_checkpoint(const RunCheckpoint& checkpoint) override {
+        const std::string tmp = path_ + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out) {
+                std::fprintf(stderr, "trace_run: cannot write %s\n", tmp.c_str());
+                std::exit(1);
+            }
+            write_checkpoint(out, checkpoint);
+        }
+        if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+            std::fprintf(stderr, "trace_run: cannot rename %s to %s\n", tmp.c_str(),
+                         path_.c_str());
+            std::exit(1);
+        }
+    }
+
+private:
+    std::string path_;
+};
+
+/// Expands per-input-symbol counts into a per-agent input vector (for the
+/// engines that address individual agents).
+std::vector<Symbol> expand_inputs(const std::vector<std::uint64_t>& input_counts) {
+    std::vector<Symbol> inputs;
+    for (Symbol symbol = 0; symbol < input_counts.size(); ++symbol)
+        inputs.insert(inputs.end(), input_counts[symbol], symbol);
+    return inputs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,7 +161,11 @@ int main(int argc, char** argv) {
     std::uint64_t budget = 0;       // 0 = default_budget(n)
     std::uint64_t every = 0;        // 0 = n / 4
     double log_factor = 0.0;        // 0 = use --every
-    bool use_batch = true;
+    std::string engine_name;        // empty = batch, or inferred from --resume
+    std::string graph_name = "ring";
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_every = 0;  // 0 = budget / 16
+    std::string resume_path;
     bool write_counts = true;
     bool print_metrics = false;
 
@@ -131,14 +192,19 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(arg, "--log") == 0) {
             log_factor = parse_double(arg, next());
         } else if (std::strcmp(arg, "--engine") == 0) {
-            const std::string engine = next();
-            if (engine == "batch") {
-                use_batch = true;
-            } else if (engine == "agent") {
-                use_batch = false;
-            } else {
-                usage_error("--engine: expected 'batch' or 'agent', got " + engine);
-            }
+            engine_name = next();
+            if (engine_name != "batch" && engine_name != "agent" &&
+                engine_name != "weighted" && engine_name != "graph")
+                usage_error("--engine: expected batch, agent, weighted, or graph, got " +
+                            engine_name);
+        } else if (std::strcmp(arg, "--graph") == 0) {
+            graph_name = next();
+        } else if (std::strcmp(arg, "--checkpoint") == 0) {
+            checkpoint_path = next();
+        } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+            checkpoint_every = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            resume_path = next();
         } else if (std::strcmp(arg, "--no-counts") == 0) {
             write_counts = false;
         } else if (std::strcmp(arg, "--metrics") == 0) {
@@ -192,6 +258,34 @@ int main(int argc, char** argv) {
     }
     const auto initial = CountConfiguration::from_input_counts(*protocol, input_counts);
 
+    // Resuming: load the checkpoint up front so the engine can be inferred
+    // from (or validated against) the file.
+    RunCheckpoint resume_checkpoint;
+    if (!resume_path.empty()) {
+        std::ifstream in(resume_path);
+        if (!in) usage_error("--resume: cannot open " + resume_path);
+        try {
+            resume_checkpoint = read_checkpoint(in);
+        } catch (const std::exception& error) {
+            usage_error("--resume: " + resume_path + ": " + error.what());
+        }
+        std::string file_engine;
+        switch (resume_checkpoint.engine) {
+            case ObservedEngine::kAgentArray: file_engine = "agent"; break;
+            case ObservedEngine::kCountBatch: file_engine = "batch"; break;
+            case ObservedEngine::kWeighted: file_engine = "weighted"; break;
+            case ObservedEngine::kGraph: file_engine = "graph"; break;
+            case ObservedEngine::kScheduler:
+                usage_error("--resume: scheduler runs cannot be checkpointed");
+        }
+        if (engine_name.empty())
+            engine_name = file_engine;
+        else if (engine_name != file_engine)
+            usage_error("--resume: " + resume_path + " was taken by the " + file_engine +
+                        " engine, but --engine requests " + engine_name);
+    }
+    if (engine_name.empty()) engine_name = "batch";
+
     RunOptions options;
     options.max_interactions = budget != 0 ? budget : default_budget(n);
     options.seed = seed;
@@ -199,6 +293,18 @@ int main(int argc, char** argv) {
                             ? SnapshotSchedule::log_spaced(log_factor)
                             : SnapshotSchedule::every(every != 0 ? every : std::max<std::uint64_t>(
                                                                                n / 4, 1));
+    if (!resume_path.empty()) options.resume_from = &resume_checkpoint;
+
+    std::unique_ptr<FileCheckpointSink> sink;
+    if (!checkpoint_path.empty()) {
+        sink = std::make_unique<FileCheckpointSink>(checkpoint_path);
+        options.checkpoint_sink = sink.get();
+        options.checkpoint_every = checkpoint_every != 0
+                                       ? checkpoint_every
+                                       : std::max<std::uint64_t>(options.max_interactions / 16, 1);
+    } else if (checkpoint_every != 0) {
+        usage_error("--checkpoint-every: requires --checkpoint FILE");
+    }
 
     JsonlTraceWriter writer(std::cout);
     writer.set_write_counts(write_counts);
@@ -206,8 +312,39 @@ int main(int argc, char** argv) {
     TeeObserver tee({&writer, &metrics});
     options.observer = print_metrics ? static_cast<RunObserver*>(&tee) : &writer;
 
-    const RunResult result = use_batch ? simulate_counts(*protocol, initial, options)
-                                       : simulate(*protocol, initial, options);
+    RunResult result{CountConfiguration(protocol->num_states()), StopReason::kBudget, 0, 0, 0,
+                     std::nullopt};
+    if (engine_name == "batch") {
+        result = simulate_counts(*protocol, initial, options);
+    } else if (engine_name == "agent") {
+        result = simulate(*protocol, initial, options);
+    } else if (engine_name == "weighted") {
+        // Unit weights demonstrate the inverse-CDF sampler; the distribution
+        // coincides with `agent` but the RNG stream (and so the trajectory)
+        // differs.
+        const auto agents = AgentConfiguration::from_counts(initial);
+        const std::vector<double> weights(agents.size(), 1.0);
+        result = simulate_weighted(*protocol, agents, weights, options);
+    } else {  // graph
+        if (n > std::uint32_t(-1)) usage_error("--engine graph: population must fit 32 bits");
+        const auto num_agents = static_cast<std::uint32_t>(n);
+        InteractionGraph graph = InteractionGraph::ring(num_agents);
+        if (graph_name == "complete") {
+            graph = InteractionGraph::complete(num_agents);
+        } else if (graph_name == "line") {
+            graph = InteractionGraph::line(num_agents);
+        } else if (graph_name == "star") {
+            graph = InteractionGraph::star(num_agents);
+        } else if (graph_name != "ring") {
+            usage_error("--graph: expected complete, ring, line, or star, got " + graph_name);
+        }
+        const GraphRunResult graph_result =
+            simulate_on_graph(*protocol, graph, expand_inputs(input_counts), options);
+        result = RunResult{graph_result.final_configuration.to_counts(protocol->num_states()),
+                           graph_result.stop_reason, graph_result.interactions,
+                           graph_result.effective_interactions,
+                           graph_result.last_output_change, graph_result.consensus};
+    }
     if (print_metrics) std::fprintf(stderr, "%s\n", metrics.report().to_json().c_str());
     return result.interactions > 0 ? 0 : 1;
 }

@@ -6,7 +6,10 @@
 #                                                 JSON goes to the build
 #                                                 tree, recorded BENCH_*.json
 #                                                 at the root are untouched)
-#   3. scripts/check.sh                          (asan+ubsan build + ctest)
+#   3. bench/run_benches.sh --compare            (perf gate: bench_throughput
+#                                                 within 15% of the committed
+#                                                 baseline)
+#   4. scripts/check.sh                          (asan+ubsan build + ctest)
 #
 # Usage: scripts/ci.sh [build-dir]
 #   build-dir  defaults to <repo>/build; the sanitizer stage always uses
@@ -16,15 +19,18 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 
-echo "ci.sh: [1/3] plain build + tests"
+echo "ci.sh: [1/4] plain build + tests"
 cmake -B "$BUILD_DIR" -S "$ROOT"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "ci.sh: [2/3] benchmark smoke pass"
+echo "ci.sh: [2/4] benchmark smoke pass"
 "$ROOT/bench/run_benches.sh" --smoke "$BUILD_DIR"
 
-echo "ci.sh: [3/3] sanitized suite"
+echo "ci.sh: [3/4] benchmark perf gate"
+"$ROOT/bench/run_benches.sh" --compare "$BUILD_DIR"
+
+echo "ci.sh: [4/4] sanitized suite"
 "$ROOT/scripts/check.sh"
 
 echo "ci.sh: all gates passed"

@@ -1,11 +1,11 @@
 #include "core/batch_simulator.h"
 
-#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "core/require.h"
 #include "core/rng.h"
+#include "core/run_loop.h"
 
 namespace popproto {
 
@@ -32,155 +32,56 @@ struct EffectTables {
     }
 };
 
-}  // namespace
+/// The count-based multiset sampler (batch_simulator.h): pairs are drawn
+/// from the count vector, runs of null interactions are proposed as exact
+/// geometric jumps, and W == 0 detects silence exactly.
+class CountBatchStepper {
+public:
+    static constexpr ObservedEngine kEngine = ObservedEngine::kCountBatch;
+    static constexpr SilenceMode kSilenceMode = SilenceMode::kExact;
+    static constexpr bool kGeometricSkips = true;
 
-RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfiguration& initial,
-                          const RunOptions& options) {
-    require(initial.num_states() == protocol.num_states(),
-            "simulate_counts: configuration does not match protocol");
-    const std::uint64_t n = initial.population_size();
-    require(n >= 2, "simulate_counts: need at least two agents");
-    require(n < (std::uint64_t{1} << 32), "simulate_counts: population must fit 32 bits");
-    require(options.max_interactions > 0, "simulate_counts: max_interactions must be positive");
-
-    const std::size_t num_states = protocol.num_states();
-    const EffectTables eff(protocol);
-    std::vector<std::uint64_t> counts = initial.counts();
-
-    // rowdot[p] = sum_q eff[p][q] * counts[q]: the number of agents whose
-    // state forms an effective ordered pair with an initiator in state p
-    // (before the diagonal "needs two agents" correction).
-    std::vector<std::int64_t> rowdot(num_states, 0);
-    for (State p = 0; p < num_states; ++p) {
-        std::int64_t dot = 0;
-        const std::uint8_t* row = eff.eff_row.data() + static_cast<std::size_t>(p) * num_states;
-        for (State q = 0; q < num_states; ++q)
-            dot += static_cast<std::int64_t>(row[q]) * static_cast<std::int64_t>(counts[q]);
-        rowdot[p] = dot;
+    CountBatchStepper(const TabulatedProtocol& protocol, const CountConfiguration& initial)
+        : protocol_(protocol),
+          eff_(protocol),
+          counts_(initial.counts()),
+          population_(initial.population_size()),
+          total_pairs_(static_cast<double>(population_) *
+                       static_cast<double>(population_ - 1)) {
+        rebuild_rowdot();
     }
 
-    // W = number of effective ordered agent pairs
-    //   = sum_p c_p * (rowdot[p] - eff[p][p]); W == 0 iff the configuration
-    // is silent.  Partial sums are bounded by n^2 + n, so uint64 is exact.
-    const auto diag = [&](State p) -> std::int64_t {
-        return eff.eff_row[static_cast<std::size_t>(p) * num_states + p];
-    };
-    const auto row_weight = [&](State p) -> std::uint64_t {
-        return counts[p] * static_cast<std::uint64_t>(rowdot[p] - diag(p));
-    };
-    const auto total_effective_pairs = [&]() -> std::uint64_t {
-        std::uint64_t w = 0;
-        for (State p = 0; p < num_states; ++p)
-            if (counts[p] != 0) w += row_weight(p);
-        return w;
-    };
+    std::uint64_t population() const { return population_; }
 
-    // Applies `delta` to the count of state s and keeps rowdot consistent.
-    const auto adjust_count = [&](State s, std::int64_t delta) {
-        counts[s] = static_cast<std::uint64_t>(static_cast<std::int64_t>(counts[s]) + delta);
-        const std::uint8_t* col = eff.eff_col.data() + static_cast<std::size_t>(s) * num_states;
-        for (State p = 0; p < num_states; ++p)
-            rowdot[p] += static_cast<std::int64_t>(col[p]) * delta;
-    };
+    bool is_silent() const { return W_ == 0; }
 
-    Rng rng(options.seed);
-    const double total_pairs = static_cast<double>(n) * static_cast<double>(n - 1);
-    const std::uint64_t window = options.stop_after_stable_outputs;
-
-    RunResult result{CountConfiguration(num_states), StopReason::kBudget, 0, 0, 0, std::nullopt};
-    std::uint64_t W = total_effective_pairs();
-    bool silent = (W == 0);
-
-    RunObserver* const observer = options.observer;
-    std::uint64_t next_snapshot =
-        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
-    // Emits the scheduled snapshots with index <= `limit` from the *current*
-    // counts.  Clamping a geometric jump at snapshot boundaries reduces to
-    // this: a scheduled index inside a run of null interactions sees the
-    // counts unchanged since the last effective interaction, so the jump is
-    // kept (no extra randomness is drawn — observed and unobserved runs are
-    // bit-identical) and each boundary is stamped with its exact index.
-    const auto emit_snapshots_through = [&](std::uint64_t limit) {
-        while (next_snapshot <= limit) {
-            observer->on_snapshot(next_snapshot, CountConfiguration::from_state_counts(counts));
-            next_snapshot = options.snapshots.next_after(next_snapshot);
-        }
-    };
-    std::chrono::steady_clock::time_point wall_start;
-    if (observer) {
-        wall_start = std::chrono::steady_clock::now();
-        RunStartInfo info;
-        info.engine = ObservedEngine::kCountBatch;
-        info.population = n;
-        info.num_states = num_states;
-        info.seed = options.seed;
-        info.max_interactions = options.max_interactions;
-        info.initial = &initial;
-        info.protocol = &protocol;
-        observer->on_start(info);
-    }
-
-    while (!silent && result.interactions < options.max_interactions) {
+    std::uint64_t propose_skip(Rng& rng) {
         // Jump over the geometric run of null interactions preceding the
         // next effective one.
-        const std::uint64_t skips =
-            rng.geometric_skips(static_cast<double>(W) / total_pairs);
+        return rng.geometric_skips(static_cast<double>(W_) / total_pairs_);
+    }
 
-        if (window != 0 && result.last_output_change != 0) {
-            // The agent-array loop tests output stability after every
-            // interaction; the first index at which the test passes is
-            // last_output_change + window.  If that index falls inside the
-            // skipped nulls (which change nothing), stop exactly there.
-            const std::uint64_t stop_at = result.last_output_change + window;
-            if (stop_at <= result.interactions + skips &&
-                stop_at <= options.max_interactions) {
-                if (observer) {
-                    emit_snapshots_through(stop_at);
-                    if (stop_at > result.interactions)
-                        observer->on_null_run(stop_at - result.interactions);
-                }
-                result.interactions = stop_at;
-                result.stop_reason = StopReason::kStableOutputs;
-                break;
-            }
-        }
-        if (skips >= options.max_interactions - result.interactions) {
-            // The next effective interaction lies beyond the budget.
-            if (observer) {
-                emit_snapshots_through(options.max_interactions);
-                if (options.max_interactions > result.interactions)
-                    observer->on_null_run(options.max_interactions - result.interactions);
-            }
-            result.interactions = options.max_interactions;
-            break;
-        }
-        if (observer && skips != 0) {
-            // The null run covers indices (interactions, interactions+skips].
-            emit_snapshots_through(result.interactions + skips);
-            observer->on_null_run(skips);
-        }
-        result.interactions += skips + 1;
-        ++result.effective_interactions;
-
+    StepOutcome step(Rng& rng) {
         // Sample the effective ordered pair (p, q) with probability
         // proportional to c_p * (c_q - [p == q]) over effective pairs.
-        std::uint64_t u = rng.below(W);
+        const std::size_t num_states = eff_.num_states;
+        std::uint64_t u = rng.below(W_);
         State p = 0;
         State q = 0;
         bool found = false;
         for (State pi = 0; pi < num_states && !found; ++pi) {
-            if (counts[pi] == 0) continue;
+            if (counts_[pi] == 0) continue;
             const std::uint64_t rw = row_weight(pi);
             if (u >= rw) {
                 u -= rw;
                 continue;
             }
             const std::uint8_t* row =
-                eff.eff_row.data() + static_cast<std::size_t>(pi) * num_states;
+                eff_.eff_row.data() + static_cast<std::size_t>(pi) * num_states;
             for (State qi = 0; qi < num_states; ++qi) {
                 if (!row[qi]) continue;
                 const std::uint64_t pair_weight =
-                    counts[pi] * (counts[qi] - (pi == qi ? 1 : 0));
+                    counts_[pi] * (counts_[qi] - (pi == qi ? 1 : 0));
                 if (u < pair_weight) {
                     p = pi;
                     q = qi;
@@ -190,51 +91,108 @@ RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfigur
                 u -= pair_weight;
             }
         }
-        require(found, "simulate_counts: internal pair-sampling invariant violated");
+        ensure(found, "simulate_counts: internal pair-sampling invariant violated");
 
-        const StatePair next = protocol.apply_fast(p, q);
-        const Symbol out_p = protocol.output_fast(p);
-        const Symbol out_q = protocol.output_fast(q);
-        const Symbol out_pn = protocol.output_fast(next.initiator);
-        const Symbol out_qn = protocol.output_fast(next.responder);
-        if (!((out_pn == out_p && out_qn == out_q) || (out_pn == out_q && out_qn == out_p))) {
-            result.last_output_change = result.interactions;
-            if (observer) observer->on_output_change(result.interactions);
-        }
+        const StatePair next = protocol_.apply_fast(p, q);
+        const Symbol out_p = protocol_.output_fast(p);
+        const Symbol out_q = protocol_.output_fast(q);
+        const Symbol out_pn = protocol_.output_fast(next.initiator);
+        const Symbol out_qn = protocol_.output_fast(next.responder);
+
+        StepOutcome outcome;
+        outcome.changed = true;  // effective by construction of the sampler
+        outcome.output_changed =
+            !((out_pn == out_p && out_qn == out_q) || (out_pn == out_q && out_qn == out_p));
 
         adjust_count(p, -1);
         adjust_count(q, -1);
         adjust_count(next.initiator, +1);
         adjust_count(next.responder, +1);
-        W = total_effective_pairs();
-        silent = (W == 0);
-
-        if (result.interactions >= next_snapshot) {
-            // The effective interaction itself landed on a scheduled index;
-            // its snapshot reflects the counts after the change.
-            emit_snapshots_through(result.interactions);
-        }
-
-        if (window != 0 && result.last_output_change != 0 &&
-            result.interactions - result.last_output_change >= window) {
-            result.stop_reason = StopReason::kStableOutputs;
-            break;
-        }
+        W_ = total_effective_pairs();
+        return outcome;
     }
 
-    if (silent) result.stop_reason = StopReason::kSilent;
+    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
 
-    CountConfiguration final_config(num_states);
-    for (State s = 0; s < num_states; ++s)
-        if (counts[s] > 0) final_config.add(s, counts[s]);
-    result.consensus = final_config.consensus_output(protocol);
-    result.final_configuration = std::move(final_config);
-    if (observer) {
-        const double wall =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-        observer->on_stop(result, wall);
+    void save(RunCheckpoint& checkpoint) const { checkpoint.counts = counts_; }
+
+    void restore(const RunCheckpoint& checkpoint) {
+        require(checkpoint.counts.size() == counts_.size(),
+                "simulate_counts: checkpoint state-count mismatch");
+        std::uint64_t total = 0;
+        for (const std::uint64_t count : checkpoint.counts) total += count;
+        require(total == population_, "simulate_counts: checkpoint population mismatch");
+        counts_ = checkpoint.counts;
+        rebuild_rowdot();
     }
-    return result;
+
+private:
+    std::uint64_t row_weight(State p) const {
+        return counts_[p] * static_cast<std::uint64_t>(rowdot_[p] - diag(p));
+    }
+
+    std::int64_t diag(State p) const {
+        return eff_.eff_row[static_cast<std::size_t>(p) * eff_.num_states + p];
+    }
+
+    // W = number of effective ordered agent pairs
+    //   = sum_p c_p * (rowdot[p] - eff[p][p]); W == 0 iff the configuration
+    // is silent.  Partial sums are bounded by n^2 + n, so uint64 is exact.
+    std::uint64_t total_effective_pairs() const {
+        std::uint64_t w = 0;
+        for (State p = 0; p < eff_.num_states; ++p)
+            if (counts_[p] != 0) w += row_weight(p);
+        return w;
+    }
+
+    /// Applies `delta` to the count of state s and keeps rowdot consistent.
+    void adjust_count(State s, std::int64_t delta) {
+        counts_[s] = static_cast<std::uint64_t>(static_cast<std::int64_t>(counts_[s]) + delta);
+        const std::uint8_t* col =
+            eff_.eff_col.data() + static_cast<std::size_t>(s) * eff_.num_states;
+        for (State p = 0; p < eff_.num_states; ++p)
+            rowdot_[p] += static_cast<std::int64_t>(col[p]) * delta;
+    }
+
+    // rowdot[p] = sum_q eff[p][q] * counts[q]: the number of agents whose
+    // state forms an effective ordered pair with an initiator in state p
+    // (before the diagonal "needs two agents" correction).
+    void rebuild_rowdot() {
+        const std::size_t num_states = eff_.num_states;
+        rowdot_.assign(num_states, 0);
+        for (State p = 0; p < num_states; ++p) {
+            std::int64_t dot = 0;
+            const std::uint8_t* row =
+                eff_.eff_row.data() + static_cast<std::size_t>(p) * num_states;
+            for (State q = 0; q < num_states; ++q)
+                dot += static_cast<std::int64_t>(row[q]) * static_cast<std::int64_t>(counts_[q]);
+            rowdot_[p] = dot;
+        }
+        W_ = total_effective_pairs();
+    }
+
+    const TabulatedProtocol& protocol_;
+    EffectTables eff_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::int64_t> rowdot_;
+    std::uint64_t W_ = 0;
+    std::uint64_t population_;
+    double total_pairs_;
+};
+
+}  // namespace
+
+RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfiguration& initial,
+                          const RunOptions& options) {
+    require(initial.num_states() == protocol.num_states(),
+            "simulate_counts: configuration does not match protocol");
+    const std::uint64_t n = initial.population_size();
+    require(n >= 2, "simulate_counts: need at least two agents");
+    require(n < (std::uint64_t{1} << 32), "simulate_counts: population must fit 32 bits");
+    require_engine_field(options, SimulationEngine::kCountBatch, "simulate_counts");
+
+    CountBatchStepper stepper(protocol, initial);
+    return run_loop(stepper, protocol, options, "simulate_counts");
 }
 
 RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfiguration& initial,
@@ -242,6 +200,7 @@ RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfigura
     switch (options.engine) {
         case SimulationEngine::kCountBatch:
             return simulate_counts(protocol, initial, options);
+        case SimulationEngine::kAuto:
         case SimulationEngine::kAgentArray:
             break;
     }

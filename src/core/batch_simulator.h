@@ -55,13 +55,17 @@ namespace popproto {
 
 /// Simulates `protocol` from `initial` under uniform random pairing using
 /// the count-based batch engine.  Requires a population of at least 2 and
-/// fewer than 2^32 agents.  Drop-in replacement for `simulate`: same
-/// options (silence_check_period ignored), same result contract (see the
-/// file comment for the two multiset-wise bookkeeping fields).
+/// fewer than 2^32 agents, and options.engine in {kAuto, kCountBatch}.
+/// Drop-in replacement for `simulate`: same options (silence_check_period
+/// ignored), same result contract (see the file comment for the two
+/// multiset-wise bookkeeping fields).  Runs on the shared run-loop kernel
+/// (core/run_loop.h); checkpoint boundaries inside a geometric null skip are
+/// materialized exactly, so suspend/resume is bit-identical here too.
 RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfiguration& initial,
                           const RunOptions& options);
 
-/// Dispatches to `simulate` or `simulate_counts` per `options.engine`.
+/// Dispatches on `options.engine`: kCountBatch runs `simulate_counts`;
+/// kAuto and kAgentArray run `simulate`.
 RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfiguration& initial,
                          const RunOptions& options);
 

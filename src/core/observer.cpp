@@ -75,8 +75,22 @@ const char* observed_engine_name(ObservedEngine engine) {
             return "weighted";
         case ObservedEngine::kGraph:
             return "graph";
+        case ObservedEngine::kScheduler:
+            return "scheduler";
     }
     return "unknown";
+}
+
+bool observed_engine_from_name(const std::string& name, ObservedEngine& engine) {
+    for (const ObservedEngine candidate :
+         {ObservedEngine::kAgentArray, ObservedEngine::kCountBatch, ObservedEngine::kWeighted,
+          ObservedEngine::kGraph, ObservedEngine::kScheduler}) {
+        if (name == observed_engine_name(candidate)) {
+            engine = candidate;
+            return true;
+        }
+    }
+    return false;
 }
 
 void RunObserver::on_start(const RunStartInfo&) {}

@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace popproto {
@@ -83,16 +84,21 @@ private:
 };
 
 /// Which execution path produced the events (simulate, simulate_counts,
-/// simulate_weighted, or simulate_on_graph).
+/// simulate_weighted, simulate_on_graph, or simulate_with_scheduler).
 enum class ObservedEngine {
     kAgentArray,
     kCountBatch,
     kWeighted,
     kGraph,
+    kScheduler,
 };
 
 /// Short stable identifier ("agent_array", "count_batch", ...) for logs.
 const char* observed_engine_name(ObservedEngine engine);
+
+/// Inverse of `observed_engine_name`, for parsing serialized checkpoints;
+/// returns false for an unknown name.
+bool observed_engine_from_name(const std::string& name, ObservedEngine& engine);
 
 /// Everything an observer may want to know at the start of a run.  Pointer
 /// members are borrowed and only valid for the duration of on_start.

@@ -60,6 +60,17 @@ double Rng::uniform01() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
+Rng::StreamState Rng::save_state() const noexcept {
+    StreamState state;
+    for (int i = 0; i < 4; ++i) state.words[static_cast<std::size_t>(i)] = state_[i];
+    return state;
+}
+
+void Rng::restore_state(const StreamState& state) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = state.words[static_cast<std::size_t>(i)];
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
 std::uint64_t Rng::geometric_skips(double success_probability) noexcept {
     if (success_probability >= 1.0) return 0;
     double u = uniform01();

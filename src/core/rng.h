@@ -9,6 +9,7 @@
 #ifndef POPPROTO_CORE_RNG_H
 #define POPPROTO_CORE_RNG_H
 
+#include <array>
 #include <cstdint>
 
 namespace popproto {
@@ -42,6 +43,22 @@ public:
     /// `success_probability >= 1`; results are capped at 10^18 so callers
     /// can add them to interaction counters without overflow.
     std::uint64_t geometric_skips(double success_probability) noexcept;
+
+    /// The four xoshiro256** state words, for suspend/resume of a run
+    /// (core/run_loop.h checkpoints).  `save_state` followed by
+    /// `restore_state` reproduces the output stream bit for bit.
+    struct StreamState {
+        std::array<std::uint64_t, 4> words{};
+        friend bool operator==(const StreamState&, const StreamState&) = default;
+    };
+
+    /// Captures the current stream position.
+    StreamState save_state() const noexcept;
+
+    /// Rewinds (or fast-forwards) the generator to a captured position.  An
+    /// all-zero state (only producible by a corrupt checkpoint, never by
+    /// `save_state`) is nudged to a valid one, as in the constructor.
+    void restore_state(const StreamState& state) noexcept;
 
 private:
     std::uint64_t state_[4];

@@ -1,0 +1,184 @@
+#include "core/run_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace popproto {
+
+std::uint64_t default_budget(std::uint64_t population, double factor) {
+    require(population >= 2, "default_budget: population too small");
+    const double n = static_cast<double>(population);
+    const double budget = factor * n * n * (std::log(n) + 1.0);
+    return static_cast<std::uint64_t>(budget) + 1;
+}
+
+std::uint64_t resolved_budget(const RunOptions& options, std::uint64_t population) {
+    return options.max_interactions != 0 ? options.max_interactions : default_budget(population);
+}
+
+std::uint64_t resolved_silence_check_period(const RunOptions& options,
+                                            std::uint64_t population) {
+    return options.silence_check_period != 0
+               ? options.silence_check_period
+               : std::max<std::uint64_t>(4 * population, 1024);
+}
+
+bool multiset_silent(const TabulatedProtocol& protocol,
+                     const std::vector<std::uint64_t>& counts) {
+    std::vector<State> present;
+    for (State q = 0; q < counts.size(); ++q)
+        if (counts[q] > 0) present.push_back(q);
+    for (State p : present) {
+        for (State q : present) {
+            if (p == q && counts[p] < 2) continue;
+            const StatePair result = protocol.apply_fast(p, q);
+            const bool multiset_preserved =
+                (result.initiator == p && result.responder == q) ||
+                (result.initiator == q && result.responder == p);
+            if (!multiset_preserved) return false;
+        }
+    }
+    return true;
+}
+
+void require_engine_field(const RunOptions& options, SimulationEngine accepted,
+                          const char* entry_point) {
+    if (options.engine == SimulationEngine::kAuto || options.engine == accepted) return;
+    const char* requested = options.engine == SimulationEngine::kAgentArray
+                                ? "kAgentArray"
+                                : "kCountBatch";
+    require(false, std::string(entry_point) + ": options.engine requests " + requested +
+                       ", which this entry point does not run; call run_simulation to "
+                       "dispatch on the field, or leave it kAuto");
+}
+
+namespace {
+
+// Serialized checkpoint grammar (one key per line, space-separated values):
+//
+//   popproto-checkpoint v<kFormatVersion>
+//   engine <observed_engine_name>
+//   population <n>
+//   num_states <|Q|>
+//   rng <w0> <w1> <w2> <w3>
+//   interactions <i>
+//   effective <e>
+//   last_output_change <l>
+//   next_silence_check <c>
+//   changed_since_check <0|1>
+//   pending_skip <0|1> <remaining>
+//   counts <k> <c0> ... <c{k-1}>        (count engines)
+//   agents <k> <s0> ... <s{k-1}>        (agent engines)
+//   end
+//
+// All integers are decimal.  Exactly one of counts/agents is present.
+
+std::uint64_t read_u64_field(std::istream& in, const char* key) {
+    std::string word;
+    require(static_cast<bool>(in >> word) && word == key,
+            std::string("read_checkpoint: expected '") + key + "'");
+    std::uint64_t value = 0;
+    require(static_cast<bool>(in >> value),
+            std::string("read_checkpoint: bad value for '") + key + "'");
+    return value;
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint) {
+    out << "popproto-checkpoint v" << RunCheckpoint::kFormatVersion << "\n";
+    out << "engine " << observed_engine_name(checkpoint.engine) << "\n";
+    out << "population " << checkpoint.population << "\n";
+    out << "num_states " << checkpoint.num_states << "\n";
+    out << "rng";
+    for (const std::uint64_t word : checkpoint.rng.words) out << ' ' << word;
+    out << "\n";
+    out << "interactions " << checkpoint.interactions << "\n";
+    out << "effective " << checkpoint.effective_interactions << "\n";
+    out << "last_output_change " << checkpoint.last_output_change << "\n";
+    out << "next_silence_check " << checkpoint.next_silence_check << "\n";
+    out << "changed_since_check " << (checkpoint.changed_since_silence_check ? 1 : 0) << "\n";
+    out << "pending_skip " << (checkpoint.has_pending_skip ? 1 : 0) << ' '
+        << checkpoint.pending_null_skips << "\n";
+    if (!checkpoint.counts.empty()) {
+        out << "counts " << checkpoint.counts.size();
+        for (const std::uint64_t count : checkpoint.counts) out << ' ' << count;
+        out << "\n";
+    } else {
+        out << "agents " << checkpoint.agent_states.size();
+        for (const State state : checkpoint.agent_states) out << ' ' << state;
+        out << "\n";
+    }
+    out << "end\n";
+    require(static_cast<bool>(out), "write_checkpoint: stream write failed");
+}
+
+RunCheckpoint read_checkpoint(std::istream& in) {
+    RunCheckpoint checkpoint;
+    std::string word;
+
+    require(static_cast<bool>(in >> word) && word == "popproto-checkpoint",
+            "read_checkpoint: not a popproto checkpoint");
+    require(static_cast<bool>(in >> word) &&
+                word == "v" + std::to_string(RunCheckpoint::kFormatVersion),
+            "read_checkpoint: unsupported checkpoint format version");
+
+    require(static_cast<bool>(in >> word) && word == "engine",
+            "read_checkpoint: expected 'engine'");
+    require(static_cast<bool>(in >> word), "read_checkpoint: missing engine name");
+    require(observed_engine_from_name(word, checkpoint.engine),
+            "read_checkpoint: unknown engine '" + word + "'");
+
+    checkpoint.population = read_u64_field(in, "population");
+    checkpoint.num_states = read_u64_field(in, "num_states");
+
+    require(static_cast<bool>(in >> word) && word == "rng", "read_checkpoint: expected 'rng'");
+    for (std::uint64_t& rng_word : checkpoint.rng.words)
+        require(static_cast<bool>(in >> rng_word), "read_checkpoint: bad RNG word");
+
+    checkpoint.interactions = read_u64_field(in, "interactions");
+    checkpoint.effective_interactions = read_u64_field(in, "effective");
+    checkpoint.last_output_change = read_u64_field(in, "last_output_change");
+    checkpoint.next_silence_check = read_u64_field(in, "next_silence_check");
+    checkpoint.changed_since_silence_check = read_u64_field(in, "changed_since_check") != 0;
+
+    require(static_cast<bool>(in >> word) && word == "pending_skip",
+            "read_checkpoint: expected 'pending_skip'");
+    std::uint64_t has_pending = 0;
+    require(static_cast<bool>(in >> has_pending >> checkpoint.pending_null_skips),
+            "read_checkpoint: bad pending_skip");
+    checkpoint.has_pending_skip = has_pending != 0;
+
+    require(static_cast<bool>(in >> word) && (word == "counts" || word == "agents"),
+            "read_checkpoint: expected 'counts' or 'agents'");
+    std::uint64_t length = 0;
+    require(static_cast<bool>(in >> length), "read_checkpoint: bad payload length");
+    if (word == "counts") {
+        checkpoint.counts.resize(length);
+        for (std::uint64_t& count : checkpoint.counts)
+            require(static_cast<bool>(in >> count), "read_checkpoint: bad count");
+    } else {
+        checkpoint.agent_states.resize(length);
+        for (State& state : checkpoint.agent_states)
+            require(static_cast<bool>(in >> state), "read_checkpoint: bad agent state");
+    }
+
+    require(static_cast<bool>(in >> word) && word == "end", "read_checkpoint: expected 'end'");
+    return checkpoint;
+}
+
+std::string checkpoint_to_string(const RunCheckpoint& checkpoint) {
+    std::ostringstream out;
+    write_checkpoint(out, checkpoint);
+    return out.str();
+}
+
+RunCheckpoint checkpoint_from_string(const std::string& text) {
+    std::istringstream in(text);
+    return read_checkpoint(in);
+}
+
+}  // namespace popproto

@@ -1,0 +1,468 @@
+// The run-loop kernel: one stepping policy for every simulation engine.
+//
+// The fairness model of the paper (Sect. 2, and the conjugating-automata
+// randomized scheduler of Sect. 6) is *one* semantics with several samplers:
+// uniform agent pairs (simulate), the count-based multiset sampler
+// (simulate_counts), weighted pairs (simulate_weighted), uniform edges on a
+// restricted graph (simulate_on_graph), and deterministic schedulers
+// (simulate_with_scheduler).  Everything those loops used to duplicate —
+// the interaction budget, the periodic silence check and its max(4n, 1024)
+// default, the stable-output window, observer dispatch, snapshot-boundary
+// clamping of geometric null skips, the budget-vs-silence race at expiry —
+// is policy, not sampling, and lives here exactly once.
+//
+// An engine contributes a *Stepper* (see the concept below): how to draw
+// and apply one interaction, how to test silence, and how to export /
+// restore its configuration.  `run_loop(stepper, protocol, options)` drives
+// it and returns the engine-independent RunResult.
+//
+// On top of the unified loop sits deterministic checkpoint/resume: with
+// RunOptions::checkpoint_every = c, a RunCheckpoint is delivered to
+// RunOptions::checkpoint_sink at every interaction index that is a multiple
+// of c.  A checkpoint captures the complete loop state — configuration,
+// exact RNG stream position, counters, stop-tracker state — so that
+// resuming from it (RunOptions::resume_from) replays the identical RNG
+// stream and produces a RunResult and trajectory bit-identical to the
+// uninterrupted run.  Two subtleties make this exact:
+//
+//  * A checkpoint boundary that falls inside the batch engine's geometric
+//    null skip does not redraw: the checkpoint records the not-yet-executed
+//    remainder of the skip (`pending_null_skips`), and the resumed loop
+//    consumes it before drawing again.  This mirrors how snapshots are
+//    clamped at schedule boundaries.
+//  * Resuming a periodic-silence engine does *not* re-test silence at the
+//    cut: the uninterrupted run would not have tested there either, and an
+//    early kSilent stop would change the reported interaction count.
+//
+// The only observable difference a checkpointed run may exhibit is that an
+// observer's on_null_run events can be split at checkpoint boundaries
+// (total length is unchanged).
+
+#ifndef POPPROTO_CORE_RUN_LOOP_H
+#define POPPROTO_CORE_RUN_LOOP_H
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/observer.h"
+#include "core/require.h"
+#include "core/rng.h"
+#include "core/simulator.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+// ---------------------------------------------------------------------------
+// Shared policy defaults (the former per-engine copy-paste)
+
+/// The effective interaction budget: options.max_interactions, or
+/// default_budget(population) when the option is 0.
+std::uint64_t resolved_budget(const RunOptions& options, std::uint64_t population);
+
+/// The effective silence-check period: options.silence_check_period, or
+/// max(4 * population, 1024) when the option is 0.
+std::uint64_t resolved_silence_check_period(const RunOptions& options,
+                                            std::uint64_t population);
+
+/// True iff no ordered pair of present states changes the multiset (swaps
+/// and identities are null) — the silence predicate evaluated directly on a
+/// raw count vector, shared by the per-agent steppers.
+bool multiset_silent(const TabulatedProtocol& protocol,
+                     const std::vector<std::uint64_t>& counts);
+
+/// Throws unless options.engine is kAuto or `accepted`; `entry_point` names
+/// the caller in the message.  Pass kAuto as `accepted` for engines that
+/// have no SimulationEngine value (weighted, graph, scheduler).
+void require_engine_field(const RunOptions& options, SimulationEngine accepted,
+                          const char* entry_point);
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+
+/// Complete, serializable state of a suspended run.  Exactly one of
+/// `counts` / `agent_states` is populated, per the engine's representation.
+struct RunCheckpoint {
+    /// Schema version of the serialized form.
+    static constexpr int kFormatVersion = 1;
+
+    ObservedEngine engine = ObservedEngine::kAgentArray;
+    std::uint64_t population = 0;
+    std::uint64_t num_states = 0;
+
+    /// Exact RNG stream position (Rng::save_state / restore_state).
+    Rng::StreamState rng;
+
+    // RunResult counters at the cut.
+    std::uint64_t interactions = 0;
+    std::uint64_t effective_interactions = 0;
+    std::uint64_t last_output_change = 0;
+
+    // Stop-tracker state of the periodic silence check (unused by engines
+    // with exact or no silence detection, but carried for uniformity).
+    std::uint64_t next_silence_check = 0;
+    bool changed_since_silence_check = true;
+
+    /// Batch engine only: the geometric null-skip draw preceding the next
+    /// effective interaction was already consumed from the RNG stream, and
+    /// `pending_null_skips` of it remain unexecuted at the cut.  The
+    /// resumed loop replays the remainder without redrawing.
+    bool has_pending_skip = false;
+    std::uint64_t pending_null_skips = 0;
+
+    /// Multiset configuration (count engines: simulate_counts).
+    std::vector<std::uint64_t> counts;
+    /// Per-agent configuration (agent engines: simulate, simulate_weighted,
+    /// simulate_on_graph).
+    std::vector<State> agent_states;
+
+    friend bool operator==(const RunCheckpoint&, const RunCheckpoint&) = default;
+};
+
+/// Receives checkpoints as the run crosses checkpoint_every boundaries.
+/// Called synchronously from the simulating thread; the reference is only
+/// valid for the duration of the call.
+class CheckpointSink {
+public:
+    virtual ~CheckpointSink() = default;
+    virtual void on_checkpoint(const RunCheckpoint& checkpoint) = 0;
+};
+
+/// Writes `checkpoint` in the line-oriented text format (versioned, self-
+/// describing; see run_loop.cpp for the grammar).
+void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint);
+
+/// Parses a checkpoint previously written by `write_checkpoint`; throws
+/// std::invalid_argument on malformed input.
+RunCheckpoint read_checkpoint(std::istream& in);
+
+/// Convenience string round-trip of write_checkpoint / read_checkpoint.
+std::string checkpoint_to_string(const RunCheckpoint& checkpoint);
+RunCheckpoint checkpoint_from_string(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// The Stepper concept
+
+/// How a stepper participates in silence detection.
+enum class SilenceMode {
+    /// is_silent() is an O(1) exact predicate maintained by step() (the
+    /// batch engine's W == 0); evaluated after every effective interaction,
+    /// never reported via on_silence_check.
+    kExact,
+    /// is_silent() is an expensive full test; the kernel schedules it every
+    /// resolved_silence_check_period interactions, skips it when nothing
+    /// changed since the last test, re-tests at budget expiry (so a sound
+    /// kSilent is never misreported as kBudget), and reports each test via
+    /// on_silence_check.
+    kPeriodic,
+    /// Silence is never tested (graph runs: group (d) swaps fire forever).
+    kNever,
+};
+
+/// One interaction's outcome, reported by Stepper::step.
+struct StepOutcome {
+    /// The interaction changed the engine's configuration (state multiset
+    /// or some agent's state, per the engine's bookkeeping contract).
+    bool changed = false;
+    /// The interaction changed an output (implies `changed`).
+    bool output_changed = false;
+};
+
+/// What an engine supplies to the kernel.  The kernel owns *when* to step,
+/// check, snapshot, stop, and checkpoint; the stepper owns *how* to sample
+/// and apply one interaction.
+///
+/// RNG discipline: the kernel never consumes randomness itself.  Exactly
+/// propose_skip() and step() draw from the stream, in loop order, which is
+/// what makes checkpoints (a stream position plus the stepper state) exact.
+template <typename S>
+concept Stepper = requires(S stepper, const S const_stepper, Rng& rng, RunCheckpoint& checkpoint,
+                           const RunCheckpoint& const_checkpoint) {
+    { S::kEngine } -> std::convertible_to<ObservedEngine>;
+    { S::kSilenceMode } -> std::convertible_to<SilenceMode>;
+    /// Whether propose_skip can return nonzero.  False compiles the whole
+    /// skip/clamp machinery out of the loop, keeping per-interaction
+    /// engines on the same tight hot path their private loops had.
+    { S::kGeometricSkips } -> std::convertible_to<bool>;
+    { const_stepper.population() } -> std::convertible_to<std::uint64_t>;
+    { const_stepper.is_silent() } -> std::convertible_to<bool>;
+    /// Number of consecutive null interactions to jump before the next
+    /// step() (only called when kGeometricSkips; must be 0 for engines
+    /// that execute every interaction explicitly).
+    { stepper.propose_skip(rng) } -> std::convertible_to<std::uint64_t>;
+    { stepper.step(rng) } -> std::same_as<StepOutcome>;
+    /// Current configuration as a state multiset (snapshots, final result).
+    { const_stepper.counts() } -> std::same_as<CountConfiguration>;
+    /// Export / import the engine-specific configuration payload of a
+    /// checkpoint (the kernel fills every other field).
+    { const_stepper.save(checkpoint) };
+    { stepper.restore(const_checkpoint) };
+};
+
+// ---------------------------------------------------------------------------
+// The kernel
+
+namespace run_loop_detail {
+
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace run_loop_detail
+
+/// Drives `stepper` under the full run policy and returns the result.
+/// `entry_point` names the public API for error messages.
+template <Stepper S>
+RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptions& options,
+                   const char* entry_point) {
+    constexpr SilenceMode kMode = S::kSilenceMode;
+    const std::string where(entry_point);
+
+    const std::uint64_t n = stepper.population();
+    require(n >= 2, where + ": need at least two agents");
+    const std::uint64_t budget = resolved_budget(options, n);
+    const std::uint64_t check_period = resolved_silence_check_period(options, n);
+    const std::uint64_t window = options.stop_after_stable_outputs;
+    const std::uint64_t checkpoint_every = options.checkpoint_every;
+    require(checkpoint_every == 0 || options.checkpoint_sink != nullptr,
+            where + ": checkpoint_every requires a checkpoint_sink");
+
+    Rng rng(options.seed);
+    RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
+                     std::nullopt};
+
+    std::uint64_t next_check = check_period;
+    std::uint64_t changed_since_check = 1;
+    std::uint64_t pending_skip = 0;
+    bool has_pending_skip = false;
+
+    if (options.resume_from != nullptr) {
+        const RunCheckpoint& checkpoint = *options.resume_from;
+        require(checkpoint.engine == S::kEngine,
+                where + ": checkpoint was taken by the " +
+                    observed_engine_name(checkpoint.engine) + " engine");
+        require(checkpoint.population == n, where + ": checkpoint population mismatch");
+        require(checkpoint.num_states == protocol.num_states(),
+                where + ": checkpoint state-count mismatch");
+        require(checkpoint.interactions <= budget,
+                where + ": checkpoint lies beyond max_interactions");
+        stepper.restore(checkpoint);
+        rng.restore_state(checkpoint.rng);
+        result.interactions = checkpoint.interactions;
+        result.effective_interactions = checkpoint.effective_interactions;
+        result.last_output_change = checkpoint.last_output_change;
+        next_check = checkpoint.next_silence_check;
+        changed_since_check = checkpoint.changed_since_silence_check ? 1 : 0;
+        has_pending_skip = checkpoint.has_pending_skip;
+        pending_skip = checkpoint.pending_null_skips;
+    }
+
+    std::uint64_t next_checkpoint = SnapshotSchedule::kNever;
+    if (checkpoint_every != 0 &&
+        result.interactions / checkpoint_every < SnapshotSchedule::kNever / checkpoint_every - 1)
+        next_checkpoint = (result.interactions / checkpoint_every + 1) * checkpoint_every;
+
+    const auto take_checkpoint = [&](std::uint64_t pending, bool has_pending) {
+        RunCheckpoint checkpoint;
+        checkpoint.engine = S::kEngine;
+        checkpoint.population = n;
+        checkpoint.num_states = protocol.num_states();
+        checkpoint.rng = rng.save_state();
+        checkpoint.interactions = result.interactions;
+        checkpoint.effective_interactions = result.effective_interactions;
+        checkpoint.last_output_change = result.last_output_change;
+        checkpoint.next_silence_check = next_check;
+        checkpoint.changed_since_silence_check = changed_since_check != 0;
+        checkpoint.has_pending_skip = has_pending;
+        checkpoint.pending_null_skips = pending;
+        stepper.save(checkpoint);
+        options.checkpoint_sink->on_checkpoint(checkpoint);
+        next_checkpoint = (result.interactions / checkpoint_every + 1) * checkpoint_every;
+    };
+
+    RunObserver* const observer = options.observer;
+    std::uint64_t next_snapshot = SnapshotSchedule::kNever;
+    if (observer)
+        next_snapshot = result.interactions == 0 ? options.snapshots.first_index()
+                                                 : options.snapshots.next_after(result.interactions);
+    // Emits every scheduled snapshot with index <= `limit` from the current
+    // configuration.  Clamping a geometric jump at snapshot boundaries
+    // reduces to this: a scheduled index inside a run of null interactions
+    // sees the configuration unchanged since the last effective interaction,
+    // so the jump is kept (no extra randomness is drawn — observed and
+    // unobserved runs are bit-identical) and each boundary is stamped with
+    // its exact index.
+    const auto emit_snapshots_through = [&](std::uint64_t limit) {
+        while (next_snapshot <= limit) {
+            observer->on_snapshot(next_snapshot, stepper.counts());
+            next_snapshot = options.snapshots.next_after(next_snapshot);
+        }
+    };
+
+    std::chrono::steady_clock::time_point wall_start;
+    std::optional<CountConfiguration> initial_counts;
+    if (observer) {
+        wall_start = std::chrono::steady_clock::now();
+        initial_counts.emplace(stepper.counts());
+        RunStartInfo info;
+        info.engine = S::kEngine;
+        info.population = n;
+        info.num_states = protocol.num_states();
+        info.seed = options.seed;
+        info.max_interactions = budget;
+        info.initial = &*initial_counts;
+        info.protocol = &protocol;
+        observer->on_start(info);
+    }
+
+    bool silent = false;
+    if constexpr (kMode == SilenceMode::kExact) {
+        silent = stepper.is_silent();
+    } else if constexpr (kMode == SilenceMode::kPeriodic) {
+        if (options.resume_from == nullptr) {
+            // A configuration that starts silent terminates immediately.  A
+            // *resumed* run skips this test: the uninterrupted run would not
+            // test at the cut either, and stopping early would change the
+            // reported interaction count.
+            silent = stepper.is_silent();
+            if (observer) observer->on_silence_check(0, silent);
+        }
+    }
+
+    while (!silent && result.interactions < budget) {
+        // Checkpoint due at a loop boundary.  Per-interaction engines reach
+        // every index, so this lands exactly on multiples of the period; the
+        // batch engine lands here when the multiple coincided with an
+        // effective interaction (boundaries inside a null skip are handled
+        // below and also land exactly).
+        if (result.interactions >= next_checkpoint) take_checkpoint(0, false);
+
+        if constexpr (S::kGeometricSkips) {
+            std::uint64_t skips;
+            if (has_pending_skip) {
+                skips = pending_skip;
+                has_pending_skip = false;
+            } else {
+                skips = stepper.propose_skip(rng);
+            }
+
+            // Where does the null run actually end?  `target_end` is the
+            // index of its last null interaction; the effective interaction
+            // would land at target_end + 1.  The stable-output window and
+            // the budget can both cut the run inside the nulls (which
+            // change nothing, so the stop index is exact); the window wins
+            // ties, as it always has.
+            const std::uint64_t target_end = result.interactions + skips;
+            std::uint64_t stop_at = 0;
+            if (window != 0 && result.last_output_change != 0)
+                stop_at = result.last_output_change + window;
+
+            enum class SkipEnd { kRunOn, kStableOutputs, kBudget };
+            SkipEnd skip_end = SkipEnd::kRunOn;
+            std::uint64_t end_index = target_end;
+            if (stop_at != 0 && stop_at <= target_end && stop_at <= budget) {
+                skip_end = SkipEnd::kStableOutputs;
+                end_index = stop_at;
+            } else if (target_end >= budget) {
+                skip_end = SkipEnd::kBudget;
+                end_index = budget;
+            }
+
+            // Checkpoint boundaries inside the null run: materialize each
+            // multiple of checkpoint_every strictly before the run's end
+            // (or up to and including target_end when the run continues),
+            // recording the unexecuted remainder of the skip.  Note this
+            // may split the observer's on_null_run report; the total length
+            // is unchanged.
+            while (next_checkpoint <= end_index &&
+                   (skip_end == SkipEnd::kRunOn || next_checkpoint < end_index)) {
+                if (observer) {
+                    emit_snapshots_through(next_checkpoint);
+                    if (next_checkpoint > result.interactions)
+                        observer->on_null_run(next_checkpoint - result.interactions);
+                }
+                result.interactions = next_checkpoint;
+                take_checkpoint(target_end - result.interactions, true);
+            }
+
+            if (skip_end != SkipEnd::kRunOn) {
+                if (observer) {
+                    emit_snapshots_through(end_index);
+                    if (end_index > result.interactions)
+                        observer->on_null_run(end_index - result.interactions);
+                }
+                result.interactions = end_index;
+                if (skip_end == SkipEnd::kStableOutputs)
+                    result.stop_reason = StopReason::kStableOutputs;
+                break;  // kBudget: stop_reason already defaults to kBudget
+            }
+            if (observer && skips != 0) {
+                emit_snapshots_through(target_end);
+                if (target_end > result.interactions)
+                    observer->on_null_run(target_end - result.interactions);
+            }
+
+            // The effective interaction terminating the null run.
+            result.interactions = target_end + 1;
+        } else {
+            ++result.interactions;
+        }
+        const StepOutcome outcome = stepper.step(rng);
+        if (outcome.changed) {
+            ++result.effective_interactions;
+            changed_since_check = 1;
+            if (outcome.output_changed) {
+                result.last_output_change = result.interactions;
+                if (observer) observer->on_output_change(result.interactions);
+            }
+        }
+        if constexpr (kMode == SilenceMode::kExact) silent = stepper.is_silent();
+
+        if (result.interactions >= next_snapshot) emit_snapshots_through(result.interactions);
+
+        if (window != 0 && result.last_output_change != 0 &&
+            result.interactions - result.last_output_change >= window) {
+            result.stop_reason = StopReason::kStableOutputs;
+            break;
+        }
+
+        if constexpr (kMode == SilenceMode::kPeriodic) {
+            if (result.interactions >= next_check) {
+                next_check = result.interactions + check_period;
+                if (changed_since_check != 0) {
+                    // Only re-test silence if something changed since last test.
+                    silent = stepper.is_silent();
+                    changed_since_check = 0;
+                    if (observer) observer->on_silence_check(result.interactions, silent);
+                }
+            }
+        }
+    }
+
+    if constexpr (kMode == SilenceMode::kPeriodic) {
+        if (!silent && result.interactions >= budget) {
+            // The budget can expire between silence checks; a final test
+            // keeps the sound kSilent certificate from being misreported as
+            // kBudget.
+            silent = stepper.is_silent();
+            if (observer) observer->on_silence_check(result.interactions, silent);
+        }
+    }
+    if constexpr (kMode != SilenceMode::kNever) {
+        if (silent) result.stop_reason = StopReason::kSilent;
+    }
+
+    result.final_configuration = stepper.counts();
+    result.consensus = result.final_configuration.consensus_output(protocol);
+    if (observer) observer->on_stop(result, run_loop_detail::seconds_since(wall_start));
+    return result;
+}
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_RUN_LOOP_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/require.h"
+#include "core/run_loop.h"
 
 namespace popproto {
 
@@ -17,6 +18,73 @@ std::vector<AgentPair> all_ordered_pairs(std::size_t num_agents) {
             if (i != j) pairs.emplace_back(i, j);
     return pairs;
 }
+
+/// Deterministic pair selection delegated to a Scheduler.  The kernel's RNG
+/// is never consumed; determinism comes from the scheduler's own state,
+/// which is also why checkpoint/resume is rejected at the entry point — a
+/// RunCheckpoint cannot capture an arbitrary Scheduler's cursor.
+class SchedulerStepper {
+public:
+    static constexpr ObservedEngine kEngine = ObservedEngine::kScheduler;
+    static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
+    static constexpr bool kGeometricSkips = false;
+
+    SchedulerStepper(const TabulatedProtocol& protocol, const AgentConfiguration& initial,
+                     Scheduler& scheduler)
+        : protocol_(protocol),
+          scheduler_(scheduler),
+          agents_(initial),
+          counts_(protocol.num_states(), 0) {
+        for (const State q : agents_.states()) ++counts_[q];
+    }
+
+    std::uint64_t population() const { return agents_.size(); }
+
+    bool is_silent() const { return multiset_silent(protocol_, counts_); }
+
+    std::uint64_t propose_skip(Rng&) { return 0; }
+
+    StepOutcome step(Rng&) {
+        const std::size_t n = agents_.size();
+        const AgentPair pair = scheduler_.next(agents_);
+        require(pair.first != pair.second && pair.first < n && pair.second < n,
+                "simulate_with_scheduler: scheduler produced an invalid pair");
+
+        const State p = agents_.state(pair.first);
+        const State q = agents_.state(pair.second);
+        const StatePair next = protocol_.apply_fast(p, q);
+        StepOutcome outcome;
+        if (next.initiator != p || next.responder != q) {
+            outcome.changed = true;
+            outcome.output_changed =
+                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
+                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
+            agents_.set_state(pair.first, next.initiator);
+            agents_.set_state(pair.second, next.responder);
+            --counts_[p];
+            --counts_[q];
+            ++counts_[next.initiator];
+            ++counts_[next.responder];
+        }
+        return outcome;
+    }
+
+    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
+
+    void save(RunCheckpoint&) const {
+        ensure(false, "simulate_with_scheduler: checkpointing is rejected at entry");
+    }
+
+    void restore(const RunCheckpoint&) {
+        ensure(false, "simulate_with_scheduler: resume is rejected at entry");
+    }
+
+private:
+    const TabulatedProtocol& protocol_;
+    Scheduler& scheduler_;
+    AgentConfiguration agents_;
+    std::vector<std::uint64_t> counts_;
+};
 
 }  // namespace
 
@@ -54,78 +122,14 @@ AgentPair SweepScheduler::next(const AgentConfiguration& agents) {
 RunResult simulate_with_scheduler(const TabulatedProtocol& protocol,
                                   const AgentConfiguration& initial, Scheduler& scheduler,
                                   const RunOptions& options) {
-    const std::size_t n = initial.size();
-    require(n >= 2, "simulate_with_scheduler: need at least two agents");
-    require(options.max_interactions > 0,
-            "simulate_with_scheduler: max_interactions must be positive");
+    require(initial.size() >= 2, "simulate_with_scheduler: need at least two agents");
+    require_engine_field(options, SimulationEngine::kAuto, "simulate_with_scheduler");
+    require(options.checkpoint_every == 0 && options.resume_from == nullptr,
+            "simulate_with_scheduler: checkpoint/resume is not supported — a RunCheckpoint "
+            "cannot capture the Scheduler's own state");
 
-    AgentConfiguration agents = initial;
-    std::vector<std::uint64_t> counts(protocol.num_states(), 0);
-    for (State q : agents.states()) ++counts[q];
-
-    const std::uint64_t check_period = options.silence_check_period != 0
-                                           ? options.silence_check_period
-                                           : std::max<std::uint64_t>(4 * n, 1024);
-
-    RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
-                     std::nullopt};
-
-    const auto is_silent = [&]() {
-        CountConfiguration config(protocol.num_states());
-        for (State q = 0; q < counts.size(); ++q)
-            if (counts[q] > 0) config.add(q, counts[q]);
-        return config.is_silent(protocol);
-    };
-
-    bool silent = is_silent();
-    std::uint64_t next_check = check_period;
-    bool changed_since_check = true;
-
-    while (!silent && result.interactions < options.max_interactions) {
-        const AgentPair pair = scheduler.next(agents);
-        require(pair.first != pair.second && pair.first < n && pair.second < n,
-                "simulate_with_scheduler: scheduler produced an invalid pair");
-        ++result.interactions;
-
-        const State p = agents.state(pair.first);
-        const State q = agents.state(pair.second);
-        const StatePair next = protocol.apply_fast(p, q);
-        if (next.initiator != p || next.responder != q) {
-            ++result.effective_interactions;
-            changed_since_check = true;
-            if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
-                protocol.output_fast(next.responder) != protocol.output_fast(q)) {
-                result.last_output_change = result.interactions;
-            }
-            agents.set_state(pair.first, next.initiator);
-            agents.set_state(pair.second, next.responder);
-            --counts[p];
-            --counts[q];
-            ++counts[next.initiator];
-            ++counts[next.responder];
-        }
-
-        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
-            result.interactions - result.last_output_change >= options.stop_after_stable_outputs) {
-            result.stop_reason = StopReason::kStableOutputs;
-            break;
-        }
-        if (result.interactions >= next_check) {
-            next_check = result.interactions + check_period;
-            if (changed_since_check) {
-                silent = is_silent();
-                changed_since_check = false;
-            }
-        }
-    }
-    if (silent) result.stop_reason = StopReason::kSilent;
-
-    CountConfiguration final_config(protocol.num_states());
-    for (State q = 0; q < counts.size(); ++q)
-        if (counts[q] > 0) final_config.add(q, counts[q]);
-    result.consensus = final_config.consensus_output(protocol);
-    result.final_configuration = std::move(final_config);
-    return result;
+    SchedulerStepper stepper(protocol, initial, scheduler);
+    return run_loop(stepper, protocol, options, "simulate_with_scheduler");
 }
 
 }  // namespace popproto

@@ -74,7 +74,10 @@ private:
 
 /// Runs `protocol` from `initial` under `scheduler`.  Stopping rules are as
 /// in `simulate` (silence is sound for any scheduler; the output-stability
-/// window and budget also apply).
+/// window and budget also apply; max_interactions == 0 resolves to
+/// default_budget(n)).  Requires options.engine == kAuto; checkpoint/resume
+/// is rejected because a RunCheckpoint cannot capture the Scheduler's own
+/// cursor state.
 RunResult simulate_with_scheduler(const TabulatedProtocol& protocol,
                                   const AgentConfiguration& initial, Scheduler& scheduler,
                                   const RunOptions& options);

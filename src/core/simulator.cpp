@@ -1,38 +1,191 @@
 #include "core/simulator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <vector>
 
 #include "core/require.h"
+#include "core/run_loop.h"
 
 namespace popproto {
 
 namespace {
 
-/// True iff no possible interaction among the present states changes the
-/// multiset of states (swaps and identities are allowed; see
-/// CountConfiguration::is_silent).
-bool counts_silent(const TabulatedProtocol& protocol, const std::vector<std::uint64_t>& counts,
-                   const std::vector<State>& present_scratch) {
-    for (State p : present_scratch) {
-        for (State q : present_scratch) {
-            if (p == q && counts[p] < 2) continue;
-            const StatePair result = protocol.apply_fast(p, q);
-            const bool multiset_preserved =
-                (result.initiator == p && result.responder == q) ||
-                (result.initiator == q && result.responder == p);
-            if (!multiset_preserved) return false;
+/// Uniform random pairing over an expanded agent array: one ordered pair of
+/// distinct agents per step, O(1) per interaction (the reference sampler).
+class AgentArrayStepper {
+public:
+    static constexpr ObservedEngine kEngine = ObservedEngine::kAgentArray;
+    static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
+    static constexpr bool kGeometricSkips = false;
+
+    AgentArrayStepper(const TabulatedProtocol& protocol, const CountConfiguration& initial)
+        : protocol_(protocol),
+          states_(AgentConfiguration::from_counts(initial).states()),
+          counts_(initial.counts()) {}
+
+    std::uint64_t population() const { return states_.size(); }
+
+    bool is_silent() const { return multiset_silent(protocol_, counts_); }
+
+    std::uint64_t propose_skip(Rng&) { return 0; }
+
+    StepOutcome step(Rng& rng) {
+        const std::uint64_t n = states_.size();
+        const std::uint64_t i = rng.below(n);
+        std::uint64_t j = rng.below(n - 1);
+        if (j >= i) ++j;
+
+        const State p = states_[i];
+        const State q = states_[j];
+        const StatePair next = protocol_.apply_fast(p, q);
+        StepOutcome outcome;
+        if (next.initiator != p || next.responder != q) {
+            outcome.changed = true;
+            outcome.output_changed =
+                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
+                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
+            states_[i] = next.initiator;
+            states_[j] = next.responder;
+            --counts_[p];
+            --counts_[q];
+            ++counts_[next.initiator];
+            ++counts_[next.responder];
+        }
+        return outcome;
+    }
+
+    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
+
+    void save(RunCheckpoint& checkpoint) const { checkpoint.agent_states = states_; }
+
+    void restore(const RunCheckpoint& checkpoint) {
+        require(checkpoint.agent_states.size() == states_.size(),
+                "simulate: checkpoint agent count mismatch");
+        states_ = checkpoint.agent_states;
+        std::fill(counts_.begin(), counts_.end(), 0);
+        for (const State q : states_) {
+            require(q < counts_.size(), "simulate: checkpoint state out of range");
+            ++counts_[q];
         }
     }
-    return true;
-}
 
-/// Seconds elapsed since `start` (observer wall-clock bookkeeping).
-double seconds_since(std::chrono::steady_clock::time_point start) {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
+private:
+    const TabulatedProtocol& protocol_;
+    std::vector<State> states_;
+    std::vector<std::uint64_t> counts_;
+};
+
+/// Weighted pairing (Sect. 8): ordered pair (i, j), i != j, with probability
+/// proportional to weights[i] * weights[j], via inverse-CDF draws.
+class WeightedStepper {
+public:
+    static constexpr ObservedEngine kEngine = ObservedEngine::kWeighted;
+    static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
+    static constexpr bool kGeometricSkips = false;
+
+    WeightedStepper(const TabulatedProtocol& protocol, const AgentConfiguration& initial,
+                    const std::vector<double>& weights)
+        : protocol_(protocol),
+          states_(initial.states()),
+          counts_(protocol.num_states(), 0),
+          weights_(weights) {
+        for (const State q : states_) ++counts_[q];
+        total_weight_ = 0.0;
+        cumulative_.resize(weights.size());
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            total_weight_ += weights[i];
+            cumulative_[i] = total_weight_;
+        }
+    }
+
+    std::uint64_t population() const { return states_.size(); }
+
+    bool is_silent() const { return multiset_silent(protocol_, counts_); }
+
+    std::uint64_t propose_skip(Rng&) { return 0; }
+
+    StepOutcome step(Rng& rng) {
+        const std::size_t i = draw_agent(rng);
+        // Rejection is cheap when weights are balanced, but when one weight
+        // carries almost all the mass a collision loop could spin for an
+        // unbounded number of draws; fall back to the exact exclusion draw.
+        std::size_t j = draw_agent(rng);
+        for (int attempt = 0; j == i; ++attempt) {
+            if (attempt >= 16) {
+                j = draw_agent_excluding(rng, i);
+                break;
+            }
+            j = draw_agent(rng);
+        }
+
+        const State p = states_[i];
+        const State q = states_[j];
+        const StatePair next = protocol_.apply_fast(p, q);
+        StepOutcome outcome;
+        if (next.initiator != p || next.responder != q) {
+            outcome.changed = true;
+            outcome.output_changed =
+                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
+                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
+            states_[i] = next.initiator;
+            states_[j] = next.responder;
+            --counts_[p];
+            --counts_[q];
+            ++counts_[next.initiator];
+            ++counts_[next.responder];
+        }
+        return outcome;
+    }
+
+    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
+
+    void save(RunCheckpoint& checkpoint) const { checkpoint.agent_states = states_; }
+
+    void restore(const RunCheckpoint& checkpoint) {
+        require(checkpoint.agent_states.size() == states_.size(),
+                "simulate_weighted: checkpoint agent count mismatch");
+        states_ = checkpoint.agent_states;
+        std::fill(counts_.begin(), counts_.end(), 0);
+        for (const State q : states_) {
+            require(q < counts_.size(), "simulate_weighted: checkpoint state out of range");
+            ++counts_[q];
+        }
+    }
+
+private:
+    std::size_t draw_agent(Rng& rng) const {
+        const double u = rng.uniform01() * total_weight_;
+        const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+        // Floating-point rounding can push u past cumulative.back(), in
+        // which case lower_bound returns end(); clamp to the last agent.
+        const auto index = static_cast<std::size_t>(it - cumulative_.begin());
+        return index < states_.size() ? index : states_.size() - 1;
+    }
+
+    // Draws an agent other than `exclude` exactly: u is drawn over the total
+    // mass minus the excluded weight and mapped around that agent's
+    // interval.  Equivalent to rejection sampling, but O(log n) even when
+    // one weight dominates the total mass.
+    std::size_t draw_agent_excluding(Rng& rng, std::size_t exclude) const {
+        const std::size_t n = states_.size();
+        const double mass_before = cumulative_[exclude] - weights_[exclude];
+        double u = rng.uniform01() * (total_weight_ - weights_[exclude]);
+        if (u >= mass_before) u += weights_[exclude];
+        const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+        auto index = static_cast<std::size_t>(it - cumulative_.begin());
+        if (index >= n) index = n - 1;
+        if (index == exclude) index = exclude + 1 < n ? exclude + 1 : exclude - 1;
+        return index;
+    }
+
+    const TabulatedProtocol& protocol_;
+    std::vector<State> states_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<double> weights_;
+    std::vector<double> cumulative_;
+    double total_weight_ = 0.0;
+};
 
 }  // namespace
 
@@ -40,119 +193,11 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
                    const RunOptions& options) {
     require(initial.num_states() == protocol.num_states(),
             "simulate: configuration does not match protocol");
-    const std::uint64_t n = initial.population_size();
-    require(n >= 2, "simulate: need at least two agents");
-    require(options.max_interactions > 0, "simulate: max_interactions must be positive");
+    require(initial.population_size() >= 2, "simulate: need at least two agents");
+    require_engine_field(options, SimulationEngine::kAgentArray, "simulate");
 
-    Rng rng(options.seed);
-    AgentConfiguration agents = AgentConfiguration::from_counts(initial);
-    std::vector<State> states = agents.states();
-    std::vector<std::uint64_t> counts = initial.counts();
-
-    const std::uint64_t check_period = options.silence_check_period != 0
-                                           ? options.silence_check_period
-                                           : std::max<std::uint64_t>(4 * n, 1024);
-
-    RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
-                     std::nullopt};
-
-    RunObserver* const observer = options.observer;
-    std::uint64_t next_snapshot =
-        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
-    std::chrono::steady_clock::time_point wall_start;
-    if (observer) {
-        wall_start = std::chrono::steady_clock::now();
-        RunStartInfo info;
-        info.engine = ObservedEngine::kAgentArray;
-        info.population = n;
-        info.num_states = protocol.num_states();
-        info.seed = options.seed;
-        info.max_interactions = options.max_interactions;
-        info.initial = &initial;
-        info.protocol = &protocol;
-        observer->on_start(info);
-    }
-
-    std::vector<State> present;
-    std::uint64_t next_check = check_period;
-    std::uint64_t since_last_check = 1;  // force a pre-loop silence test path below
-
-    // A configuration that starts silent should terminate immediately.
-    present.clear();
-    for (State q = 0; q < counts.size(); ++q)
-        if (counts[q] > 0) present.push_back(q);
-    bool silent = counts_silent(protocol, counts, present);
-    if (observer) observer->on_silence_check(0, silent);
-
-    while (!silent && result.interactions < options.max_interactions) {
-        const std::uint64_t i = rng.below(n);
-        std::uint64_t j = rng.below(n - 1);
-        if (j >= i) ++j;
-        ++result.interactions;
-
-        const State p = states[i];
-        const State q = states[j];
-        const StatePair next = protocol.apply_fast(p, q);
-        if (next.initiator != p || next.responder != q) {
-            ++result.effective_interactions;
-            since_last_check = 1;
-            if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
-                protocol.output_fast(next.responder) != protocol.output_fast(q)) {
-                result.last_output_change = result.interactions;
-                if (observer) observer->on_output_change(result.interactions);
-            }
-            states[i] = next.initiator;
-            states[j] = next.responder;
-            --counts[p];
-            --counts[q];
-            ++counts[next.initiator];
-            ++counts[next.responder];
-        }
-
-        if (result.interactions >= next_snapshot) {
-            observer->on_snapshot(result.interactions,
-                                  CountConfiguration::from_state_counts(counts));
-            next_snapshot = options.snapshots.next_after(result.interactions);
-        }
-
-        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
-            result.interactions - result.last_output_change >= options.stop_after_stable_outputs) {
-            result.stop_reason = StopReason::kStableOutputs;
-            break;
-        }
-
-        if (result.interactions >= next_check) {
-            next_check = result.interactions + check_period;
-            if (since_last_check != 0) {
-                // Only re-test silence if something changed since last test.
-                present.clear();
-                for (State s = 0; s < counts.size(); ++s)
-                    if (counts[s] > 0) present.push_back(s);
-                silent = counts_silent(protocol, counts, present);
-                since_last_check = 0;
-                if (observer) observer->on_silence_check(result.interactions, silent);
-            }
-        }
-    }
-
-    if (!silent && result.interactions >= options.max_interactions) {
-        // The budget can expire between silence checks; a final test keeps
-        // the sound kSilent certificate from being misreported as kBudget.
-        present.clear();
-        for (State s = 0; s < counts.size(); ++s)
-            if (counts[s] > 0) present.push_back(s);
-        silent = counts_silent(protocol, counts, present);
-        if (observer) observer->on_silence_check(result.interactions, silent);
-    }
-    if (silent) result.stop_reason = StopReason::kSilent;
-
-    CountConfiguration final_config(protocol.num_states());
-    for (State q = 0; q < counts.size(); ++q)
-        if (counts[q] > 0) final_config.add(q, counts[q]);
-    result.consensus = final_config.consensus_output(protocol);
-    result.final_configuration = std::move(final_config);
-    if (observer) observer->on_stop(result, seconds_since(wall_start));
-    return result;
+    AgentArrayStepper stepper(protocol, initial);
+    return run_loop(stepper, protocol, options, "simulate");
 }
 
 RunResult simulate_weighted(const TabulatedProtocol& protocol,
@@ -161,164 +206,12 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
     const std::size_t n = initial.size();
     require(n >= 2, "simulate_weighted: need at least two agents");
     require(weights.size() == n, "simulate_weighted: one weight per agent required");
-    require(options.max_interactions > 0, "simulate_weighted: max_interactions must be positive");
-    double total_weight = 0.0;
-    for (double w : weights) {
+    require_engine_field(options, SimulationEngine::kAuto, "simulate_weighted");
+    for (const double w : weights)
         require(w > 0.0 && std::isfinite(w), "simulate_weighted: weights must be positive");
-        total_weight += w;
-    }
 
-    // Cumulative weights for inverse-CDF sampling; the second draw rejects
-    // collisions with the first (equivalent to renormalizing without i).
-    std::vector<double> cumulative(n);
-    double running = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        running += weights[i];
-        cumulative[i] = running;
-    }
-    Rng rng(options.seed);
-    const auto draw_agent = [&]() -> std::size_t {
-        const double u = rng.uniform01() * total_weight;
-        const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
-        // Floating-point rounding can push u past cumulative.back(), in
-        // which case lower_bound returns end(); clamp to the last agent.
-        const auto index = static_cast<std::size_t>(it - cumulative.begin());
-        return index < n ? index : n - 1;
-    };
-    // Draws an agent other than `exclude` exactly: u is drawn over the total
-    // mass minus the excluded weight and mapped around that agent's
-    // interval.  Equivalent to rejection sampling, but O(log n) even when
-    // one weight dominates the total mass.
-    const auto draw_agent_excluding = [&](std::size_t exclude) -> std::size_t {
-        const double mass_before = cumulative[exclude] - weights[exclude];
-        double u = rng.uniform01() * (total_weight - weights[exclude]);
-        if (u >= mass_before) u += weights[exclude];
-        const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
-        auto index = static_cast<std::size_t>(it - cumulative.begin());
-        if (index >= n) index = n - 1;
-        if (index == exclude) index = exclude + 1 < n ? exclude + 1 : exclude - 1;
-        return index;
-    };
-
-    std::vector<State> states = initial.states();
-    std::vector<std::uint64_t> counts(protocol.num_states(), 0);
-    for (State q : states) ++counts[q];
-
-    const std::uint64_t check_period = options.silence_check_period != 0
-                                           ? options.silence_check_period
-                                           : std::max<std::uint64_t>(4 * n, 1024);
-
-    RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
-                     std::nullopt};
-
-    RunObserver* const observer = options.observer;
-    std::uint64_t next_snapshot =
-        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
-    std::chrono::steady_clock::time_point wall_start;
-    std::optional<CountConfiguration> initial_counts;
-    if (observer) {
-        wall_start = std::chrono::steady_clock::now();
-        initial_counts.emplace(CountConfiguration::from_state_counts(counts));
-        RunStartInfo info;
-        info.engine = ObservedEngine::kWeighted;
-        info.population = n;
-        info.num_states = protocol.num_states();
-        info.seed = options.seed;
-        info.max_interactions = options.max_interactions;
-        info.initial = &*initial_counts;
-        info.protocol = &protocol;
-        observer->on_start(info);
-    }
-
-    std::vector<State> present;
-    for (State q = 0; q < counts.size(); ++q)
-        if (counts[q] > 0) present.push_back(q);
-    bool silent = counts_silent(protocol, counts, present);
-    if (observer) observer->on_silence_check(0, silent);
-    std::uint64_t next_check = check_period;
-    std::uint64_t changed_since_check = 1;
-
-    while (!silent && result.interactions < options.max_interactions) {
-        const std::size_t i = draw_agent();
-        // Rejection is cheap when weights are balanced, but when one weight
-        // carries almost all the mass a collision loop could spin for an
-        // unbounded number of draws; fall back to the exact exclusion draw.
-        std::size_t j = draw_agent();
-        for (int attempt = 0; j == i; ++attempt) {
-            if (attempt >= 16) {
-                j = draw_agent_excluding(i);
-                break;
-            }
-            j = draw_agent();
-        }
-        ++result.interactions;
-
-        const State p = states[i];
-        const State q = states[j];
-        const StatePair next = protocol.apply_fast(p, q);
-        if (next.initiator != p || next.responder != q) {
-            ++result.effective_interactions;
-            changed_since_check = 1;
-            if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
-                protocol.output_fast(next.responder) != protocol.output_fast(q)) {
-                result.last_output_change = result.interactions;
-                if (observer) observer->on_output_change(result.interactions);
-            }
-            states[i] = next.initiator;
-            states[j] = next.responder;
-            --counts[p];
-            --counts[q];
-            ++counts[next.initiator];
-            ++counts[next.responder];
-        }
-
-        if (result.interactions >= next_snapshot) {
-            observer->on_snapshot(result.interactions,
-                                  CountConfiguration::from_state_counts(counts));
-            next_snapshot = options.snapshots.next_after(result.interactions);
-        }
-
-        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
-            result.interactions - result.last_output_change >= options.stop_after_stable_outputs) {
-            result.stop_reason = StopReason::kStableOutputs;
-            break;
-        }
-        if (result.interactions >= next_check) {
-            next_check = result.interactions + check_period;
-            if (changed_since_check != 0) {
-                present.clear();
-                for (State s = 0; s < counts.size(); ++s)
-                    if (counts[s] > 0) present.push_back(s);
-                silent = counts_silent(protocol, counts, present);
-                changed_since_check = 0;
-                if (observer) observer->on_silence_check(result.interactions, silent);
-            }
-        }
-    }
-    if (!silent && result.interactions >= options.max_interactions) {
-        // Same budget-vs-check-period race as in simulate above.
-        present.clear();
-        for (State s = 0; s < counts.size(); ++s)
-            if (counts[s] > 0) present.push_back(s);
-        silent = counts_silent(protocol, counts, present);
-        if (observer) observer->on_silence_check(result.interactions, silent);
-    }
-    if (silent) result.stop_reason = StopReason::kSilent;
-
-    CountConfiguration final_config(protocol.num_states());
-    for (State q = 0; q < counts.size(); ++q)
-        if (counts[q] > 0) final_config.add(q, counts[q]);
-    result.consensus = final_config.consensus_output(protocol);
-    result.final_configuration = std::move(final_config);
-    if (observer) observer->on_stop(result, seconds_since(wall_start));
-    return result;
-}
-
-std::uint64_t default_budget(std::uint64_t population, double factor) {
-    require(population >= 2, "default_budget: population too small");
-    const double n = static_cast<double>(population);
-    const double budget = factor * n * n * (std::log(n) + 1.0);
-    return static_cast<std::uint64_t>(budget) + 1;
+    WeightedStepper stepper(protocol, initial, weights);
+    return run_loop(stepper, protocol, options, "simulate_weighted");
 }
 
 }  // namespace popproto

@@ -5,6 +5,13 @@
 // applied.  Random pairing guarantees fairness with probability 1, so any
 // protocol that stably computes a predicate converges to the correct answer
 // along almost every run; the simulator additionally measures *when*.
+//
+// All engines (this file, batch_simulator.h, graphs/graph_simulation.h,
+// schedulers.h) share one run-loop kernel (core/run_loop.h) that owns every
+// piece of run policy: the interaction budget, the periodic silence check,
+// the stable-output window, observer dispatch, geometric-skip clamping at
+// snapshot boundaries, and deterministic checkpoint/resume.  The entry
+// points below only differ in how the next interaction is sampled.
 
 #ifndef POPPROTO_CORE_SIMULATOR_H
 #define POPPROTO_CORE_SIMULATOR_H
@@ -19,8 +26,23 @@
 
 namespace popproto {
 
+class CheckpointSink;
+struct RunCheckpoint;
+
 /// Which execution engine carries out a run on the complete graph.
+///
+/// Resolution contract (the historical footgun — direct `simulate` /
+/// `simulate_counts` calls silently ignoring the field — is gone): every
+/// entry point now *checks* the field.  `run_simulation` dispatches on it
+/// (`kAuto` selects the reference agent-array engine); the direct entry
+/// points accept `kAuto` (the default) or their own value and throw on a
+/// mismatch, so a RunOptions that asks for the batch engine can never be
+/// executed by the agent-array loop unnoticed.  Engines without an enum
+/// value (weighted, graph, scheduler) require `kAuto`.
 enum class SimulationEngine {
+    /// Defer to the call site: `run_simulation` picks `kAgentArray`, and
+    /// each direct entry point runs itself.
+    kAuto,
     /// Expanded agent array, one RNG draw per agent per interaction.  The
     /// reference implementation: O(n) memory, O(1) per interaction.
     kAgentArray,
@@ -34,6 +56,7 @@ enum class SimulationEngine {
 /// Knobs controlling a single simulated execution.
 struct RunOptions {
     /// Hard cap on interactions; the run reports `hit_budget` if reached.
+    /// 0 selects `default_budget(n)` for the population at hand.
     std::uint64_t max_interactions = 0;
 
     /// How often (in interactions) to test whether the configuration is
@@ -48,13 +71,12 @@ struct RunOptions {
     /// experiment at hand.
     std::uint64_t stop_after_stable_outputs = 0;
 
-    /// RNG seed for this run.
+    /// RNG seed for this run (ignored when `resume_from` is set: the
+    /// checkpoint carries the exact RNG stream position instead).
     std::uint64_t seed = 1;
 
-    /// Engine used by harnesses that dispatch through `run_simulation`
-    /// (batch_simulator.h), e.g. `measure_trials`.  Direct calls to
-    /// `simulate` / `simulate_counts` ignore this field.
-    SimulationEngine engine = SimulationEngine::kAgentArray;
+    /// Engine selection; see the SimulationEngine resolution contract.
+    SimulationEngine engine = SimulationEngine::kAuto;
 
     /// Run-trace instrumentation hook (core/observer.h); borrowed, may be
     /// nullptr (the default — costs one branch per interaction).  Observation
@@ -67,6 +89,27 @@ struct RunOptions {
     /// Interaction indices at which `observer->on_snapshot` fires (ignored
     /// without an observer).  Defaults to no snapshots.
     SnapshotSchedule snapshots;
+
+    /// If nonzero, deliver a deterministic RunCheckpoint (core/run_loop.h)
+    /// to `checkpoint_sink` at every multiple of this interaction count.
+    /// Checkpoints land *exactly* on the multiples — a boundary that falls
+    /// inside the batch engine's geometric null skip is materialized by
+    /// recording the not-yet-executed remainder of the skip — and never
+    /// perturb the RNG stream, so a checkpointed run's RunResult is
+    /// bit-identical to an unobserved one.  Requires `checkpoint_sink`.
+    std::uint64_t checkpoint_every = 0;
+
+    /// Receiver for the checkpoints above; borrowed, may be nullptr only
+    /// when `checkpoint_every` is 0.
+    CheckpointSink* checkpoint_sink = nullptr;
+
+    /// Resume a suspended run from this checkpoint (borrowed) instead of
+    /// starting fresh.  The checkpoint must come from the same engine,
+    /// protocol shape, and population; the initial configuration argument
+    /// of the entry point is only used for those validity checks.  A
+    /// suspend-at-k + resume pair is bit-identical to the uninterrupted
+    /// run on every engine.
+    const RunCheckpoint* resume_from = nullptr;
 };
 
 /// Why a run stopped.
@@ -97,12 +140,15 @@ struct RunResult {
 };
 
 /// Simulates `protocol` from `initial` under uniform random pairing.
-/// Requires a population of at least 2 agents.
+/// Requires a population of at least 2 agents and
+/// options.engine in {kAuto, kAgentArray}.
 RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& initial,
                    const RunOptions& options);
 
 /// A generous default interaction budget for experiments expecting
-/// Theta(n^2 log n) convergence: `factor * n^2 * (ln n + 1)`.
+/// Theta(n^2 log n) convergence: `factor * n^2 * (ln n + 1)`.  This is the
+/// budget a RunOptions with max_interactions == 0 resolves to
+/// (core/run_loop.h owns that plumbing).
 std::uint64_t default_budget(std::uint64_t population, double factor = 64.0);
 
 /// Weighted sampling (the Sect. 8 open direction): the ordered pair (i, j),
@@ -111,7 +157,8 @@ std::uint64_t default_budget(std::uint64_t population, double factor = 64.0);
 /// paper conjectures that reasonable weights do not change computational
 /// power; bench_weighted_sampling probes this empirically.  `initial` fixes
 /// per-agent states (weights are per agent, so agents are not anonymous
-/// here); all weights must be positive and finite.
+/// here); all weights must be positive and finite.  Requires
+/// options.engine == kAuto.
 RunResult simulate_weighted(const TabulatedProtocol& protocol,
                             const AgentConfiguration& initial,
                             const std::vector<double>& weights, const RunOptions& options);

@@ -1,10 +1,12 @@
 #include "graphs/graph_simulation.h"
 
-#include <chrono>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/require.h"
 #include "core/rng.h"
+#include "core/run_loop.h"
 
 namespace popproto {
 
@@ -29,6 +31,64 @@ const char* baton_name(Baton baton) {
     }
     return "?";
 }
+
+/// Uniform random edge activation on an explicit interaction graph.  Graph
+/// protocols generally never fall silent (group (d) swaps fire forever), so
+/// the stepper opts out of silence detection entirely.
+class GraphEdgeStepper {
+public:
+    static constexpr ObservedEngine kEngine = ObservedEngine::kGraph;
+    static constexpr SilenceMode kSilenceMode = SilenceMode::kNever;
+    static constexpr bool kGeometricSkips = false;
+
+    GraphEdgeStepper(const TabulatedProtocol& protocol, const InteractionGraph& graph,
+                     AgentConfiguration agents)
+        : protocol_(protocol), edges_(graph.edges()), agents_(std::move(agents)) {}
+
+    std::uint64_t population() const { return agents_.size(); }
+
+    bool is_silent() const { return false; }
+
+    std::uint64_t propose_skip(Rng&) { return 0; }
+
+    StepOutcome step(Rng& rng) {
+        const Edge& edge = edges_[rng.below(edges_.size())];
+        const State p = agents_.state(edge.first);
+        const State q = agents_.state(edge.second);
+        const StatePair next = protocol_.apply_fast(p, q);
+        StepOutcome outcome;
+        if (next.initiator != p || next.responder != q) {
+            outcome.changed = true;
+            outcome.output_changed =
+                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
+                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
+            agents_.set_state(edge.first, next.initiator);
+            agents_.set_state(edge.second, next.responder);
+        }
+        return outcome;
+    }
+
+    CountConfiguration counts() const { return agents_.to_counts(protocol_.num_states()); }
+
+    void save(RunCheckpoint& checkpoint) const { checkpoint.agent_states = agents_.states(); }
+
+    void restore(const RunCheckpoint& checkpoint) {
+        require(checkpoint.agent_states.size() == agents_.size(),
+                "simulate_on_graph: checkpoint agent count mismatch");
+        for (std::size_t i = 0; i < checkpoint.agent_states.size(); ++i) {
+            require(checkpoint.agent_states[i] < protocol_.num_states(),
+                    "simulate_on_graph: checkpoint state out of range");
+            agents_.set_state(i, checkpoint.agent_states[i]);
+        }
+    }
+
+    AgentConfiguration release_agents() { return std::move(agents_); }
+
+private:
+    const TabulatedProtocol& protocol_;
+    const std::vector<Edge>& edges_;
+    AgentConfiguration agents_;
+};
 
 }  // namespace
 
@@ -119,75 +179,18 @@ GraphRunResult simulate_on_graph(const TabulatedProtocol& protocol, const Intera
     require(inputs.size() == graph.num_agents(),
             "simulate_on_graph: one input per agent required");
     require(!graph.edges().empty(), "simulate_on_graph: graph has no edges");
-    require(options.max_interactions > 0, "simulate_on_graph: max_interactions must be positive");
+    require_engine_field(options, SimulationEngine::kAuto, "simulate_on_graph");
 
-    Rng rng(options.seed);
-    AgentConfiguration agents = AgentConfiguration::from_inputs(protocol, inputs);
-    const std::vector<Edge>& edges = graph.edges();
-
-    RunObserver* const observer = options.observer;
-    std::uint64_t next_snapshot =
-        observer ? options.snapshots.first_index() : SnapshotSchedule::kNever;
-    std::chrono::steady_clock::time_point wall_start;
-    if (observer) {
-        wall_start = std::chrono::steady_clock::now();
-        const CountConfiguration initial_counts = agents.to_counts(protocol.num_states());
-        RunStartInfo info;
-        info.engine = ObservedEngine::kGraph;
-        info.population = graph.num_agents();
-        info.num_states = protocol.num_states();
-        info.seed = options.seed;
-        info.max_interactions = options.max_interactions;
-        info.initial = &initial_counts;
-        info.protocol = &protocol;
-        observer->on_start(info);
-    }
+    GraphEdgeStepper stepper(protocol, graph, AgentConfiguration::from_inputs(protocol, inputs));
+    const RunResult run = run_loop(stepper, protocol, options, "simulate_on_graph");
 
     GraphRunResult result;
-    while (result.interactions < options.max_interactions) {
-        const Edge& edge = edges[rng.below(edges.size())];
-        ++result.interactions;
-
-        const State p = agents.state(edge.first);
-        const State q = agents.state(edge.second);
-        const StatePair next = protocol.apply_fast(p, q);
-        if (next.initiator != p || next.responder != q) {
-            ++result.effective_interactions;
-            if (protocol.output_fast(next.initiator) != protocol.output_fast(p) ||
-                protocol.output_fast(next.responder) != protocol.output_fast(q)) {
-                result.last_output_change = result.interactions;
-                if (observer) observer->on_output_change(result.interactions);
-            }
-            agents.set_state(edge.first, next.initiator);
-            agents.set_state(edge.second, next.responder);
-        }
-
-        if (result.interactions >= next_snapshot) {
-            observer->on_snapshot(result.interactions, agents.to_counts(protocol.num_states()));
-            next_snapshot = options.snapshots.next_after(result.interactions);
-        }
-
-        if (options.stop_after_stable_outputs != 0 && result.last_output_change != 0 &&
-            result.interactions - result.last_output_change >=
-                options.stop_after_stable_outputs) {
-            result.stop_reason = StopReason::kStableOutputs;
-            break;
-        }
-    }
-
-    result.consensus =
-        agents.to_counts(protocol.num_states()).consensus_output(protocol);
-    if (observer) {
-        // Observers consume the engine-independent RunResult shape; graph
-        // runs collapse their per-agent endpoint to the state multiset.
-        RunResult run_result{agents.to_counts(protocol.num_states()), result.stop_reason,
-                             result.interactions, result.effective_interactions,
-                             result.last_output_change, result.consensus};
-        const double wall =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-        observer->on_stop(run_result, wall);
-    }
-    result.final_configuration = std::move(agents);
+    result.final_configuration = stepper.release_agents();
+    result.stop_reason = run.stop_reason;
+    result.interactions = run.interactions;
+    result.effective_interactions = run.effective_interactions;
+    result.last_output_change = run.last_output_change;
+    result.consensus = run.consensus;
     return result;
 }
 

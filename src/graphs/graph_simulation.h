@@ -51,8 +51,11 @@ struct GraphRunResult {
 /// Runs `protocol` from per-agent `inputs` on `graph`, activating a uniformly
 /// random edge at each step.  Graph protocols generally never become silent
 /// (group (d) swaps fire forever), so termination relies on
-/// options.stop_after_stable_outputs and options.max_interactions; the
-/// silence-related options are ignored.
+/// options.stop_after_stable_outputs and options.max_interactions (0 resolves
+/// to default_budget(n), like every engine); the silence-related options are
+/// ignored.  Runs on the shared run-loop kernel (core/run_loop.h), so
+/// checkpoint/resume and observers work exactly as on the complete-graph
+/// engines.  Requires options.engine == kAuto.
 GraphRunResult simulate_on_graph(const TabulatedProtocol& protocol,
                                  const InteractionGraph& graph,
                                  const std::vector<Symbol>& inputs, const RunOptions& options);

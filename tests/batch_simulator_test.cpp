@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/batch_simulator.h"
@@ -200,22 +201,32 @@ TEST(BatchSimulator, RunSimulationDispatchesOnEngine) {
     options.seed = 4;
     options.engine = SimulationEngine::kCountBatch;
     const RunResult batch = run_simulation(*protocol, initial, options);
+    // Same seed, same engine => identical to the direct entry point.
+    const RunResult direct_batch = simulate_counts(*protocol, initial, options);
     options.engine = SimulationEngine::kAgentArray;
     const RunResult reference = run_simulation(*protocol, initial, options);
-    // Same seed, same engine => identical to the direct entry points.
-    const RunResult direct_batch = simulate_counts(*protocol, initial, options);
     const RunResult direct_reference = simulate(*protocol, initial, options);
     EXPECT_EQ(batch.interactions, direct_batch.interactions);
     EXPECT_EQ(reference.interactions, direct_reference.interactions);
     EXPECT_EQ(batch.final_configuration, direct_batch.final_configuration);
+    // The historical footgun is closed: a direct entry point refuses a
+    // RunOptions that names the *other* engine instead of silently running.
+    EXPECT_THROW(simulate_counts(*protocol, initial, options), std::invalid_argument);
+    options.engine = SimulationEngine::kCountBatch;
+    EXPECT_THROW(simulate(*protocol, initial, options), std::invalid_argument);
+    options.engine = SimulationEngine::kAuto;
+    EXPECT_NO_THROW(simulate_counts(*protocol, initial, options));
+    EXPECT_NO_THROW(simulate(*protocol, initial, options));
 }
 
 TEST(BatchSimulator, Validation) {
     const auto protocol = make_counting_protocol(3);
     const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 5});
     RunOptions options;
+    // max_interactions == 0 resolves to default_budget(n) instead of being
+    // rejected; the counting protocol falls silent well inside that budget.
     options.max_interactions = 0;
-    EXPECT_THROW(simulate_counts(*protocol, initial, options), std::invalid_argument);
+    EXPECT_EQ(simulate_counts(*protocol, initial, options).stop_reason, StopReason::kSilent);
     options.max_interactions = 100;
     CountConfiguration lonely(protocol->num_states());
     lonely.add(0, 1);

@@ -292,12 +292,18 @@ TEST(Simulator, DeterministicGivenSeed) {
 TEST(Simulator, RequiresSaneOptions) {
     const auto protocol = make_counting_protocol(2);
     const auto initial = CountConfiguration::from_input_counts(*protocol, {1, 1});
-    RunOptions options;  // max_interactions == 0
-    EXPECT_THROW(simulate(*protocol, initial, options), std::invalid_argument);
+    RunOptions options;  // max_interactions == 0 -> default_budget(n)
+    const RunResult result = simulate(*protocol, initial, options);
+    EXPECT_LE(result.interactions, default_budget(2));
 
     const auto lonely = CountConfiguration::from_input_counts(*protocol, {1, 0});
     options.max_interactions = 10;
     EXPECT_THROW(simulate(*protocol, lonely, options), std::invalid_argument);
+
+    // Engine-field consistency: a direct entry point refuses an options
+    // struct meant for a different engine instead of silently running.
+    options.engine = SimulationEngine::kCountBatch;
+    EXPECT_THROW(simulate(*protocol, initial, options), std::invalid_argument);
 }
 
 TEST(Simulator, DefaultBudgetGrowsSuperlinearly) {

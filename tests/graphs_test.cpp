@@ -261,8 +261,17 @@ TEST(GraphSimulation, RunnerValidatesArguments) {
     RunOptions options;
     options.max_interactions = 100;
     EXPECT_THROW(simulate_on_graph(*sim, graph, {0, 0}, options), std::invalid_argument);
+    // max_interactions == 0 resolves to default_budget(n); graph protocols
+    // never fall silent, so the run uses the whole resolved budget.
     RunOptions no_budget;
-    EXPECT_THROW(simulate_on_graph(*sim, graph, {0, 0, 0, 0}, no_budget),
+    const GraphRunResult result = simulate_on_graph(*sim, graph, {0, 0, 0, 0}, no_budget);
+    EXPECT_EQ(result.stop_reason, StopReason::kBudget);
+    EXPECT_EQ(result.interactions, default_budget(4));
+    // Engine-field consistency: graph runs have no SimulationEngine value
+    // and require kAuto.
+    RunOptions wrong_engine;
+    wrong_engine.engine = SimulationEngine::kCountBatch;
+    EXPECT_THROW(simulate_on_graph(*sim, graph, {0, 0, 0, 0}, wrong_engine),
                  std::invalid_argument);
 }
 

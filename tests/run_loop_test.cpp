@@ -1,0 +1,339 @@
+// The shared run-loop kernel (core/run_loop.h): RNG stream save/restore,
+// checkpoint serialization, and the headline guarantee — suspending a run at
+// a checkpoint and resuming it is bit-identical to the uninterrupted run on
+// every engine, including cuts inside the batch engine's geometric null
+// skips and cuts landing exactly on snapshot boundaries.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/batch_simulator.h"
+#include "core/rng.h"
+#include "core/run_loop.h"
+#include "core/schedulers.h"
+#include "core/simulator.h"
+#include "graphs/graph_simulation.h"
+#include "graphs/interaction_graph.h"
+#include "protocols/counting.h"
+#include "protocols/epidemic.h"
+
+namespace popproto {
+namespace {
+
+TEST(RngState, SaveRestoreReproducesStreamBitForBit) {
+    Rng rng(42);
+    for (int i = 0; i < 100; ++i) rng();  // advance to an arbitrary position
+
+    const Rng::StreamState state = rng.save_state();
+    std::vector<std::uint64_t> raw, bounded, skips;
+    std::vector<double> uniforms;
+    for (int i = 0; i < 50; ++i) {
+        raw.push_back(rng());
+        bounded.push_back(rng.below(977));
+        uniforms.push_back(rng.uniform01());
+        skips.push_back(rng.geometric_skips(0.01));
+    }
+
+    rng.restore_state(state);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(rng(), raw[i]) << i;
+        EXPECT_EQ(rng.below(977), bounded[i]) << i;
+        EXPECT_EQ(rng.uniform01(), uniforms[i]) << i;
+        EXPECT_EQ(rng.geometric_skips(0.01), skips[i]) << i;
+    }
+
+    // Restoring into a *different* generator works just as well.
+    Rng other(7);
+    other.restore_state(state);
+    EXPECT_EQ(other(), raw[0]);
+}
+
+TEST(RngState, AllZeroStateIsNudgedToAValidOne) {
+    Rng rng(1);
+    rng.restore_state(Rng::StreamState{});  // corrupt checkpoint: all zeros
+    // xoshiro256** is stuck at zero forever from the all-zero state; the
+    // nudge must make the generator produce varying output again.
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    EXPECT_TRUE(a != 0 || b != 0);
+}
+
+TEST(RunCheckpointIO, CountPayloadRoundTrips) {
+    RunCheckpoint checkpoint;
+    checkpoint.engine = ObservedEngine::kCountBatch;
+    checkpoint.population = 1000;
+    checkpoint.num_states = 3;
+    checkpoint.rng.words = {1, 2, 0xffffffffffffffffULL, 4};
+    checkpoint.interactions = 123456;
+    checkpoint.effective_interactions = 789;
+    checkpoint.last_output_change = 100000;
+    checkpoint.next_silence_check = 130000;
+    checkpoint.changed_since_silence_check = false;
+    checkpoint.has_pending_skip = true;
+    checkpoint.pending_null_skips = 4242;
+    checkpoint.counts = {998, 0, 2};
+
+    EXPECT_EQ(checkpoint_from_string(checkpoint_to_string(checkpoint)), checkpoint);
+}
+
+TEST(RunCheckpointIO, AgentPayloadRoundTrips) {
+    RunCheckpoint checkpoint;
+    checkpoint.engine = ObservedEngine::kGraph;
+    checkpoint.population = 5;
+    checkpoint.num_states = 8;
+    checkpoint.rng.words = {9, 8, 7, 6};
+    checkpoint.interactions = 17;
+    checkpoint.agent_states = {0, 3, 7, 7, 1};
+
+    EXPECT_EQ(checkpoint_from_string(checkpoint_to_string(checkpoint)), checkpoint);
+}
+
+TEST(RunCheckpointIO, RejectsMalformedInput) {
+    EXPECT_THROW(checkpoint_from_string(""), std::invalid_argument);
+    EXPECT_THROW(checkpoint_from_string("not a checkpoint"), std::invalid_argument);
+    EXPECT_THROW(checkpoint_from_string("popproto-checkpoint v999\n"), std::invalid_argument);
+
+    RunCheckpoint checkpoint;
+    checkpoint.counts = {2, 3};
+    std::string text = checkpoint_to_string(checkpoint);
+    text.resize(text.size() / 2);  // truncated file
+    EXPECT_THROW(checkpoint_from_string(text), std::invalid_argument);
+}
+
+/// Collects every checkpoint a run emits.
+class CollectingSink final : public CheckpointSink {
+public:
+    void on_checkpoint(const RunCheckpoint& checkpoint) override {
+        checkpoints.push_back(checkpoint);
+    }
+    std::vector<RunCheckpoint> checkpoints;
+};
+
+/// Records the snapshot trace (index, configuration) of a run.
+class TraceObserver final : public RunObserver {
+public:
+    void on_snapshot(std::uint64_t interaction_index,
+                     const CountConfiguration& configuration) override {
+        snapshots.emplace_back(interaction_index, configuration);
+    }
+    std::vector<std::pair<std::uint64_t, CountConfiguration>> snapshots;
+};
+
+void expect_same_run(const RunResult& actual, const RunResult& expected) {
+    EXPECT_EQ(actual.stop_reason, expected.stop_reason);
+    EXPECT_EQ(actual.interactions, expected.interactions);
+    EXPECT_EQ(actual.effective_interactions, expected.effective_interactions);
+    EXPECT_EQ(actual.last_output_change, expected.last_output_change);
+    EXPECT_EQ(actual.final_configuration, expected.final_configuration);
+    EXPECT_EQ(actual.consensus, expected.consensus);
+}
+
+/// Shared bit-identity harness: runs `run` once uninterrupted, once with
+/// checkpointing (must not perturb the result), then resumes from every
+/// collected checkpoint and demands the identical RunResult each time.
+/// Returns the collected checkpoints for engine-specific assertions.
+template <typename RunFn>
+std::vector<RunCheckpoint> check_resume_bit_identity(RunFn&& run, RunOptions options,
+                                                     std::uint64_t checkpoint_every) {
+    const RunResult baseline = run(options);
+
+    CollectingSink sink;
+    options.checkpoint_every = checkpoint_every;
+    options.checkpoint_sink = &sink;
+    const RunResult checkpointed = run(options);
+    expect_same_run(checkpointed, baseline);
+    EXPECT_FALSE(sink.checkpoints.empty());
+
+    options.checkpoint_every = 0;
+    options.checkpoint_sink = nullptr;
+    for (const RunCheckpoint& checkpoint : sink.checkpoints) {
+        // Serialization must not lose precision either: resume from the
+        // text round-trip of the checkpoint, exactly as a CLI would.
+        const RunCheckpoint reloaded =
+            checkpoint_from_string(checkpoint_to_string(checkpoint));
+        options.resume_from = &reloaded;
+        expect_same_run(run(options), baseline);
+    }
+    return sink.checkpoints;
+}
+
+TEST(CheckpointResume, BitIdenticalOnAgentArray) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {40, 8});
+    RunOptions options;
+    options.seed = 11;
+    check_resume_bit_identity(
+        [&](const RunOptions& opts) { return simulate(*protocol, initial, opts); }, options,
+        /*checkpoint_every=*/97);  // coprime to everything: cuts land mid-everything
+}
+
+TEST(CheckpointResume, BitIdenticalOnCountBatchInsideNullSkips) {
+    // Two token holders among 1000 agents: almost every interaction is null,
+    // so the checkpoint boundaries overwhelmingly fall *inside* geometric
+    // jumps and must materialize the pending remainder exactly.
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {998, 2});
+    RunOptions options;
+    options.seed = 3;
+    const auto checkpoints = check_resume_bit_identity(
+        [&](const RunOptions& opts) { return simulate_counts(*protocol, initial, opts); },
+        options, /*checkpoint_every=*/10000);
+
+    bool any_pending = false;
+    for (const RunCheckpoint& checkpoint : checkpoints)
+        any_pending = any_pending || checkpoint.has_pending_skip;
+    EXPECT_TRUE(any_pending) << "no cut landed inside a geometric null skip";
+}
+
+TEST(CheckpointResume, BitIdenticalOnWeighted) {
+    const auto protocol = make_counting_protocol(3);
+    std::vector<Symbol> inputs(30, 0);
+    for (int i = 0; i < 6; ++i) inputs[i * 5] = 1;
+    const auto initial = AgentConfiguration::from_inputs(*protocol, inputs);
+    std::vector<double> weights(inputs.size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        weights[i] = 1.0 + static_cast<double>(i % 7);
+    RunOptions options;
+    options.seed = 5;
+    check_resume_bit_identity(
+        [&](const RunOptions& opts) {
+            return simulate_weighted(*protocol, initial, weights, opts);
+        },
+        options, /*checkpoint_every=*/113);
+}
+
+TEST(CheckpointResume, BitIdenticalOnGraph) {
+    const auto base = make_counting_protocol(2);
+    const auto protocol = make_graph_simulation_protocol(*base);
+    const InteractionGraph graph = InteractionGraph::ring(12);
+    const std::vector<Symbol> inputs(12, 1);
+    RunOptions options;
+    options.seed = 17;
+    options.max_interactions = 5000;  // graph runs never fall silent
+
+    // The graph entry point returns per-agent state, which the RunResult
+    // comparison cannot see; compare it through the checkpoint-shaped lens.
+    std::vector<State> baseline_states;
+    const auto run = [&](const RunOptions& opts) {
+        GraphRunResult graph_result = simulate_on_graph(*protocol, graph, inputs, opts);
+        if (opts.resume_from == nullptr && opts.checkpoint_sink == nullptr)
+            baseline_states = graph_result.final_configuration.states();
+        else
+            EXPECT_EQ(graph_result.final_configuration.states(), baseline_states);
+        return RunResult{graph_result.final_configuration.to_counts(protocol->num_states()),
+                         graph_result.stop_reason, graph_result.interactions,
+                         graph_result.effective_interactions, graph_result.last_output_change,
+                         graph_result.consensus};
+    };
+    check_resume_bit_identity(run, options, /*checkpoint_every=*/333);
+}
+
+TEST(CheckpointResume, CutExactlyOnSnapshotBoundaryPreservesTrace) {
+    // checkpoint_every is a multiple of the snapshot period, so every cut
+    // lands exactly on a snapshot boundary.  The boundary snapshot belongs
+    // to the suspended prefix; the resumed run must emit exactly the
+    // remaining suffix of the uninterrupted trace.
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {40, 8});
+    RunOptions options;
+    options.seed = 23;
+    options.snapshots = SnapshotSchedule::every(64);
+
+    TraceObserver uninterrupted;
+    options.observer = &uninterrupted;
+    const RunResult baseline = simulate(*protocol, initial, options);
+
+    CollectingSink sink;
+    TraceObserver checkpointed_trace;
+    options.observer = &checkpointed_trace;
+    options.checkpoint_every = 256;
+    options.checkpoint_sink = &sink;
+    expect_same_run(simulate(*protocol, initial, options), baseline);
+    EXPECT_EQ(checkpointed_trace.snapshots, uninterrupted.snapshots);
+    ASSERT_FALSE(sink.checkpoints.empty());
+
+    options.checkpoint_every = 0;
+    options.checkpoint_sink = nullptr;
+    for (const RunCheckpoint& checkpoint : sink.checkpoints) {
+        EXPECT_EQ(checkpoint.interactions % 256, 0u);
+        TraceObserver resumed_trace;
+        options.observer = &resumed_trace;
+        options.resume_from = &checkpoint;
+        expect_same_run(simulate(*protocol, initial, options), baseline);
+
+        // prefix (<= cut) + resumed == uninterrupted, with no boundary
+        // snapshot duplicated or dropped.
+        std::vector<std::pair<std::uint64_t, CountConfiguration>> stitched;
+        for (const auto& snapshot : uninterrupted.snapshots)
+            if (snapshot.first <= checkpoint.interactions) stitched.push_back(snapshot);
+        stitched.insert(stitched.end(), resumed_trace.snapshots.begin(),
+                        resumed_trace.snapshots.end());
+        EXPECT_EQ(stitched, uninterrupted.snapshots) << "cut at " << checkpoint.interactions;
+    }
+}
+
+TEST(CheckpointResume, ValidatesCheckpointAgainstTheRun) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 2});
+    RunOptions options;
+    options.seed = 2;
+
+    CollectingSink sink;
+    options.checkpoint_every = 50;
+    options.checkpoint_sink = &sink;
+    simulate(*protocol, initial, options);
+    ASSERT_FALSE(sink.checkpoints.empty());
+    const RunCheckpoint checkpoint = sink.checkpoints.front();
+
+    options.checkpoint_every = 0;
+    options.checkpoint_sink = nullptr;
+    options.resume_from = &checkpoint;
+    // Wrong engine: an agent-array checkpoint cannot resume the batch engine.
+    EXPECT_THROW(simulate_counts(*protocol, initial, options), std::invalid_argument);
+    // Wrong population.
+    const auto larger = CountConfiguration::from_input_counts(*protocol, {20, 2});
+    EXPECT_THROW(simulate(*protocol, larger, options), std::invalid_argument);
+    // Budget below the cut.
+    options.max_interactions = checkpoint.interactions - 1;
+    EXPECT_THROW(simulate(*protocol, initial, options), std::invalid_argument);
+    options.max_interactions = 0;
+    EXPECT_NO_THROW(simulate(*protocol, initial, options));
+
+    // checkpoint_every without a sink is rejected up front.
+    RunOptions no_sink;
+    no_sink.checkpoint_every = 10;
+    EXPECT_THROW(simulate(*protocol, initial, no_sink), std::invalid_argument);
+}
+
+TEST(CheckpointResume, SchedulerEngineRejectsCheckpointing) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial =
+        AgentConfiguration::from_inputs(*protocol, std::vector<Symbol>{1, 1, 0, 0});
+    RoundRobinScheduler scheduler(4);
+    CollectingSink sink;
+    RunOptions options;
+    options.max_interactions = 100;
+    options.checkpoint_every = 10;
+    options.checkpoint_sink = &sink;
+    EXPECT_THROW(simulate_with_scheduler(*protocol, initial, scheduler, options),
+                 std::invalid_argument);
+}
+
+TEST(RunLoop, ResolvesZeroBudgetAndPeriodDefaults) {
+    RunOptions options;  // both 0
+    EXPECT_EQ(resolved_budget(options, 100), default_budget(100));
+    EXPECT_EQ(resolved_silence_check_period(options, 100), 1024u);
+    EXPECT_EQ(resolved_silence_check_period(options, 1000), 4000u);
+    options.max_interactions = 7;
+    options.silence_check_period = 9;
+    EXPECT_EQ(resolved_budget(options, 100), 7u);
+    EXPECT_EQ(resolved_silence_check_period(options, 100), 9u);
+}
+
+}  // namespace
+}  // namespace popproto
