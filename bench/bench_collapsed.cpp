@@ -1,0 +1,124 @@
+// Head-to-head of the collapsed super-step engine against the count-based
+// batch engine (google-benchmark; the engine-selection evidence behind
+// kAutoCollapsedThreshold in core/simulator.h).
+//
+// The two engines divide the workload space along the effective fraction:
+//
+//  * Dense phases — here the epidemic transient started at half infected,
+//    where roughly half of all ordered pairs change the multiset — give the
+//    batch engine nothing to skip: it pays O(|Q|) per effective interaction,
+//    ~30 ns/interaction at every n.  The collapsed engine instead executes a
+//    maximal collision-free run of ~0.63 sqrt(n) interactions per O(|Q|^2)
+//    super-step, so its per-interaction cost *falls* like 1/sqrt(n): ~parity
+//    at n = 2^10, >= 10x at n = 2^20, and growing through 2^24 (the
+//    Theorem 8 scaling regime EXPERIMENTS.md sweeps).
+//  * Sparse phases — the paper's 7-fevered-birds scenario — are the batch
+//    engine's home turf: almost every interaction is null and geometric
+//    jumps cost O(1) per *run* of nulls, which no super-step can beat.  The
+//    sparse pair below documents that regime and is why kAuto keeps the
+//    batch engine below the collapsed threshold.
+//
+// The budget for the dense sweep is n interactions, keeping every run deep
+// inside the transient (full infection needs ~n ln n), so the effective
+// fraction stays high for the whole measured window at every size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/batch_simulator.h"
+#include "core/collapsed_simulator.h"
+#include "core/simulator.h"
+#include "protocols/counting.h"
+#include "protocols/epidemic.h"
+
+namespace {
+
+using namespace popproto;
+
+template <typename Engine>
+void run_epidemic_transient(benchmark::State& state, Engine&& engine) {
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {n / 2, n - n / 2});
+    std::uint64_t seed = 1;
+    std::uint64_t interactions = 0;
+    std::uint64_t effective = 0;
+    for (auto _ : state) {
+        RunOptions options;
+        options.max_interactions = n;  // stay inside the dense transient
+        options.seed = ++seed;
+        const RunResult result = engine(*protocol, initial, options);
+        interactions += result.interactions;
+        effective += result.effective_interactions;
+        benchmark::DoNotOptimize(result.interactions);
+    }
+    state.counters["interactions/s"] = benchmark::Counter(
+        static_cast<double>(interactions), benchmark::Counter::kIsRate);
+    state.counters["effective/s"] = benchmark::Counter(
+        static_cast<double>(effective), benchmark::Counter::kIsRate);
+}
+
+const auto kBatchEngine = [](const TabulatedProtocol& p, const CountConfiguration& c,
+                             const RunOptions& o) { return simulate_counts(p, c, o); };
+const auto kCollapsedEngine = [](const TabulatedProtocol& p, const CountConfiguration& c,
+                                 const RunOptions& o) { return simulate_collapsed(p, c, o); };
+
+void BM_EpidemicDenseCountBatch(benchmark::State& state) {
+    run_epidemic_transient(state, kBatchEngine);
+}
+BENCHMARK(BM_EpidemicDenseCountBatch)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20)
+    ->Arg(1 << 24);
+
+void BM_EpidemicDenseCollapsed(benchmark::State& state) {
+    run_epidemic_transient(state, kCollapsedEngine);
+}
+BENCHMARK(BM_EpidemicDenseCollapsed)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20)
+    ->Arg(1 << 24);
+
+// The sparse contrast: 7 fevered birds among 2^20, a fixed 4M-interaction
+// budget (the bench_throughput sparse workload).  Almost every interaction
+// is null; the batch engine jumps whole null runs while the collapsed
+// engine still pays one super-step per ~sqrt(n) interactions, so the batch
+// engine stays ahead here — the reason kAuto keeps it below
+// kAutoCollapsedThreshold.
+template <typename Engine>
+void run_sparse_counting(benchmark::State& state, Engine&& engine) {
+    const std::uint64_t n = std::uint64_t{1} << 20;
+    const auto protocol = make_counting_protocol(5);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {n - 7, 7});
+    std::uint64_t seed = 1;
+    std::uint64_t interactions = 0;
+    for (auto _ : state) {
+        RunOptions options;
+        options.max_interactions = 4'000'000;
+        options.seed = ++seed;
+        const RunResult result = engine(*protocol, initial, options);
+        interactions += result.interactions;
+        benchmark::DoNotOptimize(result.interactions);
+    }
+    state.counters["interactions/s"] = benchmark::Counter(
+        static_cast<double>(interactions), benchmark::Counter::kIsRate);
+}
+
+void BM_SparseCountingCountBatch(benchmark::State& state) {
+    run_sparse_counting(state, kBatchEngine);
+}
+BENCHMARK(BM_SparseCountingCountBatch);
+
+void BM_SparseCountingCollapsed(benchmark::State& state) {
+    run_sparse_counting(state, kCollapsedEngine);
+}
+BENCHMARK(BM_SparseCountingCollapsed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

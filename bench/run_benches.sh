@@ -11,13 +11,13 @@
 # JSON under <build-dir>/bench/smoke/ instead of the repository root, so a
 # CI pass can prove the binaries run without clobbering recorded numbers.
 #
-# --compare runs a fresh smoke pass of bench_throughput and diffs its
-# per-benchmark real_time against the committed BENCH_bench_throughput.json
-# at the repository root, failing when any benchmark regresses by more than
-# 15% — the perf gate for run-loop/engine refactors (wired into
-# scripts/ci.sh).  Both sides are reduced to the per-benchmark MINIMUM over
-# repetitions, so refresh the committed throughput baseline with the same
-# protocol the gate uses:
+# --compare runs a fresh short pass of the engine suites (bench_throughput
+# and bench_collapsed) and diffs their per-benchmark real_time against the
+# committed BENCH_<name>.json baselines at the repository root, failing when
+# any benchmark regresses by more than 15% — the perf gate for
+# run-loop/engine refactors (wired into scripts/ci.sh).  Both sides are
+# reduced to the per-benchmark MINIMUM over repetitions, so refresh a
+# committed baseline with the same protocol the gate uses:
 #
 #   build/bench/bench_throughput --benchmark_format=json \
 #       --benchmark_min_time=0.05 --benchmark_repetitions=5 \
@@ -45,12 +45,12 @@ shift || true
 
 # The google-benchmark suites (the remaining bench_* binaries are
 # experiment tables with their own output formats).
-GBENCH_TARGETS=(bench_throughput bench_observe bench_meanfield)
+GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_meanfield)
 if (( COMPARE )); then
     # The perf gate only judges the simulation engines themselves; the
     # observe/meanfield suites are not throughput-critical and too noisy at
     # smoke iteration counts.
-    GBENCH_TARGETS=(bench_throughput)
+    GBENCH_TARGETS=(bench_throughput bench_collapsed)
 fi
 
 # Check every target up front and report the complete list of missing
@@ -92,12 +92,14 @@ for name in "${GBENCH_TARGETS[@]}"; do
 done
 
 if (( COMPARE )); then
-    baseline="$ROOT/BENCH_bench_throughput.json"
-    fresh="$OUT_DIR/BENCH_bench_throughput.json"
+  for name in "${GBENCH_TARGETS[@]}"; do
+    baseline="$ROOT/BENCH_${name}.json"
+    fresh="$OUT_DIR/BENCH_${name}.json"
     if [[ ! -f "$baseline" ]]; then
         echo "error: no committed baseline at $baseline" >&2
         exit 1
     fi
+    echo "== $name vs committed baseline =="
     python3 - "$baseline" "$fresh" <<'EOF'
 import json
 import sys
@@ -143,4 +145,5 @@ if regressions:
     sys.exit(1)
 print(f"\nOK: all benchmarks within {THRESHOLD:.0%} of the committed baseline")
 EOF
+  done
 fi

@@ -1,7 +1,7 @@
 // trace_run: stream one simulated run as JSONL for plotting.
 //
 // Runs a built-in protocol — or any protocol compiled from a
-// quantifier-free Presburger predicate — under any of the four engines with
+// quantifier-free Presburger predicate — under any of the five engines with
 // a snapshot schedule and writes the trace to stdout, one JSON object per
 // line — pipe it into jq/python for trajectory plots (README.md shows a
 // matplotlib one-liner).  Long runs can be suspended and resumed: with
@@ -23,9 +23,11 @@
 //                replaces --n/--ones for multi-variable predicates
 //   --seed S     RNG seed                             (default 1)
 //   --budget B   max interactions                     (default: default_budget(n))
-//   --engine E   batch (default) | agent | weighted | graph
-//                (weighted runs with unit weights; graph activates uniform
-//                random edges of --graph and never falls silent)
+//   --engine E   batch (default) | collapsed | agent | weighted | graph
+//                (collapsed batches ~sqrt(n) interactions per super-step —
+//                prefer it at n >= 2^20; weighted runs with unit weights;
+//                graph activates uniform random edges of --graph and never
+//                falls silent)
 //   --graph G    complete | ring | line | star        (default ring;
 //                only with --engine graph)
 //   --every P    fixed snapshot period                (default: n / 4)
@@ -55,6 +57,7 @@
 #include <vector>
 
 #include "core/batch_simulator.h"
+#include "core/collapsed_simulator.h"
 #include "core/observer.h"
 #include "core/run_loop.h"
 #include "core/simulator.h"
@@ -77,7 +80,7 @@ using namespace popproto;
     std::fprintf(stderr,
                  "usage: trace_run [epidemic|counting|majority] [--predicate F] [--n N]\n"
                  "                 [--ones K] [--counts C0,C1,...] [--seed S] [--budget B]\n"
-                 "                 [--engine batch|agent|weighted|graph]\n"
+                 "                 [--engine batch|collapsed|agent|weighted|graph]\n"
                  "                 [--graph complete|ring|line|star] [--every P | --log F]\n"
                  "                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                  "                 [--no-counts] [--metrics]\n");
@@ -193,10 +196,11 @@ int main(int argc, char** argv) {
             log_factor = parse_double(arg, next());
         } else if (std::strcmp(arg, "--engine") == 0) {
             engine_name = next();
-            if (engine_name != "batch" && engine_name != "agent" &&
-                engine_name != "weighted" && engine_name != "graph")
-                usage_error("--engine: expected batch, agent, weighted, or graph, got " +
-                            engine_name);
+            if (engine_name != "batch" && engine_name != "collapsed" &&
+                engine_name != "agent" && engine_name != "weighted" &&
+                engine_name != "graph")
+                usage_error("--engine: expected batch, collapsed, agent, weighted, or graph, "
+                            "got " + engine_name);
         } else if (std::strcmp(arg, "--graph") == 0) {
             graph_name = next();
         } else if (std::strcmp(arg, "--checkpoint") == 0) {
@@ -273,6 +277,7 @@ int main(int argc, char** argv) {
         switch (resume_checkpoint.engine) {
             case ObservedEngine::kAgentArray: file_engine = "agent"; break;
             case ObservedEngine::kCountBatch: file_engine = "batch"; break;
+            case ObservedEngine::kCollapsed: file_engine = "collapsed"; break;
             case ObservedEngine::kWeighted: file_engine = "weighted"; break;
             case ObservedEngine::kGraph: file_engine = "graph"; break;
             case ObservedEngine::kScheduler:
@@ -316,6 +321,8 @@ int main(int argc, char** argv) {
                      std::nullopt};
     if (engine_name == "batch") {
         result = simulate_counts(*protocol, initial, options);
+    } else if (engine_name == "collapsed") {
+        result = simulate_collapsed(*protocol, initial, options);
     } else if (engine_name == "agent") {
         result = simulate(*protocol, initial, options);
     } else if (engine_name == "weighted") {

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/collapsed_simulator.h"
+#include "core/effect_tables.h"
 #include "core/require.h"
 #include "core/rng.h"
 #include "core/run_loop.h"
@@ -10,27 +12,6 @@
 namespace popproto {
 
 namespace {
-
-/// Precomputed per-protocol classification of ordered state pairs.
-///
-/// eff_row[p * Q + q] is 1 iff delta(p, q) changes the multiset {p, q}
-/// (identities and swaps are null); eff_col is its transpose so that the
-/// rowdot update for one changed state reads a contiguous column.
-struct EffectTables {
-    std::vector<std::uint8_t> eff_row;
-    std::vector<std::uint8_t> eff_col;
-    std::size_t num_states;
-
-    explicit EffectTables(const TabulatedProtocol& protocol)
-        : eff_row(protocol.num_states() * protocol.num_states(), 0),
-          eff_col(protocol.num_states() * protocol.num_states(), 0),
-          num_states(protocol.num_states()) {
-        for (const EffectiveTransition& t : protocol.effective_transitions()) {
-            eff_row[static_cast<std::size_t>(t.initiator) * num_states + t.responder] = 1;
-            eff_col[static_cast<std::size_t>(t.responder) * num_states + t.initiator] = 1;
-        }
-    }
-};
 
 /// The count-based multiset sampler (batch_simulator.h): pairs are drawn
 /// from the count vector, runs of null interactions are proposed as exact
@@ -40,6 +21,7 @@ public:
     static constexpr ObservedEngine kEngine = ObservedEngine::kCountBatch;
     static constexpr SilenceMode kSilenceMode = SilenceMode::kExact;
     static constexpr bool kGeometricSkips = true;
+    static constexpr bool kSuperSteps = false;
 
     CountBatchStepper(const TabulatedProtocol& protocol, const CountConfiguration& initial)
         : protocol_(protocol),
@@ -108,7 +90,6 @@ public:
         adjust_count(q, -1);
         adjust_count(next.initiator, +1);
         adjust_count(next.responder, +1);
-        W_ = total_effective_pairs();
         return outcome;
     }
 
@@ -145,13 +126,40 @@ private:
         return w;
     }
 
-    /// Applies `delta` to the count of state s and keeps rowdot consistent.
+    /// Applies `delta` to the count of state s and keeps rowdot *and W_*
+    /// consistent.  W changes only through the rows the column touches, so
+    /// maintaining it here is O(|Q|) per changed state instead of the O(|Q|)
+    /// full resummation per *step* that total_effective_pairs() would cost
+    /// — step() touches at most 4 states, most of whose columns are sparse.
+    ///
+    /// With c = counts_[s], R = rowdot_[s], e = eff[s][s] all read *before*
+    /// the update, and colsum = sum_p counts_[p] * eff[p][s] (also pre-
+    /// update), the exact integer delta is
+    ///
+    ///   dW = delta * (colsum - c * e)      (rows p != s: c_p * eff[p][s])
+    ///      + delta * (R - e)              (row s: its weight gains delta
+    ///      + delta * e * (c + delta)       copies of the old row sum, and
+    ///                                      the diagonal term re-enters with
+    ///                                      the new count)
+    ///
+    /// |dW| <= 4n, so the int64 arithmetic is exact; W itself can exceed
+    /// int64 (W <= n(n-1) with n < 2^32), so the signed delta is applied to
+    /// the uint64 accumulator via two's-complement wraparound.
     void adjust_count(State s, std::int64_t delta) {
-        counts_[s] = static_cast<std::uint64_t>(static_cast<std::int64_t>(counts_[s]) + delta);
         const std::uint8_t* col =
             eff_.eff_col.data() + static_cast<std::size_t>(s) * eff_.num_states;
-        for (State p = 0; p < eff_.num_states; ++p)
+        const auto c = static_cast<std::int64_t>(counts_[s]);
+        const std::int64_t rowsum = rowdot_[s];
+        const std::int64_t e = diag(s);
+        std::int64_t colsum = 0;
+        for (State p = 0; p < eff_.num_states; ++p) {
+            colsum += static_cast<std::int64_t>(col[p]) * static_cast<std::int64_t>(counts_[p]);
             rowdot_[p] += static_cast<std::int64_t>(col[p]) * delta;
+        }
+        counts_[s] = static_cast<std::uint64_t>(c + delta);
+        const std::int64_t dw =
+            delta * (colsum - c * e) + delta * (rowsum - e) + delta * e * (c + delta);
+        W_ += static_cast<std::uint64_t>(dw);
     }
 
     // rowdot[p] = sum_q eff[p][q] * counts[q]: the number of agents whose
@@ -200,10 +208,19 @@ RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfigura
     switch (options.engine) {
         case SimulationEngine::kCountBatch:
             return simulate_counts(protocol, initial, options);
-        case SimulationEngine::kAuto:
+        case SimulationEngine::kCollapsedBatch:
+            return simulate_collapsed(protocol, initial, options);
         case SimulationEngine::kAgentArray:
+            return simulate(protocol, initial, options);
+        case SimulationEngine::kAuto:
             break;
     }
+    // Size-based auto-selection (see the threshold constants in
+    // simulator.h): the count engines need the multiset view anyway, so the
+    // only inputs are the population and the documented crossover points.
+    const std::uint64_t n = initial.population_size();
+    if (n >= kAutoCollapsedThreshold) return simulate_collapsed(protocol, initial, options);
+    if (n >= kAutoCountBatchThreshold) return simulate_counts(protocol, initial, options);
     return simulate(protocol, initial, options);
 }
 

@@ -64,8 +64,12 @@ namespace popproto {
 RunResult simulate_counts(const TabulatedProtocol& protocol, const CountConfiguration& initial,
                           const RunOptions& options);
 
-/// Dispatches on `options.engine`: kCountBatch runs `simulate_counts`;
-/// kAuto and kAgentArray run `simulate`.
+/// Dispatches on `options.engine`: kCountBatch runs `simulate_counts`,
+/// kCollapsedBatch runs `simulate_collapsed`, kAgentArray runs `simulate`.
+/// kAuto selects by population size — agent array below
+/// kAutoCountBatchThreshold, count-batch up to kAutoCollapsedThreshold,
+/// collapsed beyond (see simulator.h for the measured crossovers); the
+/// chosen engine is reported in RunResult::engine.
 RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfiguration& initial,
                          const RunOptions& options);
 

@@ -1,0 +1,290 @@
+#include "core/collapsed_simulator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/effect_tables.h"
+#include "core/require.h"
+#include "core/rng.h"
+#include "core/run_loop.h"
+
+namespace popproto {
+
+namespace {
+
+/// The collapsed super-step sampler (collapsed_simulator.h): collision-free
+/// runs of ~sqrt(n) ordered pairs are assigned to state pairs by exact
+/// hypergeometric count splits and applied as one aggregate delta; the
+/// single colliding interaction terminating each run is resolved
+/// individually.
+class CollapsedStepper {
+public:
+    static constexpr ObservedEngine kEngine = ObservedEngine::kCollapsed;
+    static constexpr SilenceMode kSilenceMode = SilenceMode::kExact;
+    static constexpr bool kGeometricSkips = false;
+    static constexpr bool kSuperSteps = true;
+
+    CollapsedStepper(const TabulatedProtocol& protocol, const CountConfiguration& initial)
+        : protocol_(protocol),
+          eff_(protocol),
+          counts_(initial.counts()),
+          population_(initial.population_size()) {
+        build_survival_table();
+        recompute_effective_pairs();
+    }
+
+    std::uint64_t population() const { return population_; }
+
+    bool is_silent() const { return effective_pairs_ == 0; }
+
+    /// Draws the length L >= 1 of the maximal collision-free run: one
+    /// uniform01 inverted through the precomputed survival table
+    /// (survival_[t-1] = P(L >= t), strictly decreasing, survival_[0] = 1).
+    std::uint64_t propose_super_step(Rng& rng) {
+        const double u = rng.uniform01();
+        // L = max{t : P(L >= t) > u}; the table is truncated once the
+        // survival mass drops below ~1e-25 (or the population runs out of
+        // disjoint agents), so a u below the last entry clamps to the end.
+        const auto it = std::lower_bound(survival_.begin(), survival_.end(), u,
+                                         std::greater<double>());
+        const auto t = static_cast<std::uint64_t>(it - survival_.begin());
+        return t > 0 ? t : std::uint64_t{1};  // survival_[0] = 1 > u always
+    }
+
+    /// Executes `m` collision-free pairs (2m distinct agents) as one
+    /// aggregate count update, then the single colliding interaction when
+    /// `with_collision` (the kernel clamps boundary-crossing runs instead).
+    BatchOutcome apply_super_step(Rng& rng, std::uint64_t m, bool with_collision) {
+        const std::size_t num_states = eff_.num_states;
+        BatchOutcome outcome;
+
+        // Initiator multiset A: m draws without replacement from the count
+        // vector (multivariate hypergeometric, as a cascade of exact
+        // univariate splits); responder multiset B: m more draws from the
+        // remainder.  By exchangeability of the 2m uniformly-chosen agent
+        // slots this matches drawing the pairs one by one.
+        draw_without_replacement(rng, counts_, {}, m, initiators_);
+        draw_without_replacement(rng, counts_, initiators_, m, responders_);
+
+        // Matching: conditioned on the multisets A and B, the bipartite
+        // initiator-responder matching is uniform, so row p of the
+        // pair-count matrix is a hypergeometric split of A[p] draws over
+        // the not-yet-matched responders.  Rows are applied on the fly.
+        touched_.assign(num_states, 0);
+        remainder_ = responders_;
+        std::uint64_t unmatched = m;
+        for (State p = 0; p < num_states; ++p) {
+            std::uint64_t left = initiators_[p];
+            if (left == 0) continue;
+            // Row cascade: `pool` counts the unmatched responders in states
+            // not yet classified for this row, so each split is an exact
+            // univariate hypergeometric of the row's remaining draws.
+            std::uint64_t pool = unmatched;
+            for (State q = 0; q < num_states && left > 0; ++q) {
+                const std::uint64_t available = remainder_[q];
+                if (available == 0) continue;
+                const std::uint64_t k =
+                    rng.hypergeometric(available, pool - available, left);
+                pool -= available;
+                if (k != 0) {
+                    remainder_[q] -= k;
+                    unmatched -= k;
+                    left -= k;
+                    apply_pair_type(p, q, k, outcome);
+                }
+            }
+            ensure(left == 0, "simulate_collapsed: internal matching invariant violated");
+        }
+
+        // New counts: the untouched agents keep their states; the 2m
+        // touched agents land on the post-transition multiset.
+        for (State s = 0; s < num_states; ++s)
+            counts_[s] += touched_[s] - initiators_[s] - responders_[s];
+
+        if (with_collision) resolve_collision(rng, m, outcome);
+
+        recompute_effective_pairs();
+        return outcome;
+    }
+
+    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
+
+    void save(RunCheckpoint& checkpoint) const { checkpoint.counts = counts_; }
+
+    void restore(const RunCheckpoint& checkpoint) {
+        require(checkpoint.counts.size() == counts_.size(),
+                "simulate_collapsed: checkpoint state-count mismatch");
+        std::uint64_t total = 0;
+        for (const std::uint64_t count : checkpoint.counts) total += count;
+        require(total == population_, "simulate_collapsed: checkpoint population mismatch");
+        counts_ = checkpoint.counts;
+        recompute_effective_pairs();
+    }
+
+private:
+    /// survival_[t-1] = P(first t pairs touch pairwise-disjoint agents)
+    ///               = prod_{i<t} (n-2i)(n-2i-1) / (n(n-1)).
+    /// Depends only on n; ~6.7 sqrt(n) entries before the 1e-25 cutoff.
+    void build_survival_table() {
+        const double n = static_cast<double>(population_);
+        const double total_pairs = n * (n - 1.0);
+        double survival = 1.0;
+        std::uint64_t t = 1;
+        survival_.clear();
+        survival_.push_back(1.0);
+        while (population_ >= 2 * t + 2) {
+            const double free_agents = n - 2.0 * static_cast<double>(t);
+            survival *= free_agents * (free_agents - 1.0) / total_pairs;
+            if (survival < 1e-25) break;
+            survival_.push_back(survival);
+            ++t;
+        }
+    }
+
+    /// Multivariate hypergeometric cascade: `out[s]` ~ number of state-s
+    /// items among `draws` draws without replacement from the population
+    /// with per-state counts `base[s] - excluded[s]` (pass {} to exclude
+    /// nothing).
+    void draw_without_replacement(Rng& rng, const std::vector<std::uint64_t>& base,
+                                  const std::vector<std::uint64_t>& excluded,
+                                  std::uint64_t draws, std::vector<std::uint64_t>& out) {
+        out.assign(base.size(), 0);
+        std::uint64_t remaining_items = population_;
+        if (!excluded.empty())
+            for (const std::uint64_t count : excluded) remaining_items -= count;
+        std::uint64_t remaining_draws = draws;
+        for (State s = 0; s < base.size() && remaining_draws > 0; ++s) {
+            const std::uint64_t available =
+                base[s] - (excluded.empty() ? 0 : excluded[s]);
+            if (available == 0) continue;
+            const std::uint64_t k =
+                rng.hypergeometric(available, remaining_items - available, remaining_draws);
+            out[s] = k;
+            remaining_draws -= k;
+            remaining_items -= available;
+        }
+    }
+
+    /// Books `k` executed interactions of ordered pair type (p, q):
+    /// accumulates the post-transition states into touched_ and the
+    /// effective / output-change aggregates into `outcome`.
+    void apply_pair_type(State p, State q, std::uint64_t k, BatchOutcome& outcome) {
+        const StatePair next = protocol_.apply_fast(p, q);
+        touched_[next.initiator] += k;
+        touched_[next.responder] += k;
+        if (!eff_.effective(p, q)) return;
+        outcome.effective += k;
+        const Symbol out_p = protocol_.output_fast(p);
+        const Symbol out_q = protocol_.output_fast(q);
+        const Symbol out_pn = protocol_.output_fast(next.initiator);
+        const Symbol out_qn = protocol_.output_fast(next.responder);
+        if (!((out_pn == out_p && out_qn == out_q) || (out_pn == out_q && out_qn == out_p)))
+            outcome.output_changed = true;
+    }
+
+    /// The ordered pair that terminated the collision-free run: uniform over
+    /// the n(n-1) - (n-2m)(n-2m-1) ordered pairs touching at least one of
+    /// the 2m used agents, whose post-batch states are the touched_
+    /// multiset; the untouched remainder is counts_ - touched_.
+    void resolve_collision(Rng& rng, std::uint64_t m, BatchOutcome& outcome) {
+        const std::size_t num_states = eff_.num_states;
+        untouched_.resize(num_states);
+        for (State s = 0; s < num_states; ++s) untouched_[s] = counts_[s] - touched_[s];
+
+        const std::uint64_t touched_total = 2 * m;
+        const std::uint64_t untouched_total = population_ - touched_total;
+        const std::uint64_t w_tt = touched_total * (touched_total - 1);
+        const std::uint64_t w_tu = touched_total * untouched_total;  // == w_ut
+        const std::uint64_t which = rng.below(w_tt + 2 * w_tu);
+
+        State p = 0;
+        State q = 0;
+        if (which < w_tt) {
+            p = pick(touched_, rng.below(touched_total));
+            --touched_[p];
+            q = pick(touched_, rng.below(touched_total - 1));
+            ++touched_[p];
+        } else if (which < w_tt + w_tu) {
+            p = pick(touched_, rng.below(touched_total));
+            q = pick(untouched_, rng.below(untouched_total));
+        } else {
+            p = pick(untouched_, rng.below(untouched_total));
+            q = pick(touched_, rng.below(touched_total));
+        }
+
+        const StatePair next = protocol_.apply_fast(p, q);
+        --counts_[p];
+        --counts_[q];
+        ++counts_[next.initiator];
+        ++counts_[next.responder];
+        if (eff_.effective(p, q)) {
+            ++outcome.effective;
+            const Symbol out_p = protocol_.output_fast(p);
+            const Symbol out_q = protocol_.output_fast(q);
+            const Symbol out_pn = protocol_.output_fast(next.initiator);
+            const Symbol out_qn = protocol_.output_fast(next.responder);
+            if (!((out_pn == out_p && out_qn == out_q) ||
+                  (out_pn == out_q && out_qn == out_p)))
+                outcome.output_changed = true;
+        }
+    }
+
+    /// The state of the `index`-th item (0-based) of the multiset `counts`.
+    static State pick(const std::vector<std::uint64_t>& counts, std::uint64_t index) {
+        for (State s = 0; s < counts.size(); ++s) {
+            if (index < counts[s]) return s;
+            index -= counts[s];
+        }
+        ensure(false, "simulate_collapsed: internal multiset-pick invariant violated");
+        return 0;
+    }
+
+    // W = number of effective ordered agent pairs; W == 0 iff silent.
+    // Recomputed O(|Q|^2) once per super-step (amortized over ~sqrt(n)
+    // interactions, unlike the count-batch engine's per-step bookkeeping).
+    void recompute_effective_pairs() {
+        const std::size_t num_states = eff_.num_states;
+        std::uint64_t w = 0;
+        for (State p = 0; p < num_states; ++p) {
+            if (counts_[p] == 0) continue;
+            const std::uint8_t* row =
+                eff_.eff_row.data() + static_cast<std::size_t>(p) * num_states;
+            for (State q = 0; q < num_states; ++q)
+                if (row[q]) w += counts_[p] * (counts_[q] - (p == q ? 1 : 0));
+        }
+        effective_pairs_ = w;
+    }
+
+    const TabulatedProtocol& protocol_;
+    EffectTables eff_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t population_;
+    std::uint64_t effective_pairs_ = 0;
+    std::vector<double> survival_;
+
+    // Per-super-step scratch (members to avoid reallocation).
+    std::vector<std::uint64_t> initiators_;
+    std::vector<std::uint64_t> responders_;
+    std::vector<std::uint64_t> remainder_;
+    std::vector<std::uint64_t> touched_;
+    std::vector<std::uint64_t> untouched_;
+};
+
+}  // namespace
+
+RunResult simulate_collapsed(const TabulatedProtocol& protocol,
+                             const CountConfiguration& initial, const RunOptions& options) {
+    require(initial.num_states() == protocol.num_states(),
+            "simulate_collapsed: configuration does not match protocol");
+    const std::uint64_t n = initial.population_size();
+    require(n >= 2, "simulate_collapsed: need at least two agents");
+    require(n < (std::uint64_t{1} << 32), "simulate_collapsed: population must fit 32 bits");
+    require_engine_field(options, SimulationEngine::kCollapsedBatch, "simulate_collapsed");
+
+    CollapsedStepper stepper(protocol, initial);
+    return run_loop(stepper, protocol, options, "simulate_collapsed");
+}
+
+}  // namespace popproto

@@ -1,0 +1,79 @@
+// Collapsed super-step simulation engine: amortized sub-constant time per
+// interaction via multinomial batching.
+//
+// The count-batch engine (batch_simulator.h) pays O(1) per skipped null
+// interaction but still O(|Q|) per *effective* one, and the paper's
+// randomized results need runs of 10^9..10^12 interactions (Theorem 8's
+// O(n^2 log n) Presburger bound, Theorem 9's Theta(n^k) epochs) with dense
+// phases where most interactions are effective.  This engine collapses
+// whole *runs* of interactions into one count update:
+//
+//  * Super-step length.  Ordered pairs of distinct agents are drawn
+//    uniformly; as long as consecutive pairs touch pairwise-disjoint
+//    agents, their effects commute and the aggregate is a without-
+//    replacement sample of the count vector.  The length L of the maximal
+//    collision-free run has the birthday-problem law
+//        P(L >= t) = prod_{i<t} (n-2i)(n-2i-1) / (n(n-1)),
+//    with E[L] ~ 0.63 sqrt(n); the survival table depends only on n, is
+//    built once, and one uniform01 + binary search samples L exactly.
+//  * Batch assignment.  The L initiator states form a multivariate
+//    hypergeometric sample A of the counts (cascade of exact
+//    Rng::hypergeometric splits), the responder states B a second cascade
+//    over the remainder, and the initiator-responder matching a third
+//    cascade — O(|Q|^2) draws total.  Applying delta to every matched pair
+//    type at once is one O(|Q|^2) count update for ~sqrt(n) interactions:
+//    amortized O(|Q|^2 / sqrt(n)) per interaction.
+//  * The colliding interaction.  The pair that terminated the run involves
+//    at least one already-touched agent; it is resolved individually from
+//    the post-batch touched multiset T (|T| = 2L) and the untouched
+//    remainder U, with case weights TT : TU : UT = 2L(2L-1) : 2L(n-2L) :
+//    (n-2L)2L.
+//
+// Equivalence contract (sharper than the cross-engine one of PR 2): the
+// distribution of trajectories and RunResults is identical to `simulate` /
+// `simulate_counts`, but equivalence is *distribution-level only* — even
+// against itself across observation setups.  The run-loop kernel clamps a
+// super-step at snapshot, checkpoint, stable-output-window, and
+// silence-check boundaries (exactly: the first m pairs of a collision-free
+// run of length >= m are themselves a collision-free batch of length m, and
+// the count chain is Markov), so boundary *placement* steers where the RNG
+// stream is spent, and the same seed yields different (equally valid)
+// trajectories under different schedules.  Checkpoint/resume remains
+// bit-identical because a resumed run reconstructs the identical boundary
+// sequence: suspend-at-k + resume reproduces the checkpointed run exactly.
+//
+// Bookkeeping coarsenings (both documented in DESIGN.md):
+//  * last_output_change is stamped at the end of the super-step containing
+//    the change, not at the exact interaction inside the batch.
+//  * Silence (W == 0, exact as in the count-batch engine) is detected at
+//    super-step granularity, so the reported kSilent interaction index may
+//    overshoot the exact onset by up to one super-step (< ~2 sqrt(n)); the
+//    final configuration is unaffected (a silent multiset is frozen).
+//
+// Cost model: O(|Q|^2 + sqrt(n)-ish sampler walks) per ~0.63 sqrt(n)
+// interactions.  Prefer it for dense phases at large n (>= 2^20); the
+// count-batch engine remains better on sparse tails, where its geometric
+// null skip crosses n^2/W interactions in O(1) while a super-step only
+// crosses ~sqrt(n) (see README's engine table and bench_collapsed).
+
+#ifndef POPPROTO_CORE_COLLAPSED_SIMULATOR_H
+#define POPPROTO_CORE_COLLAPSED_SIMULATOR_H
+
+#include "core/configuration.h"
+#include "core/simulator.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Simulates `protocol` from `initial` under uniform random pairing using
+/// the collapsed super-step engine.  Requires a population of at least 2
+/// and fewer than 2^32 agents, and options.engine in {kAuto,
+/// kCollapsedBatch}.  Same options and result contract as simulate_counts
+/// (silence_check_period ignored; multiset-wise effective_interactions and
+/// last_output_change), with the super-step coarsenings described above.
+RunResult simulate_collapsed(const TabulatedProtocol& protocol,
+                             const CountConfiguration& initial, const RunOptions& options);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_COLLAPSED_SIMULATOR_H

@@ -1,0 +1,42 @@
+// Precomputed per-protocol classification of ordered state pairs, shared by
+// the count-based engines (batch_simulator.cpp, collapsed_simulator.cpp).
+//
+// eff_row[p * Q + q] is 1 iff delta(p, q) changes the multiset {p, q}
+// (identities and swaps are null); eff_col is its transpose so that the
+// rowdot update for one changed state reads a contiguous column.
+
+#ifndef POPPROTO_CORE_EFFECT_TABLES_H
+#define POPPROTO_CORE_EFFECT_TABLES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+struct EffectTables {
+    std::vector<std::uint8_t> eff_row;
+    std::vector<std::uint8_t> eff_col;
+    std::size_t num_states;
+
+    explicit EffectTables(const TabulatedProtocol& protocol)
+        : eff_row(protocol.num_states() * protocol.num_states(), 0),
+          eff_col(protocol.num_states() * protocol.num_states(), 0),
+          num_states(protocol.num_states()) {
+        for (const EffectiveTransition& t : protocol.effective_transitions()) {
+            eff_row[static_cast<std::size_t>(t.initiator) * num_states + t.responder] = 1;
+            eff_col[static_cast<std::size_t>(t.responder) * num_states + t.initiator] = 1;
+        }
+    }
+
+    /// 1 iff delta(p, q) changes the multiset {p, q}.
+    std::uint8_t effective(State p, State q) const {
+        return eff_row[static_cast<std::size_t>(p) * num_states + q];
+    }
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_EFFECT_TABLES_H

@@ -71,6 +71,8 @@ const char* observed_engine_name(ObservedEngine engine) {
             return "agent_array";
         case ObservedEngine::kCountBatch:
             return "count_batch";
+        case ObservedEngine::kCollapsed:
+            return "collapsed";
         case ObservedEngine::kWeighted:
             return "weighted";
         case ObservedEngine::kGraph:
@@ -83,8 +85,8 @@ const char* observed_engine_name(ObservedEngine engine) {
 
 bool observed_engine_from_name(const std::string& name, ObservedEngine& engine) {
     for (const ObservedEngine candidate :
-         {ObservedEngine::kAgentArray, ObservedEngine::kCountBatch, ObservedEngine::kWeighted,
-          ObservedEngine::kGraph, ObservedEngine::kScheduler}) {
+         {ObservedEngine::kAgentArray, ObservedEngine::kCountBatch, ObservedEngine::kCollapsed,
+          ObservedEngine::kWeighted, ObservedEngine::kGraph, ObservedEngine::kScheduler}) {
         if (name == observed_engine_name(candidate)) {
             engine = candidate;
             return true;

@@ -84,10 +84,12 @@ private:
 };
 
 /// Which execution path produced the events (simulate, simulate_counts,
-/// simulate_weighted, simulate_on_graph, or simulate_with_scheduler).
+/// simulate_collapsed, simulate_weighted, simulate_on_graph, or
+/// simulate_with_scheduler).
 enum class ObservedEngine {
     kAgentArray,
     kCountBatch,
+    kCollapsed,
     kWeighted,
     kGraph,
     kScheduler,

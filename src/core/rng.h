@@ -44,6 +44,25 @@ public:
     /// can add them to interaction counters without overflow.
     std::uint64_t geometric_skips(double success_probability) noexcept;
 
+    /// Number of successes in `trials` independent Bernoulli(p) trials,
+    /// sampled exactly by inverse-CDF: one uniform01 draw walked outward
+    /// from the distribution's mode via the pmf recurrence, so the expected
+    /// cost is O(sqrt(trials * p * (1 - p))).  Degenerate inputs (trials ==
+    /// 0, p <= 0, p >= 1) return without consuming randomness.  Stateless
+    /// apart from the stream position, so save_state/restore_state replay
+    /// it exactly.
+    std::uint64_t binomial(std::uint64_t trials, double p) noexcept;
+
+    /// Number of successes when drawing `draws` items without replacement
+    /// from a population of `successes` success items and `failures`
+    /// failure items, sampled exactly by the same mode-centered inverse-CDF
+    /// walk as `binomial` (one uniform01 draw).  Degenerate inputs
+    /// (draws == 0, successes == 0, failures == 0, draws >= total) return
+    /// without consuming randomness; draws > successes + failures is
+    /// clamped to the whole population.
+    std::uint64_t hypergeometric(std::uint64_t successes, std::uint64_t failures,
+                                 std::uint64_t draws) noexcept;
+
     /// The four xoshiro256** state words, for suspend/resume of a run
     /// (core/run_loop.h checkpoints).  `save_state` followed by
     /// `restore_state` reproduces the output stream bit for bit.

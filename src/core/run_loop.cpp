@@ -47,9 +47,20 @@ bool multiset_silent(const TabulatedProtocol& protocol,
 void require_engine_field(const RunOptions& options, SimulationEngine accepted,
                           const char* entry_point) {
     if (options.engine == SimulationEngine::kAuto || options.engine == accepted) return;
-    const char* requested = options.engine == SimulationEngine::kAgentArray
-                                ? "kAgentArray"
-                                : "kCountBatch";
+    const char* requested = "kAuto";
+    switch (options.engine) {
+        case SimulationEngine::kAuto:
+            break;
+        case SimulationEngine::kAgentArray:
+            requested = "kAgentArray";
+            break;
+        case SimulationEngine::kCountBatch:
+            requested = "kCountBatch";
+            break;
+        case SimulationEngine::kCollapsedBatch:
+            requested = "kCollapsedBatch";
+            break;
+    }
     require(false, std::string(entry_point) + ": options.engine requests " + requested +
                        ", which this entry point does not run; call run_simulation to "
                        "dispatch on the field, or leave it kAuto");

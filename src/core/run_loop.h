@@ -3,8 +3,9 @@
 // The fairness model of the paper (Sect. 2, and the conjugating-automata
 // randomized scheduler of Sect. 6) is *one* semantics with several samplers:
 // uniform agent pairs (simulate), the count-based multiset sampler
-// (simulate_counts), weighted pairs (simulate_weighted), uniform edges on a
-// restricted graph (simulate_on_graph), and deterministic schedulers
+// (simulate_counts), the collapsed super-step sampler (simulate_collapsed),
+// weighted pairs (simulate_weighted), uniform edges on a restricted graph
+// (simulate_on_graph), and deterministic schedulers
 // (simulate_with_scheduler).  Everything those loops used to duplicate —
 // the interaction budget, the periodic silence check and its max(4n, 1024)
 // default, the stable-output window, observer dispatch, snapshot-boundary
@@ -173,29 +174,41 @@ struct StepOutcome {
     bool output_changed = false;
 };
 
-/// What an engine supplies to the kernel.  The kernel owns *when* to step,
-/// check, snapshot, stop, and checkpoint; the stepper owns *how* to sample
-/// and apply one interaction.
+/// One super-step's aggregate outcome, reported by
+/// Stepper::apply_super_step (super-step engines only).
+struct BatchOutcome {
+    /// How many of the executed interactions changed the state multiset.
+    std::uint64_t effective = 0;
+    /// Some executed interaction changed the multiset of outputs.  The
+    /// kernel stamps last_output_change at the *end* of the super-step (the
+    /// exact interaction index inside the batch is not resolved — a
+    /// documented coarsening; see collapsed_simulator.h).
+    bool output_changed = false;
+};
+
+/// Requirements common to both stepper flavours.  The kernel owns *when* to
+/// step, check, snapshot, stop, and checkpoint; the stepper owns *how* to
+/// sample and apply interactions.
 ///
 /// RNG discipline: the kernel never consumes randomness itself.  Exactly
-/// propose_skip() and step() draw from the stream, in loop order, which is
-/// what makes checkpoints (a stream position plus the stepper state) exact.
+/// the stepper's proposal/step methods draw from the stream, in loop order,
+/// which is what makes checkpoints (a stream position plus the stepper
+/// state) exact.
 template <typename S>
-concept Stepper = requires(S stepper, const S const_stepper, Rng& rng, RunCheckpoint& checkpoint,
-                           const RunCheckpoint& const_checkpoint) {
+concept StepperBase = requires(S stepper, const S const_stepper, RunCheckpoint& checkpoint,
+                               const RunCheckpoint& const_checkpoint) {
     { S::kEngine } -> std::convertible_to<ObservedEngine>;
     { S::kSilenceMode } -> std::convertible_to<SilenceMode>;
     /// Whether propose_skip can return nonzero.  False compiles the whole
     /// skip/clamp machinery out of the loop, keeping per-interaction
     /// engines on the same tight hot path their private loops had.
     { S::kGeometricSkips } -> std::convertible_to<bool>;
+    /// Whether the stepper advances in multi-interaction super-steps
+    /// (propose_super_step / apply_super_step) instead of one step() per
+    /// interaction.  Mutually exclusive with kGeometricSkips.
+    { S::kSuperSteps } -> std::convertible_to<bool>;
     { const_stepper.population() } -> std::convertible_to<std::uint64_t>;
     { const_stepper.is_silent() } -> std::convertible_to<bool>;
-    /// Number of consecutive null interactions to jump before the next
-    /// step() (only called when kGeometricSkips; must be 0 for engines
-    /// that execute every interaction explicitly).
-    { stepper.propose_skip(rng) } -> std::convertible_to<std::uint64_t>;
-    { stepper.step(rng) } -> std::same_as<StepOutcome>;
     /// Current configuration as a state multiset (snapshots, final result).
     { const_stepper.counts() } -> std::same_as<CountConfiguration>;
     /// Export / import the engine-specific configuration payload of a
@@ -203,6 +216,44 @@ concept Stepper = requires(S stepper, const S const_stepper, Rng& rng, RunCheckp
     { const_stepper.save(checkpoint) };
     { stepper.restore(const_checkpoint) };
 };
+
+/// The classic flavour: one step() per interaction, optionally preceded by
+/// a geometric null-skip proposal.
+template <typename S>
+concept SingleStepStepper = StepperBase<S> && !S::kSuperSteps &&
+    requires(S stepper, Rng& rng) {
+        /// Number of consecutive null interactions to jump before the next
+        /// step() (only called when kGeometricSkips; must be 0 for engines
+        /// that execute every interaction explicitly).
+        { stepper.propose_skip(rng) } -> std::convertible_to<std::uint64_t>;
+        { stepper.step(rng) } -> std::same_as<StepOutcome>;
+    };
+
+/// The super-step flavour (collapsed_simulator.cpp): propose_super_step
+/// draws the length of the maximal collision-free run of pairs; the kernel
+/// clamps it at the earliest boundary it must observe exactly (snapshot,
+/// checkpoint, stable-output window, silence check, budget) and calls
+/// apply_super_step(rng, m, with_collision) to execute m collision-free
+/// pairs, plus the single colliding interaction when the run was not
+/// clamped.  Clamping is exact, not approximate: the first m pairs of a
+/// collision-free run of length >= m are themselves distributed as a
+/// collision-free batch of length m, and the count process is Markov, so
+/// the next proposal restarts fresh (this does make the *pathwise*
+/// trajectory sensitive to boundary placement — equivalence across
+/// observation setups is distributional, not stream-level).
+template <typename S>
+concept SuperStepStepper = StepperBase<S> && S::kSuperSteps && !S::kGeometricSkips &&
+    requires(S stepper, Rng& rng, std::uint64_t m) {
+        /// Length (>= 1) of the maximal collision-free run of ordered
+        /// pairs; the colliding interaction that terminates it would be
+        /// pair number length + 1.
+        { stepper.propose_super_step(rng) } -> std::convertible_to<std::uint64_t>;
+        { stepper.apply_super_step(rng, m, true) } -> std::same_as<BatchOutcome>;
+    };
+
+/// What an engine supplies to the kernel: one of the two flavours above.
+template <typename S>
+concept Stepper = SingleStepStepper<S> || SuperStepStepper<S>;
 
 // ---------------------------------------------------------------------------
 // The kernel
@@ -235,6 +286,7 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
     Rng rng(options.seed);
     RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,
                      std::nullopt};
+    result.engine = S::kEngine;
 
     std::uint64_t next_check = check_period;
     std::uint64_t changed_since_check = 1;
@@ -342,7 +394,49 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
         // below and also land exactly).
         if (result.interactions >= next_checkpoint) take_checkpoint(0, false);
 
-        if constexpr (S::kGeometricSkips) {
+        if constexpr (SuperStepStepper<S>) {
+            // One super-step: draw the length of the maximal collision-free
+            // run of pairs first, then clamp it — never redraw — at the
+            // earliest index the kernel must observe exactly.
+            const std::uint64_t run_length = stepper.propose_super_step(rng);
+
+            std::uint64_t boundary = budget;
+            if (next_snapshot < boundary) boundary = next_snapshot;
+            if (next_checkpoint < boundary) boundary = next_checkpoint;
+            if (window != 0 && result.last_output_change != 0 &&
+                result.last_output_change + window < boundary)
+                boundary = result.last_output_change + window;
+            if constexpr (kMode == SilenceMode::kPeriodic) {
+                if (next_check < boundary) boundary = next_check;
+            }
+            // Every boundary lies strictly ahead of the current index
+            // (due snapshots/checkpoints were already emitted above, stop
+            // rules would have fired), so at least one interaction fits.
+            const std::uint64_t limit = boundary - result.interactions;
+
+            BatchOutcome outcome;
+            if (run_length < limit) {
+                // The whole run fits: execute it plus the single colliding
+                // interaction that terminated it.
+                outcome = stepper.apply_super_step(rng, run_length, true);
+                result.interactions += run_length + 1;
+            } else {
+                // Clamped at the boundary: execute exactly `limit`
+                // collision-free pairs and no colliding interaction (exact;
+                // see the SuperStepStepper concept note).
+                outcome = stepper.apply_super_step(rng, limit, false);
+                result.interactions += limit;
+            }
+            if (outcome.effective != 0) {
+                result.effective_interactions += outcome.effective;
+                changed_since_check = 1;
+            }
+            if (outcome.output_changed) {
+                result.last_output_change = result.interactions;
+                if (observer) observer->on_output_change(result.interactions);
+            }
+            if constexpr (kMode == SilenceMode::kExact) silent = stepper.is_silent();
+        } else if constexpr (S::kGeometricSkips) {
             std::uint64_t skips;
             if (has_pending_skip) {
                 skips = pending_skip;
@@ -412,16 +506,18 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
         } else {
             ++result.interactions;
         }
-        const StepOutcome outcome = stepper.step(rng);
-        if (outcome.changed) {
-            ++result.effective_interactions;
-            changed_since_check = 1;
-            if (outcome.output_changed) {
-                result.last_output_change = result.interactions;
-                if (observer) observer->on_output_change(result.interactions);
+        if constexpr (!SuperStepStepper<S>) {
+            const StepOutcome outcome = stepper.step(rng);
+            if (outcome.changed) {
+                ++result.effective_interactions;
+                changed_since_check = 1;
+                if (outcome.output_changed) {
+                    result.last_output_change = result.interactions;
+                    if (observer) observer->on_output_change(result.interactions);
+                }
             }
+            if constexpr (kMode == SilenceMode::kExact) silent = stepper.is_silent();
         }
-        if constexpr (kMode == SilenceMode::kExact) silent = stepper.is_silent();
 
         if (result.interactions >= next_snapshot) emit_snapshots_through(result.interactions);
 

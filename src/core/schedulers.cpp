@@ -28,6 +28,7 @@ public:
     static constexpr ObservedEngine kEngine = ObservedEngine::kScheduler;
     static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
     static constexpr bool kGeometricSkips = false;
+    static constexpr bool kSuperSteps = false;
 
     SchedulerStepper(const TabulatedProtocol& protocol, const AgentConfiguration& initial,
                      Scheduler& scheduler)

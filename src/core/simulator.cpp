@@ -18,6 +18,7 @@ public:
     static constexpr ObservedEngine kEngine = ObservedEngine::kAgentArray;
     static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
     static constexpr bool kGeometricSkips = false;
+    static constexpr bool kSuperSteps = false;
 
     AgentArrayStepper(const TabulatedProtocol& protocol, const CountConfiguration& initial)
         : protocol_(protocol),
@@ -83,6 +84,7 @@ public:
     static constexpr ObservedEngine kEngine = ObservedEngine::kWeighted;
     static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
     static constexpr bool kGeometricSkips = false;
+    static constexpr bool kSuperSteps = false;
 
     WeightedStepper(const TabulatedProtocol& protocol, const AgentConfiguration& initial,
                     const std::vector<double>& weights)

@@ -40,8 +40,10 @@ struct RunCheckpoint;
 /// executed by the agent-array loop unnoticed.  Engines without an enum
 /// value (weighted, graph, scheduler) require `kAuto`.
 enum class SimulationEngine {
-    /// Defer to the call site: `run_simulation` picks `kAgentArray`, and
-    /// each direct entry point runs itself.
+    /// Defer to the call site: `run_simulation` selects by population size
+    /// (agent array below kAutoCountBatchThreshold, count-batch up to
+    /// kAutoCollapsedThreshold, collapsed beyond), and each direct entry
+    /// point runs itself.
     kAuto,
     /// Expanded agent array, one RNG draw per agent per interaction.  The
     /// reference implementation: O(n) memory, O(1) per interaction.
@@ -51,7 +53,25 @@ enum class SimulationEngine {
     /// exact geometric jumps.  O(|Q|) memory, O(|Q|) per *effective*
     /// interaction; the distribution of observables is identical.
     kCountBatch,
+    /// Collapsed super-step engine (collapsed_simulator.h): processes the
+    /// maximal collision-free run of ~sqrt(n) interactions in one O(|Q|^2)
+    /// super-step of exact hypergeometric count splits — amortized
+    /// O(|Q|^2 / sqrt(n)) per interaction.  Equivalence with the other
+    /// engines is distributional (super-steps also make the *pathwise*
+    /// trajectory sensitive to snapshot/checkpoint boundary placement; see
+    /// collapsed_simulator.h).
+    kCollapsedBatch,
 };
+
+/// `run_simulation` auto-selection crossovers (populations at or above the
+/// threshold use the faster engine).  Chosen from bench_throughput /
+/// bench_collapsed: the count-batch engine wins from a few thousand agents
+/// (PR 1 measured ~70000x at n = 2^20 on sparse phases), and the collapsed
+/// engine overtakes it on dense phases around n = 2^20 (>= 10x there, no
+/// regression above ~2^12; below that count-batch's O(1)-per-skipped-null
+/// geometric jumps win on sparse tails).
+inline constexpr std::uint64_t kAutoCountBatchThreshold = std::uint64_t{1} << 12;
+inline constexpr std::uint64_t kAutoCollapsedThreshold = std::uint64_t{1} << 20;
 
 /// Knobs controlling a single simulated execution.
 struct RunOptions {
@@ -137,6 +157,11 @@ struct RunResult {
 
     /// Consensus output of the final configuration, if all agents agree.
     std::optional<Symbol> consensus;
+
+    /// Which engine actually executed the run — `run_simulation`'s kAuto
+    /// dispatch reports its size-based choice here (every entry point fills
+    /// the field, so it is also a cross-check for pinned engines).
+    ObservedEngine engine = ObservedEngine::kAgentArray;
 };
 
 /// Simulates `protocol` from `initial` under uniform random pairing.

@@ -40,6 +40,7 @@ public:
     static constexpr ObservedEngine kEngine = ObservedEngine::kGraph;
     static constexpr SilenceMode kSilenceMode = SilenceMode::kNever;
     static constexpr bool kGeometricSkips = false;
+    static constexpr bool kSuperSteps = false;
 
     GraphEdgeStepper(const TabulatedProtocol& protocol, const InteractionGraph& graph,
                      AgentConfiguration agents)

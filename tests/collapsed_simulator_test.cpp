@@ -1,0 +1,366 @@
+// The collapsed super-step engine (core/collapsed_simulator.h).
+//
+// Correctness is a *distributional* contract — the engine must sample final
+// configurations from exactly the law of the uniform ordered-pair chain —
+// so the centerpiece is an exact small-population check: a dynamic program
+// over count vectors computes the true k-step distribution, and the
+// empirical distribution of collapsed runs is held to it by chi-square,
+// under several observation setups (unobserved, snapshot-clamped at every
+// index, mixed, checkpoint-clamped).  Each setup exercises a different code
+// path — full super-steps with collision resolution vs. boundary clamps —
+// and all must agree with the same exact law.
+//
+// Pathwise guarantees are thinner by design (super-step boundaries shape
+// the RNG stream), but checkpoint/resume *is* bit-identical against a
+// baseline with the same checkpoint schedule, including cuts that land
+// inside a super-step; that is tested here too, plus the engine-selection
+// plumbing (run_simulation's kAuto size dispatch and RunResult::engine).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/batch_simulator.h"
+#include "core/collapsed_simulator.h"
+#include "core/observer.h"
+#include "core/run_loop.h"
+#include "core/simulator.h"
+#include "observe/trace_recorder.h"
+#include "presburger/atom_protocols.h"
+#include "protocols/counting.h"
+#include "protocols/epidemic.h"
+#include "test_util.h"
+
+namespace popproto {
+namespace {
+
+using testutil::chi_square_gof;
+using testutil::ChiSquareResult;
+
+// ---------------------------------------------------------------------------
+// Exact k-step distribution of the uniform ordered-pair chain
+
+using CountVector = std::vector<std::uint64_t>;
+using Distribution = std::map<CountVector, double>;
+
+/// Exact distribution of the configuration after `steps` interactions of
+/// the uniform ordered-pair chain: P[(p, q)] = c_p (c_q - [p == q]) / n(n-1).
+/// Feasible only for tiny populations; that is the point — collisions and
+/// boundary clamps dominate the collapsed engine there.
+Distribution exact_distribution(const TabulatedProtocol& protocol, const CountVector& initial,
+                                std::uint64_t steps) {
+    const std::size_t num_states = protocol.num_states();
+    std::uint64_t n = 0;
+    for (const std::uint64_t count : initial) n += count;
+    const double total_pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+
+    Distribution dist;
+    dist[initial] = 1.0;
+    for (std::uint64_t step = 0; step < steps; ++step) {
+        Distribution next_dist;
+        for (const auto& [config, prob] : dist) {
+            for (State p = 0; p < num_states; ++p) {
+                if (config[p] == 0) continue;
+                for (State q = 0; q < num_states; ++q) {
+                    const std::uint64_t pairs = config[p] * (config[q] - (p == q ? 1 : 0));
+                    if (pairs == 0) continue;
+                    const StatePair result = protocol.apply_fast(p, q);
+                    CountVector next = config;
+                    --next[p];
+                    --next[q];
+                    ++next[result.initiator];
+                    ++next[result.responder];
+                    next_dist[next] += prob * static_cast<double>(pairs) / total_pairs;
+                }
+            }
+        }
+        dist = std::move(next_dist);
+    }
+    return dist;
+}
+
+class CollectingSink final : public CheckpointSink {
+public:
+    void on_checkpoint(const RunCheckpoint& checkpoint) override {
+        checkpoints.push_back(checkpoint);
+    }
+    std::vector<RunCheckpoint> checkpoints;
+};
+
+/// How the exact-law runs are observed; each shape clamps super-steps at a
+/// different boundary pattern (see the file comment).
+enum class ObservationSetup { kUnobserved, kSnapshotEveryOne, kSnapshotEveryTwo, kCheckpointed };
+
+const char* setup_label(ObservationSetup setup) {
+    switch (setup) {
+        case ObservationSetup::kUnobserved: return "unobserved";
+        case ObservationSetup::kSnapshotEveryOne: return "snapshot_every_1";
+        case ObservationSetup::kSnapshotEveryTwo: return "snapshot_every_2";
+        case ObservationSetup::kCheckpointed: return "checkpoint_every_2";
+    }
+    return "?";
+}
+
+void expect_matches_exact_law(const TabulatedProtocol& protocol, const CountVector& initial_counts,
+                              std::uint64_t steps, ObservationSetup setup) {
+    SCOPED_TRACE(setup_label(setup));
+    const Distribution exact = exact_distribution(protocol, initial_counts, steps);
+    const auto initial = CountConfiguration::from_state_counts(initial_counts);
+
+    constexpr std::uint64_t kRuns = 4000;
+    std::map<CountVector, std::uint64_t> tally;
+    for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+        RunOptions options;
+        options.max_interactions = steps;
+        options.seed = seed;
+        TraceRecorder recorder;
+        CollectingSink sink;
+        switch (setup) {
+            case ObservationSetup::kUnobserved: break;
+            case ObservationSetup::kSnapshotEveryOne:
+                options.observer = &recorder;
+                options.snapshots = SnapshotSchedule::every(1);
+                break;
+            case ObservationSetup::kSnapshotEveryTwo:
+                options.observer = &recorder;
+                options.snapshots = SnapshotSchedule::every(2);
+                break;
+            case ObservationSetup::kCheckpointed:
+                options.checkpoint_every = 2;
+                options.checkpoint_sink = &sink;
+                break;
+        }
+        const RunResult result = simulate_collapsed(protocol, initial, options);
+        // A silent stop before the budget freezes the configuration, so the
+        // final counts still equal the configuration at index `steps`.
+        ++tally[result.final_configuration.counts()];
+    }
+
+    // Every reachable configuration is in the exact support.
+    std::vector<std::uint64_t> observed;
+    std::vector<double> expected;
+    for (const auto& [config, prob] : exact) {
+        const auto it = tally.find(config);
+        observed.push_back(it == tally.end() ? 0 : it->second);
+        expected.push_back(prob);
+        if (it != tally.end()) tally.erase(it);
+    }
+    EXPECT_TRUE(tally.empty()) << tally.size() << " configurations outside the exact support";
+
+    const ChiSquareResult gof = chi_square_gof(observed, expected, kRuns);
+    EXPECT_TRUE(gof.pass) << gof.summary();
+}
+
+TEST(CollapsedExactLaw, EpidemicMatchesEnumeratedDistribution) {
+    // n = 5: the survival table has two entries, so nearly every unclamped
+    // super-step executes a collision — the collision resolver and the
+    // batch assignment are both load-bearing here.
+    const auto protocol = make_epidemic_protocol();
+    const CountVector initial = {4, 1};
+    for (const ObservationSetup setup :
+         {ObservationSetup::kUnobserved, ObservationSetup::kSnapshotEveryOne,
+          ObservationSetup::kSnapshotEveryTwo, ObservationSetup::kCheckpointed}) {
+        expect_matches_exact_law(*protocol, initial, /*steps=*/6, setup);
+    }
+}
+
+TEST(CollapsedExactLaw, MajorityMatchesEnumeratedDistribution) {
+    // Multi-state protocol ([x_0 - x_1 < 0] threshold atom): the
+    // state-pair matrix cascade runs over more than two states.
+    const auto protocol = make_threshold_protocol({1, -1}, 0);
+    const auto config = CountConfiguration::from_input_counts(*protocol, {2, 3});
+    for (const ObservationSetup setup :
+         {ObservationSetup::kUnobserved, ObservationSetup::kSnapshotEveryOne,
+          ObservationSetup::kCheckpointed}) {
+        expect_matches_exact_law(*protocol, config.counts(), /*steps=*/5, setup);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+
+void expect_same_run(const RunResult& actual, const RunResult& expected) {
+    EXPECT_EQ(actual.stop_reason, expected.stop_reason);
+    EXPECT_EQ(actual.interactions, expected.interactions);
+    EXPECT_EQ(actual.effective_interactions, expected.effective_interactions);
+    EXPECT_EQ(actual.last_output_change, expected.last_output_change);
+    EXPECT_EQ(actual.final_configuration, expected.final_configuration);
+    EXPECT_EQ(actual.consensus, expected.consensus);
+    EXPECT_EQ(actual.engine, expected.engine);
+}
+
+TEST(CollapsedCheckpointResume, BitIdenticalAgainstCheckpointedBaseline) {
+    // Unlike the per-interaction engines, the collapsed baseline must
+    // itself be checkpointed: checkpoint boundaries clamp super-steps, so
+    // only a resumed run with the *same* boundary sequence replays the
+    // stream bit for bit (run_loop_test's harness, which compares against
+    // an un-checkpointed baseline, intentionally does not apply).  With
+    // checkpoint_every = 7 and E[L] ~ 0.63 sqrt(64) ~ 5, most boundaries
+    // cut a proposed run mid-flight, exercising the clamped path.
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {57, 7});
+    RunOptions options;
+    options.seed = 11;
+    options.max_interactions = 600;
+
+    CollectingSink sink;
+    options.checkpoint_every = 7;
+    options.checkpoint_sink = &sink;
+    const RunResult baseline = simulate_collapsed(*protocol, initial, options);
+    ASSERT_FALSE(sink.checkpoints.empty());
+
+    for (const RunCheckpoint& checkpoint : sink.checkpoints) {
+        EXPECT_EQ(checkpoint.interactions % 7, 0u);
+        // Resume from the text round-trip, exactly as a CLI would.
+        const RunCheckpoint reloaded = checkpoint_from_string(checkpoint_to_string(checkpoint));
+        CollectingSink resumed_sink;
+        RunOptions resumed = options;
+        resumed.checkpoint_sink = &resumed_sink;
+        resumed.resume_from = &reloaded;
+        expect_same_run(simulate_collapsed(*protocol, initial, resumed), baseline);
+
+        // The resumed run's checkpoints must be the exact suffix of the
+        // baseline's — same cuts, same RNG positions, same counts.
+        std::vector<RunCheckpoint> expected_suffix;
+        for (const RunCheckpoint& later : sink.checkpoints)
+            if (later.interactions > checkpoint.interactions) expected_suffix.push_back(later);
+        EXPECT_EQ(resumed_sink.checkpoints, expected_suffix)
+            << "resumed from cut at " << checkpoint.interactions;
+    }
+}
+
+TEST(CollapsedCheckpointResume, RejectsForeignCheckpoints) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 2});
+    RunOptions options;
+    options.seed = 2;
+    CollectingSink sink;
+    options.checkpoint_every = 20;
+    options.checkpoint_sink = &sink;
+    simulate_counts(*protocol, initial, options);
+    ASSERT_FALSE(sink.checkpoints.empty());
+
+    RunOptions resume;
+    resume.resume_from = &sink.checkpoints.front();
+    EXPECT_THROW(simulate_collapsed(*protocol, initial, resume), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Silence, validation, and accounting
+
+TEST(CollapsedSimulator, EpidemicRunsSilentWithExactEffectiveCount) {
+    // Every effective epidemic interaction infects exactly one susceptible,
+    // so the aggregate effective count across batches and collisions must
+    // come out to the initial susceptible count on the nose.
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {25, 5});
+    RunOptions options;
+    options.seed = 5;
+    const RunResult result = simulate_collapsed(*protocol, initial, options);
+    EXPECT_EQ(result.stop_reason, StopReason::kSilent);
+    EXPECT_EQ(result.final_configuration.counts(), (CountVector{0, 30}));
+    EXPECT_EQ(result.effective_interactions, 25u);
+    ASSERT_TRUE(result.consensus.has_value());
+    EXPECT_EQ(*result.consensus, 1u);
+}
+
+TEST(CollapsedSimulator, InitiallySilentConfigurationStopsAtZero) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {0, 30});
+    RunOptions options;
+    options.seed = 9;
+    const RunResult result = simulate_collapsed(*protocol, initial, options);
+    EXPECT_EQ(result.stop_reason, StopReason::kSilent);
+    EXPECT_EQ(result.interactions, 0u);
+    EXPECT_EQ(result.effective_interactions, 0u);
+}
+
+TEST(CollapsedSimulator, ValidatesInputs) {
+    const auto protocol = make_epidemic_protocol();
+    RunOptions options;
+    // Population of one.
+    EXPECT_THROW(simulate_collapsed(
+                     *protocol, CountConfiguration::from_input_counts(*protocol, {1, 0}), options),
+                 std::invalid_argument);
+    // Configuration from a different protocol shape.
+    const auto counting = make_counting_protocol(4);
+    EXPECT_THROW(
+        simulate_collapsed(*protocol,
+                           CountConfiguration::from_input_counts(*counting, {5, 5}), options),
+        std::invalid_argument);
+    // Engine-field mismatch in both directions.
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {5, 5});
+    options.engine = SimulationEngine::kCountBatch;
+    EXPECT_THROW(simulate_collapsed(*protocol, initial, options), std::invalid_argument);
+    options.engine = SimulationEngine::kCollapsedBatch;
+    EXPECT_THROW(simulate_counts(*protocol, initial, options), std::invalid_argument);
+    EXPECT_NO_THROW(simulate_collapsed(*protocol, initial, options));
+}
+
+TEST(CollapsedSimulator, EngineNameRoundTrips) {
+    EXPECT_STREQ(observed_engine_name(ObservedEngine::kCollapsed), "collapsed");
+    ObservedEngine parsed = ObservedEngine::kAgentArray;
+    ASSERT_TRUE(observed_engine_from_name("collapsed", parsed));
+    EXPECT_EQ(parsed, ObservedEngine::kCollapsed);
+}
+
+// ---------------------------------------------------------------------------
+// run_simulation dispatch (RunResult::engine reports the executed engine)
+
+TEST(RunSimulationDispatch, AutoSelectsBySize) {
+    const auto protocol = make_epidemic_protocol();
+    RunOptions options;
+    options.seed = 3;
+    options.max_interactions = 200;
+
+    const auto run_auto = [&](std::uint64_t susceptible) {
+        const auto initial =
+            CountConfiguration::from_input_counts(*protocol, {susceptible, 1});
+        return run_simulation(*protocol, initial, options).engine;
+    };
+
+    // Below the count-batch threshold: the reference agent array.
+    EXPECT_EQ(run_auto(100), ObservedEngine::kAgentArray);
+    EXPECT_EQ(run_auto(kAutoCountBatchThreshold - 2), ObservedEngine::kAgentArray);
+    // At and above it: count-batch, up to the collapsed threshold.
+    EXPECT_EQ(run_auto(kAutoCountBatchThreshold - 1), ObservedEngine::kCountBatch);
+    EXPECT_EQ(run_auto(kAutoCollapsedThreshold - 2), ObservedEngine::kCountBatch);
+    // At and above the collapsed threshold: the collapsed engine.
+    EXPECT_EQ(run_auto(kAutoCollapsedThreshold - 1), ObservedEngine::kCollapsed);
+}
+
+TEST(RunSimulationDispatch, PinnedEnginesAreHonoredAtAnySize) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {60, 4});
+    RunOptions options;
+    options.seed = 3;
+    options.max_interactions = 100;
+
+    options.engine = SimulationEngine::kAgentArray;
+    EXPECT_EQ(run_simulation(*protocol, initial, options).engine, ObservedEngine::kAgentArray);
+    options.engine = SimulationEngine::kCountBatch;
+    EXPECT_EQ(run_simulation(*protocol, initial, options).engine, ObservedEngine::kCountBatch);
+    options.engine = SimulationEngine::kCollapsedBatch;
+    EXPECT_EQ(run_simulation(*protocol, initial, options).engine, ObservedEngine::kCollapsed);
+}
+
+TEST(RunSimulationDispatch, DirectEntryPointsReportTheirEngine) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {20, 2});
+    RunOptions options;
+    options.seed = 4;
+    options.max_interactions = 50;
+    EXPECT_EQ(simulate(*protocol, initial, options).engine, ObservedEngine::kAgentArray);
+    EXPECT_EQ(simulate_counts(*protocol, initial, options).engine, ObservedEngine::kCountBatch);
+    EXPECT_EQ(simulate_collapsed(*protocol, initial, options).engine,
+              ObservedEngine::kCollapsed);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -1,24 +1,30 @@
 // Engine parity under observation.
 //
-// The agent-array and count-batch engines intentionally consume different
-// RNG streams (batch_simulator.h: "a fixed seed yields a different, equally
-// valid trajectory"), so a same-seed run cannot produce pathwise-identical
-// count vectors across engines.  This file verifies the strongest parity
-// that *is* true, which together pins down the observation contract:
+// The agent-array, count-batch, and collapsed engines intentionally consume
+// different RNG streams (batch_simulator.h: "a fixed seed yields a
+// different, equally valid trajectory"), so a same-seed run cannot produce
+// pathwise-identical count vectors across engines.  This file verifies the
+// strongest parity that *is* true, which together pins down the observation
+// contract:
 //
 //  1. Snapshot *indices* are identical across engines for budget-pinned
 //     runs: the schedule is deterministic and trajectory-independent, and
-//     both engines emit every scheduled index up to the stop index — the
+//     every engine emits every scheduled index up to the stop index — the
 //     batch engine by clamping its geometric null jumps at snapshot
-//     boundaries.
+//     boundaries, the collapsed engine by clamping its super-steps there.
 //  2. Per-engine snapshot *count vectors* are exact: the snapshot at index
 //     k equals the final configuration of the same-seed run truncated at
 //     max_interactions = k (the truncated run replays an identical RNG
 //     prefix).  For the batch engine this directly validates the clamping
-//     logic — most tested indices fall inside null jumps.
+//     logic — most tested indices fall inside null jumps.  For the
+//     collapsed engine the truncated run must keep the identical snapshot
+//     schedule: super-step boundaries shape the stream itself, so only a
+//     replay with the same boundary sequence is bit-identical
+//     (collapsed_simulator.h — equivalence across *different* observation
+//     setups is distributional, which is what test 3 checks).
 //  3. Across engines the trajectories agree *distributionally*: the mean
-//     epidemic infection level at a fixed snapshot index matches between
-//     engines over many seeds.
+//     epidemic infection level at a fixed snapshot index matches across all
+//     three engines over many seeds.
 
 #include <gtest/gtest.h>
 
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "core/batch_simulator.h"
+#include "core/collapsed_simulator.h"
 #include "core/observer.h"
 #include "core/simulator.h"
 #include "observe/trace_recorder.h"
@@ -66,10 +73,28 @@ std::vector<ParityCase> parity_cases() {
     return cases;
 }
 
+constexpr SimulationEngine kParityEngines[] = {SimulationEngine::kAgentArray,
+                                               SimulationEngine::kCountBatch,
+                                               SimulationEngine::kCollapsedBatch};
+
+const char* engine_label(SimulationEngine engine) {
+    switch (engine) {
+        case SimulationEngine::kAgentArray: return "agent_array";
+        case SimulationEngine::kCountBatch: return "count_batch";
+        case SimulationEngine::kCollapsedBatch: return "collapsed";
+        case SimulationEngine::kAuto: return "auto";
+    }
+    return "?";
+}
+
 RunResult run_engine(const TabulatedProtocol& protocol, const CountConfiguration& initial,
                      SimulationEngine engine, const RunOptions& options) {
-    return engine == SimulationEngine::kAgentArray ? simulate(protocol, initial, options)
-                                                   : simulate_counts(protocol, initial, options);
+    switch (engine) {
+        case SimulationEngine::kAgentArray: return simulate(protocol, initial, options);
+        case SimulationEngine::kCollapsedBatch:
+            return simulate_collapsed(protocol, initial, options);
+        default: return simulate_counts(protocol, initial, options);
+    }
 }
 
 std::vector<std::uint64_t> snapshot_indices(const TraceRecorder& recorder) {
@@ -103,33 +128,27 @@ TEST(EngineParity, SnapshotIndicesAgreeAcrossEngines) {
             options.seed = 42;
             options.snapshots = schedules[s];
 
-            TraceRecorder agent_trace;
-            options.observer = &agent_trace;
-            const RunResult agent_result = run_engine(*test_case.protocol, test_case.initial,
-                                                      SimulationEngine::kAgentArray, options);
-
-            TraceRecorder batch_trace;
-            options.observer = &batch_trace;
-            const RunResult batch_result = run_engine(*test_case.protocol, test_case.initial,
-                                                      SimulationEngine::kCountBatch, options);
-
-            // Budget-pinned by construction: both engines ran the full
-            // budget, so both saw the complete scheduled prefix.
-            ASSERT_EQ(agent_result.stop_reason, StopReason::kBudget);
-            ASSERT_EQ(batch_result.stop_reason, StopReason::kBudget);
-            ASSERT_EQ(agent_result.interactions, test_case.budget);
-            ASSERT_EQ(batch_result.interactions, test_case.budget);
-
             const std::vector<std::uint64_t> expected =
                 expected_indices(schedules[s], test_case.budget);
-            EXPECT_EQ(snapshot_indices(agent_trace), expected);
-            EXPECT_EQ(snapshot_indices(batch_trace), expected);
+            for (const SimulationEngine engine : kParityEngines) {
+                SCOPED_TRACE(engine_label(engine));
+                TraceRecorder trace;
+                options.observer = &trace;
+                const RunResult result =
+                    run_engine(*test_case.protocol, test_case.initial, engine, options);
 
-            // Snapshots of both engines describe the same population.
-            for (const TraceSnapshot& snapshot : batch_trace.snapshots()) {
-                std::uint64_t total = 0;
-                for (const std::uint64_t count : snapshot.counts) total += count;
-                EXPECT_EQ(total, test_case.initial.population_size());
+                // Budget-pinned by construction: every engine ran the full
+                // budget, so every engine saw the complete scheduled prefix.
+                ASSERT_EQ(result.stop_reason, StopReason::kBudget);
+                ASSERT_EQ(result.interactions, test_case.budget);
+                EXPECT_EQ(snapshot_indices(trace), expected);
+
+                // Snapshots of every engine describe the same population.
+                for (const TraceSnapshot& snapshot : trace.snapshots()) {
+                    std::uint64_t total = 0;
+                    for (const std::uint64_t count : snapshot.counts) total += count;
+                    EXPECT_EQ(total, test_case.initial.population_size());
+                }
             }
         }
     }
@@ -142,12 +161,18 @@ TEST(EngineParity, SnapshotsEqualTruncatedRunFinalConfigurations) {
     // perturbed the run or a snapshot was stamped at the wrong index.  For
     // the batch engine most k fall inside geometric null jumps, so this is
     // the sharpest test of the jump-clamping logic.
+    //
+    // The collapsed engine's prefix identity is conditional: super-step
+    // clamping shapes the RNG stream, so the truncated run must keep the
+    // identical snapshot schedule (every scheduled index <= k is a clamp
+    // boundary in both runs, and k itself clamps the crossing super-step —
+    // as the budget in the truncated run, as a snapshot in the observed
+    // one).  Dropping the schedule, as the per-interaction engines may,
+    // would change the boundary sequence and yield a different (equally
+    // valid) trajectory.
     for (const ParityCase& test_case : parity_cases()) {
-        for (const SimulationEngine engine :
-             {SimulationEngine::kAgentArray, SimulationEngine::kCountBatch}) {
-            SCOPED_TRACE(test_case.name +
-                         (engine == SimulationEngine::kAgentArray ? ", agent_array"
-                                                                  : ", count_batch"));
+        for (const SimulationEngine engine : kParityEngines) {
+            SCOPED_TRACE(test_case.name + ", " + engine_label(engine));
 
             RunOptions options;
             options.max_interactions = test_case.budget;
@@ -161,8 +186,13 @@ TEST(EngineParity, SnapshotsEqualTruncatedRunFinalConfigurations) {
 
             for (const TraceSnapshot& snapshot : recorder.snapshots()) {
                 RunOptions truncated = options;
-                truncated.observer = nullptr;
-                truncated.snapshots = SnapshotSchedule();
+                TraceRecorder replay_trace;
+                if (engine == SimulationEngine::kCollapsedBatch) {
+                    truncated.observer = &replay_trace;  // keep the schedule
+                } else {
+                    truncated.observer = nullptr;
+                    truncated.snapshots = SnapshotSchedule();
+                }
                 truncated.max_interactions = snapshot.interaction_index;
                 const RunResult replay =
                     run_engine(*test_case.protocol, test_case.initial, engine, truncated);
@@ -211,11 +241,15 @@ TEST(EngineParity, EpidemicTrajectoriesAgreeDistributionally) {
     };
 
     const double agent_mean = mean_infected_at_snapshot(SimulationEngine::kAgentArray);
-    const double batch_mean = mean_infected_at_snapshot(SimulationEngine::kCountBatch);
     EXPECT_GT(agent_mean, 1.0);
-    EXPECT_GT(batch_mean, 1.0);
-    EXPECT_NEAR(agent_mean, batch_mean, 0.15 * agent_mean)
-        << "agent_array mean " << agent_mean << " vs count_batch mean " << batch_mean;
+    for (const SimulationEngine engine :
+         {SimulationEngine::kCountBatch, SimulationEngine::kCollapsedBatch}) {
+        const double engine_mean = mean_infected_at_snapshot(engine);
+        EXPECT_GT(engine_mean, 1.0);
+        EXPECT_NEAR(agent_mean, engine_mean, 0.15 * agent_mean)
+            << "agent_array mean " << agent_mean << " vs " << engine_label(engine)
+            << " mean " << engine_mean;
+    }
 }
 
 }  // namespace

@@ -3,11 +3,104 @@
 #ifndef POPPROTO_TESTS_TEST_UTIL_H
 #define POPPROTO_TESTS_TEST_UTIL_H
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace popproto::testutil {
+
+/// Outcome of a chi-square goodness-of-fit test (chi_square_gof below).
+struct ChiSquareResult {
+    double statistic = 0.0;       ///< Pearson X^2 over the merged bins
+    double critical = 0.0;        ///< 0.999 quantile of chi-square(df)
+    std::size_t bins = 0;         ///< number of merged bins (df = bins - 1)
+    bool pass = false;            ///< statistic <= critical
+
+    std::string summary() const {
+        return "X^2 = " + std::to_string(statistic) + " vs critical(0.999) = " +
+               std::to_string(critical) + " with " + std::to_string(bins) + " bins";
+    }
+};
+
+/// Pearson chi-square goodness-of-fit of observed category counts against
+/// expected category probabilities (categories are index-aligned; the
+/// probabilities may sum to < 1 — the missing tail becomes a final
+/// category with observed count `total_draws - sum(observed)`).
+///
+/// Adjacent categories are merged until every bin's expected count is at
+/// least 5 (the textbook validity rule), and the critical value is the
+/// 0.999 chi-square quantile via the Wilson-Hilferty cube approximation —
+/// a deterministic test with fixed seeds flakes never, and a wrong sampler
+/// overshoots this threshold by orders of magnitude.
+inline ChiSquareResult chi_square_gof(const std::vector<std::uint64_t>& observed,
+                                      const std::vector<double>& expected_probability,
+                                      std::uint64_t total_draws) {
+    const double total = static_cast<double>(total_draws);
+
+    // Fold the unlisted tail into one extra category.
+    std::vector<double> expected;
+    std::vector<double> obs;
+    double prob_sum = 0.0;
+    std::uint64_t obs_sum = 0;
+    for (std::size_t i = 0; i < expected_probability.size(); ++i) {
+        expected.push_back(expected_probability[i] * total);
+        obs.push_back(i < observed.size() ? static_cast<double>(observed[i]) : 0.0);
+        prob_sum += expected_probability[i];
+        if (i < observed.size()) obs_sum += observed[i];
+    }
+    if (prob_sum < 1.0 - 1e-12 || obs_sum < total_draws) {
+        expected.push_back((1.0 - prob_sum) * total);
+        obs.push_back(static_cast<double>(total_draws - obs_sum));
+    }
+
+    // Merge adjacent categories until every bin expects >= 5.
+    std::vector<double> bin_obs;
+    std::vector<double> bin_exp;
+    double acc_obs = 0.0;
+    double acc_exp = 0.0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        acc_obs += obs[i];
+        acc_exp += expected[i];
+        if (acc_exp >= 5.0) {
+            bin_obs.push_back(acc_obs);
+            bin_exp.push_back(acc_exp);
+            acc_obs = acc_exp = 0.0;
+        }
+    }
+    if (acc_exp > 0.0 || acc_obs > 0.0) {
+        if (!bin_exp.empty()) {
+            bin_obs.back() += acc_obs;
+            bin_exp.back() += acc_exp;
+        } else {
+            bin_obs.push_back(acc_obs);
+            bin_exp.push_back(acc_exp);
+        }
+    }
+
+    ChiSquareResult result;
+    result.bins = bin_exp.size();
+    for (std::size_t i = 0; i < bin_exp.size(); ++i) {
+        const double diff = bin_obs[i] - bin_exp[i];
+        result.statistic += diff * diff / bin_exp[i];
+    }
+    if (result.bins < 2) {
+        // Everything collapsed into one bin: the distribution is (near-)
+        // degenerate and any sample passes trivially.
+        result.critical = 0.0;
+        result.pass = result.statistic == 0.0;
+        return result;
+    }
+    // Wilson-Hilferty: chi2_q(df) ~ df * (1 - 2/(9 df) + z sqrt(2/(9 df)))^3,
+    // z = Phi^-1(0.999) = 3.0902.
+    const double df = static_cast<double>(result.bins - 1);
+    const double h = 2.0 / (9.0 * df);
+    const double core = 1.0 - h + 3.0902 * std::sqrt(h);
+    result.critical = df * core * core * core;
+    result.pass = result.statistic <= result.critical;
+    return result;
+}
 
 /// Calls `visit` with every vector of `slots` non-negative integers summing
 /// to exactly `total` (the input-count assignments of a population of size
