@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "bench_util.h"
 #include "core/batch_simulator.h"
 #include "core/configuration.h"
 #include "core/simulator.h"
@@ -104,4 +105,4 @@ BENCHMARK(BM_FluidVsSimulationEpidemic)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POPPROTO_BENCHMARK_MAIN()

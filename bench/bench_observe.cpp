@@ -21,6 +21,7 @@
 
 #include <sstream>
 
+#include "bench_util.h"
 #include "core/batch_simulator.h"
 #include "core/observer.h"
 #include "core/simulator.h"
@@ -166,4 +167,4 @@ BENCHMARK(BM_BatchJsonl);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POPPROTO_BENCHMARK_MAIN()

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/batch_simulator.h"
 #include "core/simulator.h"
 #include "graphs/graph_simulation.h"
@@ -185,4 +186,4 @@ BENCHMARK(BM_UrnDraws);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+POPPROTO_BENCHMARK_MAIN()

@@ -66,4 +66,38 @@ inline double stddev(const std::vector<double>& values) {
 
 }  // namespace popproto::bench
 
+/// Drop-in replacement for BENCHMARK_MAIN() in the google-benchmark suites
+/// (the including .cpp must include <benchmark/benchmark.h> first).  It
+/// stamps the *binary's* build type into the JSON context as
+/// "popproto_build_type" before running.  google-benchmark's own
+/// "library_build_type" describes the distro-packaged *library* — Debian
+/// ships it as a debug build, so that key says "debug" even for a -O3
+/// binary — and bench/run_benches.sh --compare trusts our key over it when
+/// refusing debug baselines.  "popproto_lto" records whether the toolchain
+/// applied interprocedural optimization (CMakeLists.txt sets POPPROTO_LTO
+/// on Release builds when supported), so a baseline records the exact
+/// optimization regime it was measured under.
+#ifdef NDEBUG
+#define POPPROTO_BENCH_BUILD_TYPE "release"
+#else
+#define POPPROTO_BENCH_BUILD_TYPE "debug"
+#endif
+#ifdef POPPROTO_LTO
+#define POPPROTO_BENCH_LTO "on"
+#else
+#define POPPROTO_BENCH_LTO "off"
+#endif
+
+#define POPPROTO_BENCHMARK_MAIN()                                              \
+    int main(int argc, char** argv) {                                          \
+        benchmark::AddCustomContext("popproto_build_type",                     \
+                                    POPPROTO_BENCH_BUILD_TYPE);                \
+        benchmark::AddCustomContext("popproto_lto", POPPROTO_BENCH_LTO);       \
+        benchmark::Initialize(&argc, argv);                                    \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+        benchmark::RunSpecifiedBenchmarks();                                   \
+        benchmark::Shutdown();                                                 \
+        return 0;                                                              \
+    }
+
 #endif  // POPPROTO_BENCH_BENCH_UTIL_H

@@ -14,10 +14,15 @@
 # --compare runs a fresh short pass of the engine suites (bench_throughput
 # and bench_collapsed) and diffs their per-benchmark real_time against the
 # committed BENCH_<name>.json baselines at the repository root, failing when
-# any benchmark regresses by more than 15% — the perf gate for
-# run-loop/engine refactors (wired into scripts/ci.sh).  Both sides are
-# reduced to the per-benchmark MINIMUM over repetitions, so refresh a
-# committed baseline with the same protocol the gate uses:
+# any benchmark regresses by more than 15% beyond the suite-wide median
+# ratio (host-drift normalization: shared boxes swing the whole suite
+# together, a real regression moves its benchmarks away from the pack) —
+# the perf gate for run-loop/engine refactors (wired into scripts/ci.sh).
+# Baselines must come from Release builds: the gate refuses "debug"
+# recordings outright (bench_util.h stamps popproto_build_type into the
+# JSON context).  Both sides are reduced to the per-benchmark MINIMUM over
+# repetitions, so refresh a committed baseline with the same protocol the
+# gate uses:
 #
 #   build/bench/bench_throughput --benchmark_format=json \
 #       --benchmark_min_time=0.05 --benchmark_repetitions=5 \
@@ -102,17 +107,53 @@ if (( COMPARE )); then
     echo "== $name vs committed baseline =="
     python3 - "$baseline" "$fresh" <<'EOF'
 import json
+import statistics
 import sys
 
-THRESHOLD = 0.15  # fail on >15% real_time regression
+# Fail on a >15% real_time regression *beyond the suite-wide drift*.  On a
+# shared box the whole suite swings together with tenant load and frequency
+# scaling (uniform 1.3x drifts observed between recording and comparing),
+# so per-benchmark ratios are judged against the suite's median ratio: a
+# real engine regression moves its benchmarks away from the pack, while
+# host drift moves the pack as one.  The median itself is capped at
+# MAX_DRIFT so a change that slows *everything* down (e.g. dropping LTO)
+# cannot hide inside the normalization.
+THRESHOLD = 0.15
+MAX_DRIFT = 0.50
+
+# Recorded for the scaling tables but not regression-judged: the parallel
+# rows' wall time is dominated by how many cores the host can actually give
+# the shards (oversubscribed rows are pure scheduler noise), and the code
+# path behind them is already gated through BM_EpidemicDenseCollapsed.
+GATE_EXEMPT_PREFIXES = ("BM_CollapsedScaling/",)
 
 baseline_path, fresh_path = sys.argv[1], sys.argv[2]
 
 
-def load(path):
-    """Per-benchmark best real_time (min over repetitions, noise-robust)."""
+def build_type(data):
+    """The binary's build type.  "popproto_build_type" (bench_util.h's
+    POPPROTO_BENCHMARK_MAIN, from NDEBUG) is authoritative; the library's
+    own "library_build_type" is the fallback for baselines recorded before
+    that key existed — misleadingly "debug" wherever the distro ships a
+    debug libbenchmark, which is why the custom key wins."""
+    ctx = data.get("context", {})
+    return ctx.get("popproto_build_type", ctx.get("library_build_type", "unknown"))
+
+
+def load(path, side):
+    """Per-benchmark best real_time (min over repetitions, noise-robust).
+    Refuses non-release numbers: a debug-vs-release diff is meaningless in
+    both directions (stale debug baselines mask real regressions)."""
     with open(path) as f:
         data = json.load(f)
+    bt = build_type(data)
+    if bt != "release":
+        print(f"error: {side} {path} was recorded from a '{bt}' build; the\n"
+              f"perf gate only accepts release numbers.  Re-record it from a\n"
+              f"-DCMAKE_BUILD_TYPE=Release build with the min-of-repetitions\n"
+              f"protocol in bench/run_benches.sh's header comment.",
+              file=sys.stderr)
+        sys.exit(1)
     best = {}
     for b in data["benchmarks"]:
         if b.get("run_type", "iteration") == "aggregate":
@@ -122,28 +163,45 @@ def load(path):
     return best
 
 
-baseline = load(baseline_path)
-fresh = load(fresh_path)
+baseline = load(baseline_path, "committed baseline")
+fresh = load(fresh_path, "fresh run")
+
+ratios = {name: fresh[name] / base_time
+          for name, base_time in baseline.items() if name in fresh}
+drift = statistics.median(ratios.values()) if ratios else 1.0
+if drift > 1 + MAX_DRIFT:
+    print(f"\nFAIL: suite-wide median ratio {drift:.2f} exceeds the "
+          f"{1 + MAX_DRIFT:.2f} drift cap — this is not host noise, the "
+          f"whole suite got slower", file=sys.stderr)
+    sys.exit(1)
+# Only normalize by *slowdowns*: a uniformly faster host must not raise
+# the bar for individual benchmarks.
+drift = max(drift, 1.0)
 
 regressions = []
 width = max(map(len, baseline), default=4)
+print(f"suite-wide median ratio (host drift): {drift:.2f}")
 print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'ratio':>6}")
 for name, base_time in sorted(baseline.items()):
     if name not in fresh:
         print(f"{name:<{width}}  {base_time:>12.1f}  {'MISSING':>12}")
         regressions.append((name, None))
         continue
-    ratio = fresh[name] / base_time
-    flag = "  <-- REGRESSION" if ratio > 1 + THRESHOLD else ""
+    ratio = ratios[name]
+    exempt = name.startswith(GATE_EXEMPT_PREFIXES)
+    bad = not exempt and ratio > drift * (1 + THRESHOLD)
+    flag = "  <-- REGRESSION" if bad else ("  (not gated)" if exempt else "")
     print(f"{name:<{width}}  {base_time:>12.1f}  {fresh[name]:>12.1f}  {ratio:>6.2f}{flag}")
-    if ratio > 1 + THRESHOLD:
+    if bad:
         regressions.append((name, ratio))
 
 if regressions:
     print(f"\nFAIL: {len(regressions)} benchmark(s) regressed by more than "
-          f"{THRESHOLD:.0%} against {baseline_path}", file=sys.stderr)
+          f"{THRESHOLD:.0%} beyond the {drift:.2f} suite drift against "
+          f"{baseline_path}", file=sys.stderr)
     sys.exit(1)
-print(f"\nOK: all benchmarks within {THRESHOLD:.0%} of the committed baseline")
+print(f"\nOK: all benchmarks within {THRESHOLD:.0%} of the committed baseline "
+      f"(after {drift:.2f} drift normalization)")
 EOF
   done
 fi

@@ -28,6 +28,9 @@
 //                prefer it at n >= 2^20; weighted runs with unit weights;
 //                graph activates uniform random edges of --graph and never
 //                falls silent)
+//   --threads K  intra-run worker threads (collapsed engine only; 0 = all
+//                hardware threads, default 1).  Fixed (seed, K) runs are
+//                bit-identical; different K agree in distribution only.
 //   --graph G    complete | ring | line | star        (default ring;
 //                only with --engine graph)
 //   --every P    fixed snapshot period                (default: n / 4)
@@ -81,7 +84,8 @@ using namespace popproto;
                  "usage: trace_run [epidemic|counting|majority] [--predicate F] [--n N]\n"
                  "                 [--ones K] [--counts C0,C1,...] [--seed S] [--budget B]\n"
                  "                 [--engine batch|collapsed|agent|weighted|graph]\n"
-                 "                 [--graph complete|ring|line|star] [--every P | --log F]\n"
+                 "                 [--threads K] [--graph complete|ring|line|star]\n"
+                 "                 [--every P | --log F]\n"
                  "                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                  "                 [--no-counts] [--metrics]\n");
     std::exit(2);
@@ -165,6 +169,8 @@ int main(int argc, char** argv) {
     std::uint64_t every = 0;        // 0 = n / 4
     double log_factor = 0.0;        // 0 = use --every
     std::string engine_name;        // empty = batch, or inferred from --resume
+    std::uint64_t threads = 1;      // --threads; 0 = hardware concurrency
+    bool threads_given = false;
     std::string graph_name = "ring";
     std::string checkpoint_path;
     std::uint64_t checkpoint_every = 0;  // 0 = budget / 16
@@ -201,6 +207,9 @@ int main(int argc, char** argv) {
                 engine_name != "graph")
                 usage_error("--engine: expected batch, collapsed, agent, weighted, or graph, "
                             "got " + engine_name);
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            threads = parse_u64(arg, next());
+            threads_given = true;
         } else if (std::strcmp(arg, "--graph") == 0) {
             graph_name = next();
         } else if (std::strcmp(arg, "--checkpoint") == 0) {
@@ -278,10 +287,25 @@ int main(int argc, char** argv) {
             case ObservedEngine::kAgentArray: file_engine = "agent"; break;
             case ObservedEngine::kCountBatch: file_engine = "batch"; break;
             case ObservedEngine::kCollapsed: file_engine = "collapsed"; break;
+            case ObservedEngine::kParallelCollapsed: file_engine = "collapsed"; break;
             case ObservedEngine::kWeighted: file_engine = "weighted"; break;
             case ObservedEngine::kGraph: file_engine = "graph"; break;
             case ObservedEngine::kScheduler:
                 usage_error("--resume: scheduler runs cannot be checkpointed");
+        }
+        // A parallel-collapsed checkpoint fixes the shard count; infer
+        // --threads from the file (and reject a conflicting explicit value
+        // here, where the message can name both numbers).
+        const std::uint64_t file_threads = resume_checkpoint.shard_rngs.size();
+        if (resume_checkpoint.engine == ObservedEngine::kParallelCollapsed) {
+            if (threads_given && threads != file_threads)
+                usage_error("--resume: " + resume_path + " was taken with " +
+                            std::to_string(file_threads) + " threads, but --threads requests " +
+                            std::to_string(threads));
+            threads = file_threads;
+        } else if (threads_given && threads > 1) {
+            usage_error("--resume: " + resume_path +
+                        " was taken by a serial engine; drop --threads to resume it");
         }
         if (engine_name.empty())
             engine_name = file_engine;
@@ -291,9 +315,13 @@ int main(int argc, char** argv) {
     }
     if (engine_name.empty()) engine_name = "batch";
 
+    if (threads > 1 && engine_name != "collapsed")
+        usage_error("--threads: only --engine collapsed runs with more than one thread");
+
     RunOptions options;
     options.max_interactions = budget != 0 ? budget : default_budget(n);
     options.seed = seed;
+    options.threads = static_cast<unsigned>(threads);
     options.snapshots = log_factor != 0.0
                             ? SnapshotSchedule::log_spaced(log_factor)
                             : SnapshotSchedule::every(every != 0 ? every : std::max<std::uint64_t>(

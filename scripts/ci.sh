@@ -7,30 +7,36 @@
 #                                                 tree, recorded BENCH_*.json
 #                                                 at the root are untouched)
 #   3. bench/run_benches.sh --compare            (perf gate: bench_throughput
-#                                                 within 15% of the committed
-#                                                 baseline)
+#                                                 and bench_collapsed within
+#                                                 15% of the committed
+#                                                 release baselines)
 #   4. scripts/check.sh                          (asan+ubsan build + ctest)
+#   5. scripts/check.sh --tsan                   (ThreadSanitizer build over
+#                                                 the parallel-engine tests)
 #
 # Usage: scripts/ci.sh [build-dir]
-#   build-dir  defaults to <repo>/build; the sanitizer stage always uses
-#              its own <repo>/build-check tree (see check.sh).
+#   build-dir  defaults to <repo>/build; the sanitizer stages always use
+#              their own <repo>/build-check{,-tsan} trees (see check.sh).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 
-echo "ci.sh: [1/4] plain build + tests"
+echo "ci.sh: [1/5] plain build + tests"
 cmake -B "$BUILD_DIR" -S "$ROOT"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "ci.sh: [2/4] benchmark smoke pass"
+echo "ci.sh: [2/5] benchmark smoke pass"
 "$ROOT/bench/run_benches.sh" --smoke "$BUILD_DIR"
 
-echo "ci.sh: [3/4] benchmark perf gate"
+echo "ci.sh: [3/5] benchmark perf gate"
 "$ROOT/bench/run_benches.sh" --compare "$BUILD_DIR"
 
-echo "ci.sh: [4/4] sanitized suite"
+echo "ci.sh: [4/5] sanitized suite"
 "$ROOT/scripts/check.sh"
+
+echo "ci.sh: [5/5] data-race gate"
+"$ROOT/scripts/check.sh" --tsan
 
 echo "ci.sh: all gates passed"

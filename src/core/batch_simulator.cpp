@@ -215,6 +215,11 @@ RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfigura
         case SimulationEngine::kAuto:
             break;
     }
+    // A request for intra-run parallelism pins the collapsed engine: it is
+    // the only one that honours threads > 1, and letting the size-based
+    // choice route the request to a sequential engine would just trip the
+    // kernel's never-ignore check.
+    if (options.threads > 1) return simulate_collapsed(protocol, initial, options);
     // Size-based auto-selection (see the threshold constants in
     // simulator.h): the count engines need the multiset view anyway, so the
     // only inputs are the population and the documented crossover points.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/simd.h"
+
 namespace popproto {
 
 namespace {
@@ -61,6 +63,36 @@ double Rng::uniform01() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
+void Rng::jump() noexcept {
+    // Blackman & Vigna's jump constants for xoshiro256**: the state-update
+    // matrix raised to 2^128, expressed in the polynomial basis.
+    static constexpr std::uint64_t kJump[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : kJump) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (std::uint64_t{1} << bit)) {
+                s0 ^= state_[0];
+                s1 ^= state_[1];
+                s2 ^= state_[2];
+                s3 ^= state_[3];
+            }
+            (*this)();
+        }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+}
+
+Rng Rng::split() noexcept {
+    Rng child = *this;  // child keeps the current position...
+    jump();             // ...and the parent moves 2^128 draws past it
+    return child;
+}
+
 Rng::StreamState Rng::save_state() const noexcept {
     StreamState state;
     for (int i = 0; i < 4; ++i) state.words[static_cast<std::size_t>(i)] = state_[i];
@@ -96,6 +128,19 @@ double log_factorial(double x) noexcept {
 // log C(a, b) for 0 <= b <= a.
 double log_choose(double a, double b) noexcept {
     return log_factorial(a) - log_factorial(b) - log_factorial(a - b);
+}
+
+// log of the hypergeometric pmf at k:
+//   log [ C(s, k) C(f, d - k) / C(s + f, d) ]
+// expanded into its nine log-factorials and evaluated as a 4+4 signed
+// vector sum (core/simd.h) plus the one trailing term.  Identical grouping
+// in the SIMD and scalar builds keeps the two bit-compatible.
+double hypergeometric_log_pmf(double s, double f, double d, double k) noexcept {
+    const double plus[4] = {log_factorial(s), log_factorial(f), log_factorial(d),
+                            log_factorial(s + f - d)};
+    const double minus[4] = {log_factorial(k), log_factorial(s - k),
+                             log_factorial(d - k), log_factorial(f - d + k)};
+    return simd::sum4_minus_sum4(plus, minus) - log_factorial(s + f);
 }
 
 }  // namespace
@@ -167,8 +212,7 @@ std::uint64_t Rng::hypergeometric(std::uint64_t successes, std::uint64_t failure
     if (mode < lo) mode = lo;
     if (mode > hi) mode = hi;
     const double m = static_cast<double>(mode);
-    const double fmode = std::exp(log_choose(s, m) + log_choose(f, d - m) -
-                                  log_choose(s + f, d));
+    const double fmode = std::exp(hypergeometric_log_pmf(s, f, d, m));
     if (u < fmode) return mode;
     u -= fmode;
 

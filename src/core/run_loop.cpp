@@ -12,6 +12,11 @@ std::uint64_t default_budget(std::uint64_t population, double factor) {
     require(population >= 2, "default_budget: population too small");
     const double n = static_cast<double>(population);
     const double budget = factor * n * n * (std::log(n) + 1.0);
+    // n^2 log n clears 2^64 before n = 2^28; the float->int cast would be
+    // undefined there (observed as a budget of 1 at n = 2^30), so saturate:
+    // "effectively unbounded" is the honest meaning of the default at that
+    // scale, and runs stop on silence/stability long before.
+    if (budget >= static_cast<double>(~std::uint64_t{0})) return ~std::uint64_t{0};
     return static_cast<std::uint64_t>(budget) + 1;
 }
 
@@ -81,11 +86,15 @@ namespace {
 //   next_silence_check <c>
 //   changed_since_check <0|1>
 //   pending_skip <0|1> <remaining>
+//   shard_rngs <K> <w...>               (parallel collapsed engine only;
+//                                        4K words, shard-major)
 //   counts <k> <c0> ... <c{k-1}>        (count engines)
 //   agents <k> <s0> ... <s{k-1}>        (agent engines)
 //   end
 //
-// All integers are decimal.  Exactly one of counts/agents is present.
+// All integers are decimal.  Exactly one of counts/agents is present; the
+// shard_rngs line is present exactly when the engine carries shard streams
+// (it is a new optional line, so v1 readers of old checkpoints still work).
 
 std::uint64_t read_u64_field(std::istream& in, const char* key) {
     std::string word;
@@ -114,6 +123,12 @@ void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint) {
     out << "changed_since_check " << (checkpoint.changed_since_silence_check ? 1 : 0) << "\n";
     out << "pending_skip " << (checkpoint.has_pending_skip ? 1 : 0) << ' '
         << checkpoint.pending_null_skips << "\n";
+    if (!checkpoint.shard_rngs.empty()) {
+        out << "shard_rngs " << checkpoint.shard_rngs.size();
+        for (const Rng::StreamState& shard : checkpoint.shard_rngs)
+            for (const std::uint64_t word : shard.words) out << ' ' << word;
+        out << "\n";
+    }
     if (!checkpoint.counts.empty()) {
         out << "counts " << checkpoint.counts.size();
         for (const std::uint64_t count : checkpoint.counts) out << ' ' << count;
@@ -163,7 +178,21 @@ RunCheckpoint read_checkpoint(std::istream& in) {
             "read_checkpoint: bad pending_skip");
     checkpoint.has_pending_skip = has_pending != 0;
 
-    require(static_cast<bool>(in >> word) && (word == "counts" || word == "agents"),
+    require(static_cast<bool>(in >> word),
+            "read_checkpoint: expected 'shard_rngs', 'counts' or 'agents'");
+    if (word == "shard_rngs") {
+        std::uint64_t shards = 0;
+        require(static_cast<bool>(in >> shards) && shards >= 1 && shards <= 65536,
+                "read_checkpoint: bad shard count");
+        checkpoint.shard_rngs.resize(shards);
+        for (Rng::StreamState& shard : checkpoint.shard_rngs)
+            for (std::uint64_t& shard_word : shard.words)
+                require(static_cast<bool>(in >> shard_word),
+                        "read_checkpoint: bad shard RNG word");
+        require(static_cast<bool>(in >> word),
+                "read_checkpoint: expected 'counts' or 'agents'");
+    }
+    require(word == "counts" || word == "agents",
             "read_checkpoint: expected 'counts' or 'agents'");
     std::uint64_t length = 0;
     require(static_cast<bool>(in >> length), "read_checkpoint: bad payload length");

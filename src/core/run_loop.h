@@ -116,6 +116,13 @@ struct RunCheckpoint {
     bool has_pending_skip = false;
     std::uint64_t pending_null_skips = 0;
 
+    /// Parallel collapsed engine only: the per-shard child RNG streams, in
+    /// shard order (size == the run's thread count K).  Shards keep drawing
+    /// from their own streams across super-steps, so a checkpoint must
+    /// carry all K positions alongside the parent stream in `rng`; resuming
+    /// requires the same K (the serial engine leaves this empty).
+    std::vector<Rng::StreamState> shard_rngs;
+
     /// Multiset configuration (count engines: simulate_counts).
     std::vector<std::uint64_t> counts;
     /// Per-agent configuration (agent engines: simulate, simulate_weighted,
@@ -255,6 +262,16 @@ concept SuperStepStepper = StepperBase<S> && S::kSuperSteps && !S::kGeometricSki
 template <typename S>
 concept Stepper = SingleStepStepper<S> || SuperStepStepper<S>;
 
+/// Steppers that honour RunOptions::threads > 1 declare `static constexpr
+/// bool kParallel = true` (the sharded collapsed stepper is the only one).
+/// For every other stepper the kernel rejects threads > 1 up front, so a
+/// thread request can never be silently ignored by a sequential engine —
+/// the same never-ignore contract as SimulationEngine resolution.
+template <typename S>
+concept ParallelStepper = Stepper<S> && requires {
+    { S::kParallel } -> std::convertible_to<bool>;
+} && S::kParallel;
+
 // ---------------------------------------------------------------------------
 // The kernel
 
@@ -282,6 +299,13 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
     const std::uint64_t checkpoint_every = options.checkpoint_every;
     require(checkpoint_every == 0 || options.checkpoint_sink != nullptr,
             where + ": checkpoint_every requires a checkpoint_sink");
+    if constexpr (!ParallelStepper<S>) {
+        // threads == 0 (auto) is fine — it resolves to 1 for sequential
+        // engines — but an explicit request for parallelism is not.
+        require(options.threads <= 1,
+                where + ": this engine is sequential; threads > 1 is only "
+                        "supported by the collapsed engine");
+    }
 
     Rng rng(options.seed);
     RunResult result{CountConfiguration(protocol.num_states()), StopReason::kBudget, 0, 0, 0,

@@ -98,6 +98,18 @@ struct RunOptions {
     /// Engine selection; see the SimulationEngine resolution contract.
     SimulationEngine engine = SimulationEngine::kAuto;
 
+    /// Intra-run worker threads.  Only the collapsed engine parallelizes
+    /// (collapsed_simulator.h: super-steps are sharded across this many
+    /// workers); every other engine is inherently sequential and rejects
+    /// values > 1.  0 resolves to the hardware concurrency (clamped by
+    /// measure_trials so trials x shards never oversubscribes), 1 (the
+    /// default) is the serial engine.  For a fixed (seed, threads) the run
+    /// is bit-identical across machines and pool schedules; changing
+    /// `threads` changes the consumed RNG streams, so results across thread
+    /// counts agree in distribution, not bit for bit (threads >= 2 all
+    /// consume the same *parent* stream, but shard streams differ).
+    unsigned threads = 1;
+
     /// Run-trace instrumentation hook (core/observer.h); borrowed, may be
     /// nullptr (the default — costs one branch per interaction).  Observation
     /// never changes the RNG stream, so a run's RunResult is bit-identical

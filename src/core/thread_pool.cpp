@@ -1,0 +1,109 @@
+#include "core/thread_pool.h"
+
+#include "core/require.h"
+
+namespace popproto {
+
+ThreadPool::ThreadPool(std::size_t size) : size_(size) {
+    require(size >= 1, "ThreadPool: size must be at least 1");
+    workers_.reserve(size - 1);
+    for (std::size_t w = 0; w + 1 < size; ++w)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    round_start_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+    if (tasks == 0) return;
+    if (size_ == 1 || tasks == 1) {
+        // Serial path with the same semantics as the parallel one: every
+        // task executes, the first exception is rethrown after the batch.
+        std::exception_ptr first_error;
+        for (std::size_t i = 0; i < tasks; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+        if (first_error) std::rethrow_exception(first_error);
+        return;
+    }
+
+    std::uint64_t my_round = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        tasks_ = tasks;
+        next_task_ = 0;
+        completed_ = 0;
+        first_error_ = nullptr;
+        my_round = ++round_;
+    }
+    round_start_.notify_all();
+
+    drain_round(fn, my_round);  // the caller works its share too
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        round_done_.wait(lock, [&] { return completed_ == tasks_; });
+        fn_ = nullptr;  // workers that wake late see no work for this round
+        error = first_error_;
+        first_error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::uint64_t my_round = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            round_start_.wait(
+                lock, [&] { return stopping_ || (round_ != seen && fn_ != nullptr); });
+            if (stopping_) return;
+            seen = round_;
+            my_round = round_;
+            fn = fn_;
+        }
+        drain_round(*fn, my_round);
+    }
+}
+
+void ThreadPool::drain_round(const std::function<void(std::size_t)>& fn,
+                             std::uint64_t my_round) {
+    for (;;) {
+        std::size_t task = 0;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            // A stale worker waking into a later round must not claim its
+            // tasks with this round's function; the round check closes that
+            // window (claims and round bumps share mutex_).
+            if (round_ != my_round || next_task_ >= tasks_) return;
+            task = next_task_++;
+        }
+        try {
+            fn(task);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++completed_;
+            if (completed_ == tasks_) round_done_.notify_all();
+        }
+    }
+}
+
+}  // namespace popproto

@@ -1,0 +1,83 @@
+// A fixed-size fork-merge thread pool for intra-run parallelism.
+//
+// The parallel collapsed engine (collapsed_simulator.cpp) needs exactly one
+// concurrency shape: per super-step, fan K independent shard tasks across
+// K workers and barrier before the merge — thousands of short rounds over
+// the same worker set.  This pool serves that shape and nothing more: no
+// work stealing, no task queue, no futures.  `run(tasks, fn)` dispatches
+// fn(0) .. fn(tasks - 1) across the workers (the calling thread executes its
+// share too, so a pool of size K uses K - 1 spawned threads), blocks until
+// every task finished, and rethrows the first task exception on the caller.
+//
+// Determinism: the pool never influences *what* a task computes — shard k
+// always processes shard state k with shard RNG stream k — only *where* it
+// runs, so results are bit-identical across schedules and pool sizes by
+// construction of the callers.
+//
+// Thread safety: `run` may be called repeatedly from one thread at a time
+// (the simulation loop); the pool itself is not re-entrant.  Worker wakeup
+// uses one mutex + two condition variables (round start / round done), and
+// the round barrier gives the caller a happens-before edge over every
+// task's writes, so shard outputs can be merged without further locking.
+
+#ifndef POPPROTO_CORE_THREAD_POOL_H
+#define POPPROTO_CORE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace popproto {
+
+class ThreadPool {
+public:
+    /// A pool executing up to `size` tasks concurrently; `size` >= 1.  The
+    /// calling thread of run() counts toward the size, so `size - 1` worker
+    /// threads are spawned (size 1 spawns none and run() degenerates to a
+    /// serial loop).
+    explicit ThreadPool(std::size_t size);
+
+    /// Joins the workers.  Must not race with an in-flight run().
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return size_; }
+
+    /// Executes fn(0) .. fn(tasks - 1), each exactly once, across the
+    /// workers and the calling thread; returns after all complete (the
+    /// fork-merge barrier).  If any task throws, the first exception (in
+    /// completion order) is rethrown here after the barrier.
+    void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+    /// Claims and executes tasks of round `my_round` until it is drained or
+    /// superseded; each executed task contributes to `completed_`.
+    void drain_round(const std::function<void(std::size_t)>& fn, std::uint64_t my_round);
+
+    const std::size_t size_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable round_start_;
+    std::condition_variable round_done_;
+    // Guarded by mutex_: the current round's task function and bounds.
+    const std::function<void(std::size_t)>* fn_ = nullptr;
+    std::size_t tasks_ = 0;
+    std::size_t next_task_ = 0;
+    std::size_t completed_ = 0;
+    std::uint64_t round_ = 0;  // bumps per run(); workers wait for a new round
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_THREAD_POOL_H

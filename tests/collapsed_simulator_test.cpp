@@ -45,45 +45,10 @@ using testutil::ChiSquareResult;
 
 // ---------------------------------------------------------------------------
 // Exact k-step distribution of the uniform ordered-pair chain
+// (testutil::exact_chain_distribution, shared with parallel_collapsed_test)
 
 using CountVector = std::vector<std::uint64_t>;
 using Distribution = std::map<CountVector, double>;
-
-/// Exact distribution of the configuration after `steps` interactions of
-/// the uniform ordered-pair chain: P[(p, q)] = c_p (c_q - [p == q]) / n(n-1).
-/// Feasible only for tiny populations; that is the point — collisions and
-/// boundary clamps dominate the collapsed engine there.
-Distribution exact_distribution(const TabulatedProtocol& protocol, const CountVector& initial,
-                                std::uint64_t steps) {
-    const std::size_t num_states = protocol.num_states();
-    std::uint64_t n = 0;
-    for (const std::uint64_t count : initial) n += count;
-    const double total_pairs = static_cast<double>(n) * static_cast<double>(n - 1);
-
-    Distribution dist;
-    dist[initial] = 1.0;
-    for (std::uint64_t step = 0; step < steps; ++step) {
-        Distribution next_dist;
-        for (const auto& [config, prob] : dist) {
-            for (State p = 0; p < num_states; ++p) {
-                if (config[p] == 0) continue;
-                for (State q = 0; q < num_states; ++q) {
-                    const std::uint64_t pairs = config[p] * (config[q] - (p == q ? 1 : 0));
-                    if (pairs == 0) continue;
-                    const StatePair result = protocol.apply_fast(p, q);
-                    CountVector next = config;
-                    --next[p];
-                    --next[q];
-                    ++next[result.initiator];
-                    ++next[result.responder];
-                    next_dist[next] += prob * static_cast<double>(pairs) / total_pairs;
-                }
-            }
-        }
-        dist = std::move(next_dist);
-    }
-    return dist;
-}
 
 class CollectingSink final : public CheckpointSink {
 public:
@@ -110,7 +75,7 @@ const char* setup_label(ObservationSetup setup) {
 void expect_matches_exact_law(const TabulatedProtocol& protocol, const CountVector& initial_counts,
                               std::uint64_t steps, ObservationSetup setup) {
     SCOPED_TRACE(setup_label(setup));
-    const Distribution exact = exact_distribution(protocol, initial_counts, steps);
+    const Distribution exact = testutil::exact_chain_distribution(protocol, initial_counts, steps);
     const auto initial = CountConfiguration::from_state_counts(initial_counts);
 
     constexpr std::uint64_t kRuns = 4000;

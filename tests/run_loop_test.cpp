@@ -335,5 +335,15 @@ TEST(RunLoop, ResolvesZeroBudgetAndPeriodDefaults) {
     EXPECT_EQ(resolved_silence_check_period(options, 100), 9u);
 }
 
+TEST(RunLoop, DefaultBudgetSaturatesInsteadOfOverflowing) {
+    // 64 n^2 (ln n + 1) clears 2^64 before n = 2^28; the old float->int
+    // cast was undefined there and resolved n = 2^30 to a budget of 1.
+    EXPECT_EQ(default_budget(std::uint64_t{1} << 30), ~std::uint64_t{0});
+    EXPECT_EQ(default_budget(std::uint64_t{1} << 40), ~std::uint64_t{0});
+    // Below the overflow point the formula is untouched and monotone.
+    EXPECT_LT(default_budget(1 << 20), default_budget(1 << 22));
+    EXPECT_LT(default_budget(1 << 22), ~std::uint64_t{0});
+}
+
 }  // namespace
 }  // namespace popproto

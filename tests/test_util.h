@@ -6,8 +6,11 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "core/tabulated_protocol.h"
 
 namespace popproto::testutil {
 
@@ -127,6 +130,46 @@ inline void for_each_composition(std::uint64_t total, std::size_t slots,
 /// Signed copy of an unsigned count vector (for Formula::evaluate).
 inline std::vector<std::int64_t> to_signed(const std::vector<std::uint64_t>& counts) {
     return {counts.begin(), counts.end()};
+}
+
+/// Exact distribution of the configuration after `steps` interactions of
+/// the uniform ordered-pair chain: P[(p, q)] = c_p (c_q - [p == q]) / n(n-1),
+/// as a dynamic program over count vectors.  Feasible only for tiny
+/// populations; that is the point — the batching engines' collision and
+/// boundary-clamp paths dominate there, and their empirical distributions
+/// are held to this law by chi_square_gof (collapsed_simulator_test.cpp,
+/// parallel_collapsed_test.cpp).
+inline std::map<std::vector<std::uint64_t>, double> exact_chain_distribution(
+    const TabulatedProtocol& protocol, const std::vector<std::uint64_t>& initial,
+    std::uint64_t steps) {
+    const std::size_t num_states = protocol.num_states();
+    std::uint64_t n = 0;
+    for (const std::uint64_t count : initial) n += count;
+    const double total_pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+
+    std::map<std::vector<std::uint64_t>, double> dist;
+    dist[initial] = 1.0;
+    for (std::uint64_t step = 0; step < steps; ++step) {
+        std::map<std::vector<std::uint64_t>, double> next_dist;
+        for (const auto& [config, prob] : dist) {
+            for (State p = 0; p < num_states; ++p) {
+                if (config[p] == 0) continue;
+                for (State q = 0; q < num_states; ++q) {
+                    const std::uint64_t pairs = config[p] * (config[q] - (p == q ? 1 : 0));
+                    if (pairs == 0) continue;
+                    const StatePair result = protocol.apply_fast(p, q);
+                    std::vector<std::uint64_t> next = config;
+                    --next[p];
+                    --next[q];
+                    ++next[result.initiator];
+                    ++next[result.responder];
+                    next_dist[next] += prob * static_cast<double>(pairs) / total_pairs;
+                }
+            }
+        }
+        dist = std::move(next_dist);
+    }
+    return dist;
 }
 
 }  // namespace popproto::testutil
