@@ -16,6 +16,11 @@
 //    a trajectory experiment actually pays.
 //  * Jsonl/Metrics: the streaming writer (to an in-memory sink) and the
 //    mutex-guarded collector.
+//  * *TelemetryOff/*TelemetryOn: the runtime telemetry probes
+//    (src/telemetry) with no collector attached (the one-branch fast path
+//    — the <=2% acceptance bar of the telemetry subsystem, gated against
+//    the committed baseline by run_benches.sh --compare) and with a
+//    RunTelemetryCollector attached (what `trace_run --profile` pays).
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +34,7 @@
 #include "observe/metrics.h"
 #include "observe/trace_recorder.h"
 #include "protocols/counting.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -137,6 +143,32 @@ void BM_BatchTraced(benchmark::State& state) {
     });
 }
 BENCHMARK(BM_BatchTraced)->Arg(4096)->Arg(65536);
+
+// --- Runtime telemetry (src/telemetry) -----------------------------------
+
+void BM_AgentArrayTelemetryOff(benchmark::State& state) {
+    // options.telemetry stays nullptr: this row prices the probe branches
+    // themselves and must stay within noise of BM_AgentArrayUnobserved.
+    run_agent_array(state, [](RunOptions& options) { options.telemetry = nullptr; });
+}
+BENCHMARK(BM_AgentArrayTelemetryOff)->Arg(4096);
+
+void BM_AgentArrayTelemetryOn(benchmark::State& state) {
+    telemetry::RunTelemetryCollector collector;
+    run_agent_array(state, [&](RunOptions& options) { options.telemetry = &collector; });
+}
+BENCHMARK(BM_AgentArrayTelemetryOn)->Arg(4096);
+
+void BM_BatchTelemetryOff(benchmark::State& state) {
+    run_batch(state, [](RunOptions& options) { options.telemetry = nullptr; });
+}
+BENCHMARK(BM_BatchTelemetryOff)->Arg(65536);
+
+void BM_BatchTelemetryOn(benchmark::State& state) {
+    telemetry::RunTelemetryCollector collector;
+    run_batch(state, [&](RunOptions& options) { options.telemetry = &collector; });
+}
+BENCHMARK(BM_BatchTelemetryOn)->Arg(65536);
 
 void BM_BatchMetrics(benchmark::State& state) {
     MetricsCollector metrics;

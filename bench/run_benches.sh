@@ -52,10 +52,12 @@ shift || true
 # experiment tables with their own output formats).
 GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_meanfield)
 if (( COMPARE )); then
-    # The perf gate only judges the simulation engines themselves; the
-    # observe/meanfield suites are not throughput-critical and too noisy at
-    # smoke iteration counts.
-    GBENCH_TARGETS=(bench_throughput bench_collapsed)
+    # The perf gate judges the simulation engines plus the observation /
+    # telemetry hooks that ride the hot loops (bench_observe's TelemetryOff
+    # rows are the <=2% probe-overhead bar); the meanfield suite is an ODE
+    # solver with no hook in the interaction path and too noisy at short
+    # iteration counts.
+    GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe)
 fi
 
 # Check every target up front and report the complete list of missing
@@ -127,7 +129,17 @@ MAX_DRIFT = 0.50
 # path behind them is already gated through BM_EpidemicDenseCollapsed.
 GATE_EXEMPT_PREFIXES = ("BM_CollapsedScaling/",)
 
+# Suites gated on a subset of their rows.  bench_observe exists to price
+# observers, and its pricing rows run small-n workloads to *silence*, where
+# per-seed convergence variance swings single rows 1.5x between identical
+# binaries — only the telemetry rows (budget-bound workloads; the <=2%
+# probe-overhead bar for src/telemetry) are stable enough to gate.  The
+# other rows are still recorded and printed for eyeballing.
+GATE_ONLY_SUBSTRINGS = {"bench_observe": ("Telemetry",)}
+
 baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+gate_only = next((subs for suite, subs in GATE_ONLY_SUBSTRINGS.items()
+                  if suite in baseline_path), None)
 
 
 def build_type(data):
@@ -188,7 +200,8 @@ for name, base_time in sorted(baseline.items()):
         regressions.append((name, None))
         continue
     ratio = ratios[name]
-    exempt = name.startswith(GATE_EXEMPT_PREFIXES)
+    exempt = name.startswith(GATE_EXEMPT_PREFIXES) or (
+        gate_only is not None and not any(sub in name for sub in gate_only))
     bad = not exempt and ratio > drift * (1 + THRESHOLD)
     flag = "  <-- REGRESSION" if bad else ("  (not gated)" if exempt else "")
     print(f"{name:<{width}}  {base_time:>12.1f}  {fresh[name]:>12.1f}  {ratio:>6.2f}{flag}")

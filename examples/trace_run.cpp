@@ -41,6 +41,13 @@
 //                          the file carries the exact RNG position)
 //   --no-counts  omit count vectors (indices and events only)
 //   --metrics    append the MetricsCollector JSON aggregate to stderr
+//   --profile BASE  collect runtime telemetry (telemetry/telemetry.h) and
+//                write BASE.trace.json (Chrome trace-event format, loads in
+//                chrome://tracing and Perfetto) plus BASE.prom (Prometheus
+//                text exposition: per-phase timings, per-shard busy/wait);
+//                also emits a "telemetry" JSONL event before "stop"
+//   --progress   stderr progress line (interactions/s, estimated n·ln n
+//                completion fraction, ETA), at most one per second
 //
 // Examples:
 //   trace_run epidemic --n 1000 --every 500            > epidemic.jsonl
@@ -49,6 +56,10 @@
 //   trace_run counting --n 65536 --checkpoint run.ckpt > part1.jsonl
 //   trace_run counting --n 65536 --resume run.ckpt     > part2.jsonl
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -56,7 +67,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_simulator.h"
@@ -73,6 +86,9 @@
 #include "presburger/parser.h"
 #include "protocols/counting.h"
 #include "protocols/epidemic.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/prometheus.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -87,7 +103,7 @@ using namespace popproto;
                  "                 [--threads K] [--graph complete|ring|line|star]\n"
                  "                 [--every P | --log F]\n"
                  "                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
-                 "                 [--no-counts] [--metrics]\n");
+                 "                 [--no-counts] [--metrics] [--profile BASE] [--progress]\n");
     std::exit(2);
 }
 
@@ -147,6 +163,65 @@ private:
     std::string path_;
 };
 
+/// Background stderr progress reporter for --progress: polls the telemetry
+/// collector's live interaction counter (a relaxed atomic published by the
+/// run loop) once per second and prints rate, the estimated completion
+/// fraction against the n·ln n epidemic-style convergence scale, and an ETA
+/// extrapolated from the current rate.  Never touches the run itself.
+class ProgressReporter {
+public:
+    ProgressReporter(const telemetry::RunTelemetryCollector& collector, std::uint64_t n)
+        : collector_(collector),
+          expected_(static_cast<double>(n) *
+                    std::log(static_cast<double>(n > 2 ? n : 3))),
+          thread_([this] { loop(); }) {}
+
+    ~ProgressReporter() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+private:
+    void loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        std::uint64_t last_t = 0;
+        std::uint64_t last_ns = 0;
+        while (!wake_.wait_for(lock, std::chrono::seconds(1), [this] { return stop_; })) {
+            const std::uint64_t t = collector_.live_interactions();
+            const std::uint64_t now_ns = collector_.live_wall_ns();
+            if (now_ns <= last_ns) continue;  // telemetry compiled out / not started
+            const double rate =
+                static_cast<double>(t - last_t) / (static_cast<double>(now_ns - last_ns) / 1e9);
+            const double fraction =
+                std::min(1.0, static_cast<double>(t) / (expected_ > 1.0 ? expected_ : 1.0));
+            std::string eta = "?";
+            if (rate > 0.0) {
+                const double remaining = expected_ - static_cast<double>(t);
+                eta = remaining <= 0.0
+                          ? "0s"
+                          : std::to_string(static_cast<std::uint64_t>(remaining / rate)) + "s";
+            }
+            std::fprintf(stderr,
+                         "trace_run: progress t=%llu (%.3g interactions/s) "
+                         "n·ln n fraction=%.2f eta=%s\n",
+                         static_cast<unsigned long long>(t), rate, fraction, eta.c_str());
+            last_t = t;
+            last_ns = now_ns;
+        }
+    }
+
+    const telemetry::RunTelemetryCollector& collector_;
+    const double expected_;  // n ln n, the coupon-collector convergence scale
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 /// Expands per-input-symbol counts into a per-agent input vector (for the
 /// engines that address individual agents).
 std::vector<Symbol> expand_inputs(const std::vector<std::uint64_t>& input_counts) {
@@ -177,6 +252,8 @@ int main(int argc, char** argv) {
     std::string resume_path;
     bool write_counts = true;
     bool print_metrics = false;
+    std::string profile_base;
+    bool show_progress = false;
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -222,6 +299,10 @@ int main(int argc, char** argv) {
             write_counts = false;
         } else if (std::strcmp(arg, "--metrics") == 0) {
             print_metrics = true;
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            profile_base = next();
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            show_progress = true;
         } else if (arg[0] == '-') {
             usage_error(std::string("unknown flag ") + arg);
         } else {
@@ -345,6 +426,17 @@ int main(int argc, char** argv) {
     TeeObserver tee({&writer, &metrics});
     options.observer = print_metrics ? static_cast<RunObserver*>(&tee) : &writer;
 
+    telemetry::RunTelemetryCollector collector;
+    if (!profile_base.empty() || show_progress) {
+        if (!telemetry::kCompiledIn)
+            std::fprintf(stderr,
+                         "trace_run: warning: built with POPPROTO_TELEMETRY=OFF; --profile/"
+                         "--progress will report nothing\n");
+        options.telemetry = &collector;
+    }
+    std::unique_ptr<ProgressReporter> progress;
+    if (show_progress) progress = std::make_unique<ProgressReporter>(collector, n);
+
     RunResult result{CountConfiguration(protocol->num_states()), StopReason::kBudget, 0, 0, 0,
                      std::nullopt};
     if (engine_name == "batch") {
@@ -380,6 +472,23 @@ int main(int argc, char** argv) {
                            graph_result.effective_interactions,
                            graph_result.last_output_change, graph_result.consensus};
     }
+    progress.reset();  // final join before the exports touch the collector
+
+    if (!profile_base.empty()) {
+        const telemetry::RunTelemetry& data = collector.telemetry();
+        const std::string trace_path = profile_base + ".trace.json";
+        const std::string prom_path = profile_base + ".prom";
+        try {
+            telemetry::write_chrome_trace_file(trace_path, data);
+            telemetry::write_prometheus_file(prom_path, data);
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "trace_run: --profile: %s\n", error.what());
+            return 1;
+        }
+        std::fprintf(stderr, "trace_run: wrote %s and %s\n%s", trace_path.c_str(),
+                     prom_path.c_str(), data.to_string().c_str());
+    }
+
     if (print_metrics) std::fprintf(stderr, "%s\n", metrics.report().to_json().c_str());
     return result.interactions > 0 ? 0 : 1;
 }

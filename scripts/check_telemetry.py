@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validates the two `trace_run --profile` artifacts.
+
+Usage: scripts/check_telemetry.py <base>.trace.json <base>.prom
+
+Holds the Chrome trace-event JSON and the Prometheus text exposition to the
+schema documented in DESIGN.md "Telemetry" — the CI smoke stage
+(scripts/ci.sh) runs a short collapsed threads=4 profile and feeds both
+files through here, so an exporter regression fails the gate instead of
+producing a file Perfetto silently refuses to load.
+
+Checks (exit 1 with a message on the first violation):
+
+  Chrome trace: parses as JSON; has displayTimeUnit, otherData with
+  schema_version/engine/population, and a non-empty traceEvents array;
+  every event is a complete ("X", with ts/dur/name/tid) or metadata ("M")
+  event; per tid, complete events nest properly (no half-overlaps — that
+  is what makes the flame graph render as a stack).
+
+  Prometheus: every line is a comment or `name{labels} value` with a
+  finite float value; every # TYPE names a popproto_* family that then
+  appears; the families the ISSUE promises (run info, per-phase seconds,
+  per-shard busy/wait) are present.
+"""
+
+import json
+import math
+import re
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path) as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as error:
+            fail(f"{path} is not valid JSON: {error}")
+
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in trace:
+            fail(f"{path}: missing top-level key {key!r}")
+    for key in ("schema_version", "engine", "population", "threads"):
+        if key not in trace["otherData"]:
+            fail(f"{path}: otherData missing {key!r}")
+
+    events = trace["traceEvents"]
+    if not events:
+        fail(f"{path}: traceEvents is empty")
+
+    spans_by_tid = {}
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") != "thread_name":
+                fail(f"{path}: unexpected metadata event {event}")
+            continue
+        if ph != "X":
+            fail(f"{path}: unexpected event phase {ph!r} in {event}")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: complete event missing {key!r}: {event}")
+        if event["dur"] < 0:
+            fail(f"{path}: negative duration in {event}")
+        spans_by_tid.setdefault(event["tid"], []).append(
+            (event["ts"], event["ts"] + event["dur"], event["name"]))
+
+    if not spans_by_tid:
+        fail(f"{path}: no complete ('X') events")
+
+    # Proper nesting per thread: sweep spans in (start, -end) order and
+    # keep a stack; a span must close inside whatever span contains it.
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for begin, end, name in spans:
+            while stack and stack[-1][1] <= begin:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(f"{path}: tid {tid}: span {name!r} [{begin}, {end}) "
+                     f"half-overlaps {stack[-1][2]!r} "
+                     f"[{stack[-1][0]}, {stack[-1][1]})")
+            stack.append((begin, end, name))
+
+    print(f"check_telemetry: {path}: "
+          f"{sum(len(s) for s in spans_by_tid.values())} spans over "
+          f"{len(spans_by_tid)} threads, properly nested")
+
+
+LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"$')
+
+REQUIRED_FAMILIES = (
+    "popproto_run_info",
+    "popproto_run_wall_seconds",
+    "popproto_run_interactions_total",
+    "popproto_phase_seconds_total",
+    "popproto_phase_calls_total",
+    "popproto_shard_busy_seconds_total",
+    "popproto_shard_wait_seconds_total",
+    "popproto_pool_rounds_total",
+)
+
+
+def check_prometheus(path: str) -> None:
+    with open(path) as f:
+        text = f.read()
+    if not text.endswith("\n"):
+        fail(f"{path}: exposition must end with a newline")
+
+    typed = set()
+    seen = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                typed.add(parts[2])
+            continue
+        match = LINE_RE.match(line)
+        if match is None:
+            fail(f"{path}:{lineno}: not `name{{labels}} value`: {line!r}")
+        labels = match.group("labels")
+        if labels:
+            for label in labels.split(","):
+                if not LABEL_RE.match(label):
+                    fail(f"{path}:{lineno}: bad label {label!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            fail(f"{path}:{lineno}: non-numeric value: {line!r}")
+        if math.isnan(value):
+            fail(f"{path}:{lineno}: NaN value: {line!r}")
+        seen.add(match.group("name"))
+
+    for family in REQUIRED_FAMILIES:
+        # Histogram samples append _bucket/_sum/_count to the family name.
+        if not any(name == family or name.startswith(family + "_") for name in seen):
+            fail(f"{path}: required metric family {family!r} missing")
+    for family in typed:
+        if not any(name == family or name.startswith(family + "_") for name in seen):
+            fail(f"{path}: # TYPE {family} declared but no sample emitted")
+
+    print(f"check_telemetry: {path}: {len(seen)} metric names, "
+          f"{len(typed)} typed families, all well-formed")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    check_prometheus(sys.argv[2])
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,12 +6,18 @@
 #                                                 JSON goes to the build
 #                                                 tree, recorded BENCH_*.json
 #                                                 at the root are untouched)
-#   3. bench/run_benches.sh --compare            (perf gate: bench_throughput
-#                                                 and bench_collapsed within
-#                                                 15% of the committed
-#                                                 release baselines)
-#   4. scripts/check.sh                          (asan+ubsan build + ctest)
-#   5. scripts/check.sh --tsan                   (ThreadSanitizer build over
+#   3. trace_run --profile smoke                 (a short collapsed threads=4
+#                                                 profile; both exporter
+#                                                 artifacts validated by
+#                                                 scripts/check_telemetry.py)
+#   4. bench/run_benches.sh --compare            (perf gate: bench_throughput,
+#                                                 bench_collapsed, and
+#                                                 bench_observe — including
+#                                                 the telemetry overhead rows
+#                                                 — within 15% of the
+#                                                 committed release baselines)
+#   5. scripts/check.sh                          (asan+ubsan build + ctest)
+#   6. scripts/check.sh --tsan                   (ThreadSanitizer build over
 #                                                 the parallel-engine tests)
 #
 # Usage: scripts/ci.sh [build-dir]
@@ -22,21 +28,36 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 
-echo "ci.sh: [1/5] plain build + tests"
+echo "ci.sh: [1/6] plain build + tests"
 cmake -B "$BUILD_DIR" -S "$ROOT"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "ci.sh: [2/5] benchmark smoke pass"
+echo "ci.sh: [2/6] benchmark smoke pass"
 "$ROOT/bench/run_benches.sh" --smoke "$BUILD_DIR"
 
-echo "ci.sh: [3/5] benchmark perf gate"
+echo "ci.sh: [3/6] telemetry profile smoke"
+# A collapsed threads=4 profile exercises every probe family — phase
+# timers, shard busy/wait, super-step accounting — and the checker holds
+# both exporter artifacts to the DESIGN.md schema.  n = 2^20 so super-steps
+# (~0.63 sqrt(n) = 645 pairs) clear the pooled-dispatch threshold
+# (kMinPairsPerWorker * 4 = 256) and the shard lanes actually populate;
+# the run still finishes in well under a second.  Artifacts land next to
+# the bench smoke JSON, never at the repository root.
+PROFILE_DIR="$BUILD_DIR/bench/smoke"
+mkdir -p "$PROFILE_DIR"
+"$BUILD_DIR/examples/trace_run" epidemic --n 1048576 --engine collapsed --threads 4 \
+    --no-counts --profile "$PROFILE_DIR/telemetry_smoke" > /dev/null
+python3 "$ROOT/scripts/check_telemetry.py" \
+    "$PROFILE_DIR/telemetry_smoke.trace.json" "$PROFILE_DIR/telemetry_smoke.prom"
+
+echo "ci.sh: [4/6] benchmark perf gate"
 "$ROOT/bench/run_benches.sh" --compare "$BUILD_DIR"
 
-echo "ci.sh: [4/5] sanitized suite"
+echo "ci.sh: [5/6] sanitized suite"
 "$ROOT/scripts/check.sh"
 
-echo "ci.sh: [5/5] data-race gate"
+echo "ci.sh: [6/6] data-race gate"
 "$ROOT/scripts/check.sh" --tsan
 
 echo "ci.sh: all gates passed"

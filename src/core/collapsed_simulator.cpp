@@ -12,6 +12,7 @@
 #include "core/run_loop.h"
 #include "core/simd.h"
 #include "core/thread_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace popproto {
 
@@ -27,6 +28,13 @@ public:
     std::uint64_t population() const { return population_; }
 
     bool is_silent() const { return effective_pairs_ == 0; }
+
+    /// Attaches the run's telemetry collector (nullptr = disabled); the
+    /// steppers time the super-step sub-phases against it.  Probes never
+    /// touch the RNG stream, so results are bit-identical either way.
+    void set_telemetry(telemetry::RunTelemetryCollector* collector) {
+        collector_ = telemetry::kCompiledIn ? collector : nullptr;
+    }
 
     /// Draws the length L >= 1 of the maximal collision-free run: one
     /// uniform01 inverted through the precomputed survival table
@@ -227,6 +235,7 @@ protected:
     std::vector<std::uint64_t> counts_;
     std::uint64_t population_;
     std::uint64_t effective_pairs_ = 0;
+    telemetry::RunTelemetryCollector* collector_ = nullptr;
 
     // Per-super-step scratch (members to avoid reallocation).
     std::vector<std::uint64_t> touched_;
@@ -277,26 +286,40 @@ public:
         const std::size_t num_states = eff_.num_states;
         BatchOutcome outcome;
 
-        // Initiator multiset A: m draws without replacement from the count
-        // vector (multivariate hypergeometric, as a cascade of exact
-        // univariate splits); responder multiset B: m more draws from the
-        // remainder.  By exchangeability of the 2m uniformly-chosen agent
-        // slots this matches drawing the pairs one by one.
-        draw_without_replacement(rng, counts_, nullptr, population_, m, initiators_);
-        draw_without_replacement(rng, counts_, &initiators_, population_ - m, m, responders_);
+        {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kPairCascade);
+            // Initiator multiset A: m draws without replacement from the
+            // count vector (multivariate hypergeometric, as a cascade of
+            // exact univariate splits); responder multiset B: m more draws
+            // from the remainder.  By exchangeability of the 2m
+            // uniformly-chosen agent slots this matches drawing the pairs
+            // one by one.
+            draw_without_replacement(rng, counts_, nullptr, population_, m, initiators_);
+            draw_without_replacement(rng, counts_, &initiators_, population_ - m, m,
+                                     responders_);
 
-        touched_.assign(num_states, 0);
-        remainder_ = responders_;
-        match_rows(rng, initiators_, remainder_, m, touched_, outcome);
+            touched_.assign(num_states, 0);
+            remainder_ = responders_;
+            match_rows(rng, initiators_, remainder_, m, touched_, outcome);
+        }
 
-        // New counts: the untouched agents keep their states; the 2m
-        // touched agents land on the post-transition multiset.
-        simd::add_sub_sub(counts_.data(), touched_.data(), initiators_.data(),
-                          responders_.data(), num_states);
+        {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kDeltaMerge);
+            // New counts: the untouched agents keep their states; the 2m
+            // touched agents land on the post-transition multiset.
+            simd::add_sub_sub(counts_.data(), touched_.data(), initiators_.data(),
+                              responders_.data(), num_states);
+        }
 
-        if (with_collision) resolve_collision(rng, m, outcome);
+        if (with_collision) {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kCollisionFixup);
+            resolve_collision(rng, m, outcome);
+        }
 
-        recompute_effective_pairs();
+        {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kWRecompute);
+            recompute_effective_pairs();
+        }
         return outcome;
     }
 
@@ -359,24 +382,39 @@ public:
         return CollapsedEngineBase::propose_super_step(rng);
     }
 
+    /// Resolved shard count, reported into RunTelemetry::threads.
+    unsigned threads() const { return static_cast<unsigned>(shards_.size()); }
+
     BatchOutcome apply_super_step(Rng& rng, std::uint64_t m, bool with_collision) {
         const std::size_t num_states = eff_.num_states;
         const std::size_t num_shards = shards_.size();
         BatchOutcome outcome;
 
-        // Phase 1, parent stream: carve the 2m touched agents into
-        // per-shard pools by a sequential multivariate-hypergeometric
-        // cascade over the residual counts.  Shard sizes m_k = m/K rounded,
-        // sum m; shards with m_k = 0 draw nothing.
-        residual_ = counts_;
-        std::uint64_t remaining_items = population_;
-        for (std::size_t k = 0; k < num_shards; ++k) {
-            Shard& shard = shards_[k];
-            shard.m = m / num_shards + (k < m % num_shards ? 1 : 0);
-            draw_without_replacement(rng, residual_, nullptr, remaining_items, 2 * shard.m,
-                                     shard.pool);
-            for (State s = 0; s < num_states; ++s) residual_[s] -= shard.pool[s];
-            remaining_items -= 2 * shard.m;
+        // Deferred until the first super-step: the collector's epoch is set
+        // by begin_run, which runs after set_telemetry.
+        if (collector_ != nullptr && !pool_telemetry_ready_) {
+            collector_->pool().configure(num_shards, collector_->epoch(),
+                                         collector_->max_spans());
+            pool_.set_telemetry(&collector_->pool());
+            pool_telemetry_ready_ = true;
+        }
+
+        {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kShardCarve);
+            // Phase 1, parent stream: carve the 2m touched agents into
+            // per-shard pools by a sequential multivariate-hypergeometric
+            // cascade over the residual counts.  Shard sizes m_k = m/K
+            // rounded, sum m; shards with m_k = 0 draw nothing.
+            residual_ = counts_;
+            std::uint64_t remaining_items = population_;
+            for (std::size_t k = 0; k < num_shards; ++k) {
+                Shard& shard = shards_[k];
+                shard.m = m / num_shards + (k < m % num_shards ? 1 : 0);
+                draw_without_replacement(rng, residual_, nullptr, remaining_items, 2 * shard.m,
+                                         shard.pool);
+                for (State s = 0; s < num_states; ++s) residual_[s] -= shard.pool[s];
+                remaining_items -= 2 * shard.m;
+            }
         }
 
         // Phase 2, child streams, in parallel: each shard splits its pool
@@ -397,29 +435,42 @@ public:
             match_rows(shard.rng, shard.initiators, shard.remainder, shard.m, shard.touched,
                        shard.outcome);
         };
-        if (m >= kMinPairsPerWorker * num_shards) {
-            pool_.run(num_shards, run_shard);
-        } else {
-            for (std::size_t k = 0; k < num_shards; ++k) run_shard(k);
+        {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kShardTasks);
+            if (m >= kMinPairsPerWorker * num_shards) {
+                pool_.run(num_shards, run_shard);
+            } else {
+                for (std::size_t k = 0; k < num_shards; ++k) run_shard(k);
+                if (collector_ != nullptr) collector_->record_inline_round();
+            }
         }
 
-        // Phase 3, fixed-order merge: touched multiset, effective count,
-        // output flag.  New counts = residual (the agents no shard drew)
-        // plus the merged post-transition multiset.
-        touched_.assign(num_states, 0);
-        for (const Shard& shard : shards_) {
-            simd::add(touched_.data(), shard.touched.data(), num_states);
-            outcome.effective += shard.outcome.effective;
-            outcome.output_changed = outcome.output_changed || shard.outcome.output_changed;
+        {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kDeltaMerge);
+            // Phase 3, fixed-order merge: touched multiset, effective count,
+            // output flag.  New counts = residual (the agents no shard drew)
+            // plus the merged post-transition multiset.
+            touched_.assign(num_states, 0);
+            for (const Shard& shard : shards_) {
+                simd::add(touched_.data(), shard.touched.data(), num_states);
+                outcome.effective += shard.outcome.effective;
+                outcome.output_changed = outcome.output_changed || shard.outcome.output_changed;
+            }
+            counts_ = residual_;
+            simd::add(counts_.data(), touched_.data(), num_states);
         }
-        counts_ = residual_;
-        simd::add(counts_.data(), touched_.data(), num_states);
 
         // Phase 4, parent stream: the colliding interaction sees only the
         // merged touched multiset, exactly as in the serial stepper.
-        if (with_collision) resolve_collision(rng, m, outcome);
+        if (with_collision) {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kCollisionFixup);
+            resolve_collision(rng, m, outcome);
+        }
 
-        recompute_effective_pairs();
+        {
+            const telemetry::ScopedTimer timer(collector_, telemetry::Phase::kWRecompute);
+            recompute_effective_pairs();
+        }
         return outcome;
     }
 
@@ -460,6 +511,7 @@ private:
     std::vector<Shard> shards_;
     ThreadPool pool_;
     bool shard_streams_ready_ = false;
+    bool pool_telemetry_ready_ = false;
     std::vector<std::uint64_t> residual_;
 };
 
@@ -485,9 +537,11 @@ RunResult simulate_collapsed(const TabulatedProtocol& protocol,
     require(threads <= 4096, "simulate_collapsed: threads must be at most 4096");
     if (threads <= 1) {
         CollapsedStepper stepper(protocol, initial);
+        stepper.set_telemetry(options.telemetry);
         return run_loop(stepper, protocol, options, "simulate_collapsed");
     }
     ParallelCollapsedStepper stepper(protocol, initial, threads);
+    stepper.set_telemetry(options.telemetry);
     return run_loop(stepper, protocol, options, "simulate_collapsed");
 }
 

@@ -56,6 +56,7 @@
 #include "core/rng.h"
 #include "core/simulator.h"
 #include "core/tabulated_protocol.h"
+#include "telemetry/telemetry.h"
 
 namespace popproto {
 
@@ -312,6 +313,20 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
                      std::nullopt};
     result.engine = S::kEngine;
 
+    // Performance probes.  A null collector (the default) costs one
+    // predicted branch per site; with POPPROTO_TELEMETRY=OFF the sites
+    // compile out entirely.  Telemetry never draws randomness and never
+    // reads the stepper configuration, so the RunResult is bit-identical
+    // with and without it (tests/telemetry_test.cpp).
+    telemetry::RunTelemetryCollector* const collector =
+        telemetry::kCompiledIn ? options.telemetry : nullptr;
+    if (collector) {
+        unsigned run_threads = 1;
+        if constexpr (requires { { stepper.threads() } -> std::convertible_to<unsigned>; })
+            run_threads = stepper.threads();
+        collector->begin_run(observed_engine_name(S::kEngine), n, run_threads);
+    }
+
     std::uint64_t next_check = check_period;
     std::uint64_t changed_since_check = 1;
     std::uint64_t pending_skip = 0;
@@ -374,6 +389,8 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
     // unobserved runs are bit-identical) and each boundary is stamped with
     // its exact index.
     const auto emit_snapshots_through = [&](std::uint64_t limit) {
+        if (next_snapshot > limit) return;
+        const telemetry::ScopedTimer timer(collector, telemetry::Phase::kSnapshotDispatch);
         while (next_snapshot <= limit) {
             observer->on_snapshot(next_snapshot, stepper.counts());
             next_snapshot = options.snapshots.next_after(next_snapshot);
@@ -405,7 +422,11 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
             // *resumed* run skips this test: the uninterrupted run would not
             // test at the cut either, and stopping early would change the
             // reported interaction count.
-            silent = stepper.is_silent();
+            {
+                const telemetry::ScopedTimer timer(collector,
+                                                   telemetry::Phase::kSilenceCheck);
+                silent = stepper.is_silent();
+            }
             if (observer) observer->on_silence_check(0, silent);
         }
     }
@@ -422,7 +443,12 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
             // One super-step: draw the length of the maximal collision-free
             // run of pairs first, then clamp it — never redraw — at the
             // earliest index the kernel must observe exactly.
-            const std::uint64_t run_length = stepper.propose_super_step(rng);
+            std::uint64_t run_length;
+            {
+                const telemetry::ScopedTimer timer(collector,
+                                                   telemetry::Phase::kRunLengthDraw);
+                run_length = stepper.propose_super_step(rng);
+            }
 
             std::uint64_t boundary = budget;
             if (next_snapshot < boundary) boundary = next_snapshot;
@@ -438,19 +464,21 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
             // rules would have fired), so at least one interaction fits.
             const std::uint64_t limit = boundary - result.interactions;
 
+            // When the whole run fits, execute it plus the single colliding
+            // interaction that terminated it; otherwise clamp at the
+            // boundary — exactly `limit` collision-free pairs and no
+            // colliding interaction (exact; see the SuperStepStepper
+            // concept note).
+            const bool clamped = run_length >= limit;
+            const std::uint64_t pairs = clamped ? limit : run_length;
             BatchOutcome outcome;
-            if (run_length < limit) {
-                // The whole run fits: execute it plus the single colliding
-                // interaction that terminated it.
-                outcome = stepper.apply_super_step(rng, run_length, true);
-                result.interactions += run_length + 1;
-            } else {
-                // Clamped at the boundary: execute exactly `limit`
-                // collision-free pairs and no colliding interaction (exact;
-                // see the SuperStepStepper concept note).
-                outcome = stepper.apply_super_step(rng, limit, false);
-                result.interactions += limit;
+            {
+                const telemetry::ScopedTimer timer(collector,
+                                                   telemetry::Phase::kSuperStepApply);
+                outcome = stepper.apply_super_step(rng, pairs, !clamped);
             }
+            result.interactions += pairs + (clamped ? 0 : 1);
+            if (collector) collector->record_super_step(pairs, clamped);
             if (outcome.effective != 0) {
                 result.effective_interactions += outcome.effective;
                 changed_since_check = 1;
@@ -499,30 +527,32 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
             // is unchanged.
             while (next_checkpoint <= end_index &&
                    (skip_end == SkipEnd::kRunOn || next_checkpoint < end_index)) {
-                if (observer) {
-                    emit_snapshots_through(next_checkpoint);
-                    if (next_checkpoint > result.interactions)
-                        observer->on_null_run(next_checkpoint - result.interactions);
+                if (observer) emit_snapshots_through(next_checkpoint);
+                if (next_checkpoint > result.interactions) {
+                    if (observer) observer->on_null_run(next_checkpoint - result.interactions);
+                    if (collector) collector->record_skip(next_checkpoint - result.interactions);
                 }
                 result.interactions = next_checkpoint;
                 take_checkpoint(target_end - result.interactions, true);
             }
 
             if (skip_end != SkipEnd::kRunOn) {
-                if (observer) {
-                    emit_snapshots_through(end_index);
-                    if (end_index > result.interactions)
-                        observer->on_null_run(end_index - result.interactions);
+                if (observer) emit_snapshots_through(end_index);
+                if (end_index > result.interactions) {
+                    if (observer) observer->on_null_run(end_index - result.interactions);
+                    if (collector) collector->record_skip(end_index - result.interactions);
                 }
                 result.interactions = end_index;
                 if (skip_end == SkipEnd::kStableOutputs)
                     result.stop_reason = StopReason::kStableOutputs;
                 break;  // kBudget: stop_reason already defaults to kBudget
             }
-            if (observer && skips != 0) {
-                emit_snapshots_through(target_end);
-                if (target_end > result.interactions)
-                    observer->on_null_run(target_end - result.interactions);
+            if (skips != 0) {
+                if (observer) emit_snapshots_through(target_end);
+                if (target_end > result.interactions) {
+                    if (observer) observer->on_null_run(target_end - result.interactions);
+                    if (collector) collector->record_skip(target_end - result.interactions);
+                }
             }
 
             // The effective interaction terminating the null run.
@@ -556,12 +586,18 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
                 next_check = result.interactions + check_period;
                 if (changed_since_check != 0) {
                     // Only re-test silence if something changed since last test.
-                    silent = stepper.is_silent();
+                    {
+                        const telemetry::ScopedTimer timer(collector,
+                                                           telemetry::Phase::kSilenceCheck);
+                        silent = stepper.is_silent();
+                    }
                     changed_since_check = 0;
                     if (observer) observer->on_silence_check(result.interactions, silent);
                 }
             }
         }
+
+        if (collector) collector->publish_interactions(result.interactions);
     }
 
     if constexpr (kMode == SilenceMode::kPeriodic) {
@@ -569,7 +605,11 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
             // The budget can expire between silence checks; a final test
             // keeps the sound kSilent certificate from being misreported as
             // kBudget.
-            silent = stepper.is_silent();
+            {
+                const telemetry::ScopedTimer timer(collector,
+                                                   telemetry::Phase::kSilenceCheck);
+                silent = stepper.is_silent();
+            }
             if (observer) observer->on_silence_check(result.interactions, silent);
         }
     }
@@ -579,6 +619,12 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
 
     result.final_configuration = stepper.counts();
     result.consensus = result.final_configuration.consensus_output(protocol);
+    // Telemetry finishes before on_stop so stop-time consumers (e.g. the
+    // JSONL writer's "telemetry" event) see the completed RunTelemetry.
+    if (collector) {
+        collector->finish_run(result.interactions, result.effective_interactions);
+        result.telemetry = collector->share();
+    }
     if (observer) observer->on_stop(result, run_loop_detail::seconds_since(wall_start));
     return result;
 }

@@ -17,6 +17,7 @@
 #define POPPROTO_CORE_SIMULATOR_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/configuration.h"
@@ -25,6 +26,11 @@
 #include "core/tabulated_protocol.h"
 
 namespace popproto {
+
+namespace telemetry {
+struct RunTelemetry;
+class RunTelemetryCollector;
+}  // namespace telemetry
 
 class CheckpointSink;
 struct RunCheckpoint;
@@ -142,6 +148,14 @@ struct RunOptions {
     /// suspend-at-k + resume pair is bit-identical to the uninterrupted
     /// run on every engine.
     const RunCheckpoint* resume_from = nullptr;
+
+    /// Performance-telemetry collector (telemetry/telemetry.h); borrowed,
+    /// may be nullptr (the default — costs one branch per probe site).
+    /// Like observers, telemetry never touches the RNG stream or the
+    /// configuration: the RunResult is bit-identical with and without a
+    /// collector.  One collector instruments one run at a time (it resets
+    /// itself in begin_run), so `measure_trials` rejects it.
+    telemetry::RunTelemetryCollector* telemetry = nullptr;
 };
 
 /// Why a run stopped.
@@ -174,6 +188,11 @@ struct RunResult {
     /// dispatch reports its size-based choice here (every entry point fills
     /// the field, so it is also a cross-check for pinned engines).
     ObservedEngine engine = ObservedEngine::kAgentArray;
+
+    /// Finished performance telemetry when RunOptions::telemetry was set
+    /// (phase timers, shard utilization, super-step/skip accounting);
+    /// nullptr otherwise.  Shared with the collector, so it outlives both.
+    std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 };
 
 /// Simulates `protocol` from `initial` under uniform random pairing.

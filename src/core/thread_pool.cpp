@@ -22,17 +22,22 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
     if (tasks == 0) return;
+    telemetry::PoolTelemetry* const telemetry = telemetry_;
+    const std::uint64_t round_begin = telemetry != nullptr ? telemetry->now_ns() : 0;
     if (size_ == 1 || tasks == 1) {
         // Serial path with the same semantics as the parallel one: every
         // task executes, the first exception is rethrown after the batch.
         std::exception_ptr first_error;
         for (std::size_t i = 0; i < tasks; ++i) {
+            if (telemetry != nullptr && i < telemetry->tasks()) telemetry->stamp_begin(i);
             try {
                 fn(i);
             } catch (...) {
                 if (!first_error) first_error = std::current_exception();
             }
+            if (telemetry != nullptr && i < telemetry->tasks()) telemetry->stamp_end(i);
         }
+        if (telemetry != nullptr) telemetry->fold_round(round_begin, telemetry->now_ns(), tasks);
         if (first_error) std::rethrow_exception(first_error);
         return;
     }
@@ -59,6 +64,9 @@ void ThreadPool::run(std::size_t tasks, const std::function<void(std::size_t)>& 
         error = first_error_;
         first_error_ = nullptr;
     }
+    // After the barrier every task's begin/end stamps are visible here, so
+    // folding on the caller thread needs no further synchronization.
+    if (telemetry != nullptr) telemetry->fold_round(round_begin, telemetry->now_ns(), tasks);
     if (error) std::rethrow_exception(error);
 }
 
@@ -82,6 +90,9 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::drain_round(const std::function<void(std::size_t)>& fn,
                              std::uint64_t my_round) {
+    // Stable for the whole round: set_telemetry only runs between rounds,
+    // and this thread observed the round start after it.
+    telemetry::PoolTelemetry* const telemetry = telemetry_;
     for (;;) {
         std::size_t task = 0;
         {
@@ -92,12 +103,16 @@ void ThreadPool::drain_round(const std::function<void(std::size_t)>& fn,
             if (round_ != my_round || next_task_ >= tasks_) return;
             task = next_task_++;
         }
+        // Each task stamps only its own slot; run() reads the stamps after
+        // the round barrier, so the writes race with nothing.
+        if (telemetry != nullptr && task < telemetry->tasks()) telemetry->stamp_begin(task);
         try {
             fn(task);
         } catch (...) {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (!first_error_) first_error_ = std::current_exception();
         }
+        if (telemetry != nullptr && task < telemetry->tasks()) telemetry->stamp_end(task);
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             ++completed_;

@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace popproto {
 
 class ThreadPool {
@@ -56,6 +58,14 @@ public:
     /// completion order) is rethrown here after the barrier.
     void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
 
+    /// Attaches per-round utilization accounting (telemetry/telemetry.h):
+    /// each executed task stamps begin/end into its disjoint scratch slot,
+    /// and run() folds the round into the aggregates after the barrier, on
+    /// the caller thread.  Must be called while no round is in flight; the
+    /// caller configures `telemetry` (slot count, epoch) and keeps it alive
+    /// for the pool's remaining rounds.  nullptr (the default) detaches.
+    void set_telemetry(telemetry::PoolTelemetry* telemetry) { telemetry_ = telemetry; }
+
 private:
     void worker_loop();
     /// Claims and executes tasks of round `my_round` until it is drained or
@@ -76,6 +86,10 @@ private:
     std::uint64_t round_ = 0;  // bumps per run(); workers wait for a new round
     bool stopping_ = false;
     std::exception_ptr first_error_;
+
+    // Set before a round begins and stable across it; workers observe the
+    // pointer through the round-start acquire, so no separate fence needed.
+    telemetry::PoolTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace popproto

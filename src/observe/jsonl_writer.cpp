@@ -1,10 +1,12 @@
 #include "observe/jsonl_writer.h"
 
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "core/require.h"
 #include "core/tabulated_protocol.h"
+#include "telemetry/telemetry.h"
 
 namespace popproto {
 
@@ -51,6 +53,45 @@ void append_counts(std::ostringstream& out, const std::vector<std::uint64_t>& co
     out << ']';
 }
 
+/// The "telemetry" event line: phase timers, shard utilization, and the
+/// engine-specific batch/skip aggregates of one finished run (schema in
+/// DESIGN.md "Observability").
+std::string telemetry_line(const telemetry::RunTelemetry& data) {
+    std::ostringstream line;
+    line << "{\"event\":\"telemetry\",\"schema_version\":"
+         << telemetry::RunTelemetry::kSchemaVersion << ",\"engine\":\"" << data.engine
+         << "\",\"population\":" << data.population << ",\"threads\":" << data.threads
+         << ",\"wall_ns\":" << data.wall_ns << ",\"interactions\":" << data.interactions
+         << ",\"effective_interactions\":" << data.effective_interactions << ",\"phases\":{";
+    bool first = true;
+    for (std::size_t p = 0; p < telemetry::kNumPhases; ++p) {
+        const telemetry::PhaseStat& stat = data.phases[p];
+        if (stat.calls == 0 && stat.total_ns == 0) continue;
+        if (!first) line << ',';
+        first = false;
+        line << '"' << telemetry::phase_name(static_cast<telemetry::Phase>(p))
+             << "\":{\"ns\":" << stat.total_ns << ",\"calls\":" << stat.calls
+             << ",\"max_ns\":" << stat.max_ns << '}';
+    }
+    line << "},\"shards\":[";
+    for (std::size_t k = 0; k < data.shards.size(); ++k) {
+        if (k != 0) line << ',';
+        line << "{\"tasks\":" << data.shards[k].tasks
+             << ",\"busy_ns\":" << data.shards[k].busy_ns
+             << ",\"wait_ns\":" << data.shards[k].wait_ns << '}';
+    }
+    line << "],\"pool_rounds\":" << data.pool_rounds
+         << ",\"inline_rounds\":" << data.inline_rounds
+         << ",\"super_steps\":" << data.super_steps
+         << ",\"clamped_super_steps\":" << data.clamped_super_steps
+         << ",\"super_step_pairs\":" << data.super_step_pairs
+         << ",\"geometric_skips\":" << data.geometric_skips
+         << ",\"null_interactions_skipped\":" << data.null_interactions_skipped
+         << ",\"spans\":" << data.spans.size()
+         << ",\"spans_dropped\":" << data.spans_dropped << '}';
+    return line.str();
+}
+
 const char* stop_reason_name(StopReason reason) {
     switch (reason) {
         case StopReason::kSilent:
@@ -68,13 +109,18 @@ const char* stop_reason_name(StopReason reason) {
 JsonlTraceWriter::JsonlTraceWriter(std::ostream& out) : out_(&out) {}
 
 JsonlTraceWriter::JsonlTraceWriter(const std::string& path)
-    : owned_(path, std::ios::out | std::ios::trunc), out_(&owned_) {
+    : owned_(path, std::ios::out | std::ios::trunc), out_(&owned_), path_(path) {
     require(owned_.is_open(), "JsonlTraceWriter: cannot open " + path);
 }
 
 void JsonlTraceWriter::write_line(const std::string& line) {
     const std::lock_guard<std::mutex> lock(mutex_);
     *out_ << line << '\n';
+    // badbit/failbit after a write means the line was lost (disk full,
+    // closed descriptor); surface it now rather than truncating silently.
+    if (!*out_)
+        throw std::runtime_error("JsonlTraceWriter: write failed" +
+                                 (path_.empty() ? std::string() : " for " + path_));
 }
 
 void JsonlTraceWriter::on_start(const RunStartInfo& info) {
@@ -117,6 +163,8 @@ void JsonlTraceWriter::on_output_change(std::uint64_t interaction_index) {
 }
 
 void JsonlTraceWriter::on_stop(const RunResult& result, double wall_seconds) {
+    if (result.telemetry != nullptr && result.telemetry->enabled)
+        write_line(telemetry_line(*result.telemetry));
     std::ostringstream line;
     line << "{\"event\":\"stop\",\"reason\":\"" << stop_reason_name(result.stop_reason)
          << "\",\"interactions\":" << result.interactions

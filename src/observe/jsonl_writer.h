@@ -33,7 +33,8 @@ public:
     /// the stream must outlive the writer.
     explicit JsonlTraceWriter(std::ostream& out);
 
-    /// Opens `path` for writing (truncating); throws on failure.
+    /// Opens `path` for writing (truncating); throws std::invalid_argument
+    /// naming the path on failure.
     explicit JsonlTraceWriter(const std::string& path);
 
     /// When false (default true), snapshot and stop events omit the
@@ -45,13 +46,20 @@ public:
     void on_snapshot(std::uint64_t interaction_index,
                      const CountConfiguration& configuration) override;
     void on_output_change(std::uint64_t interaction_index) override;
+
+    /// Emits the "stop" event, preceded by a "telemetry" event when the run
+    /// carried a RunTelemetry (RunOptions::telemetry was set).
     void on_stop(const RunResult& result, double wall_seconds) override;
 
 private:
+    /// Writes one line and verifies the stream took it; a failed stream
+    /// (disk full, closed pipe) throws std::runtime_error naming the path
+    /// instead of silently truncating the trace.
     void write_line(const std::string& line);
 
     std::ofstream owned_;
     std::ostream* out_;
+    std::string path_;  // empty for the borrowed-stream constructor
     std::mutex mutex_;
     bool write_counts_ = true;
 };

@@ -31,7 +31,8 @@ std::string MetricsReport::to_string() const {
 
 std::string MetricsReport::to_json() const {
     std::ostringstream out;
-    out << "{\"runs_started\":" << runs_started << ",\"runs_finished\":" << runs_finished
+    out << "{\"schema_version\":" << kSchemaVersion << ",\"runs_started\":" << runs_started
+        << ",\"runs_finished\":" << runs_finished
         << ",\"interactions\":" << interactions
         << ",\"effective_interactions\":" << effective_interactions
         << ",\"stops_silent\":" << stops_silent

@@ -23,6 +23,10 @@ namespace popproto {
 
 /// A consistent snapshot of everything a MetricsCollector has aggregated.
 struct MetricsReport {
+    /// Schema version of to_json (bumped on breaking shape changes; the
+    /// full schema is documented in DESIGN.md "Observability").
+    static constexpr int kSchemaVersion = 1;
+
     std::uint64_t runs_started = 0;
     std::uint64_t runs_finished = 0;
 
@@ -60,7 +64,8 @@ struct MetricsReport {
     /// Single-line JSON object with every counter plus the non-zero log2
     /// histogram buckets (keyed by bucket exponent), so cross-run
     /// aggregates can land next to JSONL traces without hand-rolled
-    /// printing: {"runs_started":...,"null_run_length_log2":{"4":17,...}}.
+    /// printing:
+    /// {"schema_version":1,"runs_started":...,"null_run_length_log2":{"4":17,...}}.
     std::string to_json() const;
 };
 

@@ -68,6 +68,12 @@ std::vector<TrialRecord> run_all_trials(const TabulatedProtocol& protocol,
 TrialSummary measure_trials(const TabulatedProtocol& protocol,
                             const CountConfiguration& initial, const TrialOptions& options) {
     require(options.trials >= 1, "measure_trials: need at least one trial");
+    // A RunTelemetryCollector instruments exactly one run at a time; fanned
+    // trials would race on it.  Use observer_factory-style per-trial
+    // instrumentation or single runs instead.
+    require(options.base.telemetry == nullptr,
+            "measure_trials: RunOptions::telemetry is per-run; trials reject a shared "
+            "collector");
 
     unsigned threads = options.threads != 0 ? options.threads
                                             : std::max(1u, std::thread::hardware_concurrency());

@@ -1,0 +1,73 @@
+#include "telemetry/chrome_trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace popproto::telemetry {
+
+namespace {
+
+// The span log stores integer nanoseconds; the trace-event format wants
+// microsecond doubles.  Emitting fixed 3-decimal microseconds keeps full
+// nanosecond precision without float formatting surprises.
+void write_us(std::ostream& out, std::uint64_t ns) {
+    out << ns / 1000 << '.';
+    const std::uint64_t frac = ns % 1000;
+    out << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + frac / 10 % 10)
+        << static_cast<char>('0' + frac % 10);
+}
+
+void write_thread_name(std::ostream& out, std::uint32_t tid, const std::string& name,
+                       bool& first) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"ph":"M","pid":0,"tid":)" << tid
+        << R"(,"name":"thread_name","args":{"name":")" << name << R"("}})";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const RunTelemetry& telemetry) {
+    out << "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+        << "\"schema_version\":" << RunTelemetry::kSchemaVersion << ",\"engine\":\""
+        << telemetry.engine << "\",\"population\":" << telemetry.population
+        << ",\"threads\":" << telemetry.threads << ",\"interactions\":"
+        << telemetry.interactions << ",\"spans_dropped\":" << telemetry.spans_dropped
+        << "},\n\"traceEvents\":[\n";
+
+    bool first = true;
+    std::set<std::uint32_t> tids;
+    tids.insert(0);
+    for (const TraceSpan& span : telemetry.spans) tids.insert(span.tid);
+    for (const std::uint32_t tid : tids) {
+        write_thread_name(out, tid,
+                          tid == 0 ? "run_loop" : "shard " + std::to_string(tid - 1), first);
+    }
+
+    for (const TraceSpan& span : telemetry.spans) {
+        if (!first) out << ",\n";
+        first = false;
+        out << R"({"ph":"X","pid":0,"tid":)" << span.tid << ",\"ts\":";
+        write_us(out, span.begin_ns);
+        out << ",\"dur\":";
+        write_us(out, span.end_ns > span.begin_ns ? span.end_ns - span.begin_ns : 0);
+        out << ",\"name\":\"" << phase_name(span.phase) << "\"}";
+    }
+    out << "\n]}\n";
+    if (!out) throw std::runtime_error("write_chrome_trace: stream write failed");
+}
+
+void write_chrome_trace_file(const std::string& path, const RunTelemetry& telemetry) {
+    std::ofstream out(path);
+    if (!out.is_open())
+        throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+    try {
+        write_chrome_trace(out, telemetry);
+    } catch (const std::runtime_error&) {
+        throw std::runtime_error("write_chrome_trace_file: write failed for " + path);
+    }
+}
+
+}  // namespace popproto::telemetry

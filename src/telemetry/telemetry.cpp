@@ -1,0 +1,291 @@
+#include "telemetry/telemetry.h"
+
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+namespace popproto::telemetry {
+
+const char* phase_name(Phase phase) {
+    switch (phase) {
+        case Phase::kStepping:
+            return "stepping";
+        case Phase::kSilenceCheck:
+            return "silence_check";
+        case Phase::kSnapshotDispatch:
+            return "snapshot_dispatch";
+        case Phase::kRunLengthDraw:
+            return "run_length_draw";
+        case Phase::kSuperStepApply:
+            return "super_step_apply";
+        case Phase::kShardCarve:
+            return "shard_carve";
+        case Phase::kShardTasks:
+            return "shard_tasks";
+        case Phase::kPairCascade:
+            return "pair_cascade";
+        case Phase::kDeltaMerge:
+            return "delta_merge";
+        case Phase::kCollisionFixup:
+            return "collision_fixup";
+        case Phase::kWRecompute:
+            return "w_recompute";
+        case Phase::kShardTask:
+            return "shard_task";
+        case Phase::kCount:
+            break;
+    }
+    return "unknown";
+}
+
+bool phase_is_nested(Phase phase) {
+    switch (phase) {
+        case Phase::kShardCarve:
+        case Phase::kShardTasks:
+        case Phase::kPairCascade:
+        case Phase::kDeltaMerge:
+        case Phase::kCollisionFixup:
+        case Phase::kWRecompute:
+        case Phase::kShardTask:
+            return true;
+        default:
+            return false;
+    }
+}
+
+void LogHistogram::record(std::uint64_t value) {
+    // bucket = floor(log2(value)), with the zeros folded into bucket 0.
+    const int bucket = value == 0 ? 0 : std::bit_width(value) - 1;
+    buckets_[static_cast<std::size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Counter& TelemetryRegistry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [existing, instrument] : counters_)
+        if (existing == name) return instrument;
+    counters_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(std::string(name)), std::forward_as_tuple());
+    return counters_.back().second;
+}
+
+LogHistogram& TelemetryRegistry::histogram(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [existing, instrument] : histograms_)
+        if (existing == name) return instrument;
+    histograms_.emplace_back(std::piecewise_construct,
+                             std::forward_as_tuple(std::string(name)),
+                             std::forward_as_tuple());
+    return histograms_.back().second;
+}
+
+std::vector<CounterSnapshot> TelemetryRegistry::counters() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<CounterSnapshot> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, instrument] : counters_)
+        out.push_back({name, instrument.value()});
+    return out;
+}
+
+std::vector<HistogramSnapshot> TelemetryRegistry::histograms() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<HistogramSnapshot> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, instrument] : histograms_) {
+        HistogramSnapshot snapshot;
+        snapshot.name = name;
+        snapshot.count = instrument.count();
+        snapshot.sum = instrument.sum();
+        for (std::size_t b = 0; b < LogHistogram::kNumBuckets; ++b)
+            snapshot.buckets[b] = instrument.bucket(b);
+        out.push_back(std::move(snapshot));
+    }
+    return out;
+}
+
+void TelemetryRegistry::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    histograms_.clear();
+}
+
+void PoolTelemetry::configure(std::size_t tasks, std::chrono::steady_clock::time_point epoch,
+                              std::size_t max_spans) {
+    epoch_ = epoch;
+    max_spans_ = max_spans;
+    shards.assign(tasks, ShardStat{});
+    round_begin_.assign(tasks, 0);
+    round_end_.assign(tasks, 0);
+    rounds = 0;
+    rounds_ns = 0;
+    spans.clear();
+    spans_dropped = 0;
+}
+
+void PoolTelemetry::fold_round(std::uint64_t round_begin_ns, std::uint64_t round_end_ns,
+                               std::size_t executed) {
+    const std::uint64_t wall =
+        round_end_ns > round_begin_ns ? round_end_ns - round_begin_ns : 0;
+    ++rounds;
+    rounds_ns += wall;
+    for (std::size_t task = 0; task < executed && task < shards.size(); ++task) {
+        const std::uint64_t begin = round_begin_[task];
+        const std::uint64_t end = round_end_[task];
+        const std::uint64_t busy = end > begin ? end - begin : 0;
+        ShardStat& stat = shards[task];
+        ++stat.tasks;
+        stat.busy_ns += busy;
+        stat.wait_ns += wall > busy ? wall - busy : 0;
+        if (spans.size() < max_spans_) {
+            spans.push_back(
+                {Phase::kShardTask, static_cast<std::uint32_t>(task + 1), begin, end});
+        } else {
+            ++spans_dropped;
+        }
+    }
+}
+
+RunTelemetryCollector::RunTelemetryCollector(std::size_t max_spans)
+    : max_spans_(max_spans), data_(std::make_shared<RunTelemetry>()) {}
+
+void RunTelemetryCollector::reset() {
+    if constexpr (!kCompiledIn) return;
+    // A fresh RunTelemetry rather than clearing in place: the previous run's
+    // result may still be shared via RunResult::telemetry.
+    data_ = std::make_shared<RunTelemetry>();
+    registry_.clear();
+    pool_ = PoolTelemetry();
+    live_interactions_.store(0, std::memory_order_relaxed);
+    running_ = false;
+}
+
+void RunTelemetryCollector::begin_run(const char* engine, std::uint64_t population,
+                                      unsigned threads) {
+    if constexpr (!kCompiledIn) return;
+    reset();
+    epoch_ = std::chrono::steady_clock::now();
+    data_->enabled = true;
+    data_->engine = engine;
+    data_->population = population;
+    data_->threads = threads;
+    data_->spans.reserve(std::min<std::size_t>(max_spans_, 4096));
+    running_ = true;
+}
+
+void RunTelemetryCollector::finish_run(std::uint64_t interactions,
+                                       std::uint64_t effective_interactions) {
+    if constexpr (!kCompiledIn) return;
+    if (!running_) return;
+    running_ = false;
+    RunTelemetry& data = *data_;
+    data.wall_ns = now_ns();
+    data.interactions = interactions;
+    data.effective_interactions = effective_interactions;
+    publish_interactions(interactions);
+
+    // Derived stepping time: the loop remainder no explicit timer covers.
+    // Per-interaction engines spend it sampling and applying interactions
+    // (clocking each O(ns) step individually would dwarf the work); for
+    // super-step engines it is the residual kernel overhead around the
+    // explicit kRunLengthDraw / kSuperStepApply phases.
+    std::uint64_t attributed = 0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const auto phase = static_cast<Phase>(p);
+        if (phase == Phase::kStepping || phase_is_nested(phase)) continue;
+        attributed += data.phases[p].total_ns;
+    }
+    PhaseStat& stepping = data.phases[static_cast<std::size_t>(Phase::kStepping)];
+    stepping.total_ns = data.wall_ns > attributed ? data.wall_ns - attributed : 0;
+    stepping.max_ns = 0;
+    stepping.calls = 0;
+
+    // Fold the pool's per-shard accounting and spans.  The pool log has
+    // its own max_spans budget, so the merged trace holds at most
+    // 2 * max_spans spans — appending it whole keeps the shard lanes
+    // visible even when the driving thread exhausted its own budget first
+    // (a long run drops the tail of BOTH logs, never one lane entirely).
+    data.shards = pool_.shards;
+    data.pool_rounds = pool_.rounds;
+    data.spans.insert(data.spans.end(), pool_.spans.begin(), pool_.spans.end());
+    data.spans_dropped += pool_.spans_dropped;
+
+    data.counters = registry_.counters();
+    data.histograms = registry_.histograms();
+}
+
+void RunTelemetryCollector::record_phase(Phase phase, std::uint64_t begin_ns,
+                                         std::uint64_t end_ns, std::uint32_t tid) {
+    if constexpr (!kCompiledIn) return;
+    const std::uint64_t duration = end_ns > begin_ns ? end_ns - begin_ns : 0;
+    PhaseStat& stat = data_->phases[static_cast<std::size_t>(phase)];
+    ++stat.calls;
+    stat.total_ns += duration;
+    if (duration > stat.max_ns) stat.max_ns = duration;
+    if (data_->spans.size() < max_spans_) {
+        data_->spans.push_back({phase, tid, begin_ns, end_ns});
+    } else {
+        ++data_->spans_dropped;
+    }
+}
+
+void RunTelemetryCollector::record_skip(std::uint64_t length) {
+    if constexpr (!kCompiledIn) return;
+    ++data_->geometric_skips;
+    data_->null_interactions_skipped += length;
+    registry_.histogram("null_skip_length_log2").record(length);
+}
+
+void RunTelemetryCollector::record_super_step(std::uint64_t pairs, bool clamped) {
+    if constexpr (!kCompiledIn) return;
+    ++data_->super_steps;
+    if (clamped) ++data_->clamped_super_steps;
+    data_->super_step_pairs += pairs;
+    registry_.histogram("super_step_pairs_log2").record(pairs);
+}
+
+namespace {
+
+std::string format_ms(std::uint64_t ns) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3) << static_cast<double>(ns) / 1e6;
+    return out.str();
+}
+
+}  // namespace
+
+std::string RunTelemetry::to_string() const {
+    std::ostringstream out;
+    out << "telemetry (schema v" << kSchemaVersion << "): engine=" << engine
+        << " n=" << population << " threads=" << threads << " wall_ms=" << format_ms(wall_ns)
+        << " interactions=" << interactions << " effective=" << effective_interactions << "\n";
+    out << "phases (ms, calls, max_ms):\n";
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const PhaseStat& stat = phases[p];
+        if (stat.calls == 0 && stat.total_ns == 0) continue;
+        out << "  " << phase_name(static_cast<Phase>(p)) << ": " << format_ms(stat.total_ns)
+            << " ms, " << stat.calls << " calls, max " << format_ms(stat.max_ns) << " ms\n";
+    }
+    if (!shards.empty()) {
+        out << "shards (tasks, busy_ms, wait_ms):\n";
+        for (std::size_t k = 0; k < shards.size(); ++k) {
+            out << "  shard " << k << ": " << shards[k].tasks << " tasks, "
+                << format_ms(shards[k].busy_ns) << " busy, " << format_ms(shards[k].wait_ns)
+                << " wait\n";
+        }
+        out << "pool rounds: " << pool_rounds << " pooled, " << inline_rounds << " inline\n";
+    }
+    if (super_steps != 0) {
+        out << "super-steps: " << super_steps << " (" << clamped_super_steps << " clamped), "
+            << super_step_pairs << " collision-free pairs\n";
+    }
+    if (geometric_skips != 0) {
+        out << "geometric skips: " << geometric_skips << " runs, "
+            << null_interactions_skipped << " null interactions skipped\n";
+    }
+    out << "spans: " << spans.size() << " recorded, " << spans_dropped << " dropped\n";
+    return out.str();
+}
+
+}  // namespace popproto::telemetry

@@ -3,6 +3,7 @@
 #ifndef POPPROTO_TESTS_TEST_UTIL_H
 #define POPPROTO_TESTS_TEST_UTIL_H
 
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -13,6 +14,121 @@
 #include "core/tabulated_protocol.h"
 
 namespace popproto::testutil {
+
+// --- Minimal JSON validator (structure only) -----------------------------
+//
+// Enough to verify that JSONL lines, MetricsReport::to_json, and the Chrome
+// trace exporter emit well-formed JSON without pulling in a JSON library.
+
+class JsonChecker {
+public:
+    explicit JsonChecker(const std::string& text) : text_(text) {}
+
+    bool valid() {
+        pos_ = 0;
+        skip_space();
+        if (!value()) return false;
+        skip_space();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        const char c = text_[pos_];
+        if (c == '{') return object();
+        if (c == '[') return array();
+        if (c == '"') return string();
+        if (c == 't') return literal("true");
+        if (c == 'f') return literal("false");
+        if (c == 'n') return literal("null");
+        return number();
+    }
+
+    bool object() {
+        ++pos_;  // '{'
+        skip_space();
+        if (peek() == '}') return ++pos_, true;
+        while (true) {
+            skip_space();
+            if (!string()) return false;
+            skip_space();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_space();
+            if (!value()) return false;
+            skip_space();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') return ++pos_, true;
+            return false;
+        }
+    }
+
+    bool array() {
+        ++pos_;  // '['
+        skip_space();
+        if (peek() == ']') return ++pos_, true;
+        while (true) {
+            skip_space();
+            if (!value()) return false;
+            skip_space();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') return ++pos_, true;
+            return false;
+        }
+    }
+
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (static_cast<unsigned char>(text_[pos_]) < 0x20) return false;
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(const std::string& word) {
+        if (text_.compare(pos_, word.size(), word) != 0) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void skip_space() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
 
 /// Outcome of a chi-square goodness-of-fit test (chi_square_gof below).
 struct ChiSquareResult {
