@@ -50,13 +50,15 @@ shift || true
 
 # The google-benchmark suites (the remaining bench_* binaries are
 # experiment tables with their own output formats).
-GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_meanfield)
+GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_meanfield bench_service)
 if (( COMPARE )); then
     # The perf gate judges the simulation engines plus the observation /
     # telemetry hooks that ride the hot loops (bench_observe's TelemetryOff
     # rows are the <=2% probe-overhead bar); the meanfield suite is an ODE
     # solver with no hook in the interaction path and too noisy at short
-    # iteration counts.
+    # iteration counts, and bench_service's registry rows time worker-pool
+    # wakeups (scheduler-latency noise, not engine throughput) — both are
+    # recorded for the trajectory but not regression-judged.
     GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe)
 fi
 

@@ -1,0 +1,101 @@
+// serve_popproto: the simulation-as-a-service daemon.
+//
+// Multiplexes thousands of concurrent population-protocol runs over a
+// small worker pool: each run executes in bounded work quanta under
+// weighted deficit-round-robin scheduling (a 2^24-agent run cannot starve
+// a thousand small ones), idle sessions spill to checkpoint files and
+// fault back on demand, and SIGTERM checkpoints every in-flight session so
+// a restarted daemon resumes them bit-identically.  Clients speak
+// newline-delimited JSON over a Unix or loopback TCP socket — see popctl
+// for the matching CLI and DESIGN.md "Service architecture" for the wire
+// grammar.
+//
+//   serve_popproto [flags]
+//
+//   --socket PATH    listen on a Unix-domain socket     (default
+//                    popproto.sock in the current directory)
+//   --tcp-port P     listen on 127.0.0.1:P instead (0 = ephemeral,
+//                    the chosen port is printed to stderr)
+//   --spill-dir D    checkpoint/manifest directory      (default
+//                    popproto-spill)
+//   --workers K      quantum worker threads             (default 0 = all
+//                    hardware threads)
+//   --quantum N      default work-quantum length in interactions
+//                    (default 65536; sessions may override per submit)
+//   --max-resident N suspended sessions kept in memory before the LRU
+//                    evictor spills them                (default 64)
+//   --quiet          suppress the stderr status lines
+//
+// Examples:
+//   serve_popproto --socket /tmp/pop.sock --workers 4 &
+//   popctl --socket /tmp/pop.sock submit --protocol epidemic --counts 999,1
+//   kill -TERM %1       # graceful drain; restart resumes every session
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/daemon.h"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::fprintf(stderr, "serve_popproto: %s\n", message.c_str());
+    std::fprintf(stderr,
+                 "usage: serve_popproto [--socket PATH | --tcp-port P] [--spill-dir D]\n"
+                 "                      [--workers K] [--quantum N] [--max-resident N]\n"
+                 "                      [--quiet]\n");
+    std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+    try {
+        std::size_t end = 0;
+        const unsigned long long value = std::stoull(text, &end);
+        if (end != text.size()) throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception&) {
+        usage_error(std::string(flag) + ": not a number: " + text);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    popproto::service::DaemonOptions options;
+    options.server.unix_path = "popproto.sock";
+    bool tcp = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage_error(arg + ": missing value");
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.server.unix_path = value();
+            tcp = false;
+        } else if (arg == "--tcp-port") {
+            options.server.tcp_port = static_cast<int>(parse_u64("--tcp-port", value()));
+            tcp = true;
+        } else if (arg == "--spill-dir") {
+            options.registry.spill_dir = value();
+        } else if (arg == "--workers") {
+            options.registry.workers = static_cast<unsigned>(parse_u64("--workers", value()));
+        } else if (arg == "--quantum") {
+            options.registry.default_quantum = parse_u64("--quantum", value());
+            if (options.registry.default_quantum == 0)
+                usage_error("--quantum: must be at least 1");
+        } else if (arg == "--max-resident") {
+            options.registry.max_resident_suspended =
+                static_cast<std::size_t>(parse_u64("--max-resident", value()));
+        } else if (arg == "--quiet") {
+            options.verbose = false;
+        } else {
+            usage_error("unknown flag " + arg);
+        }
+    }
+    if (tcp) options.server.unix_path.clear();
+    return popproto::service::run_daemon(options);
+}

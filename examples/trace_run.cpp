@@ -35,7 +35,9 @@
 //                only with --engine graph)
 //   --every P    fixed snapshot period                (default: n / 4)
 //   --log F      log-spaced snapshot factor instead of --every
-//   --checkpoint FILE      keep FILE updated with the latest checkpoint
+//   --checkpoint FILE      keep FILE updated with the latest checkpoint;
+//                          SIGINT/SIGTERM then write one final checkpoint
+//                          and exit cleanly instead of killing the run
 //   --checkpoint-every N   checkpoint period          (default: budget / 16)
 //   --resume FILE          resume from a checkpoint file (seed is ignored;
 //                          the file carries the exact RNG position)
@@ -57,9 +59,11 @@
 //   trace_run counting --n 65536 --resume run.ckpt     > part2.jsonl
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -135,26 +139,18 @@ std::vector<std::uint64_t> parse_count_list(const char* flag, const std::string&
     return counts;
 }
 
-/// Atomically-enough persists the latest checkpoint: write to FILE.tmp,
-/// then rename over FILE, so an interrupt mid-write never clobbers the last
+/// Persists the latest checkpoint via the shared atomic tmp+rename helper
+/// (core/run_loop.h), so an interrupt mid-write never clobbers the last
 /// good checkpoint.
 class FileCheckpointSink final : public CheckpointSink {
 public:
     explicit FileCheckpointSink(std::string path) : path_(std::move(path)) {}
 
     void on_checkpoint(const RunCheckpoint& checkpoint) override {
-        const std::string tmp = path_ + ".tmp";
-        {
-            std::ofstream out(tmp, std::ios::trunc);
-            if (!out) {
-                std::fprintf(stderr, "trace_run: cannot write %s\n", tmp.c_str());
-                std::exit(1);
-            }
-            write_checkpoint(out, checkpoint);
-        }
-        if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-            std::fprintf(stderr, "trace_run: cannot rename %s to %s\n", tmp.c_str(),
-                         path_.c_str());
+        try {
+            write_checkpoint_atomic(path_, checkpoint);
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "trace_run: %s\n", error.what());
             std::exit(1);
         }
     }
@@ -162,6 +158,14 @@ public:
 private:
     std::string path_;
 };
+
+/// SIGINT/SIGTERM request a cooperative stop: the kernel polls this flag at
+/// loop boundaries, writes one final checkpoint through the sink above, and
+/// returns StopReason::kPaused — so an interrupted --checkpoint run always
+/// leaves a resumable file instead of dying mid-run.
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void handle_stop_signal(int) { g_stop_requested.store(true); }
 
 /// Background stderr progress reporter for --progress: polls the telemetry
 /// collector's live interaction counter (a relaxed atomic published by the
@@ -416,6 +420,11 @@ int main(int argc, char** argv) {
         options.checkpoint_every = checkpoint_every != 0
                                        ? checkpoint_every
                                        : std::max<std::uint64_t>(options.max_interactions / 16, 1);
+        // With a checkpoint file configured, SIGINT/SIGTERM flush one final
+        // checkpoint and exit cleanly instead of dying mid-run.
+        options.stop_flag = &g_stop_requested;
+        std::signal(SIGINT, handle_stop_signal);
+        std::signal(SIGTERM, handle_stop_signal);
     } else if (checkpoint_every != 0) {
         usage_error("--checkpoint-every: requires --checkpoint FILE");
     }
@@ -490,5 +499,13 @@ int main(int argc, char** argv) {
     }
 
     if (print_metrics) std::fprintf(stderr, "%s\n", metrics.report().to_json().c_str());
+    if (result.stop_reason == StopReason::kPaused) {
+        std::fprintf(stderr,
+                     "trace_run: interrupted at t=%llu; checkpoint saved to %s "
+                     "(continue with --resume %s)\n",
+                     static_cast<unsigned long long>(result.interactions),
+                     checkpoint_path.c_str(), checkpoint_path.c_str());
+        return 0;
+    }
     return result.interactions > 0 ? 0 : 1;
 }

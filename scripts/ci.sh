@@ -10,14 +10,19 @@
 #                                                 profile; both exporter
 #                                                 artifacts validated by
 #                                                 scripts/check_telemetry.py)
-#   4. bench/run_benches.sh --compare            (perf gate: bench_throughput,
+#   4. scripts/check_service.py                  (service smoke: trace_run
+#                                                 SIGINT checkpointing, 1000
+#                                                 concurrent daemon sessions,
+#                                                 suspend/evict/resume and
+#                                                 SIGTERM drain bit-identity)
+#   5. bench/run_benches.sh --compare            (perf gate: bench_throughput,
 #                                                 bench_collapsed, and
 #                                                 bench_observe — including
 #                                                 the telemetry overhead rows
 #                                                 — within 15% of the
 #                                                 committed release baselines)
-#   5. scripts/check.sh                          (asan+ubsan build + ctest)
-#   6. scripts/check.sh --tsan                   (ThreadSanitizer build over
+#   6. scripts/check.sh                          (asan+ubsan build + ctest)
+#   7. scripts/check.sh --tsan                   (ThreadSanitizer build over
 #                                                 the parallel-engine tests)
 #
 # Usage: scripts/ci.sh [build-dir]
@@ -28,15 +33,15 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 
-echo "ci.sh: [1/6] plain build + tests"
+echo "ci.sh: [1/7] plain build + tests"
 cmake -B "$BUILD_DIR" -S "$ROOT"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "ci.sh: [2/6] benchmark smoke pass"
+echo "ci.sh: [2/7] benchmark smoke pass"
 "$ROOT/bench/run_benches.sh" --smoke "$BUILD_DIR"
 
-echo "ci.sh: [3/6] telemetry profile smoke"
+echo "ci.sh: [3/7] telemetry profile smoke"
 # A collapsed threads=4 profile exercises every probe family — phase
 # timers, shard busy/wait, super-step accounting — and the checker holds
 # both exporter artifacts to the DESIGN.md schema.  n = 2^20 so super-steps
@@ -51,13 +56,20 @@ mkdir -p "$PROFILE_DIR"
 python3 "$ROOT/scripts/check_telemetry.py" \
     "$PROFILE_DIR/telemetry_smoke.trace.json" "$PROFILE_DIR/telemetry_smoke.prom"
 
-echo "ci.sh: [4/6] benchmark perf gate"
+echo "ci.sh: [4/7] service end-to-end smoke"
+# Drives the real serve_popproto/popctl/trace_run binaries over a Unix
+# socket: 1000 concurrent sessions all reach terminal states, suspends
+# spill and fault back bit-identically, and a SIGTERM drain + restart
+# loses nothing (EXPERIMENTS.md quotes the printed throughput numbers).
+python3 "$ROOT/scripts/check_service.py" "$BUILD_DIR" --sessions 1000
+
+echo "ci.sh: [5/7] benchmark perf gate"
 "$ROOT/bench/run_benches.sh" --compare "$BUILD_DIR"
 
-echo "ci.sh: [5/6] sanitized suite"
+echo "ci.sh: [6/7] sanitized suite"
 "$ROOT/scripts/check.sh"
 
-echo "ci.sh: [6/6] data-race gate"
+echo "ci.sh: [7/7] data-race gate"
 "$ROOT/scripts/check.sh" --tsan
 
 echo "ci.sh: all gates passed"

@@ -1,10 +1,15 @@
 #include "core/run_loop.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace popproto {
 
@@ -96,15 +101,81 @@ namespace {
 // shard_rngs line is present exactly when the engine carries shard streams
 // (it is a new optional line, so v1 readers of old checkpoints still work).
 
-std::uint64_t read_u64_field(std::istream& in, const char* key) {
-    std::string word;
-    require(static_cast<bool>(in >> word) && word == key,
-            std::string("read_checkpoint: expected '") + key + "'");
-    std::uint64_t value = 0;
-    require(static_cast<bool>(in >> value),
-            std::string("read_checkpoint: bad value for '") + key + "'");
-    return value;
-}
+/// Line-oriented tokenizer for the grammar above.  The grammar is one key
+/// per line, so every parse error can name the line number and the
+/// offending token — a corrupted spill file faulted back by the service
+/// daemon is diagnosable from the exception message alone.
+class CheckpointParser {
+public:
+    explicit CheckpointParser(std::istream& in) : in_(in) {}
+
+    /// Advances to the next non-blank line; `expected` names what the
+    /// caller was looking for in the end-of-file message.
+    void next_line(const std::string& expected) {
+        std::string text;
+        while (std::getline(in_, text)) {
+            ++line_number_;
+            if (!text.empty() && text.back() == '\r') text.pop_back();
+            if (text.find_first_not_of(" \t") != std::string::npos) {
+                line_.clear();
+                line_.str(text);
+                return;
+            }
+        }
+        if (line_number_ == 0) line_number_ = 1;  // empty stream: "line 1"
+        fail("unexpected end of file, expected '" + expected + "'");
+    }
+
+    /// Next whitespace-separated token on the current line.
+    std::string token(const std::string& expected) {
+        std::string word;
+        if (!(line_ >> word)) fail("line ended before '" + expected + "'");
+        return word;
+    }
+
+    /// Requires the next token to be exactly `key`.
+    void expect(const std::string& key) {
+        const std::string word = token(key);
+        if (word != key) fail("expected '" + key + "', got '" + word + "'");
+    }
+
+    /// Next token parsed as a decimal unsigned integer.
+    std::uint64_t u64(const std::string& what) {
+        const std::string word = token(what);
+        if (word.empty() || word.find_first_not_of("0123456789") != std::string::npos)
+            fail("bad value for '" + what + "': got '" + word + "'");
+        try {
+            return std::stoull(word);
+        } catch (const std::out_of_range&) {
+            fail("bad value for '" + what + "': '" + word + "' overflows 64 bits");
+        }
+    }
+
+    /// Requires the current line to hold no further tokens.
+    void end_line() {
+        std::string word;
+        if (line_ >> word) fail("unexpected trailing token '" + word + "'");
+    }
+
+    /// Whole `key <u64>` line in one call.
+    std::uint64_t u64_line(const std::string& key) {
+        next_line(key);
+        expect(key);
+        const std::uint64_t value = u64(key);
+        end_line();
+        return value;
+    }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::invalid_argument("read_checkpoint: line " + std::to_string(line_number_) +
+                                    ": " + what);
+    }
+
+private:
+    std::istream& in_;
+    std::istringstream line_;
+    std::size_t line_number_ = 0;
+};
 
 }  // namespace
 
@@ -143,70 +214,79 @@ void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint) {
 }
 
 RunCheckpoint read_checkpoint(std::istream& in) {
+    CheckpointParser parser(in);
     RunCheckpoint checkpoint;
-    std::string word;
 
-    require(static_cast<bool>(in >> word) && word == "popproto-checkpoint",
-            "read_checkpoint: not a popproto checkpoint");
-    require(static_cast<bool>(in >> word) &&
-                word == "v" + std::to_string(RunCheckpoint::kFormatVersion),
-            "read_checkpoint: unsupported checkpoint format version");
+    parser.next_line("popproto-checkpoint");
+    const std::string magic = parser.token("popproto-checkpoint");
+    if (magic != "popproto-checkpoint")
+        parser.fail("not a popproto checkpoint (got '" + magic + "')");
+    const std::string version = parser.token("format version");
+    if (version != "v" + std::to_string(RunCheckpoint::kFormatVersion))
+        parser.fail("unsupported checkpoint format version '" + version + "'");
+    parser.end_line();
 
-    require(static_cast<bool>(in >> word) && word == "engine",
-            "read_checkpoint: expected 'engine'");
-    require(static_cast<bool>(in >> word), "read_checkpoint: missing engine name");
-    require(observed_engine_from_name(word, checkpoint.engine),
-            "read_checkpoint: unknown engine '" + word + "'");
+    parser.next_line("engine");
+    parser.expect("engine");
+    const std::string engine_name = parser.token("engine name");
+    if (!observed_engine_from_name(engine_name, checkpoint.engine))
+        parser.fail("unknown engine '" + engine_name + "'");
+    parser.end_line();
 
-    checkpoint.population = read_u64_field(in, "population");
-    checkpoint.num_states = read_u64_field(in, "num_states");
+    checkpoint.population = parser.u64_line("population");
+    checkpoint.num_states = parser.u64_line("num_states");
 
-    require(static_cast<bool>(in >> word) && word == "rng", "read_checkpoint: expected 'rng'");
-    for (std::uint64_t& rng_word : checkpoint.rng.words)
-        require(static_cast<bool>(in >> rng_word), "read_checkpoint: bad RNG word");
+    parser.next_line("rng");
+    parser.expect("rng");
+    for (std::uint64_t& rng_word : checkpoint.rng.words) rng_word = parser.u64("rng word");
+    parser.end_line();
 
-    checkpoint.interactions = read_u64_field(in, "interactions");
-    checkpoint.effective_interactions = read_u64_field(in, "effective");
-    checkpoint.last_output_change = read_u64_field(in, "last_output_change");
-    checkpoint.next_silence_check = read_u64_field(in, "next_silence_check");
-    checkpoint.changed_since_silence_check = read_u64_field(in, "changed_since_check") != 0;
+    checkpoint.interactions = parser.u64_line("interactions");
+    checkpoint.effective_interactions = parser.u64_line("effective");
+    checkpoint.last_output_change = parser.u64_line("last_output_change");
+    checkpoint.next_silence_check = parser.u64_line("next_silence_check");
+    checkpoint.changed_since_silence_check = parser.u64_line("changed_since_check") != 0;
 
-    require(static_cast<bool>(in >> word) && word == "pending_skip",
-            "read_checkpoint: expected 'pending_skip'");
-    std::uint64_t has_pending = 0;
-    require(static_cast<bool>(in >> has_pending >> checkpoint.pending_null_skips),
-            "read_checkpoint: bad pending_skip");
-    checkpoint.has_pending_skip = has_pending != 0;
+    parser.next_line("pending_skip");
+    parser.expect("pending_skip");
+    checkpoint.has_pending_skip = parser.u64("pending_skip flag") != 0;
+    checkpoint.pending_null_skips = parser.u64("pending_skip remainder");
+    parser.end_line();
 
-    require(static_cast<bool>(in >> word),
-            "read_checkpoint: expected 'shard_rngs', 'counts' or 'agents'");
-    if (word == "shard_rngs") {
-        std::uint64_t shards = 0;
-        require(static_cast<bool>(in >> shards) && shards >= 1 && shards <= 65536,
-                "read_checkpoint: bad shard count");
+    parser.next_line("counts");
+    std::string payload = parser.token("'shard_rngs', 'counts' or 'agents'");
+    if (payload == "shard_rngs") {
+        const std::uint64_t shards = parser.u64("shard count");
+        if (shards < 1 || shards > 65536)
+            parser.fail("bad shard count '" + std::to_string(shards) + "'");
         checkpoint.shard_rngs.resize(shards);
         for (Rng::StreamState& shard : checkpoint.shard_rngs)
             for (std::uint64_t& shard_word : shard.words)
-                require(static_cast<bool>(in >> shard_word),
-                        "read_checkpoint: bad shard RNG word");
-        require(static_cast<bool>(in >> word),
-                "read_checkpoint: expected 'counts' or 'agents'");
+                shard_word = parser.u64("shard rng word");
+        parser.end_line();
+        parser.next_line("counts");
+        payload = parser.token("'counts' or 'agents'");
     }
-    require(word == "counts" || word == "agents",
-            "read_checkpoint: expected 'counts' or 'agents'");
-    std::uint64_t length = 0;
-    require(static_cast<bool>(in >> length), "read_checkpoint: bad payload length");
-    if (word == "counts") {
+    if (payload != "counts" && payload != "agents")
+        parser.fail("expected 'counts' or 'agents', got '" + payload + "'");
+    const std::uint64_t length = parser.u64("payload length");
+    if (payload == "counts") {
         checkpoint.counts.resize(length);
-        for (std::uint64_t& count : checkpoint.counts)
-            require(static_cast<bool>(in >> count), "read_checkpoint: bad count");
+        for (std::uint64_t& count : checkpoint.counts) count = parser.u64("count");
     } else {
         checkpoint.agent_states.resize(length);
-        for (State& state : checkpoint.agent_states)
-            require(static_cast<bool>(in >> state), "read_checkpoint: bad agent state");
+        for (State& state : checkpoint.agent_states) {
+            const std::uint64_t value = parser.u64("agent state");
+            if (value > ~State{0})
+                parser.fail("agent state '" + std::to_string(value) + "' does not fit 32 bits");
+            state = static_cast<State>(value);
+        }
     }
+    parser.end_line();
 
-    require(static_cast<bool>(in >> word) && word == "end", "read_checkpoint: expected 'end'");
+    parser.next_line("end");
+    parser.expect("end");
+    parser.end_line();
     return checkpoint;
 }
 
@@ -218,6 +298,44 @@ std::string checkpoint_to_string(const RunCheckpoint& checkpoint) {
 
 RunCheckpoint checkpoint_from_string(const std::string& text) {
     std::istringstream in(text);
+    return read_checkpoint(in);
+}
+
+void write_checkpoint_atomic(const std::string& path, const RunCheckpoint& checkpoint) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("write_checkpoint_atomic: cannot open " + tmp + ": " +
+                                     std::strerror(errno));
+        try {
+            write_checkpoint(out, checkpoint);
+            out.flush();
+            require(static_cast<bool>(out), "flush failed");
+        } catch (const std::exception&) {
+            // write_checkpoint surfaces stream failures (disk full, closed
+            // descriptor) as a pathless exception; rethrow naming the file
+            // and drop the partial temporary.
+            const int saved_errno = errno;
+            out.close();
+            std::remove(tmp.c_str());
+            throw std::runtime_error("write_checkpoint_atomic: cannot write " + tmp + ": " +
+                                     std::strerror(saved_errno));
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int saved_errno = errno;
+        std::remove(tmp.c_str());
+        throw std::runtime_error("write_checkpoint_atomic: cannot rename " + tmp + " to " +
+                                 path + ": " + std::strerror(saved_errno));
+    }
+}
+
+RunCheckpoint read_checkpoint_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("read_checkpoint_file: cannot open " + path + ": " +
+                                 std::strerror(errno));
     return read_checkpoint(in);
 }
 

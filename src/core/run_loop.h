@@ -154,6 +154,21 @@ RunCheckpoint read_checkpoint(std::istream& in);
 std::string checkpoint_to_string(const RunCheckpoint& checkpoint);
 RunCheckpoint checkpoint_from_string(const std::string& text);
 
+/// Persists `checkpoint` to `path` atomically: the serialized form is
+/// written to `path` + ".tmp" and renamed over `path`, so an interrupt or
+/// crash mid-write never clobbers the previous good checkpoint.  Used by
+/// trace_run's --checkpoint sink and the service daemon's eviction spill.
+/// Throws std::runtime_error naming the failing path (and errno text) when
+/// the temporary cannot be written or the rename fails.
+void write_checkpoint_atomic(const std::string& path, const RunCheckpoint& checkpoint);
+
+/// Reads a checkpoint file previously produced by `write_checkpoint_atomic`
+/// (or any stream written by `write_checkpoint`).  Throws
+/// std::runtime_error naming `path` when the file cannot be opened, and
+/// std::invalid_argument with the line number and offending token on
+/// malformed content.
+RunCheckpoint read_checkpoint_file(const std::string& path);
+
 // ---------------------------------------------------------------------------
 // The Stepper concept
 
@@ -300,6 +315,8 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
     const std::uint64_t checkpoint_every = options.checkpoint_every;
     require(checkpoint_every == 0 || options.checkpoint_sink != nullptr,
             where + ": checkpoint_every requires a checkpoint_sink");
+    require(options.pause_after == 0 || options.checkpoint_sink != nullptr,
+            where + ": pause_after requires a checkpoint_sink");
     if constexpr (!ParallelStepper<S>) {
         // threads == 0 (auto) is fine — it resolves to 1 for sequential
         // engines — but an explicit request for parallelism is not.
@@ -353,10 +370,27 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
         pending_skip = checkpoint.pending_null_skips;
     }
 
+    // The pause index (RunOptions::pause_after) is one extra checkpoint
+    // boundary: it participates in the same schedule (and super-step /
+    // null-skip clamping) as the periodic checkpoints, and taking the
+    // checkpoint there additionally ends the run with kPaused.
+    const std::uint64_t pause_at =
+        options.pause_after != 0 ? options.pause_after : SnapshotSchedule::kNever;
+    require(pause_at == SnapshotSchedule::kNever || pause_at > result.interactions,
+            where + ": pause_after lies at or before the resume point");
+    bool paused = false;
+
     std::uint64_t next_checkpoint = SnapshotSchedule::kNever;
-    if (checkpoint_every != 0 &&
-        result.interactions / checkpoint_every < SnapshotSchedule::kNever / checkpoint_every - 1)
-        next_checkpoint = (result.interactions / checkpoint_every + 1) * checkpoint_every;
+    const auto advance_checkpoint_schedule = [&] {
+        next_checkpoint = SnapshotSchedule::kNever;
+        if (checkpoint_every != 0 &&
+            result.interactions / checkpoint_every <
+                SnapshotSchedule::kNever / checkpoint_every - 1)
+            next_checkpoint = (result.interactions / checkpoint_every + 1) * checkpoint_every;
+        if (pause_at > result.interactions && pause_at < next_checkpoint)
+            next_checkpoint = pause_at;
+    };
+    advance_checkpoint_schedule();
 
     const auto take_checkpoint = [&](std::uint64_t pending, bool has_pending) {
         RunCheckpoint checkpoint;
@@ -373,7 +407,8 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
         checkpoint.pending_null_skips = pending;
         stepper.save(checkpoint);
         options.checkpoint_sink->on_checkpoint(checkpoint);
-        next_checkpoint = (result.interactions / checkpoint_every + 1) * checkpoint_every;
+        if (result.interactions >= pause_at) paused = true;
+        advance_checkpoint_schedule();
     };
 
     RunObserver* const observer = options.observer;
@@ -431,13 +466,27 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
         }
     }
 
+    const std::atomic<bool>* const stop_flag = options.stop_flag;
     while (!silent && result.interactions < budget) {
+        // Cooperative stop: a raised flag ends the run at this loop
+        // boundary.  The final checkpoint carries any not-yet-consumed
+        // pending skip (a resume right after restoring one lands here
+        // before the skip is executed), so resuming is exact.
+        if (stop_flag != nullptr && stop_flag->load(std::memory_order_relaxed)) {
+            if (options.checkpoint_sink != nullptr)
+                take_checkpoint(has_pending_skip ? pending_skip : 0, has_pending_skip);
+            paused = true;
+            break;
+        }
         // Checkpoint due at a loop boundary.  Per-interaction engines reach
         // every index, so this lands exactly on multiples of the period; the
         // batch engine lands here when the multiple coincided with an
         // effective interaction (boundaries inside a null skip are handled
         // below and also land exactly).
-        if (result.interactions >= next_checkpoint) take_checkpoint(0, false);
+        if (result.interactions >= next_checkpoint) {
+            take_checkpoint(has_pending_skip ? pending_skip : 0, has_pending_skip);
+            if (paused) break;
+        }
 
         if constexpr (SuperStepStepper<S>) {
             // One super-step: draw the length of the maximal collision-free
@@ -534,7 +583,9 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
                 }
                 result.interactions = next_checkpoint;
                 take_checkpoint(target_end - result.interactions, true);
+                if (paused) break;
             }
+            if (paused) break;  // pause boundary inside the null run
 
             if (skip_end != SkipEnd::kRunOn) {
                 if (observer) emit_snapshots_through(end_index);
@@ -601,7 +652,7 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
     }
 
     if constexpr (kMode == SilenceMode::kPeriodic) {
-        if (!silent && result.interactions >= budget) {
+        if (!paused && !silent && result.interactions >= budget) {
             // The budget can expire between silence checks; a final test
             // keeps the sound kSilent certificate from being misreported as
             // kBudget.
@@ -616,6 +667,9 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
     if constexpr (kMode != SilenceMode::kNever) {
         if (silent) result.stop_reason = StopReason::kSilent;
     }
+    // A pause is never also a terminal stop: the loop breaks before
+    // stepping, so `silent` cannot have been set in the same iteration.
+    if (paused) result.stop_reason = StopReason::kPaused;
 
     result.final_configuration = stepper.counts();
     result.consensus = result.final_configuration.consensus_output(protocol);

@@ -16,6 +16,7 @@
 #ifndef POPPROTO_CORE_SIMULATOR_H
 #define POPPROTO_CORE_SIMULATOR_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -149,6 +150,31 @@ struct RunOptions {
     /// run on every engine.
     const RunCheckpoint* resume_from = nullptr;
 
+    /// If nonzero, execute up to this *absolute* interaction index, deliver
+    /// one checkpoint exactly there to `checkpoint_sink`, and stop with
+    /// StopReason::kPaused — the primitive behind bounded work quanta (the
+    /// service daemon slices a long run into pause_after segments and
+    /// re-queues the checkpoint).  The pause checkpoint is the same
+    /// checkpoint a checkpoint_every boundary at that index would deliver,
+    /// so chained pause/resume segments are bit-identical to the
+    /// uninterrupted run (super-step engines: to a run checkpointed at the
+    /// same boundaries; see collapsed_simulator.h).  Requires
+    /// `checkpoint_sink`, and must lie strictly beyond the resume point.
+    /// A run that terminates (silent / stable outputs / budget) before the
+    /// pause index simply reports its terminal result.
+    std::uint64_t pause_after = 0;
+
+    /// Borrowed cooperative-stop flag, polled once per loop iteration with
+    /// a relaxed load (nullptr, the default, costs one predicted branch).
+    /// When found true the kernel delivers a final checkpoint to
+    /// `checkpoint_sink` (if one is configured) at the current loop
+    /// boundary and stops with StopReason::kPaused.  This is how a signal
+    /// handler (trace_run SIGINT/SIGTERM) or the service daemon's
+    /// suspend/cancel commands interrupt an in-flight run without losing
+    /// its exact state; resuming from the delivered checkpoint is
+    /// bit-identical to never having stopped.
+    const std::atomic<bool>* stop_flag = nullptr;
+
     /// Performance-telemetry collector (telemetry/telemetry.h); borrowed,
     /// may be nullptr (the default — costs one branch per probe site).
     /// Like observers, telemetry never touches the RNG stream or the
@@ -163,6 +189,11 @@ enum class StopReason {
     kSilent,         ///< no interaction can change any state; outputs final
     kStableOutputs,  ///< heuristic output-stability window elapsed
     kBudget,         ///< max_interactions reached
+    /// Suspended, not finished: RunOptions::pause_after was reached or
+    /// RunOptions::stop_flag was raised; a checkpoint capturing the exact
+    /// state was delivered to checkpoint_sink (when configured) and the run
+    /// can be resumed bit-identically.
+    kPaused,
 };
 
 /// Outcome of a simulated execution.

@@ -100,6 +100,8 @@ const char* stop_reason_name(StopReason reason) {
             return "stable_outputs";
         case StopReason::kBudget:
             return "budget";
+        case StopReason::kPaused:
+            return "paused";
     }
     return "unknown";
 }
@@ -113,8 +115,17 @@ JsonlTraceWriter::JsonlTraceWriter(const std::string& path)
     require(owned_.is_open(), "JsonlTraceWriter: cannot open " + path);
 }
 
+JsonlTraceWriter::JsonlTraceWriter(std::function<void(const std::string&)> callback)
+    : out_(nullptr), callback_(std::move(callback)) {
+    require(static_cast<bool>(callback_), "JsonlTraceWriter: callback must be callable");
+}
+
 void JsonlTraceWriter::write_line(const std::string& line) {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (out_ == nullptr) {
+        callback_(line);
+        return;
+    }
     *out_ << line << '\n';
     // badbit/failbit after a write means the line was lost (disk full,
     // closed descriptor); surface it now rather than truncating silently.
@@ -183,7 +194,7 @@ void JsonlTraceWriter::on_stop(const RunResult& result, double wall_seconds) {
     line << '}';
     write_line(line.str());
     const std::lock_guard<std::mutex> lock(mutex_);
-    out_->flush();
+    if (out_ != nullptr) out_->flush();
 }
 
 }  // namespace popproto

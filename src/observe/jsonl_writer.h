@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -36,6 +37,13 @@ public:
     /// Opens `path` for writing (truncating); throws std::invalid_argument
     /// naming the path on failure.
     explicit JsonlTraceWriter(const std::string& path);
+
+    /// Delivers each serialized line to `callback` instead of a stream —
+    /// the service daemon uses this to fan one session's trace out to its
+    /// wire subscribers.  The callback runs under the writer's mutex (so
+    /// lines arrive whole and in order) on whichever thread produced the
+    /// event; it must not call back into this writer.
+    explicit JsonlTraceWriter(std::function<void(const std::string&)> callback);
 
     /// When false (default true), snapshot and stop events omit the
     /// `counts` array — useful for long runs where only the event timing
@@ -58,7 +66,8 @@ private:
     void write_line(const std::string& line);
 
     std::ofstream owned_;
-    std::ostream* out_;
+    std::ostream* out_;  // nullptr for the callback constructor
+    std::function<void(const std::string&)> callback_;
     std::string path_;  // empty for the borrowed-stream constructor
     std::mutex mutex_;
     bool write_counts_ = true;

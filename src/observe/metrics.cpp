@@ -9,7 +9,7 @@ std::string MetricsReport::to_string() const {
     std::ostringstream out;
     out << "runs: " << runs_finished << " finished / " << runs_started << " started"
         << " (silent " << stops_silent << ", stable_outputs " << stops_stable_outputs
-        << ", budget " << stops_budget << ")\n";
+        << ", budget " << stops_budget << ", paused " << stops_paused << ")\n";
     out << "interactions: " << interactions << " total, " << effective_interactions
         << " effective, " << null_interactions_skipped << " skipped in " << null_runs
         << " null runs\n";
@@ -37,7 +37,8 @@ std::string MetricsReport::to_json() const {
         << ",\"effective_interactions\":" << effective_interactions
         << ",\"stops_silent\":" << stops_silent
         << ",\"stops_stable_outputs\":" << stops_stable_outputs
-        << ",\"stops_budget\":" << stops_budget << ",\"output_changes\":" << output_changes
+        << ",\"stops_budget\":" << stops_budget << ",\"stops_paused\":" << stops_paused
+        << ",\"output_changes\":" << output_changes
         << ",\"snapshots\":" << snapshots << ",\"silence_checks\":" << silence_checks
         << ",\"null_runs\":" << null_runs
         << ",\"null_interactions_skipped\":" << null_interactions_skipped
@@ -113,6 +114,9 @@ void MetricsCollector::on_stop(const RunResult& result, double wall_seconds) {
             break;
         case StopReason::kBudget:
             ++data_.stops_budget;
+            break;
+        case StopReason::kPaused:
+            ++data_.stops_paused;
             break;
     }
 }

@@ -34,11 +34,14 @@ struct MetricsReport {
     std::uint64_t interactions = 0;
     std::uint64_t effective_interactions = 0;
 
-    // Stop reasons of finished runs (silent + stable_outputs + budget ==
-    // runs_finished).
+    // Stop reasons of finished runs (silent + stable_outputs + budget +
+    // paused == runs_finished).  A paused run (service work quantum,
+    // cooperative stop) is counted as finished here — each resumed segment
+    // is its own observed run.
     std::uint64_t stops_silent = 0;
     std::uint64_t stops_stable_outputs = 0;
     std::uint64_t stops_budget = 0;
+    std::uint64_t stops_paused = 0;
 
     // Event counts.
     std::uint64_t output_changes = 0;

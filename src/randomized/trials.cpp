@@ -74,6 +74,10 @@ TrialSummary measure_trials(const TabulatedProtocol& protocol,
     require(options.base.telemetry == nullptr,
             "measure_trials: RunOptions::telemetry is per-run; trials reject a shared "
             "collector");
+    // A paused trial has no convergence outcome to aggregate; quantum-sliced
+    // execution belongs to the service daemon, not the trial harness.
+    require(options.base.pause_after == 0 && options.base.stop_flag == nullptr,
+            "measure_trials: pause_after/stop_flag would leave trials unfinished");
 
     unsigned threads = options.threads != 0 ? options.threads
                                             : std::max(1u, std::thread::hardware_concurrency());
@@ -106,6 +110,9 @@ TrialSummary measure_trials(const TabulatedProtocol& protocol,
                 break;
             case StopReason::kBudget:
                 ++summary.budget;
+                break;
+            case StopReason::kPaused:
+                // Unreachable: pause options are rejected above.
                 break;
         }
         if (result.consensus &&

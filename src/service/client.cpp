@@ -1,0 +1,109 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace popproto::service {
+
+ServiceClient ServiceClient::connect_unix(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error(std::string("client: socket: ") + std::strerror(errno));
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(address.sun_path)) {
+        ::close(fd);
+        throw std::runtime_error("client: unix socket path too long: " + path);
+    }
+    std::strncpy(address.sun_path, path.c_str(), sizeof(address.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+        const std::string message =
+            "client: connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        throw std::runtime_error(message);
+    }
+    return ServiceClient(fd);
+}
+
+ServiceClient ServiceClient::connect_tcp(const std::string& host, int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error(std::string("client: socket: ") + std::strerror(errno));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("client: bad IPv4 address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+        const std::string message = "client: connect " + host + ":" + std::to_string(port) +
+                                    ": " + std::strerror(errno);
+        ::close(fd);
+        throw std::runtime_error(message);
+    }
+    return ServiceClient(fd);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+}
+
+ServiceClient::~ServiceClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void ServiceClient::send_line(const std::string& line) {
+    std::string frame = line;
+    frame += '\n';
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            throw std::runtime_error(std::string("client: send: ") + std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string ServiceClient::read_line() {
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            return line;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) throw std::runtime_error("client: connection closed by daemon");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string ServiceClient::request(const std::string& line) {
+    send_line(line);
+    return read_line();
+}
+
+}  // namespace popproto::service

@@ -1,0 +1,46 @@
+// Blocking JSONL client for the service daemon.
+//
+// Used by the popctl executable, the service tests, and anything else that
+// wants to talk to serve_popproto without hand-rolling sockets.  One
+// request() is one round trip; subscribe streams arrive via read_line()
+// (responses to later requests interleave with events — callers watch for
+// the "ok" key to tell them apart, like popctl's watch command does).
+
+#ifndef POPPROTO_SERVICE_CLIENT_H
+#define POPPROTO_SERVICE_CLIENT_H
+
+#include <string>
+
+namespace popproto::service {
+
+class ServiceClient {
+public:
+    /// Both throw std::runtime_error naming the endpoint on failure.
+    static ServiceClient connect_unix(const std::string& path);
+    static ServiceClient connect_tcp(const std::string& host, int port);
+
+    ServiceClient(ServiceClient&& other) noexcept;
+    ServiceClient& operator=(ServiceClient&& other) noexcept;
+    ServiceClient(const ServiceClient&) = delete;
+    ServiceClient& operator=(const ServiceClient&) = delete;
+    ~ServiceClient();
+
+    /// Sends one request line and returns the next received line.
+    std::string request(const std::string& line);
+
+    void send_line(const std::string& line);
+
+    /// Next line from the daemon; throws std::runtime_error when the
+    /// connection closes first.
+    std::string read_line();
+
+private:
+    explicit ServiceClient(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+}  // namespace popproto::service
+
+#endif  // POPPROTO_SERVICE_CLIENT_H

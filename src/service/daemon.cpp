@@ -1,0 +1,59 @@
+#include "service/daemon.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+namespace popproto::service {
+
+namespace {
+
+std::atomic<bool> g_terminate{false};
+
+extern "C" void handle_terminate_signal(int) { g_terminate.store(true); }
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) {
+    g_terminate.store(false);
+    try {
+        RunRegistry registry(options.registry);
+        const std::size_t restored = registry.restore();
+        if (options.verbose && restored > 0)
+            std::fprintf(stderr, "serve_popproto: restored %zu session(s) from %s\n",
+                         restored, registry.store().directory().c_str());
+
+        WireServer server(registry, options.server);
+        server.start();
+        if (options.verbose) {
+            if (!options.server.unix_path.empty())
+                std::fprintf(stderr, "serve_popproto: listening on %s\n",
+                             options.server.unix_path.c_str());
+            else
+                std::fprintf(stderr, "serve_popproto: listening on 127.0.0.1:%d\n",
+                             server.tcp_port());
+        }
+
+        std::signal(SIGTERM, handle_terminate_signal);
+        std::signal(SIGINT, handle_terminate_signal);
+        while (!g_terminate.load() && !server.shutdown_requested())
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        if (options.verbose)
+            std::fprintf(stderr, "serve_popproto: draining (checkpointing sessions)...\n");
+        // Stop the transport first so no new mutations race the drain,
+        // then checkpoint everything.
+        server.stop();
+        registry.drain();
+        if (options.verbose) std::fprintf(stderr, "serve_popproto: drained, exiting\n");
+        return 0;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "serve_popproto: %s\n", error.what());
+        return 1;
+    }
+}
+
+}  // namespace popproto::service

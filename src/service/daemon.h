@@ -1,0 +1,35 @@
+// Daemon lifecycle: registry + server + graceful drain.
+//
+// `run_daemon` is the whole life of a serve_popproto process: restore any
+// sessions the previous incarnation drained to the spill directory, start
+// serving, and block until SIGTERM/SIGINT (or a wire "shutdown" command)
+// asks it to stop — at which point the server stops accepting mutations,
+// every in-flight quantum is interrupted at its next loop boundary, every
+// non-terminal session is checkpointed to disk with a manifest, and the
+// process exits 0.  A restarted daemon picks all of them up bit-identically
+// (restore() + the checkpoint machinery of run_loop.h).
+
+#ifndef POPPROTO_SERVICE_DAEMON_H
+#define POPPROTO_SERVICE_DAEMON_H
+
+#include "service/registry.h"
+#include "service/server.h"
+
+namespace popproto::service {
+
+struct DaemonOptions {
+    RegistryOptions registry;
+    ServerOptions server;
+
+    /// Print a "listening on ..." line (and drain progress) to stderr.
+    bool verbose = true;
+};
+
+/// Runs until a termination signal or a wire "shutdown"; returns the
+/// process exit code (0 after a clean drain).  Installs SIGTERM/SIGINT
+/// handlers for the duration of the call.
+int run_daemon(const DaemonOptions& options);
+
+}  // namespace popproto::service
+
+#endif  // POPPROTO_SERVICE_DAEMON_H

@@ -1,0 +1,668 @@
+#include "service/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/batch_simulator.h"
+#include "core/require.h"
+#include "observe/jsonl_writer.h"
+#include "service/json.h"
+#include "telemetry/telemetry.h"
+
+namespace popproto::service {
+
+namespace {
+
+StopReason parse_stop_reason_name(const std::string& name) {
+    if (name == "silent") return StopReason::kSilent;
+    if (name == "stable_outputs") return StopReason::kStableOutputs;
+    if (name == "budget") return StopReason::kBudget;
+    if (name == "paused") return StopReason::kPaused;
+    throw std::invalid_argument("unknown stop reason \"" + name + "\"");
+}
+
+const char* stop_reason_manifest_name(StopReason reason) {
+    switch (reason) {
+        case StopReason::kSilent:
+            return "silent";
+        case StopReason::kStableOutputs:
+            return "stable_outputs";
+        case StopReason::kBudget:
+            return "budget";
+        case StopReason::kPaused:
+            return "paused";
+    }
+    return "unknown";
+}
+
+SessionState parse_session_state_name(const std::string& name) {
+    if (name == "queued") return SessionState::kQueued;
+    if (name == "suspended") return SessionState::kSuspended;
+    if (name == "evicted") return SessionState::kEvicted;
+    if (name == "done") return SessionState::kDone;
+    if (name == "failed") return SessionState::kFailed;
+    if (name == "cancelled") return SessionState::kCancelled;
+    // "running" never appears in a manifest (drain interrupts every
+    // quantum before writing them); treat it defensively as queued.
+    if (name == "running") return SessionState::kQueued;
+    throw std::invalid_argument("unknown session state \"" + name + "\"");
+}
+
+}  // namespace
+
+/// Stores the (single, at the pause boundary) checkpoint a quantum emits.
+class RunRegistry::CaptureSink final : public CheckpointSink {
+public:
+    explicit CaptureSink(std::optional<RunCheckpoint>& target) : target_(target) {}
+    void on_checkpoint(const RunCheckpoint& checkpoint) override { target_ = checkpoint; }
+
+private:
+    std::optional<RunCheckpoint>& target_;
+};
+
+/// Streams one session's trace to its wire subscribers, reusing the
+/// JsonlTraceWriter serialization with two quantum-boundary filters: the
+/// "start" event fires only for the session's first quantum, and the
+/// "stop" event only when the run is terminal (kPaused quantum boundaries
+/// are service bookkeeping, not trajectory events).  Each line gets the
+/// session id spliced in: {"session":"s-1","event":...}.
+class RunRegistry::SessionTrace final : public RunObserver {
+public:
+    SessionTrace(RunRegistry& registry, Session& session, bool first_segment)
+        : registry_(registry),
+          session_(session),
+          first_segment_(first_segment),
+          writer_([this](const std::string& line) { forward(line); }) {}
+
+    void on_start(const RunStartInfo& info) override {
+        if (first_segment_ && listening()) writer_.on_start(info);
+    }
+    void on_snapshot(std::uint64_t interaction_index,
+                     const CountConfiguration& configuration) override {
+        if (listening()) writer_.on_snapshot(interaction_index, configuration);
+    }
+    void on_output_change(std::uint64_t interaction_index) override {
+        if (listening()) writer_.on_output_change(interaction_index);
+    }
+    void on_stop(const RunResult& result, double wall_seconds) override {
+        if (result.stop_reason != StopReason::kPaused && listening())
+            writer_.on_stop(result, wall_seconds);
+    }
+
+private:
+    bool listening() const {
+        return session_.subscriber_count.load(std::memory_order_relaxed) > 0;
+    }
+
+    void forward(const std::string& line) {
+        // All writer lines are objects starting with {"event": — splice the
+        // session id in front so multiplexed subscriber streams stay
+        // attributable.
+        std::string tagged = "{\"session\":" + json_quote(session_.id) + ",";
+        tagged.append(line, 1, line.size() - 1);
+        registry_.publish(session_, tagged);
+    }
+
+    RunRegistry& registry_;
+    Session& session_;
+    const bool first_segment_;
+    JsonlTraceWriter writer_;
+};
+
+RunRegistry::RunRegistry(RegistryOptions options)
+    : options_(std::move(options)), store_(options_.spill_dir) {
+    unsigned workers = options_.workers;
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    require(options_.default_quantum >= 1, "RunRegistry: default_quantum must be at least 1");
+    workers_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+RunRegistry::~RunRegistry() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        for (auto& [id, session] : sessions_) session->stop_requested.store(true);
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+}
+
+std::string RunRegistry::submit(const SessionSpec& spec) {
+    // Validate eagerly: instantiate the protocol and initial configuration
+    // now so a bad submit fails at the wire, not inside a worker.
+    std::unique_ptr<TabulatedProtocol> protocol = build_protocol(spec);
+    const CountConfiguration initial = build_initial(*protocol, spec);
+    require(initial.population_size() >= 2, "submit: population must be at least 2");
+    parse_engine_name(spec.engine);
+    require(spec.threads <= 1 || spec.engine == "auto" || spec.engine == "collapsed",
+            "submit: threads > 1 requires the collapsed engine");
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    require(!draining_ && !stopping_, "submit: registry is draining");
+    auto session = std::make_shared<Session>();
+    session->id = "s-" + std::to_string(next_session_number_++);
+    session->spec = spec;
+    session->quantum = spec.quantum != 0 ? spec.quantum : options_.default_quantum;
+    session->protocol = std::move(protocol);
+    sessions_.emplace(session->id, session);
+    scheduler_.add(session->id, spec.weight);
+    ++submitted_;
+    const std::string id = session->id;
+    lock.unlock();
+    work_cv_.notify_one();
+    return id;
+}
+
+std::shared_ptr<RunRegistry::Session> RunRegistry::find_session(const std::string& id) const {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) throw std::invalid_argument("unknown session \"" + id + "\"");
+    return it->second;
+}
+
+SessionStatus RunRegistry::status(const std::string& id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::shared_ptr<Session> session = find_session(id);
+    SessionStatus status;
+    status.id = session->id;
+    status.name = session->spec.name;
+    status.state = session->state;
+    status.interactions = session->interactions;
+    status.effective_interactions = session->effective_interactions;
+    status.quanta = session->quanta;
+    status.stop_reason = session->stop_reason;
+    status.consensus = session->consensus;
+    status.last_output_change = session->last_output_change;
+    status.error = session->error;
+    return status;
+}
+
+std::vector<SessionStatus> RunRegistry::list() const {
+    std::vector<std::string> ids;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ids.reserve(sessions_.size());
+        for (const auto& [id, session] : sessions_) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end(), [](const std::string& a, const std::string& b) {
+        // Numeric sort on the "s-N" suffix so s-10 follows s-9.
+        return a.size() != b.size() ? a.size() < b.size() : a < b;
+    });
+    std::vector<SessionStatus> statuses;
+    statuses.reserve(ids.size());
+    for (const std::string& id : ids) statuses.push_back(status(id));
+    return statuses;
+}
+
+void RunRegistry::suspend(const std::string& id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::shared_ptr<Session> session = find_session(id);
+    switch (session->state) {
+        case SessionState::kRunning:
+            session->pending = Session::PendingOp::kSuspend;
+            session->stop_requested.store(true);
+            return;
+        case SessionState::kQueued:
+            scheduler_.remove(id);
+            session->state = SessionState::kSuspended;
+            evict_lru_locked();
+            return;
+        case SessionState::kSuspended:
+        case SessionState::kEvicted:
+            return;  // idempotent
+        case SessionState::kDone:
+        case SessionState::kFailed:
+        case SessionState::kCancelled:
+            throw std::invalid_argument("suspend: session " + id + " is terminal");
+    }
+}
+
+void RunRegistry::resume(const std::string& id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::shared_ptr<Session> session = find_session(id);
+    switch (session->state) {
+        case SessionState::kSuspended:
+        case SessionState::kEvicted:
+            // An evicted session's checkpoint stays on disk and is faulted
+            // back in by the worker on its next quantum.
+            session->state = SessionState::kQueued;
+            scheduler_.add(id, session->spec.weight);
+            lock.unlock();
+            work_cv_.notify_one();
+            return;
+        case SessionState::kQueued:
+        case SessionState::kRunning:
+            // A pending suspend that has not landed yet is withdrawn.
+            if (session->pending == Session::PendingOp::kSuspend) {
+                session->pending = Session::PendingOp::kNone;
+                session->stop_requested.store(false);
+            }
+            return;
+        case SessionState::kDone:
+        case SessionState::kFailed:
+        case SessionState::kCancelled:
+            throw std::invalid_argument("resume: session " + id + " is terminal");
+    }
+}
+
+void RunRegistry::cancel(const std::string& id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::shared_ptr<Session> session = find_session(id);
+    switch (session->state) {
+        case SessionState::kRunning:
+            session->pending = Session::PendingOp::kCancel;
+            session->stop_requested.store(true);
+            return;
+        case SessionState::kQueued:
+            scheduler_.remove(id);
+            [[fallthrough]];
+        case SessionState::kSuspended:
+        case SessionState::kEvicted: {
+            session->state = SessionState::kCancelled;
+            session->checkpoint.reset();
+            session->protocol.reset();
+            if (session->checkpoint_on_disk) {
+                store_.remove(id);
+                session->checkpoint_on_disk = false;
+            }
+            lock.unlock();
+            publish(*session, "{\"session\":" + json_quote(id) +
+                                  ",\"event\":\"state\",\"state\":\"cancelled\"}");
+            idle_cv_.notify_all();
+            return;
+        }
+        case SessionState::kCancelled:
+            return;  // idempotent
+        case SessionState::kDone:
+        case SessionState::kFailed:
+            throw std::invalid_argument("cancel: session " + id + " is terminal");
+    }
+}
+
+void RunRegistry::subscribe(const std::string& id, std::uint64_t token, LineSink sink) {
+    require(static_cast<bool>(sink), "subscribe: sink must be callable");
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::shared_ptr<Session> session = find_session(id);
+    const SessionState state = session->state;
+    {
+        const std::lock_guard<std::mutex> subscriber_lock(subscriber_mutex_);
+        session->subscribers.emplace_back(token, sink);
+        session->subscriber_count.store(session->subscribers.size(),
+                                        std::memory_order_relaxed);
+    }
+    lock.unlock();
+    // A subscriber to an already-settled session would otherwise wait
+    // forever for events that fired in the past.
+    if (state == SessionState::kDone || state == SessionState::kFailed ||
+        state == SessionState::kCancelled) {
+        sink("{\"session\":" + json_quote(id) + ",\"event\":\"state\",\"state\":\"" +
+             session_state_name(state) + "\"}");
+    }
+}
+
+void RunRegistry::unsubscribe(const std::string& id, std::uint64_t token) {
+    std::shared_ptr<Session> session;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) return;
+        session = it->second;
+    }
+    const std::lock_guard<std::mutex> subscriber_lock(subscriber_mutex_);
+    auto& subscribers = session->subscribers;
+    subscribers.erase(std::remove_if(subscribers.begin(), subscribers.end(),
+                                     [&](const auto& entry) { return entry.first == token; }),
+                      subscribers.end());
+    session->subscriber_count.store(subscribers.size(), std::memory_order_relaxed);
+}
+
+void RunRegistry::publish(Session& session, const std::string& line) {
+    std::vector<LineSink> sinks;
+    {
+        const std::lock_guard<std::mutex> lock(subscriber_mutex_);
+        sinks.reserve(session.subscribers.size());
+        for (const auto& [token, sink] : session.subscribers) sinks.push_back(sink);
+    }
+    for (const LineSink& sink : sinks) sink(line);
+}
+
+void RunRegistry::worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [&] { return stopping_ || draining_ || !scheduler_.empty(); });
+        if (stopping_ || draining_) return;
+        std::optional<DrrScheduler::Entry> entry = scheduler_.take();
+        if (!entry) continue;
+        const auto it = sessions_.find(entry->id);
+        if (it == sessions_.end()) continue;  // cancelled + erased underneath
+        const std::shared_ptr<Session> session = it->second;
+        session->state = SessionState::kRunning;
+        session->last_dispatched = ++dispatch_clock_;
+        ++running_;
+        lock.unlock();
+
+        QuantumOutcome outcome = run_one_quantum(*session);
+
+        lock.lock();
+        --running_;
+        Settled settled = settle_after_quantum(*session, std::move(outcome));
+        scheduler_.give_back(std::move(*entry), settled.runnable);
+        lock.unlock();
+        if (settled.runnable) work_cv_.notify_one();
+        idle_cv_.notify_all();
+        if (!settled.state_event.empty()) publish(*session, settled.state_event);
+        lock.lock();
+    }
+}
+
+RunRegistry::QuantumOutcome RunRegistry::run_one_quantum(Session& session) {
+    QuantumOutcome outcome;
+    try {
+        if (!session.checkpoint.has_value() && session.checkpoint_on_disk) {
+            session.checkpoint = store_.load_checkpoint(session.id);
+            outcome.faulted = true;
+        }
+        if (session.protocol == nullptr) session.protocol = build_protocol(session.spec);
+        const CountConfiguration initial = build_initial(*session.protocol, session.spec);
+
+        CaptureSink capture(outcome.checkpoint);
+        const bool first_segment = !session.checkpoint.has_value();
+        SessionTrace trace(*this, session, first_segment);
+        TeeObserver observers({&metrics_, &trace});
+
+        telemetry::RunTelemetryCollector telemetry_collector;
+
+        RunOptions options;
+        options.engine = parse_engine_name(session.spec.engine);
+        options.threads = session.spec.threads;
+        options.seed = session.spec.seed;
+        options.max_interactions = session.spec.budget;
+        options.observer = &observers;
+        if (session.spec.snapshot_every != 0)
+            options.snapshots = SnapshotSchedule::every(session.spec.snapshot_every);
+        if (session.spec.telemetry) options.telemetry = &telemetry_collector;
+        options.checkpoint_sink = &capture;
+        options.stop_flag = &session.stop_requested;
+        if (session.checkpoint.has_value()) options.resume_from = &*session.checkpoint;
+
+        // The pause boundary is the next absolute multiple of the quantum
+        // length: the grid is a property of the session, not of server
+        // load, so sliced execution replays the uninterrupted trajectory.
+        const std::uint64_t done =
+            session.checkpoint.has_value() ? session.checkpoint->interactions : 0;
+        options.pause_after = (done / session.quantum + 1) * session.quantum;
+
+        outcome.result = run_simulation(*session.protocol, initial, options);
+    } catch (const std::exception& error) {
+        outcome.error = error.what();
+        if (outcome.error.empty()) outcome.error = "unknown error";
+    }
+    return outcome;
+}
+
+RunRegistry::Settled RunRegistry::settle_after_quantum(Session& session,
+                                                       QuantumOutcome outcome) {
+    Settled settled;
+    ++quanta_executed_;
+    ++session.quanta;
+    if (outcome.faulted) ++faults_;
+
+    const auto state_event = [&](const char* state) {
+        return "{\"session\":" + json_quote(session.id) +
+               ",\"event\":\"state\",\"state\":\"" + state + "\"}";
+    };
+
+    if (!outcome.error.empty()) {
+        session.state = SessionState::kFailed;
+        session.error = outcome.error;
+        session.checkpoint.reset();
+        session.protocol.reset();
+        if (session.checkpoint_on_disk) {
+            store_.remove(session.id);
+            session.checkpoint_on_disk = false;
+        }
+        session.pending = Session::PendingOp::kNone;
+        session.stop_requested.store(false);
+        settled.state_event = state_event("failed");
+        return settled;
+    }
+
+    const RunResult& result = *outcome.result;
+    session.interactions = result.interactions;
+    session.effective_interactions = result.effective_interactions;
+    session.last_output_change = result.last_output_change;
+
+    if (result.stop_reason != StopReason::kPaused) {
+        session.state = SessionState::kDone;
+        session.stop_reason = result.stop_reason;
+        session.consensus = result.consensus;
+        session.checkpoint.reset();
+        session.protocol.reset();
+        if (session.checkpoint_on_disk) {
+            store_.remove(session.id);
+            session.checkpoint_on_disk = false;
+        }
+        session.pending = Session::PendingOp::kNone;
+        session.stop_requested.store(false);
+        settled.state_event = state_event("done");
+        return settled;
+    }
+
+    // A paused quantum always carries the boundary checkpoint.
+    session.checkpoint = std::move(outcome.checkpoint);
+    const Session::PendingOp pending = session.pending;
+    session.pending = Session::PendingOp::kNone;
+    session.stop_requested.store(false);
+
+    if (pending == Session::PendingOp::kCancel) {
+        session.state = SessionState::kCancelled;
+        session.checkpoint.reset();
+        session.protocol.reset();
+        if (session.checkpoint_on_disk) {
+            store_.remove(session.id);
+            session.checkpoint_on_disk = false;
+        }
+        settled.state_event = state_event("cancelled");
+        return settled;
+    }
+    if (pending == Session::PendingOp::kSuspend || draining_ || stopping_) {
+        session.state = SessionState::kSuspended;
+        if (pending == Session::PendingOp::kSuspend) {
+            settled.state_event = state_event("suspended");
+            evict_lru_locked();
+        }
+        return settled;
+    }
+    session.state = SessionState::kQueued;
+    settled.runnable = true;
+    return settled;
+}
+
+void RunRegistry::evict_lru_locked() {
+    for (;;) {
+        std::vector<Session*> resident;
+        for (auto& [id, session] : sessions_) {
+            if (session->state == SessionState::kSuspended && session->checkpoint.has_value())
+                resident.push_back(session.get());
+        }
+        if (resident.size() <= options_.max_resident_suspended) return;
+        Session* victim = *std::min_element(
+            resident.begin(), resident.end(), [](const Session* a, const Session* b) {
+                return a->last_dispatched < b->last_dispatched;
+            });
+        store_.save_checkpoint(victim->id, *victim->checkpoint);
+        store_.save_manifest(victim->id, manifest_json(*victim));
+        victim->checkpoint.reset();
+        victim->protocol.reset();
+        victim->checkpoint_on_disk = true;
+        victim->state = SessionState::kEvicted;
+        ++evictions_;
+    }
+}
+
+std::string RunRegistry::manifest_json(const Session& session) const {
+    JsonValue::Object object;
+    object.emplace_back("id", JsonValue(session.id));
+    object.emplace_back("state",
+                        JsonValue(std::string(session_state_name(session.state))));
+    object.emplace_back("spec", session_spec_to_json(session.spec));
+    object.emplace_back("interactions", JsonValue(session.interactions));
+    object.emplace_back("effective_interactions",
+                        JsonValue(session.effective_interactions));
+    object.emplace_back("last_output_change", JsonValue(session.last_output_change));
+    object.emplace_back("quanta", JsonValue(session.quanta));
+    if (session.stop_reason)
+        object.emplace_back(
+            "stop_reason",
+            JsonValue(std::string(stop_reason_manifest_name(*session.stop_reason))));
+    if (session.consensus)
+        object.emplace_back("consensus", JsonValue(std::uint64_t{*session.consensus}));
+    if (!session.error.empty()) object.emplace_back("error", JsonValue(session.error));
+    return JsonValue(std::move(object)).to_string();
+}
+
+std::string RunRegistry::stats_json() const {
+    std::uint64_t by_state[7] = {};
+    std::uint64_t submitted = 0, evictions = 0, faults = 0, quanta = 0;
+    std::size_t num_sessions = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [id, session] : sessions_)
+            ++by_state[static_cast<int>(session->state)];
+        submitted = submitted_;
+        evictions = evictions_;
+        faults = faults_;
+        quanta = quanta_executed_;
+        num_sessions = sessions_.size();
+    }
+    std::string out = "{\"sessions\":{";
+    const SessionState states[] = {
+        SessionState::kQueued,    SessionState::kRunning, SessionState::kSuspended,
+        SessionState::kEvicted,   SessionState::kDone,    SessionState::kFailed,
+        SessionState::kCancelled,
+    };
+    bool first = true;
+    for (const SessionState state : states) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += session_state_name(state);
+        out += "\":";
+        out += std::to_string(by_state[static_cast<int>(state)]);
+    }
+    out += "},\"total_sessions\":" + std::to_string(num_sessions);
+    out += ",\"submitted\":" + std::to_string(submitted);
+    out += ",\"evictions\":" + std::to_string(evictions);
+    out += ",\"faults\":" + std::to_string(faults);
+    out += ",\"quanta\":" + std::to_string(quanta);
+    out += ",\"workers\":" + std::to_string(workers_.size());
+    out += ",\"metrics\":" + metrics_.report().to_json();
+    out += '}';
+    return out;
+}
+
+void RunRegistry::drain() {
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (draining_) return;
+        draining_ = true;
+        for (auto& [id, session] : sessions_) {
+            if (session->state == SessionState::kRunning)
+                session->stop_requested.store(true);
+        }
+        work_cv_.notify_all();
+        idle_cv_.wait(lock, [&] { return running_ == 0; });
+    }
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, session] : sessions_) {
+        const SessionState state = session->state;
+        const bool terminal = state == SessionState::kDone ||
+                              state == SessionState::kFailed ||
+                              state == SessionState::kCancelled;
+        if (!terminal && session->checkpoint.has_value()) {
+            store_.save_checkpoint(id, *session->checkpoint);
+            session->checkpoint_on_disk = true;
+        }
+        store_.save_manifest(id, manifest_json(*session));
+    }
+}
+
+std::size_t RunRegistry::restore() {
+    const auto manifests = store_.list_manifests();
+    for (const auto& [id, manifest] : manifests) restore_one(id, manifest);
+    work_cv_.notify_all();
+    return manifests.size();
+}
+
+void RunRegistry::restore_one(const std::string& id, const std::string& manifest) {
+    const JsonValue parsed = parse_json(manifest);
+    const JsonValue* spec_value = parsed.find("spec");
+    require(spec_value != nullptr, "manifest for " + id + " has no 'spec'");
+
+    auto session = std::make_shared<Session>();
+    session->id = id;
+    session->spec = parse_session_spec(*spec_value);
+    session->quantum =
+        session->spec.quantum != 0 ? session->spec.quantum : options_.default_quantum;
+    if (const JsonValue* value = parsed.find("interactions"))
+        session->interactions = value->as_u64("'interactions'");
+    if (const JsonValue* value = parsed.find("effective_interactions"))
+        session->effective_interactions = value->as_u64("'effective_interactions'");
+    if (const JsonValue* value = parsed.find("last_output_change"))
+        session->last_output_change = value->as_u64("'last_output_change'");
+    if (const JsonValue* value = parsed.find("quanta"))
+        session->quanta = value->as_u64("'quanta'");
+    if (const JsonValue* value = parsed.find("stop_reason"))
+        session->stop_reason = parse_stop_reason_name(value->as_string("'stop_reason'"));
+    if (const JsonValue* value = parsed.find("consensus"))
+        session->consensus = static_cast<Symbol>(value->as_u64("'consensus'"));
+    if (const JsonValue* value = parsed.find("error"))
+        session->error = value->as_string("'error'");
+
+    const JsonValue* state_value = parsed.find("state");
+    require(state_value != nullptr, "manifest for " + id + " has no 'state'");
+    const SessionState state = parse_session_state_name(state_value->as_string("'state'"));
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    require(sessions_.find(id) == sessions_.end(), "restore: duplicate session " + id);
+    // Keep fresh submissions from colliding with restored ids.
+    if (id.size() > 2 && id.compare(0, 2, "s-") == 0) {
+        std::uint64_t number = 0;
+        bool numeric = true;
+        for (std::size_t i = 2; i < id.size(); ++i) {
+            if (id[i] < '0' || id[i] > '9') {
+                numeric = false;
+                break;
+            }
+            number = number * 10 + static_cast<std::uint64_t>(id[i] - '0');
+        }
+        if (numeric && number >= next_session_number_) next_session_number_ = number + 1;
+    }
+
+    const bool terminal = state == SessionState::kDone || state == SessionState::kFailed ||
+                          state == SessionState::kCancelled;
+    if (terminal) {
+        session->state = state;
+    } else {
+        // Everything in flight resumes from the queue; the spilled
+        // checkpoint (if any) is faulted back on first dispatch.
+        session->state = SessionState::kQueued;
+        session->checkpoint_on_disk = store_.has_checkpoint(id);
+        scheduler_.add(id, session->spec.weight);
+    }
+    sessions_.emplace(id, std::move(session));
+}
+
+void RunRegistry::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return scheduler_.empty() && running_ == 0; });
+}
+
+}  // namespace popproto::service

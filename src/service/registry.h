@@ -1,0 +1,225 @@
+// RunRegistry: the session multiplexer at the core of the service daemon.
+//
+// Thousands of concurrent runs share a small pool of long-running worker
+// threads.  Each worker repeatedly asks the DrrScheduler (scheduler.h) for
+// the next session and executes one bounded *work quantum* of it: the run
+// resumes from its in-memory RunCheckpoint, executes until the next
+// absolute multiple of its quantum length (RunOptions::pause_after), saves
+// the checkpoint the kernel delivers, and re-enters the fair queue.  Pause
+// boundaries therefore sit on a per-session grid that does not depend on
+// server load, worker count, or suspend/evict history — which is what makes
+// a sliced run's RunResult bit-identical to the uninterrupted run with the
+// same seed (run_loop.h; collapsed super-step caveat inherited).
+//
+// Suspended sessions beyond `max_resident_suspended` are spilled to the
+// CheckpointStore by an LRU evictor (least recently dispatched first) and
+// faulted back in on their next quantum.  `drain()` — the SIGTERM path —
+// cooperatively stops every in-flight quantum at a loop boundary,
+// checkpoints every non-terminal session to disk, and writes one manifest
+// per session; `restore()` reverses this on restart, losing nothing.
+//
+// Locking: one registry mutex guards the session table, the scheduler, and
+// all lifecycle transitions; quanta execute outside the lock (a kRunning
+// session's mutable state is owned by exactly one worker).  Subscriber
+// fan-out uses a separate mutex so trace streaming does not serialize
+// against scheduling.
+
+#ifndef POPPROTO_SERVICE_REGISTRY_H
+#define POPPROTO_SERVICE_REGISTRY_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/run_loop.h"
+#include "core/simulator.h"
+#include "observe/metrics.h"
+#include "service/checkpoint_store.h"
+#include "service/scheduler.h"
+#include "service/session.h"
+
+namespace popproto::service {
+
+/// Receives one serialized JSONL event line per call; must be thread-safe
+/// (events fire on worker threads) and must not call back into the
+/// registry.
+using LineSink = std::function<void(const std::string&)>;
+
+struct RegistryOptions {
+    /// Worker threads executing quanta; 0 selects hardware concurrency.
+    unsigned workers = 1;
+
+    /// Quantum length for sessions that do not set SessionSpec::quantum.
+    std::uint64_t default_quantum = std::uint64_t{1} << 16;
+
+    /// Suspended sessions whose checkpoints stay in memory; beyond this the
+    /// LRU evictor spills to the store (0 = every suspend spills, which is
+    /// what the eviction tests use).
+    std::size_t max_resident_suspended = 64;
+
+    /// Spill directory (checkpoints + manifests); created on demand.
+    std::string spill_dir = "popproto-spill";
+};
+
+class RunRegistry {
+public:
+    explicit RunRegistry(RegistryOptions options);
+
+    /// Stops workers without draining (in-memory state is discarded; use
+    /// drain() first for a graceful shutdown).
+    ~RunRegistry();
+
+    /// Validates the spec (protocol instantiation included), creates a
+    /// session, and queues its first quantum.  Returns the session id
+    /// ("s-1", "s-2", ...).  Throws std::invalid_argument on a bad spec.
+    std::string submit(const SessionSpec& spec);
+
+    /// Point-in-time status; throws std::invalid_argument for unknown ids.
+    SessionStatus status(const std::string& id) const;
+    std::vector<SessionStatus> list() const;
+
+    /// Lifecycle commands.  suspend/cancel of a running session interrupt
+    /// its quantum cooperatively (the kernel checkpoint at the stop
+    /// boundary is kept for suspend, discarded for cancel); both are
+    /// idempotent where that is meaningful and throw std::invalid_argument
+    /// when the transition is impossible (e.g. resuming a finished run).
+    void suspend(const std::string& id);
+    void resume(const std::string& id);
+    void cancel(const std::string& id);
+
+    /// Streams the session's JSONL trace events ({"session":"s-1",
+    /// "event":...}) to `sink` until unsubscribed.  `token` is the caller's
+    /// handle for unsubscribe (connection teardown).  A terminal session
+    /// immediately receives a final synthetic "state" event.
+    void subscribe(const std::string& id, std::uint64_t token, LineSink sink);
+    void unsubscribe(const std::string& id, std::uint64_t token);
+
+    /// Aggregate counters: per-state session counts, eviction/fault
+    /// totals, quanta executed, and the MetricsCollector aggregate over
+    /// every quantum (stats_json embeds MetricsReport::to_json under
+    /// "metrics").
+    std::string stats_json() const;
+
+    /// Graceful shutdown: stop dispatching, interrupt in-flight quanta at
+    /// their next loop boundary, checkpoint every non-terminal session to
+    /// the store, and write one manifest per session.  Idempotent.
+    void drain();
+
+    /// Recreates sessions from the store's manifests (the complement of
+    /// drain, called before serving).  Non-terminal sessions re-enter the
+    /// queue and fault their checkpoints back on first dispatch.  Returns
+    /// the number of sessions restored.
+    std::size_t restore();
+
+    /// Blocks until no session is queued or running (test/drain helper).
+    void wait_idle();
+
+    const CheckpointStore& store() const { return store_; }
+
+private:
+    struct Session {
+        std::string id;
+        SessionSpec spec;
+        SessionState state = SessionState::kQueued;
+        std::uint64_t quantum = 1;  // resolved from spec/default
+
+        // Progress counters (updated under the registry mutex at quantum
+        // boundaries; mid-quantum reads see the last boundary).
+        std::uint64_t interactions = 0;
+        std::uint64_t effective_interactions = 0;
+        std::uint64_t last_output_change = 0;
+        std::uint64_t quanta = 0;
+
+        // Resumable state.  `checkpoint` is resident iff the session has
+        // progress and was not evicted; `checkpoint_on_disk` means the
+        // store holds a (possibly additional) copy to fault from.
+        std::optional<RunCheckpoint> checkpoint;
+        bool checkpoint_on_disk = false;
+
+        // Terminal outcome.
+        std::optional<StopReason> stop_reason;
+        std::optional<Symbol> consensus;
+        std::string error;
+
+        // Compiled protocol, built lazily and dropped on eviction (the
+        // spec rebuilds it deterministically).
+        std::unique_ptr<TabulatedProtocol> protocol;
+
+        // Cooperative-interrupt plumbing (suspend/cancel/drain).
+        std::atomic<bool> stop_requested{false};
+        enum class PendingOp { kNone, kSuspend, kCancel } pending = PendingOp::kNone;
+
+        /// LRU stamp: the dispatch clock value of the last quantum.
+        std::uint64_t last_dispatched = 0;
+
+        /// Wire subscribers (guarded by subscriber_mutex_); the atomic
+        /// count lets the trace observer skip serialization entirely when
+        /// nobody is listening.
+        std::vector<std::pair<std::uint64_t, LineSink>> subscribers;
+        std::atomic<std::size_t> subscriber_count{0};
+    };
+
+    /// What one quantum produced, handed from the unlocked execution back
+    /// to the locked lifecycle transition.
+    struct QuantumOutcome {
+        std::optional<RunCheckpoint> checkpoint;  // kPaused quanta only
+        std::optional<RunResult> result;          // absent when `error` is set
+        std::string error;
+        bool faulted = false;  // checkpoint was loaded back from the store
+    };
+
+    /// The locked transition's outputs the worker acts on after unlocking.
+    struct Settled {
+        bool runnable = false;       // session re-enters the ring
+        std::string state_event;     // synthetic event to publish, if any
+    };
+
+    void worker_loop();
+    QuantumOutcome run_one_quantum(Session& session);
+    Settled settle_after_quantum(Session& session, QuantumOutcome outcome);
+    void evict_lru_locked();
+    void publish(Session& session, const std::string& line);
+    std::shared_ptr<Session> find_session(const std::string& id) const;
+    std::string manifest_json(const Session& session) const;
+    void restore_one(const std::string& id, const std::string& manifest);
+
+    class SessionTrace;
+    class CaptureSink;
+
+    RegistryOptions options_;
+    CheckpointStore store_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+    DrrScheduler scheduler_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+    bool draining_ = false;
+    unsigned running_ = 0;
+    std::uint64_t next_session_number_ = 1;
+    std::uint64_t dispatch_clock_ = 0;
+
+    // Aggregate counters (under mutex_).
+    std::uint64_t submitted_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t faults_ = 0;
+    std::uint64_t quanta_executed_ = 0;
+
+    mutable std::mutex subscriber_mutex_;
+
+    MetricsCollector metrics_;
+};
+
+}  // namespace popproto::service
+
+#endif  // POPPROTO_SERVICE_REGISTRY_H

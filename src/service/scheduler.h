@@ -1,0 +1,76 @@
+// Weighted deficit-round-robin over session work quanta.
+//
+// The registry slices every run into bounded quanta (RunOptions::
+// pause_after); this scheduler decides whose quantum runs next.  It is the
+// classic DRR specialization where every quantum costs one unit: a session
+// arriving at the head of the ring recharges its deficit to its weight and
+// is dispatched once per unit until the deficit is spent, then rotates to
+// the back.  Consequences, both load-bearing for the service:
+//
+//  * No starvation: within one full rotation ("epoch") every active
+//    session is dispatched at least once, regardless of how large the
+//    other sessions are — a 2^24-agent run gets its quantum and goes to
+//    the back of the ring like everyone else (service_test.cpp proves this
+//    in deterministic virtual time).
+//  * Weighted shares: a weight-w session receives w quanta per epoch, so
+//    relative throughput among backlogged sessions is proportional to
+//    weight.
+//
+// The scheduler is intentionally not thread-safe and knows nothing about
+// sessions beyond an id: the registry serializes access under its own lock
+// and holds dispatched entries while a worker runs the quantum (a session
+// is never in the ring and running at the same time).
+
+#ifndef POPPROTO_SERVICE_SCHEDULER_H
+#define POPPROTO_SERVICE_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace popproto::service {
+
+class DrrScheduler {
+public:
+    /// One ring slot: the session id plus its DRR accounting.  Returned by
+    /// `take` so the caller can hand it back via `give_back` with the
+    /// deficit intact.
+    struct Entry {
+        std::string id;
+        std::uint64_t weight = 1;
+        std::uint64_t deficit = 0;
+    };
+
+    /// Appends a session to the back of the ring (deficit 0: it recharges
+    /// when it first reaches the head).  Requires weight >= 1; a session
+    /// must not be added while present or dispatched.
+    void add(std::string id, std::uint64_t weight);
+
+    /// Dispatches the next quantum: pops the head entry (recharging its
+    /// deficit first if spent), charges one unit, and transfers ownership
+    /// to the caller.  Empty ring returns nullopt.
+    std::optional<Entry> take();
+
+    /// Returns a dispatched entry after its quantum.  If `still_runnable`,
+    /// the entry re-enters the ring: at the *front* while it has deficit
+    /// remaining (continuing its turn keeps the dispatch order identical
+    /// to single-threaded DRR), at the back once spent.  Otherwise the
+    /// entry is dropped (suspended/finished sessions re-enter via `add`).
+    void give_back(Entry entry, bool still_runnable);
+
+    /// Removes a queued session from the ring (cancel/suspend while
+    /// queued).  Returns false when the id is not present (e.g. currently
+    /// dispatched — the caller handles that via give_back).
+    bool remove(const std::string& id);
+
+    bool empty() const { return ring_.empty(); }
+    std::size_t size() const { return ring_.size(); }
+
+private:
+    std::deque<Entry> ring_;
+};
+
+}  // namespace popproto::service
+
+#endif  // POPPROTO_SERVICE_SCHEDULER_H

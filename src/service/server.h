@@ -1,0 +1,87 @@
+// JSONL socket transport for the service daemon.
+//
+// Listens on a Unix-domain socket (the default deployment: filesystem
+// permissions are the access control) or loopback TCP (for popctl across
+// a port forward), accepts any number of concurrent connections, and runs
+// one reader thread per connection: each received line is parsed
+// (wire.h), dispatched against the RunRegistry, and answered with one
+// response line.  `subscribe` registers the connection as a LineSink with
+// the registry, so trace events interleave with responses on the same
+// socket (whole lines, guarded by a per-connection write mutex);
+// `shutdown` raises a flag the daemon polls to begin its graceful drain.
+
+#ifndef POPPROTO_SERVICE_SERVER_H
+#define POPPROTO_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/registry.h"
+
+namespace popproto::service {
+
+struct ServerOptions {
+    /// Unix-domain socket path; takes precedence when non-empty (a stale
+    /// file at the path is unlinked before binding).
+    std::string unix_path;
+
+    /// TCP port on 127.0.0.1 when `unix_path` is empty; 0 binds an
+    /// ephemeral port (query it with tcp_port() after start).
+    int tcp_port = 0;
+};
+
+class WireServer {
+public:
+    WireServer(RunRegistry& registry, ServerOptions options);
+    ~WireServer();  // stops if still running
+
+    /// Binds, listens, and starts the accept thread; throws
+    /// std::runtime_error naming the endpoint on failure.
+    void start();
+
+    /// Closes the listener and every connection, joins all threads.
+    /// Idempotent.
+    void stop();
+
+    /// The bound TCP port (after start; -1 for Unix-socket servers).
+    int tcp_port() const { return tcp_port_; }
+
+    /// True once a client issued "shutdown" — the daemon's cue to drain.
+    bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+private:
+    struct Connection {
+        int fd = -1;
+        std::mutex write_mutex;
+        std::atomic<bool> alive{true};
+        /// Sessions this connection subscribed to, for teardown.
+        std::mutex subscription_mutex;
+        std::vector<std::pair<std::string, std::uint64_t>> subscriptions;
+    };
+
+    void accept_loop();
+    void connection_loop(std::shared_ptr<Connection> connection);
+    void handle_line(Connection& connection, const std::string& line);
+    static bool send_line(Connection& connection, const std::string& line);
+
+    RunRegistry& registry_;
+    ServerOptions options_;
+    int listen_fd_ = -1;
+    int tcp_port_ = -1;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdown_requested_{false};
+    std::atomic<std::uint64_t> next_token_{1};
+
+    std::mutex connections_mutex_;
+    std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> connections_;
+};
+
+}  // namespace popproto::service
+
+#endif  // POPPROTO_SERVICE_SERVER_H

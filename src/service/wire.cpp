@@ -1,0 +1,105 @@
+#include "service/wire.h"
+
+#include <stdexcept>
+
+namespace popproto::service {
+
+namespace {
+
+std::string session_field(const WireRequest& request) {
+    const JsonValue* session = request.payload.find("session");
+    if (session == nullptr)
+        throw std::invalid_argument("\"" + request.command + "\" requires 'session'");
+    return session->as_string("'session'");
+}
+
+}  // namespace
+
+WireRequest parse_request(const std::string& line) {
+    WireRequest request;
+    request.payload = parse_json(line);
+    if (!request.payload.is_object())
+        throw std::invalid_argument("request must be a JSON object");
+    const JsonValue* command = request.payload.find("cmd");
+    if (command == nullptr) throw std::invalid_argument("request has no 'cmd'");
+    request.command = command->as_string("'cmd'");
+    if (const JsonValue* id = request.payload.find("id"); id != nullptr)
+        request.request_id = id->as_string("'id'");
+    return request;
+}
+
+std::string ok_response(const std::optional<std::string>& request_id,
+                        JsonValue::Object fields) {
+    std::string out = "{\"ok\":true";
+    if (request_id) out += ",\"id\":" + json_quote(*request_id);
+    for (const auto& [key, value] : fields) {
+        out += ',';
+        out += json_quote(key);
+        out += ':';
+        value.append_to(out);
+    }
+    out += '}';
+    return out;
+}
+
+std::string error_response(const std::optional<std::string>& request_id,
+                           const std::string& message) {
+    std::string out = "{\"ok\":false";
+    if (request_id) out += ",\"id\":" + json_quote(*request_id);
+    out += ",\"error\":" + json_quote(message) + "}";
+    return out;
+}
+
+std::optional<std::string> dispatch_request(RunRegistry& registry,
+                                            const WireRequest& request) {
+    const std::string& command = request.command;
+    if (command == "subscribe" || command == "unsubscribe" || command == "shutdown")
+        return std::nullopt;
+    try {
+        if (command == "submit") {
+            const SessionSpec spec = parse_session_spec(request.payload);
+            const std::string session = registry.submit(spec);
+            JsonValue::Object fields;
+            fields.emplace_back("session", JsonValue(session));
+            return ok_response(request.request_id, std::move(fields));
+        }
+        if (command == "status") {
+            const SessionStatus status = registry.status(session_field(request));
+            return ok_response(request.request_id,
+                               session_status_to_json(status).as_object("status"));
+        }
+        if (command == "list") {
+            JsonValue::Array sessions;
+            for (const SessionStatus& status : registry.list())
+                sessions.push_back(session_status_to_json(status));
+            JsonValue::Object fields;
+            fields.emplace_back("sessions", JsonValue(std::move(sessions)));
+            return ok_response(request.request_id, std::move(fields));
+        }
+        if (command == "suspend" || command == "resume" || command == "cancel") {
+            const std::string session = session_field(request);
+            if (command == "suspend")
+                registry.suspend(session);
+            else if (command == "resume")
+                registry.resume(session);
+            else
+                registry.cancel(session);
+            JsonValue::Object fields;
+            fields.emplace_back("session", JsonValue(session));
+            return ok_response(request.request_id, std::move(fields));
+        }
+        if (command == "stats") {
+            // stats_json is already serialized; splice it in raw.
+            std::string out = "{\"ok\":true";
+            if (request.request_id) out += ",\"id\":" + json_quote(*request.request_id);
+            out += ",\"stats\":" + registry.stats_json() + "}";
+            return out;
+        }
+        if (command == "ping") return ok_response(request.request_id);
+        return error_response(request.request_id, "unknown command \"" + command + "\"");
+    } catch (const std::exception& error) {
+        return error_response(request.request_id, error.what());
+    }
+}
+
+}  // namespace popproto::service

@@ -1,0 +1,58 @@
+// The newline-delimited JSON wire protocol.
+//
+// One request per line, one response per line (subscribe additionally
+// streams event lines).  The full grammar is documented in DESIGN.md
+// "Export schemas"; the shape is:
+//
+//   -> {"cmd":"submit","id":"r1","protocol":"epidemic","counts":[999,1],
+//       "engine":"batch","seed":7,"quantum":65536}
+//   <- {"ok":true,"id":"r1","session":"s-1"}
+//   -> {"cmd":"status","session":"s-1"}
+//   <- {"ok":true,"session":"s-1","state":"queued","interactions":0,...}
+//   -> {"cmd":"bogus"}
+//   <- {"ok":false,"error":"unknown command \"bogus\""}
+//
+// `id` is an optional client-chosen correlation tag echoed verbatim.
+// Command names: submit, status, list, suspend, resume, cancel, stats,
+// ping, subscribe, unsubscribe, shutdown.  This header implements parsing
+// and every command that only needs the registry; subscribe/unsubscribe/
+// shutdown need the transport connection and are handled by WireServer.
+
+#ifndef POPPROTO_SERVICE_WIRE_H
+#define POPPROTO_SERVICE_WIRE_H
+
+#include <optional>
+#include <string>
+
+#include "service/json.h"
+#include "service/registry.h"
+
+namespace popproto::service {
+
+struct WireRequest {
+    std::string command;
+    std::optional<std::string> request_id;
+    JsonValue payload;  ///< the full request object (command fields included)
+};
+
+/// Parses one request line; throws std::invalid_argument for malformed
+/// JSON, a non-object frame, or a missing/odd "cmd" field.
+WireRequest parse_request(const std::string& line);
+
+/// {"ok":true[,"id":...]<fields...>} — `fields` are appended verbatim.
+std::string ok_response(const std::optional<std::string>& request_id,
+                        JsonValue::Object fields = {});
+
+/// {"ok":false[,"id":...],"error":"..."}.
+std::string error_response(const std::optional<std::string>& request_id,
+                           const std::string& message);
+
+/// Executes a registry-only command and returns its response line.
+/// Returns nullopt for transport-level commands (subscribe, unsubscribe,
+/// shutdown) the caller must handle.  Registry errors become
+/// {"ok":false,...} responses, never exceptions.
+std::optional<std::string> dispatch_request(RunRegistry& registry, const WireRequest& request);
+
+}  // namespace popproto::service
+
+#endif  // POPPROTO_SERVICE_WIRE_H

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -93,16 +96,109 @@ TEST(RunCheckpointIO, AgentPayloadRoundTrips) {
     EXPECT_EQ(checkpoint_from_string(checkpoint_to_string(checkpoint)), checkpoint);
 }
 
-TEST(RunCheckpointIO, RejectsMalformedInput) {
-    EXPECT_THROW(checkpoint_from_string(""), std::invalid_argument);
-    EXPECT_THROW(checkpoint_from_string("not a checkpoint"), std::invalid_argument);
-    EXPECT_THROW(checkpoint_from_string("popproto-checkpoint v999\n"), std::invalid_argument);
+/// Parses malformed checkpoint text and returns the exception message; the
+/// parse succeeding is a test failure.
+std::string parse_error_message(const std::string& text) {
+    try {
+        checkpoint_from_string(text);
+    } catch (const std::invalid_argument& error) {
+        return error.what();
+    }
+    ADD_FAILURE() << "parse unexpectedly succeeded for: " << text;
+    return {};
+}
+
+TEST(RunCheckpointIO, RejectsMalformedInputWithLineAndToken) {
+    // Every diagnostic names the line and the offending token, so a
+    // corrupted spill file is diagnosable from the message alone.
+    EXPECT_EQ(parse_error_message(""),
+              "read_checkpoint: line 1: unexpected end of file, expected "
+              "'popproto-checkpoint'");
+    EXPECT_EQ(parse_error_message("not a checkpoint"),
+              "read_checkpoint: line 1: not a popproto checkpoint (got 'not')");
+    EXPECT_EQ(parse_error_message("popproto-checkpoint v999\n"),
+              "read_checkpoint: line 1: unsupported checkpoint format version 'v999'");
 
     RunCheckpoint checkpoint;
     checkpoint.counts = {2, 3};
-    std::string text = checkpoint_to_string(checkpoint);
-    text.resize(text.size() / 2);  // truncated file
-    EXPECT_THROW(checkpoint_from_string(text), std::invalid_argument);
+    const std::string text = checkpoint_to_string(checkpoint);
+
+    // Truncated file: the message points past the last surviving line.
+    const std::size_t cut = text.find("interactions ");
+    ASSERT_NE(cut, std::string::npos);
+    const std::string truncated = text.substr(0, cut);  // ends at a line boundary
+    const std::string truncated_message = parse_error_message(truncated);
+    EXPECT_EQ(truncated_message.rfind("read_checkpoint: line ", 0), 0u) << truncated_message;
+    EXPECT_NE(truncated_message.find("unexpected end of file"), std::string::npos)
+        << truncated_message;
+
+    // A corrupted numeric field names the key and echoes the bad token.
+    std::string corrupt = text;
+    const std::size_t population_at = corrupt.find("population 0");
+    ASSERT_NE(population_at, std::string::npos);
+    corrupt.replace(population_at, std::string("population 0").size(), "population zero");
+    EXPECT_EQ(parse_error_message(corrupt),
+              "read_checkpoint: line 3: bad value for 'population': got 'zero'");
+
+    // A misplaced key names what was expected and what was found.
+    std::string wrong_key = text;
+    const std::size_t engine_at = wrong_key.find("engine ");
+    ASSERT_NE(engine_at, std::string::npos);
+    wrong_key.replace(engine_at, 7, "motor ");
+    EXPECT_EQ(parse_error_message(wrong_key),
+              "read_checkpoint: line 2: expected 'engine', got 'motor'");
+
+    // Trailing garbage after a complete line is rejected, not ignored.
+    std::string trailing = text;
+    const std::size_t interactions_end = trailing.find('\n', trailing.find("interactions "));
+    ASSERT_NE(interactions_end, std::string::npos);
+    trailing.insert(interactions_end, " 99");
+    EXPECT_EQ(parse_error_message(trailing),
+              "read_checkpoint: line 6: unexpected trailing token '99'");
+}
+
+TEST(RunCheckpointIO, AtomicWriteFailurePathNamesTheFile) {
+    // write_checkpoint_atomic into a directory that does not exist cannot
+    // open its temporary; the exception must name the path it tried.
+    RunCheckpoint checkpoint;
+    checkpoint.counts = {2, 3};
+    const std::string path = "no-such-dir-for-checkpoints/run.ckpt";
+    try {
+        write_checkpoint_atomic(path, checkpoint);
+        FAIL() << "write into a missing directory unexpectedly succeeded";
+    } catch (const std::runtime_error& error) {
+        const std::string message = error.what();
+        const std::string prefix = "write_checkpoint_atomic: cannot open " + path + ".tmp";
+        EXPECT_EQ(message.rfind(prefix, 0), 0u) << message;
+    }
+    // No stray temporary may survive the failure.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    try {
+        read_checkpoint_file(path);
+        FAIL() << "read of a missing file unexpectedly succeeded";
+    } catch (const std::runtime_error& error) {
+        const std::string message = error.what();
+        const std::string prefix = "read_checkpoint_file: cannot open " + path;
+        EXPECT_EQ(message.rfind(prefix, 0), 0u) << message;
+    }
+}
+
+TEST(RunCheckpointIO, AtomicWriteRoundTripsThroughTheFilesystem) {
+    RunCheckpoint checkpoint;
+    checkpoint.engine = ObservedEngine::kCountBatch;
+    checkpoint.population = 12;
+    checkpoint.num_states = 3;
+    checkpoint.rng.words = {5, 6, 7, 8};
+    checkpoint.interactions = 77;
+    checkpoint.counts = {9, 0, 3};
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "popproto_atomic_roundtrip.ckpt").string();
+    write_checkpoint_atomic(path, checkpoint);
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // renamed, not left behind
+    EXPECT_EQ(read_checkpoint_file(path), checkpoint);
+    std::filesystem::remove(path);
 }
 
 /// Collects every checkpoint a run emits.
@@ -333,6 +429,159 @@ TEST(RunLoop, ResolvesZeroBudgetAndPeriodDefaults) {
     options.silence_check_period = 9;
     EXPECT_EQ(resolved_budget(options, 100), 7u);
     EXPECT_EQ(resolved_silence_check_period(options, 100), 9u);
+}
+
+/// Runs `run` to completion in pause_after quanta on the absolute grid
+/// `(done/quantum + 1) * quantum` — exactly how the service daemon slices a
+/// session — chaining each pause checkpoint into the next segment.  Returns
+/// the terminal RunResult and the number of quanta executed.
+template <typename RunFn>
+std::pair<RunResult, int> run_in_quanta(RunFn&& run, RunOptions options,
+                                        std::uint64_t quantum) {
+    CollectingSink sink;
+    options.checkpoint_sink = &sink;
+    RunCheckpoint current;
+    bool resuming = false;
+    for (int quanta = 1; quanta < 100000; ++quanta) {
+        options.resume_from = resuming ? &current : nullptr;
+        const std::uint64_t done = resuming ? current.interactions : 0;
+        options.pause_after = (done / quantum + 1) * quantum;
+        const RunResult result = run(options);
+        if (result.stop_reason != StopReason::kPaused) return {result, quanta};
+        EXPECT_FALSE(sink.checkpoints.empty());
+        EXPECT_EQ(sink.checkpoints.back().interactions, options.pause_after);
+        current = sink.checkpoints.back();
+        resuming = true;
+    }
+    ADD_FAILURE() << "run never reached a terminal state";
+    options.pause_after = 0;
+    options.resume_from = nullptr;
+    return {run(options), 0};
+}
+
+TEST(PauseResume, ChainedQuantaBitIdenticalOnAgentArray) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {40, 8});
+    RunOptions options;
+    options.seed = 11;
+    const RunResult baseline = simulate(*protocol, initial, options);
+
+    const auto run = [&](const RunOptions& opts) { return simulate(*protocol, initial, opts); };
+    const auto [sliced, quanta] = run_in_quanta(run, options, /*quantum=*/97);
+    expect_same_run(sliced, baseline);
+    EXPECT_GT(quanta, 1) << "quantum too large to exercise slicing";
+}
+
+TEST(PauseResume, ChainedQuantaBitIdenticalInsideNullSkips) {
+    // Token-sparse population: quantum boundaries overwhelmingly cut inside
+    // the batch engine's geometric null skips, which must clamp (not
+    // redraw) for the sliced run to stay bit-identical.
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {998, 2});
+    RunOptions options;
+    options.seed = 3;
+    const RunResult baseline = simulate_counts(*protocol, initial, options);
+
+    const auto run = [&](const RunOptions& opts) {
+        return simulate_counts(*protocol, initial, opts);
+    };
+    const auto [sliced, quanta] = run_in_quanta(run, options, /*quantum=*/10000);
+    expect_same_run(sliced, baseline);
+    EXPECT_GT(quanta, 1);
+}
+
+TEST(PauseResume, TerminalRunIgnoresALaterPauseIndex) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 2});
+    RunOptions options;
+    options.seed = 2;
+    const RunResult baseline = simulate(*protocol, initial, options);
+
+    CollectingSink sink;
+    options.checkpoint_sink = &sink;
+    options.pause_after = baseline.interactions + 1000000;  // beyond the natural stop
+    const RunResult result = simulate(*protocol, initial, options);
+    expect_same_run(result, baseline);
+    EXPECT_NE(result.stop_reason, StopReason::kPaused);
+    EXPECT_TRUE(sink.checkpoints.empty());
+}
+
+TEST(PauseResume, PauseRequiresACheckpointSink) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 2});
+    RunOptions options;
+    options.pause_after = 100;  // no checkpoint_sink
+    EXPECT_THROW(simulate(*protocol, initial, options), std::invalid_argument);
+}
+
+/// Raises a stop flag from inside the run, at the first snapshot at or past
+/// a trigger index — a deterministic stand-in for a signal arriving mid-run.
+class FlagRaisingObserver final : public RunObserver {
+public:
+    FlagRaisingObserver(std::atomic<bool>& flag, std::uint64_t trigger)
+        : flag_(flag), trigger_(trigger) {}
+    void on_snapshot(std::uint64_t interaction_index, const CountConfiguration&) override {
+        if (interaction_index >= trigger_) flag_.store(true, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<bool>& flag_;
+    std::uint64_t trigger_;
+};
+
+TEST(PauseResume, StopFlagDeliversAResumableCheckpoint) {
+    const auto protocol = make_counting_protocol(3);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {40, 8});
+    RunOptions options;
+    options.seed = 7;
+    const RunResult baseline = simulate(*protocol, initial, options);
+    ASSERT_GT(baseline.interactions, 200u);
+
+    std::atomic<bool> stop{false};
+    FlagRaisingObserver raiser(stop, /*trigger=*/100);
+    CollectingSink sink;
+    options.snapshots = SnapshotSchedule::every(50);
+    options.observer = &raiser;
+    options.stop_flag = &stop;
+    options.checkpoint_sink = &sink;
+    const RunResult interrupted = simulate(*protocol, initial, options);
+    EXPECT_EQ(interrupted.stop_reason, StopReason::kPaused);
+    EXPECT_LT(interrupted.interactions, baseline.interactions);
+    ASSERT_FALSE(sink.checkpoints.empty());
+
+    // Resuming from the interrupt checkpoint with the flag lowered finishes
+    // exactly like the run that was never interrupted.
+    const RunCheckpoint resume_point = sink.checkpoints.back();
+    RunOptions resumed_options;
+    resumed_options.seed = 7;
+    resumed_options.resume_from = &resume_point;
+    expect_same_run(simulate(*protocol, initial, resumed_options), baseline);
+}
+
+TEST(PauseResume, StopFlagAlreadyRaisedStopsBeforeAnyInteraction) {
+    const auto protocol = make_counting_protocol(2);
+    const auto initial = CountConfiguration::from_input_counts(*protocol, {10, 2});
+    std::atomic<bool> stop{true};
+    CollectingSink sink;
+    RunOptions options;
+    options.seed = 4;
+    options.stop_flag = &stop;
+    options.checkpoint_sink = &sink;
+    const RunResult paused = simulate(*protocol, initial, options);
+    EXPECT_EQ(paused.stop_reason, StopReason::kPaused);
+    EXPECT_EQ(paused.interactions, 0u);
+    ASSERT_FALSE(sink.checkpoints.empty());
+
+    const RunResult baseline = [&] {
+        RunOptions plain;
+        plain.seed = 4;
+        return simulate(*protocol, initial, plain);
+    }();
+    const RunCheckpoint resume_point = sink.checkpoints.back();
+    RunOptions resumed_options;
+    resumed_options.seed = 4;
+    resumed_options.resume_from = &resume_point;
+    expect_same_run(simulate(*protocol, initial, resumed_options), baseline);
 }
 
 TEST(RunLoop, DefaultBudgetSaturatesInsteadOfOverflowing) {
