@@ -9,6 +9,14 @@
 //       --threshold K      counting threshold            (default 5)
 //       --counts A,B,...   agents per input symbol       (required)
 //       --engine E         auto (default) | agent | batch | collapsed
+//       --model M          uniform (default) | round_robin | sweep |
+//                          adversarial | dynamic_graph | grid_mobility
+//       --probe N          adversarial null-interaction look-ahead
+//       --phases A,B,...   dynamic_graph phase topologies (complete,
+//                          ring, line, star)
+//       --phase-length N   dynamic_graph interactions per phase (0 = 4n)
+//       --torus WxH        grid_mobility torus dimensions (default auto)
+//       --radius R         grid_mobility contact radius   (default 1)
 //       --threads K        intra-run threads (collapsed engine)
 //       --seed S           RNG seed                      (default 1)
 //       --budget B         interaction budget (0 = default_budget(n))
@@ -159,6 +167,39 @@ int main(int argc, char** argv) {
                     have_counts = true;
                 } else if (arg == "--engine") {
                     request += ",\"engine\":" + json_quote(next_value(arg));
+                } else if (arg == "--model") {
+                    request += ",\"model\":" + json_quote(next_value(arg));
+                } else if (arg == "--probe") {
+                    request +=
+                        ",\"probe\":" + std::to_string(parse_u64("--probe", next_value(arg)));
+                } else if (arg == "--phases") {
+                    const std::string list = next_value(arg);
+                    request += ",\"phases\":[";
+                    std::size_t start = 0;
+                    bool first = true;
+                    while (start <= list.size()) {
+                        std::size_t comma = list.find(',', start);
+                        if (comma == std::string::npos) comma = list.size();
+                        if (!first) request += ',';
+                        first = false;
+                        request += json_quote(list.substr(start, comma - start));
+                        start = comma + 1;
+                    }
+                    request += ']';
+                } else if (arg == "--phase-length") {
+                    request += ",\"phase_length\":" +
+                               std::to_string(parse_u64("--phase-length", next_value(arg)));
+                } else if (arg == "--torus") {
+                    const std::string dims = next_value(arg);
+                    const std::size_t x = dims.find('x');
+                    if (x == std::string::npos) usage_error("--torus: expected WxH");
+                    request += ",\"torus_width\":" +
+                               std::to_string(parse_u64("--torus", dims.substr(0, x)));
+                    request += ",\"torus_height\":" +
+                               std::to_string(parse_u64("--torus", dims.substr(x + 1)));
+                } else if (arg == "--radius") {
+                    request += ",\"radius\":" +
+                               std::to_string(parse_u64("--radius", next_value(arg)));
                 } else if (arg == "--threads") {
                     request += ",\"threads\":" +
                                std::to_string(parse_u64("--threads", next_value(arg)));

@@ -24,6 +24,9 @@
 //                    (default 65536; sessions may override per submit)
 //   --max-resident N suspended sessions kept in memory before the LRU
 //                    evictor spills them                (default 64)
+//   --max-queued N   admission bound: reject submits once N sessions are
+//                    queued or running, with a structured "queue_full"
+//                    error clients can retry on         (default 0 = off)
 //   --quiet          suppress the stderr status lines
 //
 // Examples:
@@ -45,7 +48,7 @@ namespace {
     std::fprintf(stderr,
                  "usage: serve_popproto [--socket PATH | --tcp-port P] [--spill-dir D]\n"
                  "                      [--workers K] [--quantum N] [--max-resident N]\n"
-                 "                      [--quiet]\n");
+                 "                      [--max-queued N] [--quiet]\n");
     std::exit(2);
 }
 
@@ -90,6 +93,9 @@ int main(int argc, char** argv) {
         } else if (arg == "--max-resident") {
             options.registry.max_resident_suspended =
                 static_cast<std::size_t>(parse_u64("--max-resident", value()));
+        } else if (arg == "--max-queued") {
+            options.registry.max_queued =
+                static_cast<std::size_t>(parse_u64("--max-queued", value()));
         } else if (arg == "--quiet") {
             options.verbose = false;
         } else {

@@ -33,6 +33,16 @@
 //                bit-identical; different K agree in distribution only.
 //   --graph G    complete | ring | line | star        (default ring;
 //                only with --engine graph)
+//   --model M    run a scenario pairing model instead of an engine:
+//                round_robin | sweep | adversarial | dynamic_graph |
+//                grid_mobility (run_scenario; conflicts with --engine)
+//   --probe N    adversarial null-interaction look-ahead  (default 16)
+//   --phases A,B,...  dynamic_graph phase topologies (complete, ring,
+//                line, star); required for that model
+//   --phase-length N  dynamic_graph interactions per phase (default 4n)
+//   --torus WxH  grid_mobility torus dimensions (default: smallest
+//                square with at least 2n cells)
+//   --radius R   grid_mobility Chebyshev contact radius   (default 1)
 //   --every P    fixed snapshot period                (default: n / 4)
 //   --log F      log-spaced snapshot factor instead of --every
 //   --checkpoint FILE      keep FILE updated with the latest checkpoint;
@@ -90,6 +100,8 @@
 #include "presburger/parser.h"
 #include "protocols/counting.h"
 #include "protocols/epidemic.h"
+#include "scenarios/games.h"
+#include "scenarios/scenario_spec.h"
 #include "telemetry/chrome_trace.h"
 #include "telemetry/prometheus.h"
 #include "telemetry/telemetry.h"
@@ -101,10 +113,14 @@ using namespace popproto;
 [[noreturn]] void usage_error(const std::string& message) {
     std::fprintf(stderr, "trace_run: %s\n", message.c_str());
     std::fprintf(stderr,
-                 "usage: trace_run [epidemic|counting|majority] [--predicate F] [--n N]\n"
+                 "usage: trace_run [epidemic|counting|majority|pavlov] [--predicate F] [--n N]\n"
                  "                 [--ones K] [--counts C0,C1,...] [--seed S] [--budget B]\n"
                  "                 [--engine batch|collapsed|agent|weighted|graph]\n"
                  "                 [--threads K] [--graph complete|ring|line|star]\n"
+                 "                 [--model round_robin|sweep|adversarial|dynamic_graph|"
+                 "grid_mobility]\n"
+                 "                 [--probe N] [--phases A,B,...] [--phase-length N]\n"
+                 "                 [--torus WxH] [--radius R]\n"
                  "                 [--every P | --log F]\n"
                  "                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                  "                 [--no-counts] [--metrics] [--profile BASE] [--progress]\n");
@@ -251,6 +267,7 @@ int main(int argc, char** argv) {
     std::uint64_t threads = 1;      // --threads; 0 = hardware concurrency
     bool threads_given = false;
     std::string graph_name = "ring";
+    ScenarioSpec scenario;              // --model et al.; scenario.model empty = engines
     std::string checkpoint_path;
     std::uint64_t checkpoint_every = 0;  // 0 = budget / 16
     std::string resume_path;
@@ -293,6 +310,33 @@ int main(int argc, char** argv) {
             threads_given = true;
         } else if (std::strcmp(arg, "--graph") == 0) {
             graph_name = next();
+        } else if (std::strcmp(arg, "--model") == 0) {
+            scenario.model = next();
+            const auto& names = scenario_model_names();
+            if (std::find(names.begin(), names.end(), scenario.model) == names.end())
+                usage_error("--model: expected round_robin, sweep, adversarial, "
+                            "dynamic_graph, or grid_mobility, got " + scenario.model);
+        } else if (std::strcmp(arg, "--probe") == 0) {
+            scenario.probe = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--phases") == 0) {
+            const std::string list = next();
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                std::size_t comma = list.find(',', start);
+                if (comma == std::string::npos) comma = list.size();
+                scenario.phases.push_back(list.substr(start, comma - start));
+                start = comma + 1;
+            }
+        } else if (std::strcmp(arg, "--phase-length") == 0) {
+            scenario.phase_length = parse_u64(arg, next());
+        } else if (std::strcmp(arg, "--torus") == 0) {
+            const std::string dims = next();
+            const std::size_t x = dims.find('x');
+            if (x == std::string::npos) usage_error("--torus: expected WxH");
+            scenario.torus_width = parse_u64(arg, dims.substr(0, x).c_str());
+            scenario.torus_height = parse_u64(arg, dims.substr(x + 1).c_str());
+        } else if (std::strcmp(arg, "--radius") == 0) {
+            scenario.radius = parse_u64(arg, next());
         } else if (std::strcmp(arg, "--checkpoint") == 0) {
             checkpoint_path = next();
         } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
@@ -329,6 +373,8 @@ int main(int argc, char** argv) {
         protocol = make_epidemic_protocol();
     } else if (protocol_name == "counting") {
         protocol = make_counting_protocol(5);
+    } else if (protocol_name == "pavlov") {
+        protocol = make_game_protocol(make_pavlov_prisoners_dilemma());
     } else if (protocol_name == "majority") {
         // [ x_0 - x_1 < 0 ]: true iff the 1-voters outnumber the 0-voters.
         protocol = make_threshold_protocol({1, -1}, 0);
@@ -368,6 +414,7 @@ int main(int argc, char** argv) {
             usage_error("--resume: " + resume_path + ": " + error.what());
         }
         std::string file_engine;
+        std::string file_model;
         switch (resume_checkpoint.engine) {
             case ObservedEngine::kAgentArray: file_engine = "agent"; break;
             case ObservedEngine::kCountBatch: file_engine = "batch"; break;
@@ -375,8 +422,15 @@ int main(int argc, char** argv) {
             case ObservedEngine::kParallelCollapsed: file_engine = "collapsed"; break;
             case ObservedEngine::kWeighted: file_engine = "weighted"; break;
             case ObservedEngine::kGraph: file_engine = "graph"; break;
+            case ObservedEngine::kPairModel:
+                // run_scenario checkpoints carry the model name; structural
+                // parameters (phases, torus size) are not in the file, so
+                // the resume command must repeat them.
+                file_model = resume_checkpoint.interaction_model;
+                break;
             case ObservedEngine::kScheduler:
-                usage_error("--resume: scheduler runs cannot be checkpointed");
+                usage_error("--resume: this checkpoint came from simulate_with_scheduler; "
+                            "resume it through that API");
         }
         // A parallel-collapsed checkpoint fixes the shard count; infer
         // --threads from the file (and reject a conflicting explicit value
@@ -392,13 +446,28 @@ int main(int argc, char** argv) {
             usage_error("--resume: " + resume_path +
                         " was taken by a serial engine; drop --threads to resume it");
         }
-        if (engine_name.empty())
+        if (!file_model.empty()) {
+            if (!engine_name.empty())
+                usage_error("--resume: " + resume_path + " was taken by the " + file_model +
+                            " scenario model; drop --engine to resume it");
+            if (scenario.model.empty())
+                scenario.model = file_model;
+            else if (scenario.model != file_model)
+                usage_error("--resume: " + resume_path + " was taken by the " + file_model +
+                            " model, but --model requests " + scenario.model);
+        } else if (!scenario.model.empty()) {
+            usage_error("--resume: " + resume_path + " was taken by the " + file_engine +
+                        " engine, but --model requests " + scenario.model);
+        } else if (engine_name.empty()) {
             engine_name = file_engine;
-        else if (engine_name != file_engine)
+        } else if (engine_name != file_engine) {
             usage_error("--resume: " + resume_path + " was taken by the " + file_engine +
                         " engine, but --engine requests " + engine_name);
+        }
     }
-    if (engine_name.empty()) engine_name = "batch";
+    if (!scenario.model.empty() && !engine_name.empty())
+        usage_error("--model conflicts with --engine (scenarios pick their own pairing)");
+    if (engine_name.empty() && scenario.model.empty()) engine_name = "batch";
 
     if (threads > 1 && engine_name != "collapsed")
         usage_error("--threads: only --engine collapsed runs with more than one thread");
@@ -448,7 +517,9 @@ int main(int argc, char** argv) {
 
     RunResult result{CountConfiguration(protocol->num_states()), StopReason::kBudget, 0, 0, 0,
                      std::nullopt};
-    if (engine_name == "batch") {
+    if (!scenario.model.empty()) {
+        result = run_scenario(*protocol, initial, scenario, options);
+    } else if (engine_name == "batch") {
         result = simulate_counts(*protocol, initial, options);
     } else if (engine_name == "collapsed") {
         result = simulate_collapsed(*protocol, initial, options);

@@ -132,6 +132,15 @@ AgentConfiguration AgentConfiguration::from_counts(const CountConfiguration& cou
     return config;
 }
 
+AgentConfiguration AgentConfiguration::from_states(std::vector<State> states,
+                                                   std::size_t num_states) {
+    for (const State q : states)
+        require(q < num_states, "from_states: state out of range");
+    AgentConfiguration config;
+    config.states_ = std::move(states);
+    return config;
+}
+
 State AgentConfiguration::state(std::size_t agent) const {
     require(agent < states_.size(), "AgentConfiguration: agent out of range");
     return states_[agent];

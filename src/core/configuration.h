@@ -98,6 +98,10 @@ public:
     /// Expands a multiset configuration into an (arbitrary-order) agent list.
     static AgentConfiguration from_counts(const CountConfiguration& config);
 
+    /// Adopts an explicit per-agent state vector (stepper/checkpoint
+    /// interop); every state must be < num_states.
+    static AgentConfiguration from_states(std::vector<State> states, std::size_t num_states);
+
     std::size_t size() const { return states_.size(); }
 
     State state(std::size_t agent) const;

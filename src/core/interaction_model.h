@@ -1,0 +1,377 @@
+// The interaction-model layer: pair selection as a first-class, swappable,
+// checkpointable policy under the run-loop kernel.
+//
+// The paper's semantics (Sect. 2) is parameterized by *who interacts with
+// whom*: the uniform random scheduler of Sect. 6 is one fair scheduler among
+// many, and Theorem 7's restricted interaction graphs are another.  Before
+// this layer each pairing discipline was a bespoke stepper (uniform pairs in
+// simulator.cpp, weighted pairs, graph edges, deterministic Scheduler
+// cursors) that duplicated both the selection logic and the delta-application
+// bookkeeping.  Now a pairing discipline is an InteractionModel — a small
+// value type that proposes one ordered agent pair per interaction — and one
+// PairStepper template turns any model into a run_loop stepper, so every
+// model inherits silence detection, budgets, observers, telemetry, and
+// checkpoint/resume bit-identity from the kernel.
+//
+// RNG discipline is inherited from the kernel contract: propose_pair is the
+// only place a model may draw from the kernel stream, once per interaction in
+// loop order.  Models with internal state beyond the RNG (cursors,
+// permutations, agent positions) serialize it as a flat word vector into the
+// checkpoint's `interaction_model` section; stateless models write nothing,
+// which keeps uniform/weighted/graph checkpoints byte-identical to the
+// pre-layer format.
+
+#ifndef POPPROTO_CORE_INTERACTION_MODEL_H
+#define POPPROTO_CORE_INTERACTION_MODEL_H
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/require.h"
+#include "core/rng.h"
+#include "core/run_loop.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+/// Ordered agent pair to interact next.
+using AgentPair = std::pair<std::size_t, std::size_t>;
+
+/// How a model realizes the paper's fairness condition.
+enum class Fairness {
+    /// Fair with probability 1 (uniform, weighted, graph-edge sampling).
+    kProbabilistic,
+    /// Deterministically fair: every permitted ordered pair occurs within a
+    /// bounded window of steps (round-robin, sweep, adversarial cover).
+    kBoundedCover,
+    /// Fairness is the caller's responsibility (user-supplied Scheduler).
+    kExternal,
+};
+
+/// A pairing discipline.  `propose_pair` returns the next ordered pair of
+/// distinct agent indices in [0, states.size()); it may read the current
+/// per-agent states (adaptive/adversarial models) and is the only method
+/// allowed to draw from the kernel RNG.
+///
+/// Traits:
+///   * kFairness     — how the model satisfies the fairness condition;
+///   * kCanSilence   — whether the model can reach every ordered pair of
+///                     *present states*, making the multiset silence test
+///                     sound (restricted edge sets must say false);
+///   * kHasState     — whether the model carries state beyond the kernel
+///                     RNG; iff true, checkpoints record `name()` plus the
+///                     `save_state` words and resume calls `restore_state`.
+template <typename M>
+concept InteractionModel =
+    requires(M model, const M cmodel, Rng& rng, const std::vector<State>& states,
+             std::vector<std::uint64_t>& words) {
+        { M::kFairness } -> std::convertible_to<Fairness>;
+        { M::kCanSilence } -> std::convertible_to<bool>;
+        { M::kHasState } -> std::convertible_to<bool>;
+        { cmodel.name() } -> std::convertible_to<const char*>;
+        { cmodel.checkpointable() } -> std::convertible_to<bool>;
+        { model.propose_pair(rng, states) } -> std::same_as<AgentPair>;
+        { cmodel.save_state(words) } -> std::same_as<void>;
+        { model.restore_state(std::as_const(words)) } -> std::same_as<void>;
+    };
+
+/// The k-th ordered pair of distinct agents in lexicographic order, decoded
+/// in O(1): row i lists its n-1 partners 0..n-1 with i itself skipped.
+inline AgentPair decode_ordered_pair(std::uint64_t index, std::uint64_t num_agents) {
+    const std::uint64_t i = index / (num_agents - 1);
+    const std::uint64_t r = index % (num_agents - 1);
+    return {static_cast<std::size_t>(i), static_cast<std::size_t>(r < i ? r : r + 1)};
+}
+
+// ---------------------------------------------------------------------------
+// Built-in models
+
+/// Uniform random pairing over all ordered pairs of distinct agents — the
+/// paper's Sect. 6 scheduler, O(1) per interaction (the reference sampler).
+class UniformPairModel {
+public:
+    static constexpr const char* kName = "uniform";
+    static constexpr Fairness kFairness = Fairness::kProbabilistic;
+    static constexpr bool kCanSilence = true;
+    static constexpr bool kHasState = false;
+
+    const char* name() const { return kName; }
+    bool checkpointable() const { return true; }
+
+    AgentPair propose_pair(Rng& rng, const std::vector<State>& states) {
+        const std::uint64_t n = states.size();
+        const std::uint64_t i = rng.below(n);
+        std::uint64_t j = rng.below(n - 1);
+        if (j >= i) ++j;
+        return {static_cast<std::size_t>(i), static_cast<std::size_t>(j)};
+    }
+
+    void save_state(std::vector<std::uint64_t>&) const {}
+    void restore_state(const std::vector<std::uint64_t>&) {}
+};
+
+/// Weighted pairing (Sect. 8): ordered pair (i, j), i != j, with probability
+/// proportional to weights[i] * weights[j], via inverse-CDF draws.
+class WeightedPairModel {
+public:
+    static constexpr const char* kName = "weighted";
+    static constexpr Fairness kFairness = Fairness::kProbabilistic;
+    static constexpr bool kCanSilence = true;
+    static constexpr bool kHasState = false;
+
+    /// Requires every weight positive and finite (validated by the entry
+    /// point, re-checked here).
+    explicit WeightedPairModel(const std::vector<double>& weights);
+
+    const char* name() const { return kName; }
+    bool checkpointable() const { return true; }
+
+    AgentPair propose_pair(Rng& rng, const std::vector<State>& states) {
+        (void)states;
+        const std::size_t i = draw_agent(rng);
+        // Rejection is cheap when weights are balanced, but when one weight
+        // carries almost all the mass a collision loop could spin for an
+        // unbounded number of draws; fall back to the exact exclusion draw.
+        std::size_t j = draw_agent(rng);
+        for (int attempt = 0; j == i; ++attempt) {
+            if (attempt >= 16) {
+                j = draw_agent_excluding(rng, i);
+                break;
+            }
+            j = draw_agent(rng);
+        }
+        return {i, j};
+    }
+
+    void save_state(std::vector<std::uint64_t>&) const {}
+    void restore_state(const std::vector<std::uint64_t>&) {}
+
+private:
+    std::size_t draw_agent(Rng& rng) const;
+    std::size_t draw_agent_excluding(Rng& rng, std::size_t exclude) const;
+
+    std::vector<double> weights_;
+    std::vector<double> cumulative_;
+    double total_weight_ = 0.0;
+};
+
+/// Uniform sampling over an explicit directed-edge list (Theorem 7
+/// restricted interaction graphs: each edge is an (initiator, responder)
+/// pair; InteractionGraph generators add both orientations).  Restricted
+/// edge sets cannot reach every pair of present states, so the multiset
+/// silence test is unsound: kCanSilence is false and runs stop on output
+/// stability or budget.
+class EdgeListPairModel {
+public:
+    static constexpr const char* kName = "graph";
+    static constexpr Fairness kFairness = Fairness::kProbabilistic;
+    static constexpr bool kCanSilence = false;
+    static constexpr bool kHasState = false;
+
+    /// Requires a non-empty list of ordered pairs of distinct endpoints,
+    /// all < num_agents.
+    EdgeListPairModel(std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+                      std::uint64_t num_agents);
+
+    const char* name() const { return kName; }
+    bool checkpointable() const { return true; }
+
+    AgentPair propose_pair(Rng& rng, const std::vector<State>& states) {
+        (void)states;
+        const auto& edge = edges_[rng.below(edges_.size())];
+        return {edge.first, edge.second};
+    }
+
+    void save_state(std::vector<std::uint64_t>&) const {}
+    void restore_state(const std::vector<std::uint64_t>&) {}
+
+private:
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+/// Deterministic cycle over all n(n-1) ordered pairs in lexicographic order.
+/// Never draws from the kernel RNG; state is the one cursor word.
+class RoundRobinPairModel {
+public:
+    static constexpr const char* kName = "round_robin";
+    static constexpr Fairness kFairness = Fairness::kBoundedCover;
+    static constexpr bool kCanSilence = true;
+    static constexpr bool kHasState = true;
+
+    explicit RoundRobinPairModel(std::uint64_t num_agents);
+
+    const char* name() const { return kName; }
+    bool checkpointable() const { return true; }
+    std::uint64_t num_pairs() const { return num_pairs_; }
+
+    /// Advances the cursor; no randomness consumed.
+    AgentPair next_pair();
+
+    AgentPair propose_pair(Rng&, const std::vector<State>&) { return next_pair(); }
+
+    void save_state(std::vector<std::uint64_t>& words) const;
+    void restore_state(const std::vector<std::uint64_t>& words);
+
+private:
+    std::uint64_t num_agents_ = 0;
+    std::uint64_t num_pairs_ = 0;
+    std::uint64_t cursor_ = 0;
+};
+
+/// Repeatedly replays one random permutation of all n(n-1) ordered pairs,
+/// reshuffled after each full sweep (a "synchronous-ish" pattern common in
+/// sensor deployments).  The shuffle uses the model's own seeded RNG, not
+/// the kernel stream, matching the historical SweepScheduler draw order;
+/// state is that RNG plus the cursor and the current permutation.
+class SweepPairModel {
+public:
+    static constexpr const char* kName = "sweep";
+    static constexpr Fairness kFairness = Fairness::kBoundedCover;
+    static constexpr bool kCanSilence = true;
+    static constexpr bool kHasState = true;
+
+    SweepPairModel(std::uint64_t num_agents, std::uint64_t seed);
+
+    const char* name() const { return kName; }
+    bool checkpointable() const { return true; }
+    std::uint64_t num_pairs() const { return permutation_.size(); }
+
+    /// Advances the sweep; reshuffles (from the model's own RNG) when a
+    /// sweep completes.
+    AgentPair next_pair();
+
+    AgentPair propose_pair(Rng&, const std::vector<State>&) { return next_pair(); }
+
+    void save_state(std::vector<std::uint64_t>& words) const;
+    void restore_state(const std::vector<std::uint64_t>& words);
+
+private:
+    void reshuffle();
+
+    std::uint64_t num_agents_ = 0;
+    std::vector<std::uint64_t> permutation_;  // pair indices, decoded on use
+    std::uint64_t cursor_ = 0;
+    Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// The one stepper over all models
+
+/// Turns any InteractionModel into a run_loop stepper: per-agent state array
+/// plus multiset counts, one model-proposed ordered pair per step, delta
+/// applied via the protocol's fast tables.  `kEngineTag` is the ObservedEngine
+/// recorded in events and checkpoints (kAgentArray/kWeighted/kGraph for the
+/// classic entry points — full checkpoint backward compatibility — and
+/// kPairModel for scenario runs, where the checkpoint's interaction_model
+/// section names the concrete model).
+template <InteractionModel M, ObservedEngine kEngineTag>
+class PairStepper {
+public:
+    static constexpr ObservedEngine kEngine = kEngineTag;
+    static constexpr SilenceMode kSilenceMode =
+        M::kCanSilence ? SilenceMode::kPeriodic : SilenceMode::kNever;
+    static constexpr bool kGeometricSkips = false;
+    static constexpr bool kSuperSteps = false;
+
+    /// `entry_point` names the caller in error messages ("simulate",
+    /// "run_scenario", ...).
+    PairStepper(const TabulatedProtocol& protocol, std::vector<State> states, M model,
+                const char* entry_point)
+        : protocol_(protocol),
+          states_(std::move(states)),
+          counts_(protocol.num_states(), 0),
+          model_(std::move(model)),
+          entry_point_(entry_point) {
+        for (const State q : states_) ++counts_[q];
+    }
+
+    std::uint64_t population() const { return states_.size(); }
+
+    bool is_silent() const { return multiset_silent(protocol_, counts_); }
+
+    std::uint64_t propose_skip(Rng&) { return 0; }
+
+    StepOutcome step(Rng& rng) {
+        const AgentPair pair = model_.propose_pair(rng, states_);
+        if constexpr (M::kFairness == Fairness::kExternal) {
+            // Built-in models construct valid pairs by design; only
+            // externally supplied ones are validated on the hot path.
+            const std::size_t n = states_.size();
+            require(pair.first != pair.second && pair.first < n && pair.second < n,
+                    std::string(entry_point_) + ": model produced an invalid pair");
+        }
+
+        const State p = states_[pair.first];
+        const State q = states_[pair.second];
+        const StatePair next = protocol_.apply_fast(p, q);
+        StepOutcome outcome;
+        if (next.initiator != p || next.responder != q) {
+            outcome.changed = true;
+            outcome.output_changed =
+                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
+                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
+            states_[pair.first] = next.initiator;
+            states_[pair.second] = next.responder;
+            --counts_[p];
+            --counts_[q];
+            ++counts_[next.initiator];
+            ++counts_[next.responder];
+        }
+        return outcome;
+    }
+
+    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
+
+    const std::vector<State>& states() const { return states_; }
+    const M& model() const { return model_; }
+
+    void save(RunCheckpoint& checkpoint) const {
+        checkpoint.agent_states = states_;
+        if constexpr (M::kHasState) {
+            ensure(model_.checkpointable(),
+                   std::string(entry_point_) + ": model rejects checkpointing");
+            checkpoint.interaction_model = model_.name();
+            model_.save_state(checkpoint.model_state);
+        }
+    }
+
+    void restore(const RunCheckpoint& checkpoint) {
+        require(checkpoint.agent_states.size() == states_.size(),
+                std::string(entry_point_) + ": checkpoint agent count mismatch");
+        states_ = checkpoint.agent_states;
+        std::fill(counts_.begin(), counts_.end(), 0);
+        for (const State q : states_) {
+            require(q < counts_.size(),
+                    std::string(entry_point_) + ": checkpoint state out of range");
+            ++counts_[q];
+        }
+        if constexpr (M::kHasState) {
+            require(checkpoint.interaction_model == model_.name(),
+                    std::string(entry_point_) + ": checkpoint was taken under interaction "
+                    "model '" + checkpoint.interaction_model + "', but this run uses '" +
+                    model_.name() + "'");
+            model_.restore_state(checkpoint.model_state);
+        } else {
+            require(checkpoint.interaction_model.empty() ||
+                        checkpoint.interaction_model == model_.name(),
+                    std::string(entry_point_) + ": checkpoint was taken under interaction "
+                    "model '" + checkpoint.interaction_model + "', but this run uses '" +
+                    model_.name() + "'");
+        }
+    }
+
+private:
+    const TabulatedProtocol& protocol_;
+    std::vector<State> states_;
+    std::vector<std::uint64_t> counts_;
+    M model_;
+    const char* entry_point_;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_INTERACTION_MODEL_H

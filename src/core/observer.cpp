@@ -81,6 +81,8 @@ const char* observed_engine_name(ObservedEngine engine) {
             return "graph";
         case ObservedEngine::kScheduler:
             return "scheduler";
+        case ObservedEngine::kPairModel:
+            return "pair_model";
     }
     return "unknown";
 }
@@ -89,7 +91,7 @@ bool observed_engine_from_name(const std::string& name, ObservedEngine& engine) 
     for (const ObservedEngine candidate :
          {ObservedEngine::kAgentArray, ObservedEngine::kCountBatch, ObservedEngine::kCollapsed,
           ObservedEngine::kParallelCollapsed, ObservedEngine::kWeighted, ObservedEngine::kGraph,
-          ObservedEngine::kScheduler}) {
+          ObservedEngine::kScheduler, ObservedEngine::kPairModel}) {
         if (name == observed_engine_name(candidate)) {
             engine = candidate;
             return true;

@@ -97,6 +97,10 @@ enum class ObservedEngine {
     kWeighted,
     kGraph,
     kScheduler,
+    /// Scenario runs driven by a named InteractionModel (run_scenario:
+    /// round-robin, sweep, adversarial, dynamic graph, grid mobility).  The
+    /// checkpoint's interaction_model section disambiguates which model.
+    kPairModel,
 };
 
 /// Short stable identifier ("agent_array", "count_batch", ...) for logs.

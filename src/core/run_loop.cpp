@@ -91,6 +91,8 @@ namespace {
 //   next_silence_check <c>
 //   changed_since_check <0|1>
 //   pending_skip <0|1> <remaining>
+//   interaction_model <name> <k> <w...> (stateful pairing models only;
+//                                        k serialized model words)
 //   shard_rngs <K> <w...>               (parallel collapsed engine only;
 //                                        4K words, shard-major)
 //   counts <k> <c0> ... <c{k-1}>        (count engines)
@@ -98,8 +100,10 @@ namespace {
 //   end
 //
 // All integers are decimal.  Exactly one of counts/agents is present; the
-// shard_rngs line is present exactly when the engine carries shard streams
-// (it is a new optional line, so v1 readers of old checkpoints still work).
+// interaction_model and shard_rngs lines are present exactly when the run
+// carries a stateful pairing model / shard streams (both are optional
+// lines, so v1 readers of old checkpoints still work and stateless runs
+// serialize byte-identically to pre-model checkpoints).
 
 /// Line-oriented tokenizer for the grammar above.  The grammar is one key
 /// per line, so every parse error can name the line number and the
@@ -194,6 +198,14 @@ void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint) {
     out << "changed_since_check " << (checkpoint.changed_since_silence_check ? 1 : 0) << "\n";
     out << "pending_skip " << (checkpoint.has_pending_skip ? 1 : 0) << ' '
         << checkpoint.pending_null_skips << "\n";
+    if (!checkpoint.interaction_model.empty()) {
+        require(checkpoint.interaction_model.find_first_of(" \t\r\n") == std::string::npos,
+                "write_checkpoint: interaction model name must not contain whitespace");
+        out << "interaction_model " << checkpoint.interaction_model << ' '
+            << checkpoint.model_state.size();
+        for (const std::uint64_t word : checkpoint.model_state) out << ' ' << word;
+        out << "\n";
+    }
     if (!checkpoint.shard_rngs.empty()) {
         out << "shard_rngs " << checkpoint.shard_rngs.size();
         for (const Rng::StreamState& shard : checkpoint.shard_rngs)
@@ -254,7 +266,19 @@ RunCheckpoint read_checkpoint(std::istream& in) {
     parser.end_line();
 
     parser.next_line("counts");
-    std::string payload = parser.token("'shard_rngs', 'counts' or 'agents'");
+    std::string payload =
+        parser.token("'interaction_model', 'shard_rngs', 'counts' or 'agents'");
+    if (payload == "interaction_model") {
+        checkpoint.interaction_model = parser.token("interaction model name");
+        const std::uint64_t words = parser.u64("model state length");
+        if (words > (std::uint64_t{1} << 32))
+            parser.fail("bad model state length '" + std::to_string(words) + "'");
+        checkpoint.model_state.resize(words);
+        for (std::uint64_t& word : checkpoint.model_state) word = parser.u64("model word");
+        parser.end_line();
+        parser.next_line("counts");
+        payload = parser.token("'shard_rngs', 'counts' or 'agents'");
+    }
     if (payload == "shard_rngs") {
         const std::uint64_t shards = parser.u64("shard count");
         if (shards < 1 || shards > 65536)

@@ -124,6 +124,15 @@ struct RunCheckpoint {
     /// requires the same K (the serial engine leaves this empty).
     std::vector<Rng::StreamState> shard_rngs;
 
+    /// Interaction-model section: which pairing model drove the run and the
+    /// model's serialized word state (cursor positions, permutations, agent
+    /// positions — see interaction_model.h).  Stateless built-in models
+    /// (uniform, weighted, static graph) leave the name empty and the line
+    /// is omitted, keeping their serialized form byte-identical to
+    /// checkpoints written before the interaction-model layer existed.
+    std::string interaction_model;
+    std::vector<std::uint64_t> model_state;
+
     /// Multiset configuration (count engines: simulate_counts).
     std::vector<std::uint64_t> counts;
     /// Per-agent configuration (agent engines: simulate, simulate_weighted,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/interaction_model.h"
 #include "core/require.h"
 #include "core/run_loop.h"
 
@@ -9,20 +10,12 @@ namespace popproto {
 
 namespace {
 
-std::vector<AgentPair> all_ordered_pairs(std::size_t num_agents) {
-    require(num_agents >= 2, "scheduler: need at least two agents");
-    std::vector<AgentPair> pairs;
-    pairs.reserve(num_agents * (num_agents - 1));
-    for (std::size_t i = 0; i < num_agents; ++i)
-        for (std::size_t j = 0; j < num_agents; ++j)
-            if (i != j) pairs.emplace_back(i, j);
-    return pairs;
-}
-
 /// Deterministic pair selection delegated to a Scheduler.  The kernel's RNG
 /// is never consumed; determinism comes from the scheduler's own state,
-/// which is also why checkpoint/resume is rejected at the entry point — a
-/// RunCheckpoint cannot capture an arbitrary Scheduler's cursor.
+/// serialized through the Scheduler checkpoint hooks into the checkpoint's
+/// interaction_model section.  This stepper keeps a full AgentConfiguration
+/// (not the raw state vector PairStepper uses) because Scheduler::next is a
+/// public API contracted on it — adaptive schedulers read agent states.
 class SchedulerStepper {
 public:
     static constexpr ObservedEngine kEngine = ObservedEngine::kScheduler;
@@ -72,12 +65,30 @@ public:
 
     CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
 
-    void save(RunCheckpoint&) const {
-        ensure(false, "simulate_with_scheduler: checkpointing is rejected at entry");
+    void save(RunCheckpoint& checkpoint) const {
+        ensure(scheduler_.checkpointable(),
+               "simulate_with_scheduler: non-checkpointable scheduler reached save");
+        checkpoint.agent_states = agents_.states();
+        checkpoint.interaction_model = scheduler_.model_name();
+        scheduler_.save_state(checkpoint.model_state);
     }
 
-    void restore(const RunCheckpoint&) {
-        ensure(false, "simulate_with_scheduler: resume is rejected at entry");
+    void restore(const RunCheckpoint& checkpoint) {
+        require(checkpoint.agent_states.size() == agents_.size(),
+                "simulate_with_scheduler: checkpoint agent count mismatch");
+        std::fill(counts_.begin(), counts_.end(), 0);
+        for (std::size_t i = 0; i < checkpoint.agent_states.size(); ++i) {
+            const State q = checkpoint.agent_states[i];
+            require(q < counts_.size(),
+                    "simulate_with_scheduler: checkpoint state out of range");
+            agents_.set_state(i, q);
+            ++counts_[q];
+        }
+        require(checkpoint.interaction_model == scheduler_.model_name(),
+                "simulate_with_scheduler: checkpoint was taken under interaction model '" +
+                    checkpoint.interaction_model + "', but this scheduler is '" +
+                    scheduler_.model_name() + "'");
+        scheduler_.restore_state(checkpoint.model_state);
     }
 
 private:
@@ -89,35 +100,45 @@ private:
 
 }  // namespace
 
-RoundRobinScheduler::RoundRobinScheduler(std::size_t num_agents)
-    : pairs_(all_ordered_pairs(num_agents)) {}
+void Scheduler::save_state(std::vector<std::uint64_t>&) const {
+    ensure(false, "Scheduler: save_state requires checkpointable() == true");
+}
+
+void Scheduler::restore_state(const std::vector<std::uint64_t>&) {
+    ensure(false, "Scheduler: restore_state requires checkpointable() == true");
+}
+
+RoundRobinScheduler::RoundRobinScheduler(std::size_t num_agents) : model_(num_agents) {}
 
 AgentPair RoundRobinScheduler::next(const AgentConfiguration& agents) {
-    require(agents.size() * (agents.size() - 1) == pairs_.size(),
+    require(agents.size() * (agents.size() - 1) == model_.num_pairs(),
             "RoundRobinScheduler: population size changed");
-    const AgentPair pair = pairs_[cursor_];
-    cursor_ = (cursor_ + 1) % pairs_.size();
-    return pair;
+    return model_.next_pair();
+}
+
+void RoundRobinScheduler::save_state(std::vector<std::uint64_t>& words) const {
+    model_.save_state(words);
+}
+
+void RoundRobinScheduler::restore_state(const std::vector<std::uint64_t>& words) {
+    model_.restore_state(words);
 }
 
 SweepScheduler::SweepScheduler(std::size_t num_agents, std::uint64_t seed)
-    : pairs_(all_ordered_pairs(num_agents)), rng_(seed) {
-    reshuffle();
-}
-
-void SweepScheduler::reshuffle() {
-    // Fisher-Yates with our own RNG for reproducibility.
-    for (std::size_t i = pairs_.size(); i > 1; --i)
-        std::swap(pairs_[i - 1], pairs_[rng_.below(i)]);
-    cursor_ = 0;
-}
+    : model_(num_agents, seed) {}
 
 AgentPair SweepScheduler::next(const AgentConfiguration& agents) {
-    require(agents.size() * (agents.size() - 1) == pairs_.size(),
+    require(agents.size() * (agents.size() - 1) == model_.num_pairs(),
             "SweepScheduler: population size changed");
-    const AgentPair pair = pairs_[cursor_++];
-    if (cursor_ == pairs_.size()) reshuffle();
-    return pair;
+    return model_.next_pair();
+}
+
+void SweepScheduler::save_state(std::vector<std::uint64_t>& words) const {
+    model_.save_state(words);
+}
+
+void SweepScheduler::restore_state(const std::vector<std::uint64_t>& words) {
+    model_.restore_state(words);
 }
 
 RunResult simulate_with_scheduler(const TabulatedProtocol& protocol,
@@ -125,9 +146,13 @@ RunResult simulate_with_scheduler(const TabulatedProtocol& protocol,
                                   const RunOptions& options) {
     require(initial.size() >= 2, "simulate_with_scheduler: need at least two agents");
     require_engine_field(options, SimulationEngine::kAuto, "simulate_with_scheduler");
-    require(options.checkpoint_every == 0 && options.resume_from == nullptr,
-            "simulate_with_scheduler: checkpoint/resume is not supported — a RunCheckpoint "
-            "cannot capture the Scheduler's own state");
+    const bool wants_checkpointing =
+        options.checkpoint_every != 0 || options.checkpoint_sink != nullptr ||
+        options.pause_after != 0 || options.resume_from != nullptr;
+    require(!wants_checkpointing || scheduler.checkpointable(),
+            "simulate_with_scheduler: this scheduler opts out of save/restore; "
+            "checkpoint/resume needs a checkpointable() scheduler (the built-in "
+            "RoundRobinScheduler and SweepScheduler both are)");
 
     SchedulerStepper stepper(protocol, initial, scheduler);
     return run_loop(stepper, protocol, options, "simulate_with_scheduler");

@@ -14,7 +14,13 @@
 //   * SweepScheduler repeatedly plays a fixed random permutation of the
 //     pairs (a "synchronous-ish" pattern common in sensor deployments).
 //
-// Both implement the Scheduler interface consumed by simulate_with_scheduler.
+// Both implement the Scheduler interface consumed by simulate_with_scheduler
+// and are thin adapters over the InteractionModel layer
+// (core/interaction_model.h), which owns the actual pair-selection state —
+// RoundRobinPairModel's cursor and SweepPairModel's permutation — and its
+// serialization.  Built-in schedulers therefore checkpoint/resume
+// bit-identically; custom Scheduler subclasses opt in by overriding the
+// checkpoint hooks below.
 
 #ifndef POPPROTO_CORE_SCHEDULERS_H
 #define POPPROTO_CORE_SCHEDULERS_H
@@ -25,12 +31,10 @@
 #include <vector>
 
 #include "core/configuration.h"
+#include "core/interaction_model.h"
 #include "core/simulator.h"
 
 namespace popproto {
-
-/// Ordered agent pair to interact next.
-using AgentPair = std::pair<std::size_t, std::size_t>;
 
 /// Strategy choosing the next encounter.  Implementations may keep state
 /// (cursors, permutations); they see the current configuration so adaptive
@@ -45,6 +49,20 @@ public:
     /// Returns the next ordered pair of distinct agent indices in
     /// [0, agents.size()).
     virtual AgentPair next(const AgentConfiguration& agents) = 0;
+
+    /// Checkpoint participation.  A checkpointable scheduler serializes its
+    /// cursor state into the checkpoint's interaction_model section under
+    /// `model_name()`, and simulate_with_scheduler accepts checkpoint/resume
+    /// for it.  The default opts out (save_state/restore_state then throw if
+    /// reached); custom schedulers opt in by overriding all four methods.
+    virtual bool checkpointable() const { return false; }
+
+    /// Stable identifier recorded in checkpoints; resume requires the
+    /// rebuilt scheduler to report the same name.
+    virtual const char* model_name() const { return "custom"; }
+
+    virtual void save_state(std::vector<std::uint64_t>& words) const;
+    virtual void restore_state(const std::vector<std::uint64_t>& words);
 };
 
 /// Deterministic cycle over all n(n-1) ordered pairs in lexicographic order.
@@ -52,10 +70,13 @@ class RoundRobinScheduler final : public Scheduler {
 public:
     explicit RoundRobinScheduler(std::size_t num_agents);
     AgentPair next(const AgentConfiguration& agents) override;
+    bool checkpointable() const override { return true; }
+    const char* model_name() const override { return RoundRobinPairModel::kName; }
+    void save_state(std::vector<std::uint64_t>& words) const override;
+    void restore_state(const std::vector<std::uint64_t>& words) override;
 
 private:
-    std::vector<AgentPair> pairs_;
-    std::size_t cursor_ = 0;
+    RoundRobinPairModel model_;
 };
 
 /// Repeatedly replays one random permutation of all ordered pairs,
@@ -64,20 +85,22 @@ class SweepScheduler final : public Scheduler {
 public:
     SweepScheduler(std::size_t num_agents, std::uint64_t seed);
     AgentPair next(const AgentConfiguration& agents) override;
+    bool checkpointable() const override { return true; }
+    const char* model_name() const override { return SweepPairModel::kName; }
+    void save_state(std::vector<std::uint64_t>& words) const override;
+    void restore_state(const std::vector<std::uint64_t>& words) override;
 
 private:
-    void reshuffle();
-    std::vector<AgentPair> pairs_;
-    std::size_t cursor_ = 0;
-    Rng rng_;
+    SweepPairModel model_;
 };
 
 /// Runs `protocol` from `initial` under `scheduler`.  Stopping rules are as
 /// in `simulate` (silence is sound for any scheduler; the output-stability
 /// window and budget also apply; max_interactions == 0 resolves to
-/// default_budget(n)).  Requires options.engine == kAuto; checkpoint/resume
-/// is rejected because a RunCheckpoint cannot capture the Scheduler's own
-/// cursor state.
+/// default_budget(n)).  Requires options.engine == kAuto.  Checkpoint/resume
+/// works for any scheduler whose `checkpointable()` is true (the built-in
+/// round-robin and sweep schedulers are); requesting it for one that opts
+/// out throws std::invalid_argument.
 RunResult simulate_with_scheduler(const TabulatedProtocol& protocol,
                                   const AgentConfiguration& initial, Scheduler& scheduler,
                                   const RunOptions& options);

@@ -1,195 +1,13 @@
 #include "core/simulator.h"
 
-#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "core/interaction_model.h"
 #include "core/require.h"
 #include "core/run_loop.h"
 
 namespace popproto {
-
-namespace {
-
-/// Uniform random pairing over an expanded agent array: one ordered pair of
-/// distinct agents per step, O(1) per interaction (the reference sampler).
-class AgentArrayStepper {
-public:
-    static constexpr ObservedEngine kEngine = ObservedEngine::kAgentArray;
-    static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
-    static constexpr bool kGeometricSkips = false;
-    static constexpr bool kSuperSteps = false;
-
-    AgentArrayStepper(const TabulatedProtocol& protocol, const CountConfiguration& initial)
-        : protocol_(protocol),
-          states_(AgentConfiguration::from_counts(initial).states()),
-          counts_(initial.counts()) {}
-
-    std::uint64_t population() const { return states_.size(); }
-
-    bool is_silent() const { return multiset_silent(protocol_, counts_); }
-
-    std::uint64_t propose_skip(Rng&) { return 0; }
-
-    StepOutcome step(Rng& rng) {
-        const std::uint64_t n = states_.size();
-        const std::uint64_t i = rng.below(n);
-        std::uint64_t j = rng.below(n - 1);
-        if (j >= i) ++j;
-
-        const State p = states_[i];
-        const State q = states_[j];
-        const StatePair next = protocol_.apply_fast(p, q);
-        StepOutcome outcome;
-        if (next.initiator != p || next.responder != q) {
-            outcome.changed = true;
-            outcome.output_changed =
-                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
-                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
-            states_[i] = next.initiator;
-            states_[j] = next.responder;
-            --counts_[p];
-            --counts_[q];
-            ++counts_[next.initiator];
-            ++counts_[next.responder];
-        }
-        return outcome;
-    }
-
-    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
-
-    void save(RunCheckpoint& checkpoint) const { checkpoint.agent_states = states_; }
-
-    void restore(const RunCheckpoint& checkpoint) {
-        require(checkpoint.agent_states.size() == states_.size(),
-                "simulate: checkpoint agent count mismatch");
-        states_ = checkpoint.agent_states;
-        std::fill(counts_.begin(), counts_.end(), 0);
-        for (const State q : states_) {
-            require(q < counts_.size(), "simulate: checkpoint state out of range");
-            ++counts_[q];
-        }
-    }
-
-private:
-    const TabulatedProtocol& protocol_;
-    std::vector<State> states_;
-    std::vector<std::uint64_t> counts_;
-};
-
-/// Weighted pairing (Sect. 8): ordered pair (i, j), i != j, with probability
-/// proportional to weights[i] * weights[j], via inverse-CDF draws.
-class WeightedStepper {
-public:
-    static constexpr ObservedEngine kEngine = ObservedEngine::kWeighted;
-    static constexpr SilenceMode kSilenceMode = SilenceMode::kPeriodic;
-    static constexpr bool kGeometricSkips = false;
-    static constexpr bool kSuperSteps = false;
-
-    WeightedStepper(const TabulatedProtocol& protocol, const AgentConfiguration& initial,
-                    const std::vector<double>& weights)
-        : protocol_(protocol),
-          states_(initial.states()),
-          counts_(protocol.num_states(), 0),
-          weights_(weights) {
-        for (const State q : states_) ++counts_[q];
-        total_weight_ = 0.0;
-        cumulative_.resize(weights.size());
-        for (std::size_t i = 0; i < weights.size(); ++i) {
-            total_weight_ += weights[i];
-            cumulative_[i] = total_weight_;
-        }
-    }
-
-    std::uint64_t population() const { return states_.size(); }
-
-    bool is_silent() const { return multiset_silent(protocol_, counts_); }
-
-    std::uint64_t propose_skip(Rng&) { return 0; }
-
-    StepOutcome step(Rng& rng) {
-        const std::size_t i = draw_agent(rng);
-        // Rejection is cheap when weights are balanced, but when one weight
-        // carries almost all the mass a collision loop could spin for an
-        // unbounded number of draws; fall back to the exact exclusion draw.
-        std::size_t j = draw_agent(rng);
-        for (int attempt = 0; j == i; ++attempt) {
-            if (attempt >= 16) {
-                j = draw_agent_excluding(rng, i);
-                break;
-            }
-            j = draw_agent(rng);
-        }
-
-        const State p = states_[i];
-        const State q = states_[j];
-        const StatePair next = protocol_.apply_fast(p, q);
-        StepOutcome outcome;
-        if (next.initiator != p || next.responder != q) {
-            outcome.changed = true;
-            outcome.output_changed =
-                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
-                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
-            states_[i] = next.initiator;
-            states_[j] = next.responder;
-            --counts_[p];
-            --counts_[q];
-            ++counts_[next.initiator];
-            ++counts_[next.responder];
-        }
-        return outcome;
-    }
-
-    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
-
-    void save(RunCheckpoint& checkpoint) const { checkpoint.agent_states = states_; }
-
-    void restore(const RunCheckpoint& checkpoint) {
-        require(checkpoint.agent_states.size() == states_.size(),
-                "simulate_weighted: checkpoint agent count mismatch");
-        states_ = checkpoint.agent_states;
-        std::fill(counts_.begin(), counts_.end(), 0);
-        for (const State q : states_) {
-            require(q < counts_.size(), "simulate_weighted: checkpoint state out of range");
-            ++counts_[q];
-        }
-    }
-
-private:
-    std::size_t draw_agent(Rng& rng) const {
-        const double u = rng.uniform01() * total_weight_;
-        const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
-        // Floating-point rounding can push u past cumulative.back(), in
-        // which case lower_bound returns end(); clamp to the last agent.
-        const auto index = static_cast<std::size_t>(it - cumulative_.begin());
-        return index < states_.size() ? index : states_.size() - 1;
-    }
-
-    // Draws an agent other than `exclude` exactly: u is drawn over the total
-    // mass minus the excluded weight and mapped around that agent's
-    // interval.  Equivalent to rejection sampling, but O(log n) even when
-    // one weight dominates the total mass.
-    std::size_t draw_agent_excluding(Rng& rng, std::size_t exclude) const {
-        const std::size_t n = states_.size();
-        const double mass_before = cumulative_[exclude] - weights_[exclude];
-        double u = rng.uniform01() * (total_weight_ - weights_[exclude]);
-        if (u >= mass_before) u += weights_[exclude];
-        const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
-        auto index = static_cast<std::size_t>(it - cumulative_.begin());
-        if (index >= n) index = n - 1;
-        if (index == exclude) index = exclude + 1 < n ? exclude + 1 : exclude - 1;
-        return index;
-    }
-
-    const TabulatedProtocol& protocol_;
-    std::vector<State> states_;
-    std::vector<std::uint64_t> counts_;
-    std::vector<double> weights_;
-    std::vector<double> cumulative_;
-    double total_weight_ = 0.0;
-};
-
-}  // namespace
 
 RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& initial,
                    const RunOptions& options) {
@@ -198,7 +16,9 @@ RunResult simulate(const TabulatedProtocol& protocol, const CountConfiguration& 
     require(initial.population_size() >= 2, "simulate: need at least two agents");
     require_engine_field(options, SimulationEngine::kAgentArray, "simulate");
 
-    AgentArrayStepper stepper(protocol, initial);
+    PairStepper<UniformPairModel, ObservedEngine::kAgentArray> stepper(
+        protocol, AgentConfiguration::from_counts(initial).states(), UniformPairModel{},
+        "simulate");
     return run_loop(stepper, protocol, options, "simulate");
 }
 
@@ -212,7 +32,8 @@ RunResult simulate_weighted(const TabulatedProtocol& protocol,
     for (const double w : weights)
         require(w > 0.0 && std::isfinite(w), "simulate_weighted: weights must be positive");
 
-    WeightedStepper stepper(protocol, initial, weights);
+    PairStepper<WeightedPairModel, ObservedEngine::kWeighted> stepper(
+        protocol, initial.states(), WeightedPairModel(weights), "simulate_weighted");
     return run_loop(stepper, protocol, options, "simulate_weighted");
 }
 

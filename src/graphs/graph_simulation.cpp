@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/interaction_model.h"
 #include "core/require.h"
 #include "core/rng.h"
 #include "core/run_loop.h"
@@ -31,65 +32,6 @@ const char* baton_name(Baton baton) {
     }
     return "?";
 }
-
-/// Uniform random edge activation on an explicit interaction graph.  Graph
-/// protocols generally never fall silent (group (d) swaps fire forever), so
-/// the stepper opts out of silence detection entirely.
-class GraphEdgeStepper {
-public:
-    static constexpr ObservedEngine kEngine = ObservedEngine::kGraph;
-    static constexpr SilenceMode kSilenceMode = SilenceMode::kNever;
-    static constexpr bool kGeometricSkips = false;
-    static constexpr bool kSuperSteps = false;
-
-    GraphEdgeStepper(const TabulatedProtocol& protocol, const InteractionGraph& graph,
-                     AgentConfiguration agents)
-        : protocol_(protocol), edges_(graph.edges()), agents_(std::move(agents)) {}
-
-    std::uint64_t population() const { return agents_.size(); }
-
-    bool is_silent() const { return false; }
-
-    std::uint64_t propose_skip(Rng&) { return 0; }
-
-    StepOutcome step(Rng& rng) {
-        const Edge& edge = edges_[rng.below(edges_.size())];
-        const State p = agents_.state(edge.first);
-        const State q = agents_.state(edge.second);
-        const StatePair next = protocol_.apply_fast(p, q);
-        StepOutcome outcome;
-        if (next.initiator != p || next.responder != q) {
-            outcome.changed = true;
-            outcome.output_changed =
-                protocol_.output_fast(next.initiator) != protocol_.output_fast(p) ||
-                protocol_.output_fast(next.responder) != protocol_.output_fast(q);
-            agents_.set_state(edge.first, next.initiator);
-            agents_.set_state(edge.second, next.responder);
-        }
-        return outcome;
-    }
-
-    CountConfiguration counts() const { return agents_.to_counts(protocol_.num_states()); }
-
-    void save(RunCheckpoint& checkpoint) const { checkpoint.agent_states = agents_.states(); }
-
-    void restore(const RunCheckpoint& checkpoint) {
-        require(checkpoint.agent_states.size() == agents_.size(),
-                "simulate_on_graph: checkpoint agent count mismatch");
-        for (std::size_t i = 0; i < checkpoint.agent_states.size(); ++i) {
-            require(checkpoint.agent_states[i] < protocol_.num_states(),
-                    "simulate_on_graph: checkpoint state out of range");
-            agents_.set_state(i, checkpoint.agent_states[i]);
-        }
-    }
-
-    AgentConfiguration release_agents() { return std::move(agents_); }
-
-private:
-    const TabulatedProtocol& protocol_;
-    const std::vector<Edge>& edges_;
-    AgentConfiguration agents_;
-};
 
 }  // namespace
 
@@ -182,11 +124,17 @@ GraphRunResult simulate_on_graph(const TabulatedProtocol& protocol, const Intera
     require(!graph.edges().empty(), "simulate_on_graph: graph has no edges");
     require_engine_field(options, SimulationEngine::kAuto, "simulate_on_graph");
 
-    GraphEdgeStepper stepper(protocol, graph, AgentConfiguration::from_inputs(protocol, inputs));
+    // Pair selection lives in the shared InteractionModel layer: uniform
+    // directed-edge activation is EdgeListPairModel, and the one PairStepper
+    // supplies the delta application, silence policy, and checkpointing.
+    PairStepper<EdgeListPairModel, ObservedEngine::kGraph> stepper(
+        protocol, AgentConfiguration::from_inputs(protocol, inputs).states(),
+        EdgeListPairModel(graph.edges(), graph.num_agents()), "simulate_on_graph");
     const RunResult run = run_loop(stepper, protocol, options, "simulate_on_graph");
 
     GraphRunResult result;
-    result.final_configuration = stepper.release_agents();
+    result.final_configuration =
+        AgentConfiguration::from_states(stepper.states(), protocol.num_states());
     result.stop_reason = run.stop_reason;
     result.interactions = run.interactions;
     result.effective_interactions = run.effective_interactions;

@@ -1,0 +1,70 @@
+#include "scenarios/adversarial.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/require.h"
+
+namespace popproto {
+
+AdversarialCoverModel::AdversarialCoverModel(const TabulatedProtocol& protocol,
+                                             std::uint64_t num_agents,
+                                             std::uint64_t probe_window)
+    : protocol_(protocol),
+      num_agents_(num_agents),
+      probe_window_(probe_window),
+      permutation_(num_agents * (num_agents - 1)),
+      cursor_(permutation_.size()) {  // first propose_pair shuffles an epoch
+    require(num_agents >= 2, "AdversarialCoverModel: need at least two agents");
+    std::iota(permutation_.begin(), permutation_.end(), std::uint64_t{0});
+}
+
+AgentPair AdversarialCoverModel::propose_pair(Rng& rng, const std::vector<State>& states) {
+    if (cursor_ == permutation_.size()) {
+        // Fresh epoch: a uniformly random permutation of all ordered pairs,
+        // drawn from the kernel stream (so checkpoints capture it exactly).
+        for (std::size_t i = permutation_.size(); i > 1; --i)
+            std::swap(permutation_[i - 1], permutation_[rng.below(i)]);
+        cursor_ = 0;
+    }
+    // Lazy-adaptive probe: prefer a null interaction from the next
+    // probe_window entries of the epoch.  Swapping the found entry to the
+    // cursor only reorders within the epoch, so the exactly-once-per-epoch
+    // cover invariant (and with it fairness) is preserved.
+    const std::size_t limit =
+        std::min<std::size_t>(cursor_ + probe_window_, permutation_.size());
+    for (std::size_t k = cursor_; k < limit; ++k) {
+        const AgentPair candidate = decode_ordered_pair(permutation_[k], num_agents_);
+        const State p = states[candidate.first];
+        const State q = states[candidate.second];
+        const StatePair next = protocol_.apply_fast(p, q);
+        if (next.initiator == p && next.responder == q) {
+            std::swap(permutation_[cursor_], permutation_[k]);
+            break;
+        }
+    }
+    const AgentPair pair = decode_ordered_pair(permutation_[cursor_], num_agents_);
+    ++cursor_;
+    return pair;
+}
+
+void AdversarialCoverModel::save_state(std::vector<std::uint64_t>& words) const {
+    words.clear();
+    words.reserve(1 + permutation_.size());
+    words.push_back(cursor_);
+    words.insert(words.end(), permutation_.begin(), permutation_.end());
+}
+
+void AdversarialCoverModel::restore_state(const std::vector<std::uint64_t>& words) {
+    require(words.size() == 1 + permutation_.size(),
+            "adversarial: checkpoint model state has the wrong length");
+    require(words[0] <= permutation_.size(), "adversarial: checkpoint cursor out of range");
+    cursor_ = words[0];
+    for (std::size_t i = 0; i < permutation_.size(); ++i) {
+        require(words[1 + i] < permutation_.size(),
+                "adversarial: checkpoint permutation entry out of range");
+        permutation_[i] = words[1 + i];
+    }
+}
+
+}  // namespace popproto

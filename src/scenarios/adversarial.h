@@ -1,0 +1,69 @@
+// Adversarial-but-fair pairing.
+//
+// The paper's fairness condition (Sect. 2) quantifies over *all* fair
+// executions, but the uniform scheduler only samples the friendly ones.
+// AdversarialCoverModel stress-tests a protocol against a worst-case-ish
+// adversary that still provably satisfies bounded-delay cover fairness:
+//
+//   * time is divided into epochs of N = n(n-1) steps; each epoch plays a
+//     fresh uniformly random permutation of all ordered pairs, so every
+//     pair occurs exactly once per epoch and any window of 2N-1 consecutive
+//     steps contains every ordered pair at least once (the cover bound);
+//   * within an epoch the adversary is lazy-adaptive: before playing the
+//     next pair it peeks up to `probe_window` upcoming entries and plays a
+//     *null* interaction (one that leaves both agents unchanged under the
+//     current configuration) when it can find one, delaying progress as
+//     long as the cover invariant allows.
+//
+// Epoch shuffles draw from the kernel RNG stream and the permutation plus
+// cursor serialize into the checkpoint's interaction_model section, so
+// adversarial runs checkpoint/resume bit-identically — including cuts in
+// the middle of an epoch.
+
+#ifndef POPPROTO_SCENARIOS_ADVERSARIAL_H
+#define POPPROTO_SCENARIOS_ADVERSARIAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interaction_model.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+class AdversarialCoverModel {
+public:
+    static constexpr const char* kName = "adversarial";
+    static constexpr Fairness kFairness = Fairness::kBoundedCover;
+    static constexpr bool kCanSilence = true;
+    static constexpr bool kHasState = true;
+
+    /// The model keeps a reference to `protocol` (it inspects deltas to
+    /// find null interactions); the protocol must outlive the model.
+    /// `probe_window` bounds the per-step look-ahead (0 disables probing,
+    /// degenerating to a pure random-permutation cover).
+    AdversarialCoverModel(const TabulatedProtocol& protocol, std::uint64_t num_agents,
+                          std::uint64_t probe_window);
+
+    const char* name() const { return kName; }
+    bool checkpointable() const { return true; }
+    std::uint64_t num_pairs() const { return permutation_.size(); }
+
+    AgentPair propose_pair(Rng& rng, const std::vector<State>& states);
+
+    void save_state(std::vector<std::uint64_t>& words) const;
+    void restore_state(const std::vector<std::uint64_t>& words);
+
+private:
+    const TabulatedProtocol& protocol_;
+    std::uint64_t num_agents_ = 0;
+    std::uint64_t probe_window_ = 0;
+    std::vector<std::uint64_t> permutation_;  // pair indices, one epoch
+    std::uint64_t cursor_ = 0;                // == size() forces a reshuffle
+};
+
+static_assert(InteractionModel<AdversarialCoverModel>);
+
+}  // namespace popproto
+
+#endif  // POPPROTO_SCENARIOS_ADVERSARIAL_H

@@ -1,0 +1,43 @@
+#include "scenarios/dynamic_graph.h"
+
+#include "core/require.h"
+
+namespace popproto {
+
+DynamicGraphModel::DynamicGraphModel(std::vector<std::vector<Edge>> phases,
+                                     std::uint64_t phase_length, std::uint64_t num_agents)
+    : phases_(std::move(phases)), phase_length_(phase_length) {
+    require(!phases_.empty(), "DynamicGraphModel: need at least one phase");
+    require(phase_length_ >= 1, "DynamicGraphModel: phase_length must be at least 1");
+    for (const auto& edges : phases_) {
+        require(!edges.empty(), "DynamicGraphModel: every phase needs at least one edge");
+        for (const auto& [from, to] : edges)
+            require(from != to && from < num_agents && to < num_agents,
+                    "DynamicGraphModel: edge endpoints must be distinct agents");
+    }
+}
+
+AgentPair DynamicGraphModel::propose_pair(Rng& rng, const std::vector<State>&) {
+    const std::vector<Edge>& edges = phases_[phase_];
+    const Edge& edge = edges[rng.below(edges.size())];
+    if (++step_in_phase_ == phase_length_) {
+        step_in_phase_ = 0;
+        phase_ = (phase_ + 1) % phases_.size();
+    }
+    return {edge.first, edge.second};
+}
+
+void DynamicGraphModel::save_state(std::vector<std::uint64_t>& words) const {
+    words.assign({phase_, step_in_phase_});
+}
+
+void DynamicGraphModel::restore_state(const std::vector<std::uint64_t>& words) {
+    require(words.size() == 2,
+            "dynamic_graph: checkpoint model state must be {phase, step} words");
+    require(words[0] < phases_.size(), "dynamic_graph: checkpoint phase out of range");
+    require(words[1] < phase_length_, "dynamic_graph: checkpoint phase step out of range");
+    phase_ = words[0];
+    step_in_phase_ = words[1];
+}
+
+}  // namespace popproto

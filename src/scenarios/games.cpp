@@ -1,0 +1,80 @@
+#include "scenarios/games.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/require.h"
+
+namespace popproto {
+
+namespace {
+
+/// The strategy `mine` becomes after playing against `theirs`.
+State updated_strategy(const GameSpec& spec, State mine, State theirs) {
+    const std::size_t k = spec.num_strategies;
+    const double my_payoff = spec.payoff[mine * k + theirs];
+    switch (spec.rule) {
+        case UpdateRule::kPavlov:
+            return my_payoff >= spec.aspiration ? mine
+                                                : static_cast<State>((mine + 1) % k);
+        case UpdateRule::kImitate:
+            return spec.payoff[theirs * k + mine] > my_payoff ? theirs : mine;
+        case UpdateRule::kBestResponse: {
+            State best = 0;
+            for (State candidate = 1; candidate < k; ++candidate)
+                if (spec.payoff[candidate * k + theirs] > spec.payoff[best * k + theirs])
+                    best = candidate;
+            return best;
+        }
+    }
+    return mine;
+}
+
+}  // namespace
+
+std::unique_ptr<TabulatedProtocol> make_game_protocol(const GameSpec& spec) {
+    const std::size_t k = spec.num_strategies;
+    require(k >= 2, "make_game_protocol: need at least two strategies");
+    require(spec.payoff.size() == k * k,
+            "make_game_protocol: payoff matrix must be num_strategies^2 entries");
+    for (const double value : spec.payoff)
+        require(std::isfinite(value), "make_game_protocol: payoffs must be finite");
+    if (spec.rule == UpdateRule::kPavlov)
+        require(std::isfinite(spec.aspiration),
+                "make_game_protocol: aspiration must be finite");
+    require(spec.strategy_names.empty() || spec.strategy_names.size() == k,
+            "make_game_protocol: need one name per strategy");
+
+    TabulatedProtocol::Tables tables;
+    tables.num_output_symbols = k;
+    tables.initial.resize(k);
+    tables.output.resize(k);
+    for (State s = 0; s < k; ++s) {
+        tables.initial[s] = s;  // input x = "start playing strategy x"
+        tables.output[s] = s;   // output = the strategy currently played
+    }
+    if (!spec.strategy_names.empty()) {
+        tables.state_names = spec.strategy_names;
+        tables.input_names = spec.strategy_names;
+        tables.output_names = spec.strategy_names;
+    }
+    tables.delta.resize(k * k);
+    for (State p = 0; p < k; ++p)
+        for (State q = 0; q < k; ++q)
+            tables.delta[p * k + q] = {updated_strategy(spec, p, q),
+                                       updated_strategy(spec, q, p)};
+    return std::make_unique<TabulatedProtocol>(std::move(tables));
+}
+
+GameSpec make_pavlov_prisoners_dilemma() {
+    GameSpec spec;
+    spec.num_strategies = 2;
+    // payoff[mine * 2 + theirs]: R=3 (C,C), S=0 (C,D), T=5 (D,C), P=1 (D,D).
+    spec.payoff = {3.0, 0.0, 5.0, 1.0};
+    spec.rule = UpdateRule::kPavlov;
+    spec.aspiration = 2.0;
+    spec.strategy_names = {"C", "D"};
+    return spec;
+}
+
+}  // namespace popproto

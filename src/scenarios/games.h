@@ -1,0 +1,69 @@
+// Game-theoretic interaction rules as population protocols.
+//
+// "Playing With Population Protocols" (PAPERS.md) observes that pairwise
+// games under imitation-style dynamics *are* population protocols: a state
+// is a strategy, an encounter plays the game, and the update rule is the
+// transition function.  make_game_protocol compiles a payoff matrix plus an
+// update rule into a TabulatedProtocol, after which every engine, scenario
+// model, observer, and checkpoint mechanism in the library applies
+// unchanged.
+//
+// Update rules (applied symmetrically — both participants update):
+//
+//   * kPavlov ("win-stay, lose-shift"): a player whose payoff this
+//     encounter meets its aspiration level keeps its strategy, otherwise it
+//     shifts to the cyclically next one.  With the classic Prisoner's
+//     Dilemma payoffs (R=3, S=0, T=5, P=1) and aspiration in (P, R], the
+//     all-cooperate profile is the unique silent configuration;
+//   * kImitate: a player adopts the opponent's strategy when the opponent
+//     scored strictly more this encounter;
+//   * kBestResponse: a player switches to the best response against the
+//     opponent's current strategy (lowest index wins ties).
+
+#ifndef POPPROTO_SCENARIOS_GAMES_H
+#define POPPROTO_SCENARIOS_GAMES_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+enum class UpdateRule {
+    kPavlov,
+    kImitate,
+    kBestResponse,
+};
+
+/// A symmetric two-player game plus its update dynamics.
+struct GameSpec {
+    /// Number of pure strategies k (>= 2); states, inputs, and outputs of
+    /// the compiled protocol are all the strategies 0..k-1.
+    std::size_t num_strategies = 0;
+    /// Row-major payoff matrix, size k*k: payoff[mine * k + theirs] is my
+    /// payoff when I play `mine` against `theirs`.  Entries must be finite.
+    std::vector<double> payoff;
+    UpdateRule rule = UpdateRule::kPavlov;
+    /// Pavlov only: keep the strategy iff this encounter's payoff is >= the
+    /// aspiration level.
+    double aspiration = 0.0;
+    /// Optional display names, size k when present ("C", "D", ...).
+    std::vector<std::string> strategy_names;
+};
+
+/// Compiles `spec` into a protocol over k states; throws
+/// std::invalid_argument on malformed specs.
+std::unique_ptr<TabulatedProtocol> make_game_protocol(const GameSpec& spec);
+
+/// The classic Prisoner's Dilemma under Pavlov dynamics (R=3, S=0, T=5,
+/// P=1, aspiration 2): strategies C=0, D=1; all-C is the unique silent
+/// configuration and every population converges to it under any fair
+/// pairing.  The library's canonical game fixture.
+GameSpec make_pavlov_prisoners_dilemma();
+
+}  // namespace popproto
+
+#endif  // POPPROTO_SCENARIOS_GAMES_H

@@ -1,0 +1,83 @@
+#include "scenarios/mobility.h"
+
+#include <algorithm>
+
+#include "core/require.h"
+
+namespace popproto {
+
+GridMobilityModel::GridMobilityModel(std::uint64_t num_agents, std::uint64_t width,
+                                     std::uint64_t height, std::uint64_t radius)
+    : width_(width), height_(height), radius_(radius), positions_(num_agents) {
+    require(num_agents >= 2, "GridMobilityModel: need at least two agents");
+    require(width >= 1 && height >= 1 && width * height >= 2,
+            "GridMobilityModel: torus needs at least two cells");
+    for (std::uint64_t a = 0; a < num_agents; ++a) positions_[a] = a % (width_ * height_);
+}
+
+namespace {
+constexpr std::uint64_t kNoAgent = ~std::uint64_t{0};
+}  // namespace
+
+AgentPair GridMobilityModel::propose_pair(Rng& rng, const std::vector<State>&) {
+    // The contact box [x-r, x+r] x [y-r, y+r] wraps; when 2r+1 meets a
+    // torus dimension the box covers every row/column once.
+    const std::uint64_t span_x = std::min<std::uint64_t>(2 * radius_ + 1, width_);
+    const std::uint64_t span_y = std::min<std::uint64_t>(2 * radius_ + 1, height_);
+    while (true) {
+        // One time tick: every agent takes one four-neighbour torus step,
+        // in agent order (a fixed draw order keeps checkpoints exact).
+        for (std::uint64_t& cell : positions_) {
+            std::uint64_t x = cell % width_, y = cell / width_;
+            switch (rng.below(4)) {
+                case 0: x = x + 1 == width_ ? 0 : x + 1; break;
+                case 1: x = x == 0 ? width_ - 1 : x - 1; break;
+                case 2: y = y + 1 == height_ ? 0 : y + 1; break;
+                default: y = y == 0 ? height_ - 1 : y - 1; break;
+            }
+            cell = y * width_ + x;
+        }
+        // Bucket agents by cell (chains hold descending agent ids), then
+        // collect each agent's ordered contacts from its neighbourhood
+        // cells: O(n * (2r+1)^2 + occupancy) per tick instead of the
+        // all-pairs n^2 scan.
+        cell_head_.assign(width_ * height_, kNoAgent);
+        next_in_cell_.resize(positions_.size());
+        for (std::uint64_t a = 0; a < positions_.size(); ++a) {
+            next_in_cell_[a] = cell_head_[positions_[a]];
+            cell_head_[positions_[a]] = a;
+        }
+        contacts_.clear();
+        for (std::uint64_t a = 0; a < positions_.size(); ++a) {
+            const std::uint64_t xa = positions_[a] % width_, ya = positions_[a] / width_;
+            const std::uint64_t x0 =
+                span_x == width_ ? 0 : (xa + width_ - radius_) % width_;
+            const std::uint64_t y0 =
+                span_y == height_ ? 0 : (ya + height_ - radius_) % height_;
+            for (std::uint64_t iy = 0; iy < span_y; ++iy) {
+                const std::uint64_t y = y0 + iy < height_ ? y0 + iy : y0 + iy - height_;
+                for (std::uint64_t ix = 0; ix < span_x; ++ix) {
+                    const std::uint64_t x = x0 + ix < width_ ? x0 + ix : x0 + ix - width_;
+                    for (std::uint64_t b = cell_head_[y * width_ + x]; b != kNoAgent;
+                         b = next_in_cell_[b])
+                        if (b != a) contacts_.emplace_back(a, b);
+                }
+            }
+        }
+        if (!contacts_.empty()) return contacts_[rng.below(contacts_.size())];
+    }
+}
+
+void GridMobilityModel::save_state(std::vector<std::uint64_t>& words) const {
+    words = positions_;
+}
+
+void GridMobilityModel::restore_state(const std::vector<std::uint64_t>& words) {
+    require(words.size() == positions_.size(),
+            "grid_mobility: checkpoint model state must hold one cell per agent");
+    for (const std::uint64_t cell : words)
+        require(cell < width_ * height_, "grid_mobility: checkpoint cell out of range");
+    positions_ = words;
+}
+
+}  // namespace popproto

@@ -7,6 +7,7 @@
 #include "core/batch_simulator.h"
 #include "core/require.h"
 #include "observe/jsonl_writer.h"
+#include "scenarios/scenario_spec.h"
 #include "service/json.h"
 #include "telemetry/telemetry.h"
 
@@ -141,9 +142,23 @@ std::string RunRegistry::submit(const SessionSpec& spec) {
     parse_engine_name(spec.engine);
     require(spec.threads <= 1 || spec.engine == "auto" || spec.engine == "collapsed",
             "submit: threads > 1 requires the collapsed engine");
+    if (spec.model != "uniform") {
+        const std::vector<std::string>& names = scenario_model_names();
+        require(std::find(names.begin(), names.end(), spec.model) != names.end(),
+                "submit: unknown model \"" + spec.model + "\"");
+        require(spec.engine == "auto" && spec.threads <= 1,
+                "submit: non-uniform models require engine \"auto\" and threads <= 1");
+        if (spec.model == "dynamic_graph")
+            require(!spec.phases.empty(), "submit: dynamic_graph requires phases");
+    }
 
     std::unique_lock<std::mutex> lock(mutex_);
     require(!draining_ && !stopping_, "submit: registry is draining");
+    if (options_.max_queued != 0) {
+        const std::size_t backlog = backlog_locked();
+        if (backlog >= options_.max_queued)
+            throw QueueFullError(backlog, options_.max_queued);
+    }
     auto session = std::make_shared<Session>();
     session->id = "s-" + std::to_string(next_session_number_++);
     session->spec = spec;
@@ -156,6 +171,18 @@ std::string RunRegistry::submit(const SessionSpec& spec) {
     lock.unlock();
     work_cv_.notify_one();
     return id;
+}
+
+/// Sessions contending for workers right now (the admission-bound metric
+/// and the stats "queue_depth" value).  Caller holds mutex_.
+std::size_t RunRegistry::backlog_locked() const {
+    std::size_t backlog = 0;
+    for (const auto& [id, session] : sessions_) {
+        if (session->state == SessionState::kQueued ||
+            session->state == SessionState::kRunning)
+            ++backlog;
+    }
+    return backlog;
 }
 
 std::shared_ptr<RunRegistry::Session> RunRegistry::find_session(const std::string& id) const {
@@ -396,7 +423,15 @@ RunRegistry::QuantumOutcome RunRegistry::run_one_quantum(Session& session) {
             session.checkpoint.has_value() ? session.checkpoint->interactions : 0;
         options.pause_after = (done / session.quantum + 1) * session.quantum;
 
-        outcome.result = run_simulation(*session.protocol, initial, options);
+        // Non-uniform pairing models go through the scenario front door;
+        // everything else (quantum grid, checkpoint capture, observers,
+        // telemetry) is identical because both paths share the run-loop
+        // kernel.
+        if (session.spec.model != "uniform")
+            outcome.result = run_scenario(*session.protocol, initial,
+                                          scenario_spec_from(session.spec), options);
+        else
+            outcome.result = run_simulation(*session.protocol, initial, options);
     } catch (const std::exception& error) {
         outcome.error = error.what();
         if (outcome.error.empty()) outcome.error = "unknown error";
@@ -528,7 +563,7 @@ std::string RunRegistry::manifest_json(const Session& session) const {
 std::string RunRegistry::stats_json() const {
     std::uint64_t by_state[7] = {};
     std::uint64_t submitted = 0, evictions = 0, faults = 0, quanta = 0;
-    std::size_t num_sessions = 0;
+    std::size_t num_sessions = 0, queue_depth = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         for (const auto& [id, session] : sessions_)
@@ -538,6 +573,7 @@ std::string RunRegistry::stats_json() const {
         faults = faults_;
         quanta = quanta_executed_;
         num_sessions = sessions_.size();
+        queue_depth = backlog_locked();
     }
     std::string out = "{\"sessions\":{";
     const SessionState states[] = {
@@ -555,6 +591,8 @@ std::string RunRegistry::stats_json() const {
         out += std::to_string(by_state[static_cast<int>(state)]);
     }
     out += "},\"total_sessions\":" + std::to_string(num_sessions);
+    out += ",\"queue_depth\":" + std::to_string(queue_depth);
+    out += ",\"max_queued\":" + std::to_string(options_.max_queued);
     out += ",\"submitted\":" + std::to_string(submitted);
     out += ",\"evictions\":" + std::to_string(evictions);
     out += ",\"faults\":" + std::to_string(faults);

@@ -29,8 +29,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -53,9 +55,31 @@ namespace popproto::service {
 /// registry.
 using LineSink = std::function<void(const std::string&)>;
 
+/// Thrown by submit when the admission queue is at capacity.  Carries the
+/// numbers the wire layer needs to build a structured "queue_full" error
+/// (dispatch_request emits code/queued/max_queued fields instead of the
+/// plain error string).
+class QueueFullError : public std::runtime_error {
+public:
+    QueueFullError(std::size_t queued, std::size_t max_queued)
+        : std::runtime_error("submit: admission queue is full (" +
+                             std::to_string(queued) + " of " + std::to_string(max_queued) +
+                             " sessions queued or running)"),
+          queued(queued),
+          max_queued(max_queued) {}
+
+    std::size_t queued;
+    std::size_t max_queued;
+};
+
 struct RegistryOptions {
     /// Worker threads executing quanta; 0 selects hardware concurrency.
     unsigned workers = 1;
+
+    /// Admission bound: submit throws QueueFullError when this many
+    /// sessions are already queued or running (0 = unlimited).  Suspended,
+    /// evicted, and terminal sessions do not count against the bound.
+    std::size_t max_queued = 0;
 
     /// Quantum length for sessions that do not set SessionSpec::quantum.
     std::uint64_t default_quantum = std::uint64_t{1} << 16;
@@ -183,6 +207,7 @@ private:
     };
 
     void worker_loop();
+    std::size_t backlog_locked() const;
     QuantumOutcome run_one_quantum(Session& session);
     Settled settle_after_quantum(Session& session, QuantumOutcome outcome);
     void evict_lru_locked();

@@ -10,6 +10,8 @@
 #include "presburger/parser.h"
 #include "protocols/counting.h"
 #include "protocols/epidemic.h"
+#include "scenarios/games.h"
+#include "scenarios/scenario_spec.h"
 
 namespace popproto::service {
 
@@ -57,11 +59,33 @@ SessionSpec parse_session_spec(const JsonValue& object) {
         spec.counts.push_back(element.as_u64("'counts' element"));
     require(!spec.counts.empty(), "'counts' must be non-empty");
 
+    spec.model = string_field(object, "model", spec.model);
+    spec.probe = u64_field(object, "probe", spec.probe);
+    spec.phase_length = u64_field(object, "phase_length", spec.phase_length);
+    spec.torus_width = u64_field(object, "torus_width", spec.torus_width);
+    spec.torus_height = u64_field(object, "torus_height", spec.torus_height);
+    spec.radius = u64_field(object, "radius", spec.radius);
+    if (const JsonValue* phases = object.find("phases"); phases != nullptr) {
+        for (const JsonValue& element : phases->as_array("'phases'"))
+            spec.phases.push_back(element.as_string("'phases' element"));
+    }
+
     // Validate the cross-field contract eagerly, so a bad submit fails at
     // the wire instead of inside a worker quantum.
     parse_engine_name(spec.engine);
     if (spec.protocol == "predicate")
         require(!spec.predicate.empty(), "protocol \"predicate\" requires 'predicate'");
+    if (spec.model != "uniform") {
+        const std::vector<std::string>& names = scenario_model_names();
+        require(std::find(names.begin(), names.end(), spec.model) != names.end(),
+                "unknown model \"" + spec.model +
+                    "\" (uniform, round_robin, sweep, adversarial, dynamic_graph, "
+                    "grid_mobility)");
+        require(spec.engine == "auto", "'model' other than uniform requires engine \"auto\"");
+        require(spec.threads <= 1, "'model' other than uniform requires threads <= 1");
+        if (spec.model == "dynamic_graph")
+            require(!spec.phases.empty(), "model \"dynamic_graph\" requires 'phases'");
+    }
     return spec;
 }
 
@@ -75,6 +99,25 @@ JsonValue session_spec_to_json(const SessionSpec& spec) {
     for (const std::uint64_t count : spec.counts) counts.emplace_back(count);
     object.emplace_back("counts", JsonValue(std::move(counts)));
     object.emplace_back("engine", JsonValue(spec.engine));
+    if (spec.model != "uniform") {
+        object.emplace_back("model", JsonValue(spec.model));
+        if (spec.model == "adversarial")
+            object.emplace_back("probe", JsonValue(spec.probe));
+        if (spec.model == "dynamic_graph") {
+            JsonValue::Array phases;
+            for (const std::string& phase : spec.phases) phases.emplace_back(phase);
+            object.emplace_back("phases", JsonValue(std::move(phases)));
+            if (spec.phase_length != 0)
+                object.emplace_back("phase_length", JsonValue(spec.phase_length));
+        }
+        if (spec.model == "grid_mobility") {
+            if (spec.torus_width != 0)
+                object.emplace_back("torus_width", JsonValue(spec.torus_width));
+            if (spec.torus_height != 0)
+                object.emplace_back("torus_height", JsonValue(spec.torus_height));
+            object.emplace_back("radius", JsonValue(spec.radius));
+        }
+    }
     object.emplace_back("threads", JsonValue(std::uint64_t{spec.threads}));
     object.emplace_back("seed", JsonValue(spec.seed));
     object.emplace_back("budget", JsonValue(spec.budget));
@@ -100,8 +143,10 @@ std::unique_ptr<TabulatedProtocol> build_protocol(const SessionSpec& spec) {
             std::max<std::size_t>(formula.num_variables(), spec.counts.size());
         return compile_formula(formula, num_symbols);
     }
+    if (spec.protocol == "pavlov")
+        return make_game_protocol(make_pavlov_prisoners_dilemma());
     throw std::invalid_argument("unknown protocol \"" + spec.protocol +
-                                "\" (epidemic|counting|majority|predicate)");
+                                "\" (epidemic|counting|majority|predicate|pavlov)");
 }
 
 CountConfiguration build_initial(const TabulatedProtocol& protocol, const SessionSpec& spec) {
@@ -110,6 +155,18 @@ CountConfiguration build_initial(const TabulatedProtocol& protocol, const Sessio
     std::vector<std::uint64_t> counts = spec.counts;
     counts.resize(protocol.num_input_symbols(), 0);
     return CountConfiguration::from_input_counts(protocol, counts);
+}
+
+ScenarioSpec scenario_spec_from(const SessionSpec& spec) {
+    ScenarioSpec scenario;
+    scenario.model = spec.model;
+    scenario.probe = spec.probe;
+    scenario.phases = spec.phases;
+    scenario.phase_length = spec.phase_length;
+    scenario.torus_width = spec.torus_width;
+    scenario.torus_height = spec.torus_height;
+    scenario.radius = spec.radius;
+    return scenario;
 }
 
 SimulationEngine parse_engine_name(const std::string& name) {

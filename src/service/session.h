@@ -29,6 +29,7 @@
 
 #include "core/simulator.h"
 #include "core/tabulated_protocol.h"
+#include "scenarios/scenario_spec.h"
 #include "service/json.h"
 
 namespace popproto::service {
@@ -52,6 +53,28 @@ struct SessionSpec {
 
     /// "auto" | "agent" | "batch" | "collapsed" (run_simulation dispatch).
     std::string engine = "auto";
+
+    /// Pairing discipline: "uniform" (the classic scheduler, dispatched via
+    /// run_simulation) or one of scenario_model_names() ("round_robin",
+    /// "sweep", "adversarial", "dynamic_graph", "grid_mobility"), dispatched
+    /// via run_scenario.  Non-uniform models require engine == "auto" and
+    /// threads <= 1 (the pairing state is inherently sequential).
+    std::string model = "uniform";
+
+    /// adversarial: per-step look-ahead for null interactions.
+    std::uint64_t probe = 16;
+
+    /// dynamic_graph: named phase topologies ("complete", "ring", "line",
+    /// "star"); required non-empty for that model.
+    std::vector<std::string> phases;
+    /// dynamic_graph: interactions per phase (0 resolves to 4n).
+    std::uint64_t phase_length = 0;
+
+    /// grid_mobility: torus dimensions (0 = auto-size) and Chebyshev
+    /// contact radius.
+    std::uint64_t torus_width = 0;
+    std::uint64_t torus_height = 0;
+    std::uint64_t radius = 1;
 
     /// Intra-run worker threads (collapsed engine only, like RunOptions).
     unsigned threads = 1;
@@ -100,6 +123,10 @@ CountConfiguration build_initial(const TabulatedProtocol& protocol, const Sessio
 /// Maps the spec's engine string onto RunOptions::engine; throws on an
 /// unknown name.
 SimulationEngine parse_engine_name(const std::string& name);
+
+/// Projects the spec's scenario fields onto a run_scenario ScenarioSpec
+/// (meaningful only when spec.model != "uniform").
+ScenarioSpec scenario_spec_from(const SessionSpec& spec);
 
 /// Session lifecycle states (see the file comment for the machine).
 enum class SessionState {

@@ -58,10 +58,22 @@ std::optional<std::string> dispatch_request(RunRegistry& registry,
     try {
         if (command == "submit") {
             const SessionSpec spec = parse_session_spec(request.payload);
-            const std::string session = registry.submit(spec);
-            JsonValue::Object fields;
-            fields.emplace_back("session", JsonValue(session));
-            return ok_response(request.request_id, std::move(fields));
+            try {
+                const std::string session = registry.submit(spec);
+                JsonValue::Object fields;
+                fields.emplace_back("session", JsonValue(session));
+                return ok_response(request.request_id, std::move(fields));
+            } catch (const QueueFullError& full) {
+                // Structured rejection: admission control is an expected
+                // backpressure signal clients retry on, not a plain error.
+                std::string out = "{\"ok\":false";
+                if (request.request_id) out += ",\"id\":" + json_quote(*request.request_id);
+                out += ",\"error\":" + json_quote(full.what());
+                out += ",\"code\":\"queue_full\"";
+                out += ",\"queued\":" + std::to_string(full.queued);
+                out += ",\"max_queued\":" + std::to_string(full.max_queued) + "}";
+                return out;
+            }
         }
         if (command == "status") {
             const SessionStatus status = registry.status(session_field(request));

@@ -406,11 +406,19 @@ TEST(CheckpointResume, ValidatesCheckpointAgainstTheRun) {
     EXPECT_THROW(simulate(*protocol, initial, no_sink), std::invalid_argument);
 }
 
-TEST(CheckpointResume, SchedulerEngineRejectsCheckpointing) {
+// A Scheduler that keeps the default checkpoint hooks (checkpointable()
+// false): checkpoint/resume must be rejected up front for it, while the
+// built-in schedulers — which serialize through the interaction-model layer —
+// are accepted (their bit-identity is proven in interaction_model_test.cpp).
+TEST(CheckpointResume, NonCheckpointableSchedulerRejectsCheckpointing) {
+    class FirstPairScheduler final : public Scheduler {
+    public:
+        AgentPair next(const AgentConfiguration&) override { return {0, 1}; }
+    };
     const auto protocol = make_counting_protocol(2);
     const auto initial =
         AgentConfiguration::from_inputs(*protocol, std::vector<Symbol>{1, 1, 0, 0});
-    RoundRobinScheduler scheduler(4);
+    FirstPairScheduler scheduler;
     CollectingSink sink;
     RunOptions options;
     options.max_interactions = 100;
@@ -418,6 +426,17 @@ TEST(CheckpointResume, SchedulerEngineRejectsCheckpointing) {
     options.checkpoint_sink = &sink;
     EXPECT_THROW(simulate_with_scheduler(*protocol, initial, scheduler, options),
                  std::invalid_argument);
+
+    // The same run without checkpointing is fine.
+    RunOptions plain;
+    plain.max_interactions = 100;
+    EXPECT_NO_THROW(simulate_with_scheduler(*protocol, initial, scheduler, plain));
+
+    // Built-in schedulers accept checkpointing now.
+    RoundRobinScheduler round_robin(4);
+    EXPECT_NO_THROW(simulate_with_scheduler(*protocol, initial, round_robin, options));
+    EXPECT_FALSE(sink.checkpoints.empty());
+    EXPECT_EQ(sink.checkpoints.front().interaction_model, "round_robin");
 }
 
 TEST(RunLoop, ResolvesZeroBudgetAndPeriodDefaults) {

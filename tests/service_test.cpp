@@ -193,6 +193,9 @@ RunOptions direct_options(const SessionSpec& spec) {
 RunResult direct_run(const SessionSpec& spec) {
     const auto protocol = build_protocol(spec);
     const auto initial = build_initial(*protocol, spec);
+    if (spec.model != "uniform")
+        return run_scenario(*protocol, initial, scenario_spec_from(spec),
+                            direct_options(spec));
     return run_simulation(*protocol, initial, direct_options(spec));
 }
 
@@ -307,6 +310,105 @@ TEST(RunRegistryTest, SlicedBatchEngineCutsInsideNullSkipsMatchTheDirectRun) {
     EXPECT_EQ(status.state, SessionState::kDone);
     EXPECT_GT(status.quanta, 10u);
     expect_matches_direct(status, direct_run(spec));
+    std::filesystem::remove_all(options.spill_dir);
+}
+
+TEST(RunRegistryTest, ScenarioSessionsSlicedThroughTheDaemonMatchDirectRuns) {
+    // The acceptance property of the interaction-model layer at the service
+    // level: a scenario session executed in daemon quanta must reproduce the
+    // direct uninterrupted run_scenario result bit-for-bit.
+    RegistryOptions options;
+    options.spill_dir = fresh_dir("popproto_registry_scenario");
+    RunRegistry registry(options);
+
+    for (const std::string& model : {std::string("adversarial"), std::string("round_robin"),
+                                     std::string("grid_mobility")}) {
+        SessionSpec spec;
+        spec.protocol = "epidemic";
+        spec.counts = {63, 1};
+        spec.seed = 29;
+        spec.model = model;
+        spec.budget = 20000;
+        spec.quantum = 97;  // coprime: cuts land mid-epoch/mid-cycle/mid-walk
+
+        const std::string id = registry.submit(spec);
+        registry.wait_idle();
+        const SessionStatus status = registry.status(id);
+        EXPECT_EQ(status.state, SessionState::kDone) << model << ": " << status.error;
+        EXPECT_GT(status.quanta, 1u) << model;
+        expect_matches_direct(status, direct_run(spec));
+    }
+    std::filesystem::remove_all(options.spill_dir);
+}
+
+TEST(RunRegistryTest, SubmitRejectsInvalidScenarioSpecs) {
+    RegistryOptions options;
+    options.spill_dir = fresh_dir("popproto_registry_scenario_validate");
+    RunRegistry registry(options);
+
+    SessionSpec unknown_model;
+    unknown_model.counts = {10, 2};
+    unknown_model.model = "teleport";
+    EXPECT_THROW(registry.submit(unknown_model), std::invalid_argument);
+
+    SessionSpec wrong_engine;
+    wrong_engine.counts = {10, 2};
+    wrong_engine.model = "round_robin";
+    wrong_engine.engine = "batch";
+    EXPECT_THROW(registry.submit(wrong_engine), std::invalid_argument);
+
+    SessionSpec no_phases;
+    no_phases.counts = {10, 2};
+    no_phases.model = "dynamic_graph";
+    EXPECT_THROW(registry.submit(no_phases), std::invalid_argument);
+
+    std::filesystem::remove_all(options.spill_dir);
+}
+
+TEST(RunRegistryTest, BoundedAdmissionQueueRejectsThenRecovers) {
+    RegistryOptions options;
+    options.workers = 1;
+    options.max_queued = 2;
+    options.spill_dir = fresh_dir("popproto_registry_admission");
+    RunRegistry registry(options);
+
+    // Two sessions with far-off budgets hold the backlog (queued + running)
+    // at the bound for the whole test window.
+    SessionSpec big;
+    big.protocol = "epidemic";
+    big.counts = {(std::uint64_t{1} << 20) - 1, 1};
+    big.seed = 5;
+    big.engine = "agent";
+    big.budget = std::uint64_t{1} << 30;
+    big.quantum = 1 << 16;
+    const std::string first = registry.submit(big);
+    const std::string second = registry.submit(big);
+
+    try {
+        registry.submit(big);
+        FAIL() << "third submit should have hit the admission bound";
+    } catch (const QueueFullError& error) {
+        EXPECT_EQ(error.queued, 2u);
+        EXPECT_EQ(error.max_queued, 2u);
+        EXPECT_NE(std::string(error.what()).find("admission queue is full"),
+                  std::string::npos);
+    }
+
+    // stats reports the live backlog and the bound.
+    const std::string stats = registry.stats_json();
+    EXPECT_NE(stats.find("\"queue_depth\":2"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"max_queued\":2"), std::string::npos) << stats;
+
+    // Freeing a slot (cancel drains the session from the backlog) re-opens
+    // admission.
+    registry.cancel(first);
+    wait_for(registry, first, is_terminal);
+    EXPECT_NO_THROW(registry.submit(big));
+
+    registry.cancel(second);
+    for (const SessionStatus& status : registry.list())
+        if (!is_terminal(status)) registry.cancel(status.id);
+    registry.wait_idle();
     std::filesystem::remove_all(options.spill_dir);
 }
 

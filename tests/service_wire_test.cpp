@@ -128,6 +128,77 @@ TEST(Wire, SessionSpecParsesAndValidates) {
     expect_rejected("{\"counts\":[10,2],\"seed\":\"x\"}", "seed");
 }
 
+TEST(Wire, ScenarioModelSpecsRoundTripAndValidate) {
+    // Every scenario knob survives the manifest round trip.
+    const JsonValue payload = parse_json(
+        "{\"cmd\":\"submit\",\"protocol\":\"epidemic\",\"counts\":[30,2],"
+        "\"seed\":7,\"model\":\"dynamic_graph\",\"phases\":[\"ring\",\"star\"],"
+        "\"phase_length\":50}");
+    const SessionSpec spec = parse_session_spec(payload);
+    EXPECT_EQ(spec.model, "dynamic_graph");
+    EXPECT_EQ(spec.phases, (std::vector<std::string>{"ring", "star"}));
+    EXPECT_EQ(spec.phase_length, 50u);
+    const SessionSpec reparsed = parse_session_spec(session_spec_to_json(spec));
+    EXPECT_EQ(session_spec_to_json(reparsed).to_string(),
+              session_spec_to_json(spec).to_string());
+
+    // The default model leaves the manifest untouched — old manifests stay
+    // byte-identical.
+    SessionSpec plain;
+    plain.counts = {10, 2};
+    EXPECT_EQ(session_spec_to_json(plain).to_string().find("\"model\""),
+              std::string::npos);
+
+    const auto expect_rejected = [](const std::string& text, const std::string& needle) {
+        try {
+            parse_session_spec(parse_json(text));
+            ADD_FAILURE() << "spec unexpectedly accepted: " << text;
+        } catch (const std::invalid_argument& error) {
+            EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+                << error.what();
+        }
+    };
+    expect_rejected("{\"counts\":[10,2],\"model\":\"teleport\"}", "unknown model");
+    expect_rejected("{\"counts\":[10,2],\"model\":\"sweep\",\"engine\":\"batch\"}",
+                    "engine");
+    expect_rejected("{\"counts\":[10,2],\"model\":\"sweep\",\"threads\":4}", "threads");
+    expect_rejected("{\"counts\":[10,2],\"model\":\"dynamic_graph\"}", "phases");
+}
+
+TEST(Wire, QueueFullRejectionsAreStructured) {
+    RegistryOptions options;
+    options.workers = 1;
+    options.max_queued = 1;
+    options.spill_dir =
+        (std::filesystem::temp_directory_path() / "popproto_wire_queue_full").string();
+    std::filesystem::remove_all(options.spill_dir);
+    RunRegistry registry(options);
+
+    // One long-budget session fills the bounded admission queue.
+    const std::string submit =
+        "{\"cmd\":\"submit\",\"id\":\"q1\",\"protocol\":\"epidemic\","
+        "\"counts\":[1048575,1],\"engine\":\"agent\",\"seed\":3,"
+        "\"quantum\":65536,\"budget\":1073741824}";
+    const auto first = dispatch_request(registry, parse_request(submit));
+    ASSERT_TRUE(first.has_value());
+    EXPECT_NE(first->find("\"ok\":true"), std::string::npos) << *first;
+
+    const auto second = dispatch_request(registry, parse_request(submit));
+    ASSERT_TRUE(second.has_value());
+    const JsonValue rejection = parse_json(*second);
+    EXPECT_FALSE(rejection.find("ok")->as_bool("ok"));
+    EXPECT_EQ(rejection.find("id")->as_string("id"), "q1");
+    EXPECT_EQ(rejection.find("code")->as_string("code"), "queue_full");
+    EXPECT_EQ(rejection.find("queued")->as_u64("queued"), 1u);
+    EXPECT_EQ(rejection.find("max_queued")->as_u64("max_queued"), 1u);
+    EXPECT_NE(rejection.find("error")->as_string("error").find("admission queue"),
+              std::string::npos);
+
+    for (const SessionStatus& status : registry.list()) registry.cancel(status.id);
+    registry.wait_idle();
+    std::filesystem::remove_all(options.spill_dir);
+}
+
 TEST(Wire, DispatchesCommandsAgainstARegistry) {
     RegistryOptions options;
     options.spill_dir =
