@@ -50,18 +50,21 @@ shift || true
 
 # The google-benchmark suites (the remaining bench_* binaries are
 # experiment tables with their own output formats).
-GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_meanfield bench_service bench_scenarios)
+GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_meanfield bench_service bench_scenarios bench_adaptive)
 if (( COMPARE )); then
     # The perf gate judges the simulation engines plus the observation /
     # telemetry hooks that ride the hot loops (bench_observe's TelemetryOff
     # rows are the <=2% probe-overhead bar), the interaction-model layer
-    # (bench_scenarios: fixed-budget seed-pinned rows), and bench_service's
-    # single-threaded wire-dispatch rows (GATE_ONLY_SUBSTRINGS below keeps
-    # its registry rows — worker-pool wakeups, scheduler-latency noise —
-    # out of the gate).  The meanfield suite is an ODE solver with no hook
-    # in the interaction path and too noisy at short iteration counts;
-    # recorded for the trajectory but not regression-judged.
-    GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_service bench_scenarios)
+    # (bench_scenarios: fixed-budget seed-pinned rows), bench_service's
+    # single-threaded wire-dispatch rows (scripts/compare_bench.py's
+    # GATE_ONLY_SUBSTRINGS keeps its registry rows — worker-pool wakeups,
+    # scheduler-latency noise — out of the gate), and bench_adaptive's
+    # n = 2^20 adaptive-vs-static rows (the bigger rows are recorded for
+    # EXPERIMENTS.md but too slow to repeat here).  The meanfield suite is
+    # an ODE solver with no hook in the interaction path and too noisy at
+    # short iteration counts; recorded for the trajectory but not
+    # regression-judged.
+    GBENCH_TARGETS=(bench_throughput bench_collapsed bench_observe bench_service bench_scenarios bench_adaptive)
 fi
 
 # Check every target up front and report the complete list of missing
@@ -111,169 +114,6 @@ if (( COMPARE )); then
         exit 1
     fi
     echo "== $name vs committed baseline =="
-    python3 - "$baseline" "$fresh" "$BUILD_DIR/bench/$name" <<'EOF'
-import json
-import os
-import re
-import statistics
-import subprocess
-import sys
-import tempfile
-
-# Fail on a >15% real_time regression *beyond the suite-wide drift*.  On a
-# shared box the whole suite swings together with tenant load and frequency
-# scaling (uniform 1.3x drifts observed between recording and comparing),
-# so per-benchmark ratios are judged against the suite's median ratio: a
-# real engine regression moves its benchmarks away from the pack, while
-# host drift moves the pack as one.  The median itself is capped at
-# MAX_DRIFT so a change that slows *everything* down (e.g. dropping LTO)
-# cannot hide inside the normalization.
-THRESHOLD = 0.15
-MAX_DRIFT = 0.50
-
-# Rows still over the bar after drift normalization are re-measured (the
-# flagged rows only, same min-of-repetitions protocol) up to RETRIES more
-# times, folding each row's new minimum in before the verdict.  Identical
-# binaries on a noisy box swing single rows 1.5x between passes, so any
-# single-shot verdict flags a different random row each run; a real
-# regression reproduces in every pass, while noise eventually loses to its
-# own best sample.
-RETRIES = 2
-
-# Recorded for the scaling tables but not regression-judged: the parallel
-# rows' wall time is dominated by how many cores the host can actually give
-# the shards (oversubscribed rows are pure scheduler noise), and the code
-# path behind them is already gated through BM_EpidemicDenseCollapsed.
-GATE_EXEMPT_PREFIXES = ("BM_CollapsedScaling/",)
-
-# Suites gated on a subset of their rows.  bench_observe exists to price
-# observers, and its pricing rows run small-n workloads to *silence*, where
-# per-seed convergence variance swings single rows 1.5x between identical
-# binaries — only the telemetry rows (budget-bound workloads; the <=2%
-# probe-overhead bar for src/telemetry) are stable enough to gate.  The
-# other rows are still recorded and printed for eyeballing.
-# bench_service is likewise gated only on its wire-dispatch rows: the
-# registry rows time worker-pool wakeups and thread hand-offs, which
-# swing with host scheduler latency rather than code changes.
-GATE_ONLY_SUBSTRINGS = {"bench_observe": ("Telemetry",),
-                        "bench_service": ("Wire",)}
-
-baseline_path, fresh_path = sys.argv[1], sys.argv[2]
-bench_bin = sys.argv[3] if len(sys.argv) > 3 else None
-gate_only = next((subs for suite, subs in GATE_ONLY_SUBSTRINGS.items()
-                  if suite in baseline_path), None)
-
-
-def build_type(data):
-    """The binary's build type.  "popproto_build_type" (bench_util.h's
-    POPPROTO_BENCHMARK_MAIN, from NDEBUG) is authoritative; the library's
-    own "library_build_type" is the fallback for baselines recorded before
-    that key existed — misleadingly "debug" wherever the distro ships a
-    debug libbenchmark, which is why the custom key wins."""
-    ctx = data.get("context", {})
-    return ctx.get("popproto_build_type", ctx.get("library_build_type", "unknown"))
-
-
-def load(path, side):
-    """Per-benchmark best real_time (min over repetitions, noise-robust).
-    Refuses non-release numbers: a debug-vs-release diff is meaningless in
-    both directions (stale debug baselines mask real regressions)."""
-    with open(path) as f:
-        data = json.load(f)
-    bt = build_type(data)
-    if bt != "release":
-        print(f"error: {side} {path} was recorded from a '{bt}' build; the\n"
-              f"perf gate only accepts release numbers.  Re-record it from a\n"
-              f"-DCMAKE_BUILD_TYPE=Release build with the min-of-repetitions\n"
-              f"protocol in bench/run_benches.sh's header comment.",
-              file=sys.stderr)
-        sys.exit(1)
-    best = {}
-    for b in data["benchmarks"]:
-        if b.get("run_type", "iteration") == "aggregate":
-            continue
-        name = b["name"]
-        best[name] = min(best.get(name, float("inf")), b["real_time"])
-    return best
-
-
-baseline = load(baseline_path, "committed baseline")
-fresh = load(fresh_path, "fresh run")
-
-
-def is_exempt(name):
-    return name.startswith(GATE_EXEMPT_PREFIXES) or (
-        gate_only is not None and not any(sub in name for sub in gate_only))
-
-
-def evaluate(fresh):
-    """Ratios, slowdown-normalized drift, and the gated rows over the bar."""
-    ratios = {name: fresh[name] / base_time
-              for name, base_time in baseline.items() if name in fresh}
-    raw = statistics.median(ratios.values()) if ratios else 1.0
-    # Only normalize by *slowdowns*: a uniformly faster host must not
-    # raise the bar for individual benchmarks.
-    drift = max(raw, 1.0)
-    flagged = [name for name, ratio in ratios.items()
-               if not is_exempt(name) and ratio > drift * (1 + THRESHOLD)]
-    return ratios, raw, drift, flagged
-
-
-ratios, raw_drift, drift, flagged = evaluate(fresh)
-if raw_drift > 1 + MAX_DRIFT:
-    print(f"\nFAIL: suite-wide median ratio {raw_drift:.2f} exceeds the "
-          f"{1 + MAX_DRIFT:.2f} drift cap — this is not host noise, the "
-          f"whole suite got slower", file=sys.stderr)
-    sys.exit(1)
-
-retried = set()
-for _ in range(RETRIES):
-    if not flagged or bench_bin is None:
-        break
-    retried.update(flagged)
-    pattern = "^(" + "|".join(re.escape(name) for name in flagged) + ")$"
-    fd, retry_path = tempfile.mkstemp(suffix=".json")
-    os.close(fd)
-    try:
-        subprocess.run(
-            [bench_bin, f"--benchmark_filter={pattern}",
-             "--benchmark_min_time=0.05", "--benchmark_repetitions=5",
-             "--benchmark_format=json", f"--benchmark_out={retry_path}",
-             "--benchmark_out_format=json"],
-            check=True, stdout=subprocess.DEVNULL)
-        for name, best in load(retry_path, "retry run").items():
-            fresh[name] = min(fresh.get(name, float("inf")), best)
-    finally:
-        os.unlink(retry_path)
-    ratios, raw_drift, drift, flagged = evaluate(fresh)
-
-regressions = []
-width = max(map(len, baseline), default=4)
-print(f"suite-wide median ratio (host drift): {drift:.2f}")
-if retried:
-    print(f"re-measured {len(retried)} flagged row(s), keeping each row's "
-          f"best time across passes")
-print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'ratio':>6}")
-for name, base_time in sorted(baseline.items()):
-    if name not in fresh:
-        print(f"{name:<{width}}  {base_time:>12.1f}  {'MISSING':>12}")
-        regressions.append((name, None))
-        continue
-    ratio = ratios[name]
-    exempt = is_exempt(name)
-    bad = not exempt and ratio > drift * (1 + THRESHOLD)
-    flag = "  <-- REGRESSION" if bad else ("  (not gated)" if exempt else "")
-    print(f"{name:<{width}}  {base_time:>12.1f}  {fresh[name]:>12.1f}  {ratio:>6.2f}{flag}")
-    if bad:
-        regressions.append((name, ratio))
-
-if regressions:
-    print(f"\nFAIL: {len(regressions)} benchmark(s) regressed by more than "
-          f"{THRESHOLD:.0%} beyond the {drift:.2f} suite drift against "
-          f"{baseline_path}", file=sys.stderr)
-    sys.exit(1)
-print(f"\nOK: all benchmarks within {THRESHOLD:.0%} of the committed baseline "
-      f"(after {drift:.2f} drift normalization)")
-EOF
+    python3 "$ROOT/scripts/compare_bench.py" "$baseline" "$fresh" "$BUILD_DIR/bench/$name"
   done
 fi

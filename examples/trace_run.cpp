@@ -23,11 +23,22 @@
 //                replaces --n/--ones for multi-variable predicates
 //   --seed S     RNG seed                             (default 1)
 //   --budget B   max interactions                     (default: default_budget(n))
-//   --engine E   batch (default) | collapsed | agent | weighted | graph
+//   --engine E   batch (default) | collapsed | agent | weighted | graph |
+//                adaptive
 //                (collapsed batches ~sqrt(n) interactions per super-step —
 //                prefer it at n >= 2^20; weighted runs with unit weights;
 //                graph activates uniform random edges of --graph and never
-//                falls silent)
+//                falls silent; adaptive switches batch <-> collapsed mid-run
+//                as the effective-pair density crosses thresholds)
+//   --adaptive   shorthand for --engine adaptive
+//   --switch-thresholds ENTER,EXIT[,DWELL[,PERIOD]]
+//                adaptive dispatcher tuning: enter/exit the collapsed engine
+//                when the signal rho*E[L] crosses ENTER (up) / EXIT (down);
+//                DWELL = min interactions between switches, PERIOD = poll
+//                spacing (0 picks the defaults)
+//   --fluid-assist  adaptive runs only: fast-forward the dense transient
+//                with the mean-field ODE (approximate — the run is no
+//                longer an exact sample path)
 //   --threads K  intra-run worker threads (collapsed engine only; 0 = all
 //                hardware threads, default 1).  Fixed (seed, K) runs are
 //                bit-identical; different K agree in distribution only.
@@ -86,6 +97,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/adaptive_simulator.h"
 #include "core/batch_simulator.h"
 #include "core/collapsed_simulator.h"
 #include "core/observer.h"
@@ -100,6 +112,7 @@
 #include "presburger/parser.h"
 #include "protocols/counting.h"
 #include "protocols/epidemic.h"
+#include "meanfield/fluid_assist.h"
 #include "scenarios/games.h"
 #include "scenarios/scenario_spec.h"
 #include "telemetry/chrome_trace.h"
@@ -115,7 +128,9 @@ using namespace popproto;
     std::fprintf(stderr,
                  "usage: trace_run [epidemic|counting|majority|pavlov] [--predicate F] [--n N]\n"
                  "                 [--ones K] [--counts C0,C1,...] [--seed S] [--budget B]\n"
-                 "                 [--engine batch|collapsed|agent|weighted|graph]\n"
+                 "                 [--engine batch|collapsed|agent|weighted|graph|adaptive]\n"
+                 "                 [--adaptive] [--switch-thresholds ENTER,EXIT[,DWELL[,PERIOD]]]\n"
+                 "                 [--fluid-assist]\n"
                  "                 [--threads K] [--graph complete|ring|line|star]\n"
                  "                 [--model round_robin|sweep|adversarial|dynamic_graph|"
                  "grid_mobility]\n"
@@ -264,6 +279,9 @@ int main(int argc, char** argv) {
     std::uint64_t every = 0;        // 0 = n / 4
     double log_factor = 0.0;        // 0 = use --every
     std::string engine_name;        // empty = batch, or inferred from --resume
+    AdaptiveOptions adaptive_tuning;   // --switch-thresholds
+    bool adaptive_tuning_given = false;
+    bool fluid_assist = false;
     std::uint64_t threads = 1;      // --threads; 0 = hardware concurrency
     bool threads_given = false;
     std::string graph_name = "ring";
@@ -302,9 +320,33 @@ int main(int argc, char** argv) {
             engine_name = next();
             if (engine_name != "batch" && engine_name != "collapsed" &&
                 engine_name != "agent" && engine_name != "weighted" &&
-                engine_name != "graph")
-                usage_error("--engine: expected batch, collapsed, agent, weighted, or graph, "
-                            "got " + engine_name);
+                engine_name != "graph" && engine_name != "adaptive")
+                usage_error("--engine: expected batch, collapsed, agent, weighted, graph, or "
+                            "adaptive, got " + engine_name);
+        } else if (std::strcmp(arg, "--adaptive") == 0) {
+            engine_name = "adaptive";
+        } else if (std::strcmp(arg, "--switch-thresholds") == 0) {
+            const std::string list = next();
+            std::vector<double> values;
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                std::size_t comma = list.find(',', start);
+                if (comma == std::string::npos) comma = list.size();
+                values.push_back(
+                    parse_double(arg, list.substr(start, comma - start).c_str()));
+                start = comma + 1;
+            }
+            if (values.size() < 2 || values.size() > 4)
+                usage_error("--switch-thresholds: expected ENTER,EXIT[,DWELL[,PERIOD]]");
+            adaptive_tuning.enter_collapsed = values[0];
+            adaptive_tuning.exit_collapsed = values[1];
+            if (values.size() > 2)
+                adaptive_tuning.min_dwell = static_cast<std::uint64_t>(values[2]);
+            if (values.size() > 3)
+                adaptive_tuning.eval_period = static_cast<std::uint64_t>(values[3]);
+            adaptive_tuning_given = true;
+        } else if (std::strcmp(arg, "--fluid-assist") == 0) {
+            fluid_assist = true;
         } else if (std::strcmp(arg, "--threads") == 0) {
             threads = parse_u64(arg, next());
             threads_given = true;
@@ -415,7 +457,11 @@ int main(int argc, char** argv) {
         }
         std::string file_engine;
         std::string file_model;
-        switch (resume_checkpoint.engine) {
+        if (resume_checkpoint.adaptive) {
+            // The engine field names the segment engine at the cut; the
+            // adaptive marker line says the run itself was adaptive.
+            file_engine = "adaptive";
+        } else switch (resume_checkpoint.engine) {
             case ObservedEngine::kAgentArray: file_engine = "agent"; break;
             case ObservedEngine::kCountBatch: file_engine = "batch"; break;
             case ObservedEngine::kCollapsed: file_engine = "collapsed"; break;
@@ -471,6 +517,9 @@ int main(int argc, char** argv) {
 
     if (threads > 1 && engine_name != "collapsed")
         usage_error("--threads: only --engine collapsed runs with more than one thread");
+    if ((adaptive_tuning_given || fluid_assist) && engine_name != "adaptive")
+        usage_error("--switch-thresholds/--fluid-assist: require --engine adaptive "
+                    "(or --adaptive)");
 
     RunOptions options;
     options.max_interactions = budget != 0 ? budget : default_budget(n);
@@ -481,6 +530,11 @@ int main(int argc, char** argv) {
                             : SnapshotSchedule::every(every != 0 ? every : std::max<std::uint64_t>(
                                                                                n / 4, 1));
     if (!resume_path.empty()) options.resume_from = &resume_checkpoint;
+    options.adaptive = adaptive_tuning;
+    if (fluid_assist) {
+        options.fluid_assist = true;
+        options.fluid_hook = make_fluid_assist_hook();
+    }
 
     std::unique_ptr<FileCheckpointSink> sink;
     if (!checkpoint_path.empty()) {
@@ -523,6 +577,9 @@ int main(int argc, char** argv) {
         result = simulate_counts(*protocol, initial, options);
     } else if (engine_name == "collapsed") {
         result = simulate_collapsed(*protocol, initial, options);
+    } else if (engine_name == "adaptive") {
+        options.engine = SimulationEngine::kAdaptive;
+        result = simulate_adaptive(*protocol, initial, options);
     } else if (engine_name == "agent") {
         result = simulate(*protocol, initial, options);
     } else if (engine_name == "weighted") {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates the two `trace_run --profile` artifacts.
 
-Usage: scripts/check_telemetry.py <base>.trace.json <base>.prom
+Usage: scripts/check_telemetry.py <base>.trace.json <base>.prom [<run>.jsonl]
 
 Holds the Chrome trace-event JSON and the Prometheus text exposition to the
 schema documented in DESIGN.md "Telemetry" — the CI smoke stage
@@ -21,6 +21,15 @@ Checks (exit 1 with a message on the first violation):
   finite float value; every # TYPE names a popproto_* family that then
   appears; the families the ISSUE promises (run info, per-phase seconds,
   per-shard busy/wait) are present.
+
+  JSONL (optional third argument; the trace_run stdout of an *adaptive*
+  run): every engine_switch event is well-formed (monotone t, switch_index
+  counting from 1, from != to, consecutive switches chaining from -> to,
+  signal on the firing side of its threshold); the telemetry event's
+  engine_segments agree with the switch events (count, engine chain) and
+  attribute every interaction of the final stop event to exactly one
+  segment; and the Prometheus exposition carries the per-engine families
+  (popproto_engine_switches_total, popproto_engine_segment_*).
 """
 
 import json
@@ -103,13 +112,25 @@ REQUIRED_FAMILIES = (
     "popproto_run_interactions_total",
     "popproto_phase_seconds_total",
     "popproto_phase_calls_total",
+)
+
+# Only the sharded (threads > 1) collapsed profile emits these; the
+# adaptive dispatcher is serial, so its profile legitimately lacks them.
+SHARDED_FAMILIES = (
     "popproto_shard_busy_seconds_total",
     "popproto_shard_wait_seconds_total",
     "popproto_pool_rounds_total",
 )
 
 
-def check_prometheus(path: str) -> None:
+ADAPTIVE_FAMILIES = (
+    "popproto_engine_switches_total",
+    "popproto_engine_segment_seconds_total",
+    "popproto_engine_segment_interactions_total",
+)
+
+
+def check_prometheus(path: str, adaptive: bool = False) -> None:
     with open(path) as f:
         text = f.read()
     if not text.endswith("\n"):
@@ -141,7 +162,9 @@ def check_prometheus(path: str) -> None:
             fail(f"{path}:{lineno}: NaN value: {line!r}")
         seen.add(match.group("name"))
 
-    for family in REQUIRED_FAMILIES:
+    required = REQUIRED_FAMILIES + (ADAPTIVE_FAMILIES if adaptive
+                                    else SHARDED_FAMILIES)
+    for family in required:
         # Histogram samples append _bucket/_sum/_count to the family name.
         if not any(name == family or name.startswith(family + "_") for name in seen):
             fail(f"{path}: required metric family {family!r} missing")
@@ -153,12 +176,98 @@ def check_prometheus(path: str) -> None:
           f"{len(typed)} typed families, all well-formed")
 
 
+SWITCH_KEYS = ("t", "from", "to", "signal", "enter_threshold",
+               "exit_threshold", "switch_index")
+
+
+def check_adaptive_jsonl(path: str) -> None:
+    """Validates the engine_switch events and per-engine attribution of an
+    adaptive trace_run JSONL stream (requires --profile, for the telemetry
+    event)."""
+    switches = []
+    telemetry = None
+    stop = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"{path}:{lineno}: not valid JSON: {error}")
+            kind = event.get("event")
+            if kind == "engine_switch":
+                for key in SWITCH_KEYS:
+                    if key not in event:
+                        fail(f"{path}:{lineno}: engine_switch missing {key!r}")
+                switches.append(event)
+            elif kind == "telemetry":
+                telemetry = event
+            elif kind == "stop":
+                stop = event
+
+    if not switches:
+        fail(f"{path}: no engine_switch events — the smoke workload is "
+             f"expected to cross both thresholds")
+    if stop is None:
+        fail(f"{path}: no stop event")
+    for index, switch in enumerate(switches):
+        where = f"{path}: engine_switch #{index + 1}"
+        if switch["switch_index"] != index + 1:
+            fail(f"{where}: switch_index {switch['switch_index']}, "
+                 f"expected {index + 1}")
+        if switch["from"] == switch["to"]:
+            fail(f"{where}: degenerate switch {switch['from']} -> {switch['to']}")
+        if index > 0:
+            if switch["t"] <= switches[index - 1]["t"]:
+                fail(f"{where}: t {switch['t']} not after previous switch at "
+                     f"{switches[index - 1]['t']}")
+            if switch["from"] != switches[index - 1]["to"]:
+                fail(f"{where}: from {switch['from']!r} does not chain with "
+                     f"previous switch to {switches[index - 1]['to']!r}")
+        # The signal must sit on the firing side of its hysteresis bound.
+        if switch["to"] == "collapsed" and switch["signal"] < switch["enter_threshold"]:
+            fail(f"{where}: entered collapsed at signal {switch['signal']} "
+                 f"below enter_threshold {switch['enter_threshold']}")
+        if switch["to"] == "count_batch" and switch["signal"] > switch["exit_threshold"]:
+            fail(f"{where}: exited collapsed at signal {switch['signal']} "
+                 f"above exit_threshold {switch['exit_threshold']}")
+
+    if telemetry is None:
+        fail(f"{path}: no telemetry event (run trace_run with --profile)")
+    segments = telemetry.get("engine_segments")
+    if not segments:
+        fail(f"{path}: telemetry event has no engine_segments")
+    if telemetry.get("engine_switches") != len(switches):
+        fail(f"{path}: telemetry engine_switches "
+             f"{telemetry.get('engine_switches')} != {len(switches)} "
+             f"engine_switch events")
+    if len(segments) != len(switches) + 1:
+        fail(f"{path}: {len(segments)} engine_segments for {len(switches)} "
+             f"switches (want switches + 1)")
+    for index, switch in enumerate(switches):
+        if segments[index]["engine"] != switch["from"]:
+            fail(f"{path}: segment {index} ran {segments[index]['engine']!r} "
+                 f"but switch #{index + 1} left {switch['from']!r}")
+        if segments[index + 1]["engine"] != switch["to"]:
+            fail(f"{path}: segment {index + 1} ran "
+                 f"{segments[index + 1]['engine']!r} but switch #{index + 1} "
+                 f"entered {switch['to']!r}")
+    attributed = sum(segment["interactions"] for segment in segments)
+    if attributed != stop["interactions"]:
+        fail(f"{path}: engine_segments attribute {attributed} interactions, "
+             f"stop event reports {stop['interactions']}")
+
+    print(f"check_telemetry: {path}: {len(switches)} engine switches, "
+          f"{len(segments)} segments, every interaction attributed")
+
+
 def main() -> None:
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_trace(sys.argv[1])
-    check_prometheus(sys.argv[2])
+    check_prometheus(sys.argv[2], adaptive=len(sys.argv) == 4)
+    if len(sys.argv) == 4:
+        check_adaptive_jsonl(sys.argv[3])
     print("check_telemetry: OK")
 
 

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/adaptive_simulator.h"
 #include "core/collapsed_simulator.h"
 #include "core/effect_tables.h"
+#include "core/effective_pairs.h"
 #include "core/require.h"
 #include "core/rng.h"
 #include "core/run_loop.h"
@@ -25,45 +27,48 @@ public:
 
     CountBatchStepper(const TabulatedProtocol& protocol, const CountConfiguration& initial)
         : protocol_(protocol),
-          eff_(protocol),
-          counts_(initial.counts()),
+          tracker_(protocol, initial.counts()),
           population_(initial.population_size()),
           total_pairs_(static_cast<double>(population_) *
-                       static_cast<double>(population_ - 1)) {
-        rebuild_rowdot();
-    }
+                       static_cast<double>(population_ - 1)) {}
 
     std::uint64_t population() const { return population_; }
 
-    bool is_silent() const { return W_ == 0; }
+    bool is_silent() const { return tracker_.effective_pairs() == 0; }
+
+    /// Exact W for the adaptive dispatcher's density monitor (run_loop.h).
+    std::uint64_t effective_pairs() const { return tracker_.effective_pairs(); }
 
     std::uint64_t propose_skip(Rng& rng) {
         // Jump over the geometric run of null interactions preceding the
         // next effective one.
-        return rng.geometric_skips(static_cast<double>(W_) / total_pairs_);
+        return rng.geometric_skips(static_cast<double>(tracker_.effective_pairs()) /
+                                   total_pairs_);
     }
 
     StepOutcome step(Rng& rng) {
         // Sample the effective ordered pair (p, q) with probability
         // proportional to c_p * (c_q - [p == q]) over effective pairs.
-        const std::size_t num_states = eff_.num_states;
-        std::uint64_t u = rng.below(W_);
+        const EffectTables& eff = tracker_.tables();
+        const std::vector<std::uint64_t>& counts = tracker_.counts();
+        const std::size_t num_states = eff.num_states;
+        std::uint64_t u = rng.below(tracker_.effective_pairs());
         State p = 0;
         State q = 0;
         bool found = false;
         for (State pi = 0; pi < num_states && !found; ++pi) {
-            if (counts_[pi] == 0) continue;
-            const std::uint64_t rw = row_weight(pi);
+            if (counts[pi] == 0) continue;
+            const std::uint64_t rw = tracker_.row_weight(pi);
             if (u >= rw) {
                 u -= rw;
                 continue;
             }
             const std::uint8_t* row =
-                eff_.eff_row.data() + static_cast<std::size_t>(pi) * num_states;
+                eff.eff_row.data() + static_cast<std::size_t>(pi) * num_states;
             for (State qi = 0; qi < num_states; ++qi) {
                 if (!row[qi]) continue;
                 const std::uint64_t pair_weight =
-                    counts_[pi] * (counts_[qi] - (pi == qi ? 1 : 0));
+                    counts[pi] * (counts[qi] - (pi == qi ? 1 : 0));
                 if (u < pair_weight) {
                     p = pi;
                     q = qi;
@@ -86,104 +91,33 @@ public:
         outcome.output_changed =
             !((out_pn == out_p && out_qn == out_q) || (out_pn == out_q && out_qn == out_p));
 
-        adjust_count(p, -1);
-        adjust_count(q, -1);
-        adjust_count(next.initiator, +1);
-        adjust_count(next.responder, +1);
+        // The tracker keeps rowdot and W consistent in O(|Q|) per changed
+        // state (see EffectivePairTracker::adjust_count).
+        tracker_.adjust_count(p, -1);
+        tracker_.adjust_count(q, -1);
+        tracker_.adjust_count(next.initiator, +1);
+        tracker_.adjust_count(next.responder, +1);
         return outcome;
     }
 
-    CountConfiguration counts() const { return CountConfiguration::from_state_counts(counts_); }
+    CountConfiguration counts() const {
+        return CountConfiguration::from_state_counts(tracker_.counts());
+    }
 
-    void save(RunCheckpoint& checkpoint) const { checkpoint.counts = counts_; }
+    void save(RunCheckpoint& checkpoint) const { checkpoint.counts = tracker_.counts(); }
 
     void restore(const RunCheckpoint& checkpoint) {
-        require(checkpoint.counts.size() == counts_.size(),
+        require(checkpoint.counts.size() == tracker_.counts().size(),
                 "simulate_counts: checkpoint state-count mismatch");
         std::uint64_t total = 0;
         for (const std::uint64_t count : checkpoint.counts) total += count;
         require(total == population_, "simulate_counts: checkpoint population mismatch");
-        counts_ = checkpoint.counts;
-        rebuild_rowdot();
+        tracker_.reset_counts(checkpoint.counts);
     }
 
 private:
-    std::uint64_t row_weight(State p) const {
-        return counts_[p] * static_cast<std::uint64_t>(rowdot_[p] - diag(p));
-    }
-
-    std::int64_t diag(State p) const {
-        return eff_.eff_row[static_cast<std::size_t>(p) * eff_.num_states + p];
-    }
-
-    // W = number of effective ordered agent pairs
-    //   = sum_p c_p * (rowdot[p] - eff[p][p]); W == 0 iff the configuration
-    // is silent.  Partial sums are bounded by n^2 + n, so uint64 is exact.
-    std::uint64_t total_effective_pairs() const {
-        std::uint64_t w = 0;
-        for (State p = 0; p < eff_.num_states; ++p)
-            if (counts_[p] != 0) w += row_weight(p);
-        return w;
-    }
-
-    /// Applies `delta` to the count of state s and keeps rowdot *and W_*
-    /// consistent.  W changes only through the rows the column touches, so
-    /// maintaining it here is O(|Q|) per changed state instead of the O(|Q|)
-    /// full resummation per *step* that total_effective_pairs() would cost
-    /// — step() touches at most 4 states, most of whose columns are sparse.
-    ///
-    /// With c = counts_[s], R = rowdot_[s], e = eff[s][s] all read *before*
-    /// the update, and colsum = sum_p counts_[p] * eff[p][s] (also pre-
-    /// update), the exact integer delta is
-    ///
-    ///   dW = delta * (colsum - c * e)      (rows p != s: c_p * eff[p][s])
-    ///      + delta * (R - e)              (row s: its weight gains delta
-    ///      + delta * e * (c + delta)       copies of the old row sum, and
-    ///                                      the diagonal term re-enters with
-    ///                                      the new count)
-    ///
-    /// |dW| <= 4n, so the int64 arithmetic is exact; W itself can exceed
-    /// int64 (W <= n(n-1) with n < 2^32), so the signed delta is applied to
-    /// the uint64 accumulator via two's-complement wraparound.
-    void adjust_count(State s, std::int64_t delta) {
-        const std::uint8_t* col =
-            eff_.eff_col.data() + static_cast<std::size_t>(s) * eff_.num_states;
-        const auto c = static_cast<std::int64_t>(counts_[s]);
-        const std::int64_t rowsum = rowdot_[s];
-        const std::int64_t e = diag(s);
-        std::int64_t colsum = 0;
-        for (State p = 0; p < eff_.num_states; ++p) {
-            colsum += static_cast<std::int64_t>(col[p]) * static_cast<std::int64_t>(counts_[p]);
-            rowdot_[p] += static_cast<std::int64_t>(col[p]) * delta;
-        }
-        counts_[s] = static_cast<std::uint64_t>(c + delta);
-        const std::int64_t dw =
-            delta * (colsum - c * e) + delta * (rowsum - e) + delta * e * (c + delta);
-        W_ += static_cast<std::uint64_t>(dw);
-    }
-
-    // rowdot[p] = sum_q eff[p][q] * counts[q]: the number of agents whose
-    // state forms an effective ordered pair with an initiator in state p
-    // (before the diagonal "needs two agents" correction).
-    void rebuild_rowdot() {
-        const std::size_t num_states = eff_.num_states;
-        rowdot_.assign(num_states, 0);
-        for (State p = 0; p < num_states; ++p) {
-            std::int64_t dot = 0;
-            const std::uint8_t* row =
-                eff_.eff_row.data() + static_cast<std::size_t>(p) * num_states;
-            for (State q = 0; q < num_states; ++q)
-                dot += static_cast<std::int64_t>(row[q]) * static_cast<std::int64_t>(counts_[q]);
-            rowdot_[p] = dot;
-        }
-        W_ = total_effective_pairs();
-    }
-
     const TabulatedProtocol& protocol_;
-    EffectTables eff_;
-    std::vector<std::uint64_t> counts_;
-    std::vector<std::int64_t> rowdot_;
-    std::uint64_t W_ = 0;
+    EffectivePairTracker tracker_;
     std::uint64_t population_;
     double total_pairs_;
 };
@@ -212,6 +146,8 @@ RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfigura
             return simulate_collapsed(protocol, initial, options);
         case SimulationEngine::kAgentArray:
             return simulate(protocol, initial, options);
+        case SimulationEngine::kAdaptive:
+            return simulate_adaptive(protocol, initial, options);
         case SimulationEngine::kAuto:
             break;
     }
@@ -220,11 +156,18 @@ RunResult run_simulation(const TabulatedProtocol& protocol, const CountConfigura
     // choice route the request to a sequential engine would just trip the
     // kernel's never-ignore check.
     if (options.threads > 1) return simulate_collapsed(protocol, initial, options);
+    // A checkpoint that carries an adaptive monitor section was written by
+    // the adaptive dispatcher; kAuto resumes it there so the run keeps its
+    // switching behaviour instead of silently pinning the segment engine.
+    if (options.resume_from != nullptr && options.resume_from->adaptive)
+        return simulate_adaptive(protocol, initial, options);
     // Size-based auto-selection (see the threshold constants in
     // simulator.h): the count engines need the multiset view anyway, so the
     // only inputs are the population and the documented crossover points.
+    // At collapsed scale the within-run regime matters more than the size,
+    // so those runs go to the phase-adaptive dispatcher.
     const std::uint64_t n = initial.population_size();
-    if (n >= kAutoCollapsedThreshold) return simulate_collapsed(protocol, initial, options);
+    if (n >= kAutoCollapsedThreshold) return simulate_adaptive(protocol, initial, options);
     if (n >= kAutoCountBatchThreshold) return simulate_counts(protocol, initial, options);
     return simulate(protocol, initial, options);
 }

@@ -29,6 +29,10 @@ public:
 
     bool is_silent() const { return effective_pairs_ == 0; }
 
+    /// Exact W for the adaptive dispatcher's density monitor (run_loop.h);
+    /// maintained by the per-super-step recompute either way.
+    std::uint64_t effective_pairs() const { return effective_pairs_; }
+
     /// Attaches the run's telemetry collector (nullptr = disabled); the
     /// steppers time the super-step sub-phases against it.  Probes never
     /// touch the RNG stream, so results are bit-identical either way.

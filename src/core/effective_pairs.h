@@ -1,0 +1,121 @@
+// Exact effective-ordered-pair bookkeeping over a state multiset.
+//
+// W = |{ ordered agent pairs (a, b) whose interaction changes the state
+// multiset }| = sum_p c_p * (rowdot[p] - eff[p][p]), with rowdot[p] =
+// sum_q eff[p][q] * c_q.  W == 0 is the exact silence predicate, W / n(n-1)
+// the effective-interaction fraction that both the count-batch engine's
+// geometric null skips and the phase-adaptive engine monitor consume.
+//
+// This tracker is the bookkeeping half of the count-batch stepper
+// (batch_simulator.cpp), factored out so that the exact-silence PairStepper
+// variant (interaction_model.h) and the adaptive dispatcher
+// (adaptive_simulator.cpp) maintain W with the same O(|Q|)-per-changed-state
+// incremental update instead of re-deriving it.
+
+#ifndef POPPROTO_CORE_EFFECTIVE_PAIRS_H
+#define POPPROTO_CORE_EFFECTIVE_PAIRS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/effect_tables.h"
+#include "core/tabulated_protocol.h"
+
+namespace popproto {
+
+class EffectivePairTracker {
+public:
+    EffectivePairTracker(const TabulatedProtocol& protocol, std::vector<std::uint64_t> counts)
+        : eff_(protocol), counts_(std::move(counts)) {
+        rebuild();
+    }
+
+    /// W: the number of effective ordered agent pairs (0 iff silent).
+    std::uint64_t effective_pairs() const { return W_; }
+
+    const std::vector<std::uint64_t>& counts() const { return counts_; }
+    const EffectTables& tables() const { return eff_; }
+
+    /// c_p * (rowdot[p] - eff[p][p]): state p's contribution to W.
+    std::uint64_t row_weight(State p) const {
+        return counts_[p] * static_cast<std::uint64_t>(rowdot_[p] - diag(p));
+    }
+
+    std::int64_t diag(State p) const {
+        return eff_.eff_row[static_cast<std::size_t>(p) * eff_.num_states + p];
+    }
+
+    /// Applies `delta` to the count of state s and keeps rowdot *and W_*
+    /// consistent.  W changes only through the rows the column touches, so
+    /// maintaining it here is O(|Q|) per changed state instead of the O(|Q|)
+    /// full resummation per *step* that a recount would cost — a step
+    /// touches at most 4 states, most of whose columns are sparse.
+    ///
+    /// With c = counts_[s], R = rowdot_[s], e = eff[s][s] all read *before*
+    /// the update, and colsum = sum_p counts_[p] * eff[p][s] (also pre-
+    /// update), the exact integer delta is
+    ///
+    ///   dW = delta * (colsum - c * e)      (rows p != s: c_p * eff[p][s])
+    ///      + delta * (R - e)              (row s: its weight gains delta
+    ///      + delta * e * (c + delta)       copies of the old row sum, and
+    ///                                      the diagonal term re-enters with
+    ///                                      the new count)
+    ///
+    /// |dW| <= 4n, so the int64 arithmetic is exact; W itself can exceed
+    /// int64 (W <= n(n-1) with n < 2^32), so the signed delta is applied to
+    /// the uint64 accumulator via two's-complement wraparound.
+    void adjust_count(State s, std::int64_t delta) {
+        const std::uint8_t* col =
+            eff_.eff_col.data() + static_cast<std::size_t>(s) * eff_.num_states;
+        const auto c = static_cast<std::int64_t>(counts_[s]);
+        const std::int64_t rowsum = rowdot_[s];
+        const std::int64_t e = diag(s);
+        std::int64_t colsum = 0;
+        for (State p = 0; p < eff_.num_states; ++p) {
+            colsum += static_cast<std::int64_t>(col[p]) * static_cast<std::int64_t>(counts_[p]);
+            rowdot_[p] += static_cast<std::int64_t>(col[p]) * delta;
+        }
+        counts_[s] = static_cast<std::uint64_t>(c + delta);
+        const std::int64_t dw =
+            delta * (colsum - c * e) + delta * (rowsum - e) + delta * e * (c + delta);
+        W_ += static_cast<std::uint64_t>(dw);
+    }
+
+    /// Replaces the count vector wholesale (checkpoint restore) and rebuilds
+    /// rowdot and W from scratch.
+    void reset_counts(std::vector<std::uint64_t> counts) {
+        counts_ = std::move(counts);
+        rebuild();
+    }
+
+private:
+    // rowdot[p] = sum_q eff[p][q] * counts[q]: the number of agents whose
+    // state forms an effective ordered pair with an initiator in state p
+    // (before the diagonal "needs two agents" correction).
+    void rebuild() {
+        const std::size_t num_states = eff_.num_states;
+        rowdot_.assign(num_states, 0);
+        for (State p = 0; p < num_states; ++p) {
+            std::int64_t dot = 0;
+            const std::uint8_t* row =
+                eff_.eff_row.data() + static_cast<std::size_t>(p) * num_states;
+            for (State q = 0; q < num_states; ++q)
+                dot += static_cast<std::int64_t>(row[q]) * static_cast<std::int64_t>(counts_[q]);
+            rowdot_[p] = dot;
+        }
+        // Partial sums are bounded by n^2 + n, so uint64 is exact.
+        std::uint64_t w = 0;
+        for (State p = 0; p < num_states; ++p)
+            if (counts_[p] != 0) w += row_weight(p);
+        W_ = w;
+    }
+
+    EffectTables eff_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::int64_t> rowdot_;
+    std::uint64_t W_ = 0;
+};
+
+}  // namespace popproto
+
+#endif  // POPPROTO_CORE_EFFECTIVE_PAIRS_H

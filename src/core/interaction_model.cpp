@@ -74,47 +74,44 @@ void RoundRobinPairModel::restore_state(const std::vector<std::uint64_t>& words)
 }
 
 SweepPairModel::SweepPairModel(std::uint64_t num_agents, std::uint64_t seed)
-    : num_agents_(num_agents), permutation_(num_agents * (num_agents - 1)), rng_(seed) {
+    : num_agents_(num_agents), num_pairs_(num_agents * (num_agents - 1)), rng_(seed) {
     require(num_agents >= 2, "scheduler: need at least two agents");
-    std::iota(permutation_.begin(), permutation_.end(), std::uint64_t{0});
-    reshuffle();
-}
-
-void SweepPairModel::reshuffle() {
-    // Fisher-Yates with the model's own RNG for reproducibility.
-    for (std::size_t i = permutation_.size(); i > 1; --i)
-        std::swap(permutation_[i - 1], permutation_[rng_.below(i)]);
-    cursor_ = 0;
+    permutation_ = FeistelPermutation(num_pairs_, rng_);
 }
 
 AgentPair SweepPairModel::next_pair() {
-    const AgentPair pair = decode_ordered_pair(permutation_[cursor_++], num_agents_);
-    if (cursor_ == permutation_.size()) reshuffle();
+    const AgentPair pair = decode_ordered_pair(permutation_(cursor_++), num_agents_);
+    if (cursor_ == num_pairs_) {
+        // Epoch boundary: a reshuffle is a rekey, eagerly (matching the
+        // materialized implementation's eager reshuffle) so a checkpoint
+        // cursor is always < num_pairs.
+        permutation_.rekey(rng_);
+        cursor_ = 0;
+    }
     return pair;
 }
 
 void SweepPairModel::save_state(std::vector<std::uint64_t>& words) const {
     words.clear();
-    words.reserve(5 + permutation_.size());
+    words.reserve(5 + FeistelPermutation::kRounds);
     const Rng::StreamState stream = rng_.save_state();
     words.insert(words.end(), stream.words.begin(), stream.words.end());
     words.push_back(cursor_);
-    words.insert(words.end(), permutation_.begin(), permutation_.end());
+    const auto& keys = permutation_.keys();
+    words.insert(words.end(), keys.begin(), keys.end());
 }
 
 void SweepPairModel::restore_state(const std::vector<std::uint64_t>& words) {
-    require(words.size() == 5 + permutation_.size(),
+    require(words.size() == 5 + FeistelPermutation::kRounds,
             "sweep: checkpoint model state has the wrong length");
     Rng::StreamState stream;
     std::copy(words.begin(), words.begin() + 4, stream.words.begin());
     rng_.restore_state(stream);
-    require(words[4] < permutation_.size(), "sweep: checkpoint cursor out of range");
+    require(words[4] < num_pairs_, "sweep: checkpoint cursor out of range");
     cursor_ = words[4];
-    for (std::size_t i = 0; i < permutation_.size(); ++i) {
-        require(words[5 + i] < permutation_.size(),
-                "sweep: checkpoint permutation entry out of range");
-        permutation_[i] = words[5 + i];
-    }
+    std::array<std::uint64_t, FeistelPermutation::kRounds> keys;
+    std::copy(words.begin() + 5, words.end(), keys.begin());
+    permutation_ = FeistelPermutation(num_pairs_, keys);
 }
 
 }  // namespace popproto

@@ -26,11 +26,14 @@
 
 #include <concepts>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/configuration.h"
+#include "core/effective_pairs.h"
+#include "core/feistel.h"
 #include "core/require.h"
 #include "core/rng.h"
 #include "core/run_loop.h"
@@ -225,8 +228,14 @@ private:
 /// Repeatedly replays one random permutation of all n(n-1) ordered pairs,
 /// reshuffled after each full sweep (a "synchronous-ish" pattern common in
 /// sensor deployments).  The shuffle uses the model's own seeded RNG, not
-/// the kernel stream, matching the historical SweepScheduler draw order;
-/// state is that RNG plus the cursor and the current permutation.
+/// the kernel stream, matching the historical SweepScheduler draw order.
+///
+/// The permutation is *lazy*: a keyed Feistel permutation over the pair
+/// indices (core/feistel.h) evaluated on demand, so the model's state is
+/// O(1) — the RNG, the cursor, and 8 round keys — instead of the
+/// materialized n(n-1)-word array the first implementation shuffled.  At
+/// n = 2^16 that array alone was 34 GB; lazily, sweeps run at any
+/// population the engines accept.  A reshuffle is a rekey (8 RNG draws).
 class SweepPairModel {
 public:
     static constexpr const char* kName = "sweep";
@@ -238,10 +247,10 @@ public:
 
     const char* name() const { return kName; }
     bool checkpointable() const { return true; }
-    std::uint64_t num_pairs() const { return permutation_.size(); }
+    std::uint64_t num_pairs() const { return num_pairs_; }
 
-    /// Advances the sweep; reshuffles (from the model's own RNG) when a
-    /// sweep completes.
+    /// Advances the sweep; rekeys (from the model's own RNG) when a sweep
+    /// completes.
     AgentPair next_pair();
 
     AgentPair propose_pair(Rng&, const std::vector<State>&) { return next_pair(); }
@@ -250,12 +259,11 @@ public:
     void restore_state(const std::vector<std::uint64_t>& words);
 
 private:
-    void reshuffle();
-
     std::uint64_t num_agents_ = 0;
-    std::vector<std::uint64_t> permutation_;  // pair indices, decoded on use
+    std::uint64_t num_pairs_ = 0;
     std::uint64_t cursor_ = 0;
     Rng rng_;
+    FeistelPermutation permutation_;
 };
 
 // ---------------------------------------------------------------------------
@@ -268,14 +276,29 @@ private:
 /// classic entry points — full checkpoint backward compatibility — and
 /// kPairModel for scenario runs, where the checkpoint's interaction_model
 /// section names the concrete model).
-template <InteractionModel M, ObservedEngine kEngineTag>
+///
+/// `kExactSilence` swaps the periodic multiset scan for exact silence: an
+/// EffectivePairTracker maintains the count of effective ordered state
+/// pairs incrementally (O(|Q|) per changed interaction), so the kernel
+/// polls is_silent() every step and the run halts on the *first* silent
+/// configuration instead of at the next √n-spaced probe.  Deterministic
+/// bounded-cover models (round-robin, sweep) use this: their convergence
+/// proofs count exact interactions, and a periodic probe would let a
+/// cursor walk past the silent point, re-reporting silence up to a full
+/// probe period late.  Checkpoint format is unchanged (the tracker is
+/// rebuilt from the agent states on restore).
+template <InteractionModel M, ObservedEngine kEngineTag, bool kExactSilence = false>
 class PairStepper {
 public:
     static constexpr ObservedEngine kEngine = kEngineTag;
     static constexpr SilenceMode kSilenceMode =
-        M::kCanSilence ? SilenceMode::kPeriodic : SilenceMode::kNever;
+        kExactSilence ? SilenceMode::kExact
+                      : (M::kCanSilence ? SilenceMode::kPeriodic : SilenceMode::kNever);
     static constexpr bool kGeometricSkips = false;
     static constexpr bool kSuperSteps = false;
+
+    static_assert(!kExactSilence || M::kCanSilence,
+                  "exact silence needs a model that can reach every pair of present states");
 
     /// `entry_point` names the caller in error messages ("simulate",
     /// "run_scenario", ...).
@@ -287,11 +310,15 @@ public:
           model_(std::move(model)),
           entry_point_(entry_point) {
         for (const State q : states_) ++counts_[q];
+        if constexpr (kExactSilence) tracker_.emplace(protocol_, counts_);
     }
 
     std::uint64_t population() const { return states_.size(); }
 
-    bool is_silent() const { return multiset_silent(protocol_, counts_); }
+    bool is_silent() const {
+        if constexpr (kExactSilence) return tracker_->effective_pairs() == 0;
+        return multiset_silent(protocol_, counts_);
+    }
 
     std::uint64_t propose_skip(Rng&) { return 0; }
 
@@ -320,6 +347,12 @@ public:
             --counts_[q];
             ++counts_[next.initiator];
             ++counts_[next.responder];
+            if constexpr (kExactSilence) {
+                tracker_->adjust_count(p, -1);
+                tracker_->adjust_count(q, -1);
+                tracker_->adjust_count(next.initiator, +1);
+                tracker_->adjust_count(next.responder, +1);
+            }
         }
         return outcome;
     }
@@ -349,6 +382,7 @@ public:
                     std::string(entry_point_) + ": checkpoint state out of range");
             ++counts_[q];
         }
+        if constexpr (kExactSilence) tracker_->reset_counts(counts_);
         if constexpr (M::kHasState) {
             require(checkpoint.interaction_model == model_.name(),
                     std::string(entry_point_) + ": checkpoint was taken under interaction "
@@ -370,6 +404,9 @@ private:
     std::vector<std::uint64_t> counts_;
     M model_;
     const char* entry_point_;
+    // Engaged iff kExactSilence (optional keeps the periodic variants free
+    // of the tracker's O(|Q|^2) tables).
+    std::optional<EffectivePairTracker> tracker_;
 };
 
 }  // namespace popproto

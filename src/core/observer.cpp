@@ -83,6 +83,8 @@ const char* observed_engine_name(ObservedEngine engine) {
             return "scheduler";
         case ObservedEngine::kPairModel:
             return "pair_model";
+        case ObservedEngine::kAdaptive:
+            return "adaptive";
     }
     return "unknown";
 }
@@ -91,7 +93,7 @@ bool observed_engine_from_name(const std::string& name, ObservedEngine& engine) 
     for (const ObservedEngine candidate :
          {ObservedEngine::kAgentArray, ObservedEngine::kCountBatch, ObservedEngine::kCollapsed,
           ObservedEngine::kParallelCollapsed, ObservedEngine::kWeighted, ObservedEngine::kGraph,
-          ObservedEngine::kScheduler, ObservedEngine::kPairModel}) {
+          ObservedEngine::kScheduler, ObservedEngine::kPairModel, ObservedEngine::kAdaptive}) {
         if (name == observed_engine_name(candidate)) {
             engine = candidate;
             return true;
@@ -105,6 +107,7 @@ void RunObserver::on_snapshot(std::uint64_t, const CountConfiguration&) {}
 void RunObserver::on_output_change(std::uint64_t) {}
 void RunObserver::on_null_run(std::uint64_t) {}
 void RunObserver::on_silence_check(std::uint64_t, bool) {}
+void RunObserver::on_engine_switch(const EngineSwitchInfo&) {}
 void RunObserver::on_stop(const RunResult&, double) {}
 
 TeeObserver::TeeObserver(std::vector<RunObserver*> observers)
@@ -134,6 +137,10 @@ void TeeObserver::on_null_run(std::uint64_t length) {
 void TeeObserver::on_silence_check(std::uint64_t interaction_index, bool silent) {
     for (RunObserver* observer : observers_)
         observer->on_silence_check(interaction_index, silent);
+}
+
+void TeeObserver::on_engine_switch(const EngineSwitchInfo& info) {
+    for (RunObserver* observer : observers_) observer->on_engine_switch(info);
 }
 
 void TeeObserver::on_stop(const RunResult& result, double wall_seconds) {

@@ -101,6 +101,13 @@ enum class ObservedEngine {
     /// round-robin, sweep, adversarial, dynamic graph, grid mobility).  The
     /// checkpoint's interaction_model section disambiguates which model.
     kPairModel,
+    /// The phase-adaptive dispatcher (simulate_adaptive): one run executed
+    /// as a chain of collapsed / count-batch segments spliced at runtime
+    /// density switches.  Only RunResult::engine and observer events report
+    /// this value; checkpoints always carry the concrete segment engine
+    /// (count_batch or collapsed) plus an `adaptive` monitor section, so
+    /// any segment checkpoint can also resume under its static engine.
+    kAdaptive,
 };
 
 /// Short stable identifier ("agent_array", "count_batch", ...) for logs.
@@ -120,6 +127,23 @@ struct RunStartInfo {
     std::uint64_t max_interactions = 0;
     const CountConfiguration* initial = nullptr;
     const TabulatedProtocol* protocol = nullptr;
+};
+
+/// One phase-adaptive engine switch (simulate_adaptive): the monitor's
+/// decision at the moment the run was spliced from one engine to the other.
+struct EngineSwitchInfo {
+    /// Interaction index of the splice point (the checkpoint-shaped state
+    /// transfer happened exactly here).
+    std::uint64_t interactions = 0;
+    ObservedEngine from = ObservedEngine::kCountBatch;
+    ObservedEngine to = ObservedEngine::kCollapsed;
+    /// The monitor signal x = rho * E[L] that triggered the switch, and the
+    /// hysteresis thresholds it was compared against.
+    double signal = 0.0;
+    double enter_threshold = 0.0;
+    double exit_threshold = 0.0;
+    /// 1-based ordinal of this switch within the run.
+    std::uint64_t switch_index = 0;
 };
 
 /// Abstract run observer.  All callbacks default to no-ops so subclasses
@@ -153,6 +177,11 @@ public:
     /// this).
     virtual void on_silence_check(std::uint64_t interaction_index, bool silent);
 
+    /// The adaptive dispatcher spliced the run onto another engine
+    /// (simulate_adaptive only; static engines never call this).  Delivered
+    /// between the last event of the old segment and the first of the new.
+    virtual void on_engine_switch(const EngineSwitchInfo& info);
+
     /// The run is over; `result` is the exact RunResult the engine returns
     /// and `wall_seconds` the elapsed wall-clock time of the run.
     virtual void on_stop(const RunResult& result, double wall_seconds);
@@ -170,6 +199,7 @@ public:
     void on_output_change(std::uint64_t interaction_index) override;
     void on_null_run(std::uint64_t length) override;
     void on_silence_check(std::uint64_t interaction_index, bool silent) override;
+    void on_engine_switch(const EngineSwitchInfo& info) override;
     void on_stop(const RunResult& result, double wall_seconds) override;
 
 private:

@@ -70,6 +70,9 @@ void require_engine_field(const RunOptions& options, SimulationEngine accepted,
         case SimulationEngine::kCollapsedBatch:
             requested = "kCollapsedBatch";
             break;
+        case SimulationEngine::kAdaptive:
+            requested = "kAdaptive";
+            break;
     }
     require(false, std::string(entry_point) + ": options.engine requests " + requested +
                        ", which this entry point does not run; call run_simulation to "
@@ -95,15 +98,19 @@ namespace {
 //                                        k serialized model words)
 //   shard_rngs <K> <w...>               (parallel collapsed engine only;
 //                                        4K words, shard-major)
+//   adaptive <switches> <last_switch> <next_eval>
+//                                       (adaptive dispatcher segments only;
+//                                        engine-switch monitor state)
 //   counts <k> <c0> ... <c{k-1}>        (count engines)
 //   agents <k> <s0> ... <s{k-1}>        (agent engines)
 //   end
 //
 // All integers are decimal.  Exactly one of counts/agents is present; the
-// interaction_model and shard_rngs lines are present exactly when the run
-// carries a stateful pairing model / shard streams (both are optional
-// lines, so v1 readers of old checkpoints still work and stateless runs
-// serialize byte-identically to pre-model checkpoints).
+// interaction_model, shard_rngs, and adaptive lines are present exactly
+// when the run carries a stateful pairing model / shard streams / a
+// switch monitor (all are optional lines, so v1 readers of old checkpoints
+// still work and plain static runs serialize byte-identically to
+// checkpoints written before each section existed).
 
 /// Line-oriented tokenizer for the grammar above.  The grammar is one key
 /// per line, so every parse error can name the line number and the
@@ -212,6 +219,10 @@ void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint) {
             for (const std::uint64_t word : shard.words) out << ' ' << word;
         out << "\n";
     }
+    if (checkpoint.adaptive) {
+        out << "adaptive " << checkpoint.adaptive_switches << ' '
+            << checkpoint.adaptive_last_switch << ' ' << checkpoint.adaptive_next_eval << "\n";
+    }
     if (!checkpoint.counts.empty()) {
         out << "counts " << checkpoint.counts.size();
         for (const std::uint64_t count : checkpoint.counts) out << ' ' << count;
@@ -267,7 +278,7 @@ RunCheckpoint read_checkpoint(std::istream& in) {
 
     parser.next_line("counts");
     std::string payload =
-        parser.token("'interaction_model', 'shard_rngs', 'counts' or 'agents'");
+        parser.token("'interaction_model', 'shard_rngs', 'adaptive', 'counts' or 'agents'");
     if (payload == "interaction_model") {
         checkpoint.interaction_model = parser.token("interaction model name");
         const std::uint64_t words = parser.u64("model state length");
@@ -277,7 +288,7 @@ RunCheckpoint read_checkpoint(std::istream& in) {
         for (std::uint64_t& word : checkpoint.model_state) word = parser.u64("model word");
         parser.end_line();
         parser.next_line("counts");
-        payload = parser.token("'shard_rngs', 'counts' or 'agents'");
+        payload = parser.token("'shard_rngs', 'adaptive', 'counts' or 'agents'");
     }
     if (payload == "shard_rngs") {
         const std::uint64_t shards = parser.u64("shard count");
@@ -287,6 +298,15 @@ RunCheckpoint read_checkpoint(std::istream& in) {
         for (Rng::StreamState& shard : checkpoint.shard_rngs)
             for (std::uint64_t& shard_word : shard.words)
                 shard_word = parser.u64("shard rng word");
+        parser.end_line();
+        parser.next_line("counts");
+        payload = parser.token("'adaptive', 'counts' or 'agents'");
+    }
+    if (payload == "adaptive") {
+        checkpoint.adaptive = true;
+        checkpoint.adaptive_switches = parser.u64("adaptive switch count");
+        checkpoint.adaptive_last_switch = parser.u64("adaptive last switch");
+        checkpoint.adaptive_next_eval = parser.u64("adaptive next eval");
         parser.end_line();
         parser.next_line("counts");
         payload = parser.token("'counts' or 'agents'");
@@ -312,6 +332,22 @@ RunCheckpoint read_checkpoint(std::istream& in) {
     parser.expect("end");
     parser.end_line();
     return checkpoint;
+}
+
+void transfer_checkpoint_engine(RunCheckpoint& checkpoint, ObservedEngine target) {
+    require(target == ObservedEngine::kCountBatch || target == ObservedEngine::kCollapsed,
+            "transfer_checkpoint_engine: target must be count_batch or collapsed");
+    require(checkpoint.engine == ObservedEngine::kCountBatch ||
+                checkpoint.engine == ObservedEngine::kCollapsed,
+            std::string("transfer_checkpoint_engine: cannot transfer a ") +
+                observed_engine_name(checkpoint.engine) + " checkpoint");
+    require(!checkpoint.has_pending_skip,
+            "transfer_checkpoint_engine: checkpoint carries a pending null skip");
+    require(checkpoint.shard_rngs.empty(),
+            "transfer_checkpoint_engine: checkpoint carries shard RNG streams");
+    require(!checkpoint.counts.empty() && checkpoint.agent_states.empty(),
+            "transfer_checkpoint_engine: checkpoint must carry a count configuration");
+    checkpoint.engine = target;
 }
 
 std::string checkpoint_to_string(const RunCheckpoint& checkpoint) {

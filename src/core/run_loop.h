@@ -124,6 +124,18 @@ struct RunCheckpoint {
     /// requires the same K (the serial engine leaves this empty).
     std::vector<Rng::StreamState> shard_rngs;
 
+    /// Phase-adaptive dispatcher section (simulate_adaptive): the engine
+    /// monitor's mutable state at the cut, so a resumed adaptive run replays
+    /// its switch decisions exactly.  `engine` still names the concrete
+    /// segment engine (count_batch or collapsed) that wrote the checkpoint —
+    /// static-engine resumes of an adaptive checkpoint remain legal and the
+    /// section is simply ignored there.  Thresholds are not captured; the
+    /// caller re-supplies RunOptions::adaptive like the seed.
+    bool adaptive = false;
+    std::uint64_t adaptive_switches = 0;
+    std::uint64_t adaptive_last_switch = 0;
+    std::uint64_t adaptive_next_eval = 0;
+
     /// Interaction-model section: which pairing model drove the run and the
     /// model's serialized word state (cursor positions, permutations, agent
     /// positions — see interaction_model.h).  Stateless built-in models
@@ -177,6 +189,18 @@ void write_checkpoint_atomic(const std::string& path, const RunCheckpoint& check
 /// std::invalid_argument with the line number and offending token on
 /// malformed content.
 RunCheckpoint read_checkpoint_file(const std::string& path);
+
+/// Re-labels `checkpoint` for resumption under another engine — the
+/// checkpoint-shaped state transfer at the heart of the adaptive dispatcher.
+/// Legal exactly between the two count-representation engines (count_batch
+/// <-> collapsed): both suspend to the same payload (counts + one serial RNG
+/// stream + counters), so flipping the engine tag *is* the transfer and the
+/// resumed run draws from the identical stream position.  Throws when the
+/// source or target engine is not transferable, when a pending null skip is
+/// outstanding (the skip draw belongs to the source engine's stream
+/// semantics), or when the checkpoint carries shard streams or a per-agent
+/// configuration.
+void transfer_checkpoint_engine(RunCheckpoint& checkpoint, ObservedEngine target);
 
 // ---------------------------------------------------------------------------
 // The Stepper concept
@@ -326,6 +350,8 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
             where + ": checkpoint_every requires a checkpoint_sink");
     require(options.pause_after == 0 || options.checkpoint_sink != nullptr,
             where + ": pause_after requires a checkpoint_sink");
+    require(options.switch_monitor == nullptr || options.checkpoint_sink != nullptr,
+            where + ": switch_monitor requires a checkpoint_sink");
     if constexpr (!ParallelStepper<S>) {
         // threads == 0 (auto) is fine — it resolves to 1 for sequential
         // engines — but an explicit request for parallelism is not.
@@ -414,6 +440,12 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
         checkpoint.changed_since_silence_check = changed_since_check != 0;
         checkpoint.has_pending_skip = has_pending;
         checkpoint.pending_null_skips = pending;
+        if (options.switch_monitor != nullptr) {
+            checkpoint.adaptive = true;
+            checkpoint.adaptive_switches = options.switch_monitor->switches();
+            checkpoint.adaptive_last_switch = options.switch_monitor->last_switch();
+            checkpoint.adaptive_next_eval = options.switch_monitor->next_eval();
+        }
         stepper.save(checkpoint);
         options.checkpoint_sink->on_checkpoint(checkpoint);
         if (result.interactions >= pause_at) paused = true;
@@ -495,6 +527,26 @@ RunResult run_loop(S& stepper, const TabulatedProtocol& protocol, const RunOptio
         if (result.interactions >= next_checkpoint) {
             take_checkpoint(has_pending_skip ? pending_skip : 0, has_pending_skip);
             if (paused) break;
+        }
+        // Phase-adaptive dispatch: when the driver planted a switch monitor,
+        // poll it at the same loop boundaries checkpoints land on — but only
+        // for steppers that expose their exact effective-pair count W, and
+        // never while a pending null skip is outstanding (the uninterrupted
+        // run evaluates W at the skip's *start* index; re-polling mid-skip
+        // after a resume would diverge from it).  A requested switch is
+        // exactly a pause: capture the transfer checkpoint here and let the
+        // driver resume it under the other engine.  Evaluating the signal
+        // consumes no randomness, so unmonitored segments stay bit-identical.
+        if constexpr (requires(const S& s) {
+                          { s.effective_pairs() } -> std::convertible_to<std::uint64_t>;
+                      }) {
+            EngineSwitchMonitor* const monitor = options.switch_monitor;
+            if (monitor != nullptr && !has_pending_skip && monitor->due(result.interactions) &&
+                monitor->consider(result.interactions, stepper.effective_pairs())) {
+                take_checkpoint(0, false);
+                paused = true;
+                break;
+            }
         }
 
         if constexpr (SuperStepStepper<S>) {

@@ -18,10 +18,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
 #include "core/configuration.h"
+#include "core/engine_monitor.h"
 #include "core/observer.h"
 #include "core/rng.h"
 #include "core/tabulated_protocol.h"
@@ -49,8 +51,9 @@ struct RunCheckpoint;
 enum class SimulationEngine {
     /// Defer to the call site: `run_simulation` selects by population size
     /// (agent array below kAutoCountBatchThreshold, count-batch up to
-    /// kAutoCollapsedThreshold, collapsed beyond), and each direct entry
-    /// point runs itself.
+    /// kAutoCollapsedThreshold, the phase-adaptive dispatcher beyond —
+    /// threads > 1 still pins the collapsed engine, the only parallel one),
+    /// and each direct entry point runs itself.
     kAuto,
     /// Expanded agent array, one RNG draw per agent per interaction.  The
     /// reference implementation: O(n) memory, O(1) per interaction.
@@ -68,6 +71,13 @@ enum class SimulationEngine {
     /// trajectory sensitive to snapshot/checkpoint boundary placement; see
     /// collapsed_simulator.h).
     kCollapsedBatch,
+    /// Phase-adaptive dispatcher (adaptive_simulator.h): starts on whichever
+    /// of collapsed / count-batch the initial density favours and switches
+    /// mid-run as the effective-interaction fraction crosses the hysteresis
+    /// thresholds in RunOptions::adaptive — a checkpoint-shaped state
+    /// transfer at a loop boundary, bit-identical to a manual splice at the
+    /// same index.  Serial only (threads <= 1).
+    kAdaptive,
 };
 
 /// `run_simulation` auto-selection crossovers (populations at or above the
@@ -76,7 +86,11 @@ enum class SimulationEngine {
 /// (PR 1 measured ~70000x at n = 2^20 on sparse phases), and the collapsed
 /// engine overtakes it on dense phases around n = 2^20 (>= 10x there, no
 /// regression above ~2^12; below that count-batch's O(1)-per-skipped-null
-/// geometric jumps win on sparse tails).
+/// geometric jumps win on sparse tails).  At or above
+/// kAutoCollapsedThreshold the regime *within* a run matters more than its
+/// size, so kAuto hands those runs to the phase-adaptive dispatcher
+/// (adaptive_simulator.h), which starts on whichever side the initial
+/// density favours and re-decides at runtime.
 inline constexpr std::uint64_t kAutoCountBatchThreshold = std::uint64_t{1} << 12;
 inline constexpr std::uint64_t kAutoCollapsedThreshold = std::uint64_t{1} << 20;
 
@@ -182,6 +196,39 @@ struct RunOptions {
     /// collector.  One collector instruments one run at a time (it resets
     /// itself in begin_run), so `measure_trials` rejects it.
     telemetry::RunTelemetryCollector* telemetry = nullptr;
+
+    /// Phase-adaptive dispatcher tuning (engine == kAdaptive, or kAuto runs
+    /// large enough that run_simulation routes them adaptively): hysteresis
+    /// thresholds on the density signal x = rho * E[L], the monitor poll
+    /// period, and the minimum dwell between switches (engine_monitor.h).
+    AdaptiveOptions adaptive;
+
+    /// Opt-in mean-field fast-forward for the adaptive dispatcher: when the
+    /// run enters on the dense (collapsed) side, hand the dense bulk to the
+    /// fluid-limit ODE and re-seed the stochastic run from the integrated
+    /// densities at the predicted collapse of the signal below
+    /// adaptive.exit_collapsed.  This is an *approximation* — the resumed
+    /// trajectory is sampled from the mean-field densities, not the exact
+    /// chain, and interaction counters advance by the fluid estimate — so
+    /// it is excluded from every bit-identity contract and off by default.
+    /// Requires `fluid_hook` (meanfield/fluid_assist.h supplies the
+    /// standard one; core cannot depend on the meanfield library, hence the
+    /// indirection).
+    bool fluid_assist = false;
+
+    /// The fast-forward implementation consulted when `fluid_assist` is
+    /// set: returns a synthetic count-batch checkpoint to resume from, or
+    /// nullopt to decline (e.g. the ODE never leaves the dense regime
+    /// within its horizon, or the protocol has no usable fluid limit).
+    std::function<std::optional<RunCheckpoint>(
+        const TabulatedProtocol& protocol, const CountConfiguration& initial,
+        const RunOptions& options)>
+        fluid_hook;
+
+    /// Internal plumbing of simulate_adaptive: the per-segment monitor the
+    /// kernel polls at loop boundaries.  Not a user-facing option — the
+    /// driver owns the monitor's lifetime; leave nullptr.
+    EngineSwitchMonitor* switch_monitor = nullptr;
 };
 
 /// Why a run stopped.

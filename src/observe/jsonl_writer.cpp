@@ -80,7 +80,18 @@ std::string telemetry_line(const telemetry::RunTelemetry& data) {
              << ",\"busy_ns\":" << data.shards[k].busy_ns
              << ",\"wait_ns\":" << data.shards[k].wait_ns << '}';
     }
-    line << "],\"pool_rounds\":" << data.pool_rounds
+    line << ']';
+    if (!data.engine_segments.empty()) {
+        line << ",\"engine_switches\":" << data.engine_switches << ",\"engine_segments\":[";
+        for (std::size_t k = 0; k < data.engine_segments.size(); ++k) {
+            if (k != 0) line << ',';
+            line << "{\"engine\":\"" << data.engine_segments[k].engine
+                 << "\",\"interactions\":" << data.engine_segments[k].interactions
+                 << ",\"wall_ns\":" << data.engine_segments[k].wall_ns << '}';
+        }
+        line << ']';
+    }
+    line << ",\"pool_rounds\":" << data.pool_rounds
          << ",\"inline_rounds\":" << data.inline_rounds
          << ",\"super_steps\":" << data.super_steps
          << ",\"clamped_super_steps\":" << data.clamped_super_steps
@@ -170,6 +181,16 @@ void JsonlTraceWriter::on_snapshot(std::uint64_t interaction_index,
 void JsonlTraceWriter::on_output_change(std::uint64_t interaction_index) {
     std::ostringstream line;
     line << "{\"event\":\"output_change\",\"t\":" << interaction_index << '}';
+    write_line(line.str());
+}
+
+void JsonlTraceWriter::on_engine_switch(const EngineSwitchInfo& info) {
+    std::ostringstream line;
+    line << "{\"event\":\"engine_switch\",\"t\":" << info.interactions << ",\"from\":\""
+         << observed_engine_name(info.from) << "\",\"to\":\"" << observed_engine_name(info.to)
+         << "\",\"signal\":" << info.signal << ",\"enter_threshold\":" << info.enter_threshold
+         << ",\"exit_threshold\":" << info.exit_threshold
+         << ",\"switch_index\":" << info.switch_index << '}';
     write_line(line.str());
 }
 

@@ -55,6 +55,11 @@ public:
                      const CountConfiguration& configuration) override;
     void on_output_change(std::uint64_t interaction_index) override;
 
+    /// Emits an "engine_switch" event (adaptive runs only): the interaction
+    /// index of the splice, both engines, and the monitor signal that
+    /// triggered it.
+    void on_engine_switch(const EngineSwitchInfo& info) override;
+
     /// Emits the "stop" event, preceded by a "telemetry" event when the run
     /// carried a RunTelemetry (RunOptions::telemetry was set).
     void on_stop(const RunResult& result, double wall_seconds) override;

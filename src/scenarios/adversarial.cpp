@@ -1,7 +1,7 @@
 #include "scenarios/adversarial.h"
 
 #include <algorithm>
-#include <numeric>
+#include <array>
 
 #include "core/require.h"
 
@@ -12,58 +12,106 @@ AdversarialCoverModel::AdversarialCoverModel(const TabulatedProtocol& protocol,
                                              std::uint64_t probe_window)
     : protocol_(protocol),
       num_agents_(num_agents),
+      num_pairs_(num_agents * (num_agents - 1)),
       probe_window_(probe_window),
-      permutation_(num_agents * (num_agents - 1)),
-      cursor_(permutation_.size()) {  // first propose_pair shuffles an epoch
+      overlay_(std::min(probe_window, num_agents * (num_agents - 1))),
+      cursor_(num_agents * (num_agents - 1)) {  // first propose_pair keys an epoch
     require(num_agents >= 2, "AdversarialCoverModel: need at least two agents");
-    std::iota(permutation_.begin(), permutation_.end(), std::uint64_t{0});
+    permutation_ = FeistelPermutation(
+        num_pairs_, std::array<std::uint64_t, FeistelPermutation::kRounds>{});
+}
+
+std::uint64_t AdversarialCoverModel::entry_at(std::uint64_t pos) const {
+    if (!overlay_.empty()) {
+        const OverlayEntry& slot = overlay_[pos % overlay_.size()];
+        if (slot.pos == pos) return slot.value;
+    }
+    return permutation_(pos);
+}
+
+void AdversarialCoverModel::set_entry(std::uint64_t pos, std::uint64_t value) {
+    overlay_[pos % overlay_.size()] = {pos, value};
+}
+
+void AdversarialCoverModel::clear_overlay() {
+    // Positions repeat across epochs, so stale entries must not survive a
+    // rekey.  O(probe_window) once per n(n-1)-step epoch.
+    std::fill(overlay_.begin(), overlay_.end(), OverlayEntry{});
 }
 
 AgentPair AdversarialCoverModel::propose_pair(Rng& rng, const std::vector<State>& states) {
-    if (cursor_ == permutation_.size()) {
-        // Fresh epoch: a uniformly random permutation of all ordered pairs,
-        // drawn from the kernel stream (so checkpoints capture it exactly).
-        for (std::size_t i = permutation_.size(); i > 1; --i)
-            std::swap(permutation_[i - 1], permutation_[rng.below(i)]);
+    if (cursor_ == num_pairs_) {
+        // Fresh epoch: a new pseudorandom permutation of all ordered pairs,
+        // keyed from the kernel stream (so checkpoints capture it exactly).
+        permutation_.rekey(rng);
+        clear_overlay();
         cursor_ = 0;
     }
     // Lazy-adaptive probe: prefer a null interaction from the next
     // probe_window entries of the epoch.  Swapping the found entry to the
     // cursor only reorders within the epoch, so the exactly-once-per-epoch
     // cover invariant (and with it fairness) is preserved.
-    const std::size_t limit =
-        std::min<std::size_t>(cursor_ + probe_window_, permutation_.size());
-    for (std::size_t k = cursor_; k < limit; ++k) {
-        const AgentPair candidate = decode_ordered_pair(permutation_[k], num_agents_);
+    const std::uint64_t limit = std::min(cursor_ + probe_window_, num_pairs_);
+    for (std::uint64_t k = cursor_; k < limit; ++k) {
+        const std::uint64_t candidate_index = entry_at(k);
+        const AgentPair candidate = decode_ordered_pair(candidate_index, num_agents_);
         const State p = states[candidate.first];
         const State q = states[candidate.second];
         const StatePair next = protocol_.apply_fast(p, q);
         if (next.initiator == p && next.responder == q) {
-            std::swap(permutation_[cursor_], permutation_[k]);
+            if (k != cursor_) {
+                const std::uint64_t displaced = entry_at(cursor_);
+                set_entry(cursor_, candidate_index);
+                set_entry(k, displaced);
+            }
             break;
         }
     }
-    const AgentPair pair = decode_ordered_pair(permutation_[cursor_], num_agents_);
+    const AgentPair pair = decode_ordered_pair(entry_at(cursor_), num_agents_);
     ++cursor_;
     return pair;
 }
 
 void AdversarialCoverModel::save_state(std::vector<std::uint64_t>& words) const {
     words.clear();
-    words.reserve(1 + permutation_.size());
+    words.reserve(2 + FeistelPermutation::kRounds + 2 * overlay_.size());
     words.push_back(cursor_);
-    words.insert(words.end(), permutation_.begin(), permutation_.end());
+    const auto& keys = permutation_.keys();
+    words.insert(words.end(), keys.begin(), keys.end());
+    // Live overlay entries (pos >= cursor; older ones are consumed), sorted
+    // by position so the serialization is canonical.
+    std::vector<const OverlayEntry*> live;
+    for (const OverlayEntry& slot : overlay_)
+        if (slot.pos != OverlayEntry::kEmpty && slot.pos >= cursor_) live.push_back(&slot);
+    std::sort(live.begin(), live.end(),
+              [](const OverlayEntry* a, const OverlayEntry* b) { return a->pos < b->pos; });
+    words.push_back(live.size());
+    for (const OverlayEntry* slot : live) {
+        words.push_back(slot->pos);
+        words.push_back(slot->value);
+    }
 }
 
 void AdversarialCoverModel::restore_state(const std::vector<std::uint64_t>& words) {
-    require(words.size() == 1 + permutation_.size(),
+    require(words.size() >= 2 + FeistelPermutation::kRounds,
             "adversarial: checkpoint model state has the wrong length");
-    require(words[0] <= permutation_.size(), "adversarial: checkpoint cursor out of range");
+    require(words[0] <= num_pairs_, "adversarial: checkpoint cursor out of range");
+    const std::uint64_t num_live = words[1 + FeistelPermutation::kRounds];
+    require(num_live <= overlay_.size(),
+            "adversarial: checkpoint overlay larger than the probe window");
+    require(words.size() == 2 + FeistelPermutation::kRounds + 2 * num_live,
+            "adversarial: checkpoint model state has the wrong length");
     cursor_ = words[0];
-    for (std::size_t i = 0; i < permutation_.size(); ++i) {
-        require(words[1 + i] < permutation_.size(),
-                "adversarial: checkpoint permutation entry out of range");
-        permutation_[i] = words[1 + i];
+    std::array<std::uint64_t, FeistelPermutation::kRounds> keys;
+    std::copy(words.begin() + 1, words.begin() + 1 + FeistelPermutation::kRounds, keys.begin());
+    permutation_ = FeistelPermutation(num_pairs_, keys);
+    clear_overlay();
+    for (std::uint64_t i = 0; i < num_live; ++i) {
+        const std::uint64_t pos = words[2 + FeistelPermutation::kRounds + 2 * i];
+        const std::uint64_t value = words[3 + FeistelPermutation::kRounds + 2 * i];
+        require(pos >= cursor_ && pos < num_pairs_ && value < num_pairs_,
+                "adversarial: checkpoint overlay entry out of range");
+        set_entry(pos, value);
     }
 }
 

@@ -15,10 +15,15 @@
 //     current configuration) when it can find one, delaying progress as
 //     long as the cover invariant allows.
 //
-// Epoch shuffles draw from the kernel RNG stream and the permutation plus
-// cursor serialize into the checkpoint's interaction_model section, so
-// adversarial runs checkpoint/resume bit-identically — including cuts in
-// the middle of an epoch.
+// The epoch permutation is lazy — a keyed Feistel bijection of the pair
+// indices (core/feistel.h) rekeyed from the kernel RNG stream each epoch —
+// so the model's state is O(probe_window), not O(n^2): probe swaps, the
+// only in-epoch mutations, only ever displace an entry by less than
+// probe_window positions, so they live in a small ring-buffer overlay on
+// top of the Feistel image until the cursor passes them.  The cursor, the
+// round keys, and the live overlay serialize into the checkpoint's
+// interaction_model section, so adversarial runs checkpoint/resume
+// bit-identically — including cuts in the middle of an epoch.
 
 #ifndef POPPROTO_SCENARIOS_ADVERSARIAL_H
 #define POPPROTO_SCENARIOS_ADVERSARIAL_H
@@ -26,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/feistel.h"
 #include "core/interaction_model.h"
 #include "core/tabulated_protocol.h"
 
@@ -47,7 +53,7 @@ public:
 
     const char* name() const { return kName; }
     bool checkpointable() const { return true; }
-    std::uint64_t num_pairs() const { return permutation_.size(); }
+    std::uint64_t num_pairs() const { return num_pairs_; }
 
     AgentPair propose_pair(Rng& rng, const std::vector<State>& states);
 
@@ -55,11 +61,29 @@ public:
     void restore_state(const std::vector<std::uint64_t>& words);
 
 private:
+    /// One displaced permutation entry: epoch position `pos` holds pair
+    /// index `value` instead of the Feistel image.  kEmpty marks a free
+    /// slot (positions are < n(n-1) < 2^64).
+    struct OverlayEntry {
+        static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+        std::uint64_t pos = kEmpty;
+        std::uint64_t value = 0;
+    };
+
+    std::uint64_t entry_at(std::uint64_t pos) const;
+    void set_entry(std::uint64_t pos, std::uint64_t value);
+    void clear_overlay();
+
     const TabulatedProtocol& protocol_;
     std::uint64_t num_agents_ = 0;
+    std::uint64_t num_pairs_ = 0;
     std::uint64_t probe_window_ = 0;
-    std::vector<std::uint64_t> permutation_;  // pair indices, one epoch
-    std::uint64_t cursor_ = 0;                // == size() forces a reshuffle
+    FeistelPermutation permutation_;  // this epoch's keys
+    // Ring buffer (slot = pos % size) of live probe swaps; every live
+    // entry's pos lies in [cursor_, cursor_ + probe_window), so
+    // min(probe_window, num_pairs) slots never collide.
+    std::vector<OverlayEntry> overlay_;
+    std::uint64_t cursor_ = 0;  // == num_pairs forces a rekey (fresh epoch)
 };
 
 static_assert(InteractionModel<AdversarialCoverModel>);

@@ -86,6 +86,9 @@ public:
     void on_output_change(std::uint64_t interaction_index) override {
         if (listening()) writer_.on_output_change(interaction_index);
     }
+    void on_engine_switch(const EngineSwitchInfo& info) override {
+        if (listening()) writer_.on_engine_switch(info);
+    }
     void on_stop(const RunResult& result, double wall_seconds) override {
         if (result.stop_reason != StopReason::kPaused && listening())
             writer_.on_stop(result, wall_seconds);

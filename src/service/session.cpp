@@ -174,8 +174,9 @@ SimulationEngine parse_engine_name(const std::string& name) {
     if (name == "agent") return SimulationEngine::kAgentArray;
     if (name == "batch") return SimulationEngine::kCountBatch;
     if (name == "collapsed") return SimulationEngine::kCollapsedBatch;
+    if (name == "adaptive") return SimulationEngine::kAdaptive;
     throw std::invalid_argument("unknown engine \"" + name +
-                                "\" (auto|agent|batch|collapsed)");
+                                "\" (auto|agent|batch|collapsed|adaptive)");
 }
 
 const char* session_state_name(SessionState state) {

@@ -51,7 +51,8 @@ struct SessionSpec {
     /// Agents per input symbol (CountConfiguration::from_input_counts).
     std::vector<std::uint64_t> counts;
 
-    /// "auto" | "agent" | "batch" | "collapsed" (run_simulation dispatch).
+    /// "auto" | "agent" | "batch" | "collapsed" | "adaptive" (run_simulation
+    /// dispatch; "adaptive" switches batch <-> collapsed mid-run).
     std::string engine = "auto";
 
     /// Pairing discipline: "uniform" (the classic scheduler, dispatched via

@@ -46,6 +46,26 @@ void write_chrome_trace(std::ostream& out, const RunTelemetry& telemetry) {
                           tid == 0 ? "run_loop" : "shard " + std::to_string(tid - 1), first);
     }
 
+    // Adaptive runs: one span per engine segment on a dedicated lane, laid
+    // end-to-end by cumulative segment wall time (the segment log records
+    // durations, not absolute stamps; the switch transfers between them are
+    // the kEngineSwitch spans on the run_loop lane).
+    if (!telemetry.engine_segments.empty()) {
+        const std::uint32_t segments_tid = *tids.rbegin() + 1;
+        write_thread_name(out, segments_tid, "engine segments", first);
+        std::uint64_t cursor_ns = 0;
+        for (const auto& segment : telemetry.engine_segments) {
+            out << ",\n";
+            out << R"({"ph":"X","pid":0,"tid":)" << segments_tid << ",\"ts\":";
+            write_us(out, cursor_ns);
+            out << ",\"dur\":";
+            write_us(out, segment.wall_ns);
+            out << ",\"name\":\"" << segment.engine << "\",\"args\":{\"interactions\":"
+                << segment.interactions << "}}";
+            cursor_ns += segment.wall_ns;
+        }
+    }
+
     for (const TraceSpan& span : telemetry.spans) {
         if (!first) out << ",\n";
         first = false;

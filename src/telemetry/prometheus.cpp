@@ -122,6 +122,27 @@ void write_prometheus(std::ostream& out, const RunTelemetry& telemetry) {
             << telemetry.null_interactions_skipped << '\n';
     }
 
+    if (!telemetry.engine_segments.empty()) {
+        family(out, "popproto_engine_switches_total", "counter",
+               "Mid-run engine switches performed by the adaptive dispatcher.");
+        out << "popproto_engine_switches_total " << telemetry.engine_switches << '\n';
+        family(out, "popproto_engine_segment_seconds_total", "counter",
+               "Wall seconds per adaptive engine segment, in execution order.");
+        for (std::size_t k = 0; k < telemetry.engine_segments.size(); ++k) {
+            out << "popproto_engine_segment_seconds_total{segment=\"" << k
+                << "\",engine=\"" << telemetry.engine_segments[k].engine << "\"} ";
+            write_seconds(out, telemetry.engine_segments[k].wall_ns);
+            out << '\n';
+        }
+        family(out, "popproto_engine_segment_interactions_total", "counter",
+               "Interactions attributed to each adaptive engine segment.");
+        for (std::size_t k = 0; k < telemetry.engine_segments.size(); ++k) {
+            out << "popproto_engine_segment_interactions_total{segment=\"" << k
+                << "\",engine=\"" << telemetry.engine_segments[k].engine << "\"} "
+                << telemetry.engine_segments[k].interactions << '\n';
+        }
+    }
+
     family(out, "popproto_trace_spans_dropped_total", "counter",
            "Trace spans beyond the collector capacity (stats stay exact).");
     out << "popproto_trace_spans_dropped_total " << telemetry.spans_dropped << '\n';

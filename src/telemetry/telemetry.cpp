@@ -32,6 +32,8 @@ const char* phase_name(Phase phase) {
             return "w_recompute";
         case Phase::kShardTask:
             return "shard_task";
+        case Phase::kEngineSwitch:
+            return "engine_switch";
         case Phase::kCount:
             break;
     }
@@ -159,11 +161,23 @@ void RunTelemetryCollector::reset() {
     pool_ = PoolTelemetry();
     live_interactions_.store(0, std::memory_order_relaxed);
     running_ = false;
+    adaptive_scope_ = false;
+    segment_engine_.clear();
+    segment_start_ns_ = 0;
+    segment_boundary_interactions_ = 0;
 }
 
 void RunTelemetryCollector::begin_run(const char* engine, std::uint64_t population,
                                       unsigned threads) {
     if constexpr (!kCompiledIn) return;
+    if (adaptive_scope_ && running_) {
+        // Segment boundary inside an adaptive run: keep the epoch, phase
+        // stats, and counters accumulating; just note which concrete engine
+        // the next stretch of interactions executes on.
+        segment_engine_ = engine;
+        segment_start_ns_ = now_ns();
+        return;
+    }
     reset();
     epoch_ = std::chrono::steady_clock::now();
     data_->enabled = true;
@@ -178,6 +192,18 @@ void RunTelemetryCollector::finish_run(std::uint64_t interactions,
                                        std::uint64_t effective_interactions) {
     if constexpr (!kCompiledIn) return;
     if (!running_) return;
+    if (adaptive_scope_) {
+        // Segment boundary: close this segment's attribution entry using
+        // the loop's exact final interaction index (the live counter may be
+        // stale — the loop publishes *after* the iteration that broke) and
+        // keep the run open for the next segment.
+        data_->engine_segments.push_back({segment_engine_,
+                                          interactions - segment_boundary_interactions_,
+                                          now_ns() - segment_start_ns_});
+        segment_boundary_interactions_ = interactions;
+        publish_interactions(interactions);
+        return;
+    }
     running_ = false;
     RunTelemetry& data = *data_;
     data.wall_ns = now_ns();
@@ -213,6 +239,25 @@ void RunTelemetryCollector::finish_run(std::uint64_t interactions,
 
     data.counters = registry_.counters();
     data.histograms = registry_.histograms();
+}
+
+void RunTelemetryCollector::begin_adaptive_run(std::uint64_t population, unsigned threads,
+                                               std::uint64_t start_interactions) {
+    if constexpr (!kCompiledIn) return;
+    begin_run("adaptive", population, threads);
+    adaptive_scope_ = true;
+    segment_boundary_interactions_ = start_interactions;
+}
+
+void RunTelemetryCollector::finish_adaptive_run(std::uint64_t interactions,
+                                                std::uint64_t effective_interactions) {
+    if constexpr (!kCompiledIn) return;
+    adaptive_scope_ = false;
+    if (running_) {
+        data_->engine_switches =
+            data_->engine_segments.empty() ? 0 : data_->engine_segments.size() - 1;
+        finish_run(interactions, effective_interactions);
+    }
 }
 
 void RunTelemetryCollector::record_phase(Phase phase, std::uint64_t begin_ns,
@@ -283,6 +328,15 @@ std::string RunTelemetry::to_string() const {
     if (geometric_skips != 0) {
         out << "geometric skips: " << geometric_skips << " runs, "
             << null_interactions_skipped << " null interactions skipped\n";
+    }
+    if (!engine_segments.empty()) {
+        out << "engine segments (" << engine_switches << " switches):\n";
+        for (std::size_t k = 0; k < engine_segments.size(); ++k) {
+            const EngineSegment& segment = engine_segments[k];
+            out << "  segment " << k << ": " << segment.engine << ", "
+                << segment.interactions << " interactions, " << format_ms(segment.wall_ns)
+                << " ms\n";
+        }
     }
     out << "spans: " << spans.size() << " recorded, " << spans_dropped << " dropped\n";
     return out.str();

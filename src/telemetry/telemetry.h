@@ -80,6 +80,7 @@ enum class Phase : std::uint8_t {
     kCollisionFixup,    ///< the single colliding interaction (nested)
     kWRecompute,        ///< effective-pair (W) recount (nested)
     kShardTask,         ///< one shard's task body (worker thread, span only)
+    kEngineSwitch,      ///< adaptive dispatcher: checkpoint-shaped state transfer
     kCount
 };
 
@@ -226,6 +227,17 @@ struct RunTelemetry {
     std::uint64_t geometric_skips = 0;
     std::uint64_t null_interactions_skipped = 0;
 
+    /// Phase-adaptive dispatcher accounting: one entry per engine segment,
+    /// in execution order, attributing the run's interactions and wall time
+    /// to the concrete engine that executed them.  Empty for static engines.
+    struct EngineSegment {
+        std::string engine;  ///< observed_engine_name of the segment engine
+        std::uint64_t interactions = 0;
+        std::uint64_t wall_ns = 0;
+    };
+    std::vector<EngineSegment> engine_segments;
+    std::uint64_t engine_switches = 0;
+
     /// Bounded span log for the Chrome trace exporter; spans beyond the
     /// collector's capacity are counted in spans_dropped, never silently
     /// lost.  Durations in the phase stats are exact regardless.
@@ -311,6 +323,20 @@ public:
     void begin_run(const char* engine, std::uint64_t population, unsigned threads);
     void finish_run(std::uint64_t interactions, std::uint64_t effective_interactions);
 
+    /// Adaptive-run scope (simulate_adaptive).  The driver brackets the
+    /// whole run with begin_adaptive_run / finish_adaptive_run; in between,
+    /// each engine segment's run_loop still calls begin_run / finish_run,
+    /// which the scope downgrades to *segment* boundaries: the epoch, phase
+    /// stats, and counters accumulate across segments, and each inner
+    /// finish_run closes one RunTelemetry::engine_segments entry instead of
+    /// finalizing.  `start_interactions` is the resume point (nonzero when
+    /// the adaptive run itself resumed from a checkpoint), so segment
+    /// interaction attribution stays exact across suspends.
+    void begin_adaptive_run(std::uint64_t population, unsigned threads,
+                            std::uint64_t start_interactions);
+    void finish_adaptive_run(std::uint64_t interactions,
+                             std::uint64_t effective_interactions);
+
     void record_phase(Phase phase, std::uint64_t begin_ns, std::uint64_t end_ns,
                       std::uint32_t tid = 0);
 
@@ -373,6 +399,11 @@ private:
     TelemetryRegistry registry_;
     PoolTelemetry pool_;
     bool running_ = false;
+    // Adaptive-run scope state (see begin_adaptive_run).
+    bool adaptive_scope_ = false;
+    std::string segment_engine_;
+    std::uint64_t segment_start_ns_ = 0;
+    std::uint64_t segment_boundary_interactions_ = 0;
 };
 
 /// RAII phase timer: records one record_phase interval on destruction.

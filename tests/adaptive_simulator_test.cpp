@@ -1,0 +1,337 @@
+// Phase-adaptive dispatcher tests: switch-as-checkpoint bit-identity
+// against a manually spliced run, checkpoint/resume cut on and around a
+// switch boundary, dwell-based thrash suppression, entry-engine selection,
+// and per-engine telemetry attribution.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_simulator.h"
+#include "core/batch_simulator.h"
+#include "core/collapsed_simulator.h"
+#include "core/configuration.h"
+#include "core/engine_monitor.h"
+#include "core/observer.h"
+#include "core/run_loop.h"
+#include "core/simulator.h"
+#include "meanfield/fluid_assist.h"
+#include "protocols/epidemic.h"
+#include "telemetry/telemetry.h"
+
+namespace popproto {
+namespace {
+
+class CollectingSink final : public CheckpointSink {
+public:
+    void on_checkpoint(const RunCheckpoint& checkpoint) override {
+        checkpoints.push_back(checkpoint);
+    }
+    std::vector<RunCheckpoint> checkpoints;
+};
+
+class SwitchRecorder final : public RunObserver {
+public:
+    void on_engine_switch(const EngineSwitchInfo& info) override { switches.push_back(info); }
+    std::vector<EngineSwitchInfo> switches;
+};
+
+void expect_same_run(const RunResult& actual, const RunResult& expected) {
+    EXPECT_EQ(actual.stop_reason, expected.stop_reason);
+    EXPECT_EQ(actual.interactions, expected.interactions);
+    EXPECT_EQ(actual.effective_interactions, expected.effective_interactions);
+    EXPECT_EQ(actual.last_output_change, expected.last_output_change);
+    EXPECT_EQ(actual.final_configuration, expected.final_configuration);
+    EXPECT_EQ(actual.consensus, expected.consensus);
+}
+
+// A single-seed epidemic large enough for the default thresholds to switch
+// twice (sparse -> dense -> sparse) but small enough for sub-second tests.
+constexpr std::uint64_t kPopulation = 1 << 14;
+
+RunOptions adaptive_options(std::uint64_t seed) {
+    RunOptions options;
+    options.engine = SimulationEngine::kAdaptive;
+    options.seed = seed;
+    return options;
+}
+
+// The core tentpole guarantee: an adaptive run is bit-identical to manually
+// pausing a static run at each recorded switch index, transferring the
+// checkpoint to the other engine, and resuming — the switch IS a
+// checkpoint round-trip.
+TEST(AdaptiveSimulator, BitIdenticalToManualSplice) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial =
+        CountConfiguration::from_input_counts(*protocol, {kPopulation - 1, 1});
+
+    SwitchRecorder recorder;
+    RunOptions options = adaptive_options(7);
+    options.observer = &recorder;
+    const RunResult adaptive = simulate_adaptive(*protocol, initial, options);
+    EXPECT_EQ(adaptive.engine, ObservedEngine::kAdaptive);
+    EXPECT_EQ(adaptive.stop_reason, StopReason::kSilent);
+    // Full epidemic: sparse tail on both ends of the dense transient.
+    ASSERT_EQ(recorder.switches.size(), 2u);
+    EXPECT_EQ(recorder.switches[0].from, ObservedEngine::kCountBatch);
+    EXPECT_EQ(recorder.switches[0].to, ObservedEngine::kCollapsed);
+    EXPECT_EQ(recorder.switches[1].from, ObservedEngine::kCollapsed);
+    EXPECT_EQ(recorder.switches[1].to, ObservedEngine::kCountBatch);
+    EXPECT_LT(recorder.switches[0].interactions, recorder.switches[1].interactions);
+    EXPECT_EQ(recorder.switches[0].switch_index, 1u);
+    EXPECT_EQ(recorder.switches[1].switch_index, 2u);
+
+    // Manual splice: count-batch to the first switch index...
+    CollectingSink sink;
+    RunOptions manual;
+    manual.seed = 7;
+    manual.engine = SimulationEngine::kCountBatch;
+    manual.pause_after = recorder.switches[0].interactions;
+    manual.checkpoint_sink = &sink;
+    const RunResult leg1 = simulate_counts(*protocol, initial, manual);
+    ASSERT_EQ(leg1.stop_reason, StopReason::kPaused);
+    ASSERT_FALSE(sink.checkpoints.empty());
+    RunCheckpoint cut = sink.checkpoints.back();
+    ASSERT_EQ(cut.interactions, recorder.switches[0].interactions);
+
+    // ...transfer to collapsed, run to the second switch index...
+    transfer_checkpoint_engine(cut, ObservedEngine::kCollapsed);
+    sink.checkpoints.clear();
+    manual.engine = SimulationEngine::kCollapsedBatch;
+    manual.resume_from = &cut;
+    manual.pause_after = recorder.switches[1].interactions;
+    const RunResult leg2 = simulate_collapsed(*protocol, initial, manual);
+    ASSERT_EQ(leg2.stop_reason, StopReason::kPaused);
+    ASSERT_FALSE(sink.checkpoints.empty());
+    RunCheckpoint cut2 = sink.checkpoints.back();
+    ASSERT_EQ(cut2.interactions, recorder.switches[1].interactions);
+
+    // ...transfer back to count-batch and finish.
+    transfer_checkpoint_engine(cut2, ObservedEngine::kCountBatch);
+    manual.engine = SimulationEngine::kCountBatch;
+    manual.resume_from = &cut2;
+    manual.pause_after = 0;
+    manual.checkpoint_sink = nullptr;
+    const RunResult tail = simulate_counts(*protocol, initial, manual);
+    expect_same_run(tail, adaptive);
+}
+
+// Pausing exactly ON a switch boundary is transparent: a switch index is a
+// natural loop top (the super-step ending there is never clamped — see the
+// splice argument in adaptive_simulator.h), so a pause checkpoint cut there
+// resumes bit-identically onto the *un*-checkpointed baseline, re-firing the
+// pending switch on the first resumed loop top.
+TEST(AdaptiveSimulator, ResumesBitIdenticallyAcrossSwitches) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial =
+        CountConfiguration::from_input_counts(*protocol, {kPopulation - 1, 1});
+
+    SwitchRecorder recorder;
+    RunOptions options = adaptive_options(11);
+    options.observer = &recorder;
+    const RunResult baseline = simulate_adaptive(*protocol, initial, options);
+    ASSERT_EQ(recorder.switches.size(), 2u);
+    options.observer = nullptr;
+
+    for (const EngineSwitchInfo& info : recorder.switches) {
+        CollectingSink sink;
+        RunOptions paused = options;
+        paused.pause_after = info.interactions;
+        paused.checkpoint_sink = &sink;
+        const RunResult first = simulate_adaptive(*protocol, initial, paused);
+        ASSERT_EQ(first.stop_reason, StopReason::kPaused) << "cut at " << info.interactions;
+        ASSERT_FALSE(sink.checkpoints.empty()) << "cut at " << info.interactions;
+        // The pause checkpoint block runs before the monitor poll, so the
+        // cut still carries the *pre*-switch engine.
+        EXPECT_EQ(sink.checkpoints.back().engine, info.from);
+
+        // Serialize through the text format, as a service restart would.
+        const RunCheckpoint reloaded =
+            checkpoint_from_string(checkpoint_to_string(sink.checkpoints.back()));
+        EXPECT_TRUE(reloaded.adaptive);
+        RunOptions resumed = options;
+        resumed.resume_from = &reloaded;
+        expect_same_run(simulate_adaptive(*protocol, initial, resumed), baseline);
+    }
+}
+
+// Cuts that do NOT land on a switch boundary follow the collapsed engine's
+// checkpoint contract (tests/collapsed_simulator_test.cpp): boundaries clamp
+// super-steps, so resume bit-identity is against a baseline with the *same*
+// boundary schedule.  A periodic schedule straddles both switches, giving
+// cuts strictly before the first and strictly after the last; every one
+// resumes (with the schedule kept) onto the checkpointed baseline.
+TEST(AdaptiveSimulator, PeriodicCheckpointsResumeThroughSwitches) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial =
+        CountConfiguration::from_input_counts(*protocol, {kPopulation - 1, 1});
+
+    // Probe run: only to size the checkpoint period.
+    RunOptions options = adaptive_options(3);
+    const std::uint64_t run_length =
+        simulate_adaptive(*protocol, initial, options).interactions;
+
+    CollectingSink sink;
+    SwitchRecorder recorder;
+    RunOptions observed = options;
+    observed.checkpoint_every = run_length / 12 + 1;
+    observed.checkpoint_sink = &sink;
+    observed.observer = &recorder;
+    const RunResult baseline = simulate_adaptive(*protocol, initial, observed);
+    ASSERT_EQ(baseline.stop_reason, StopReason::kSilent);
+    ASSERT_GE(sink.checkpoints.size(), 8u);
+    ASSERT_EQ(recorder.switches.size(), 2u);
+    // The schedule straddles the switch window: at least one cut on each side.
+    EXPECT_LT(sink.checkpoints.front().interactions, recorder.switches.front().interactions);
+    EXPECT_GT(sink.checkpoints.back().interactions, recorder.switches.back().interactions);
+    observed.observer = nullptr;
+
+    for (const RunCheckpoint& checkpoint : sink.checkpoints) {
+        EXPECT_TRUE(checkpoint.adaptive);
+        CollectingSink resumed_sink;
+        RunOptions resumed = observed;
+        resumed.checkpoint_sink = &resumed_sink;
+        resumed.resume_from = &checkpoint;
+        expect_same_run(simulate_adaptive(*protocol, initial, resumed), baseline);
+    }
+}
+
+// Thrash regression: min_dwell pins the minimum distance between switches
+// even under pathologically tight hysteresis.
+TEST(AdaptiveSimulator, MinDwellSuppressesThrashing) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial =
+        CountConfiguration::from_input_counts(*protocol, {kPopulation - 1, 1});
+
+    // Tight hysteresis: enter barely above exit invites a switch at nearly
+    // every poll while the signal hovers near the band.
+    SwitchRecorder recorder;
+    RunOptions options = adaptive_options(5);
+    options.adaptive.enter_collapsed = 13.0;
+    options.adaptive.exit_collapsed = 12.0;
+    options.adaptive.min_dwell = 50000;
+    options.observer = &recorder;
+    const RunResult result = simulate_adaptive(*protocol, initial, options);
+    EXPECT_EQ(result.stop_reason, StopReason::kSilent);
+
+    std::uint64_t previous = 0;
+    for (const EngineSwitchInfo& info : recorder.switches) {
+        if (previous != 0) {
+            EXPECT_GE(info.interactions - previous, options.adaptive.min_dwell)
+                << "switches thrash faster than min_dwell";
+        }
+        previous = info.interactions;
+    }
+}
+
+// Entry engine comes from the initial density, and telemetry attributes
+// every interaction to exactly one per-engine segment.
+TEST(AdaptiveSimulator, EntryEngineAndSegmentAttribution) {
+    const auto protocol = make_epidemic_protocol();
+
+    telemetry::RunTelemetryCollector sparse_collector;
+    RunOptions options = adaptive_options(9);
+    options.telemetry = &sparse_collector;
+    const auto sparse =
+        CountConfiguration::from_input_counts(*protocol, {kPopulation - 1, 1});
+    const RunResult sparse_run = simulate_adaptive(*protocol, sparse, options);
+    if (telemetry::kCompiledIn) {
+        const telemetry::RunTelemetry& data = sparse_collector.telemetry();
+        ASSERT_FALSE(data.engine_segments.empty());
+        EXPECT_EQ(data.engine, "adaptive");
+        EXPECT_EQ(data.engine_segments.front().engine, "count_batch");
+        EXPECT_EQ(data.engine_switches, data.engine_segments.size() - 1);
+        std::uint64_t attributed = 0;
+        for (const auto& segment : data.engine_segments) attributed += segment.interactions;
+        EXPECT_EQ(attributed, sparse_run.interactions);
+    }
+
+    telemetry::RunTelemetryCollector dense_collector;
+    options.telemetry = &dense_collector;
+    const auto dense = CountConfiguration::from_input_counts(
+        *protocol, {kPopulation / 2, kPopulation / 2});
+    simulate_adaptive(*protocol, dense, options);
+    if (telemetry::kCompiledIn) {
+        ASSERT_FALSE(dense_collector.telemetry().engine_segments.empty());
+        EXPECT_EQ(dense_collector.telemetry().engine_segments.front().engine, "collapsed");
+    }
+}
+
+// A checkpoint taken by a *static* engine run can be adopted by the
+// adaptive dispatcher mid-run (monitoring starts one period past the cut).
+TEST(AdaptiveSimulator, AdoptsStaticCheckpoints) {
+    const auto protocol = make_epidemic_protocol();
+    const auto initial =
+        CountConfiguration::from_input_counts(*protocol, {kPopulation - 1, 1});
+
+    CollectingSink sink;
+    RunOptions fixed;
+    fixed.seed = 13;
+    fixed.engine = SimulationEngine::kCountBatch;
+    fixed.pause_after = 3000;
+    fixed.checkpoint_sink = &sink;
+    ASSERT_EQ(simulate_counts(*protocol, initial, fixed).stop_reason, StopReason::kPaused);
+
+    const RunCheckpoint cut = sink.checkpoints.back();
+    EXPECT_FALSE(cut.adaptive);
+    RunOptions adopt = adaptive_options(13);
+    adopt.resume_from = &cut;
+    const RunResult result = simulate_adaptive(*protocol, initial, adopt);
+    EXPECT_EQ(result.stop_reason, StopReason::kSilent);
+    EXPECT_EQ(result.effective_interactions, kPopulation - 1);
+    EXPECT_EQ(result.consensus, std::optional<bool>(true));
+}
+
+// Fluid assist (opt-in) replaces a dense transient with the mean-field
+// solution: the run still reaches silence and consensus, but simulates far
+// fewer interactions stochastically.  Sparse entries never invoke the hook,
+// so assisted and unassisted sparse runs stay bit-identical.
+TEST(AdaptiveSimulator, FluidAssistFastForwardsDenseEntries) {
+    const auto protocol = make_epidemic_protocol();
+
+    const auto dense = CountConfiguration::from_input_counts(
+        *protocol, {kPopulation / 2, kPopulation / 2});
+    RunOptions plain = adaptive_options(21);
+    const RunResult exact = simulate_adaptive(*protocol, dense, plain);
+
+    RunOptions assisted = adaptive_options(21);
+    assisted.fluid_assist = true;
+    assisted.fluid_hook = make_fluid_assist_hook();
+    const RunResult fast = simulate_adaptive(*protocol, dense, assisted);
+    EXPECT_EQ(fast.stop_reason, StopReason::kSilent);
+    EXPECT_EQ(fast.consensus, std::optional<bool>(true));
+    // The transient was fast-forwarded: only the sparse tail is simulated.
+    EXPECT_LT(fast.effective_interactions, exact.effective_interactions / 4);
+
+    const auto sparse =
+        CountConfiguration::from_input_counts(*protocol, {kPopulation - 1, 1});
+    const RunResult sparse_plain = simulate_adaptive(*protocol, sparse, plain);
+    const RunResult sparse_assisted = simulate_adaptive(*protocol, sparse, assisted);
+    expect_same_run(sparse_assisted, sparse_plain);
+}
+
+// transfer_checkpoint_engine validates its preconditions: only count-shaped
+// serial checkpoints move between the two count engines.
+TEST(AdaptiveSimulator, TransferRejectsForeignCheckpoints) {
+    RunCheckpoint checkpoint;
+    checkpoint.engine = ObservedEngine::kAgentArray;
+    checkpoint.agent_states = {0, 1};
+    EXPECT_THROW(transfer_checkpoint_engine(checkpoint, ObservedEngine::kCollapsed),
+                 std::invalid_argument);
+
+    checkpoint.engine = ObservedEngine::kCountBatch;
+    checkpoint.agent_states.clear();
+    checkpoint.counts = {1, 1};
+    checkpoint.has_pending_skip = true;
+    EXPECT_THROW(transfer_checkpoint_engine(checkpoint, ObservedEngine::kCollapsed),
+                 std::invalid_argument);
+
+    checkpoint.has_pending_skip = false;
+    transfer_checkpoint_engine(checkpoint, ObservedEngine::kCollapsed);
+    EXPECT_EQ(checkpoint.engine, ObservedEngine::kCollapsed);
+}
+
+}  // namespace
+}  // namespace popproto

@@ -296,8 +296,9 @@ TEST(RunSimulationDispatch, AutoSelectsBySize) {
     // At and above it: count-batch, up to the collapsed threshold.
     EXPECT_EQ(run_auto(kAutoCountBatchThreshold - 1), ObservedEngine::kCountBatch);
     EXPECT_EQ(run_auto(kAutoCollapsedThreshold - 2), ObservedEngine::kCountBatch);
-    // At and above the collapsed threshold: the collapsed engine.
-    EXPECT_EQ(run_auto(kAutoCollapsedThreshold - 1), ObservedEngine::kCollapsed);
+    // At and above the collapsed threshold: the phase-adaptive dispatcher
+    // (which picks collapsed or count-batch segments by density).
+    EXPECT_EQ(run_auto(kAutoCollapsedThreshold - 1), ObservedEngine::kAdaptive);
 }
 
 TEST(RunSimulationDispatch, PinnedEnginesAreHonoredAtAnySize) {
